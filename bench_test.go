@@ -1,0 +1,361 @@
+package slmob
+
+// One benchmark per table and figure of the paper (see DESIGN.md §3 for
+// the experiment index). Each benchmark re-runs the analysis that
+// produces its artefact on a cached 24-hour three-land simulation and
+// reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the pipeline and regenerates the paper's numbers. The first
+// benchmark to run pays the one-off simulation cost (excluded from its
+// timing via ResetTimer).
+
+import (
+	"sync"
+	"testing"
+
+	"slmob/internal/core"
+	"slmob/internal/dtn"
+	"slmob/internal/experiment"
+	"slmob/internal/sensor"
+	"slmob/internal/stats"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+const benchSeed = 1
+
+var (
+	benchOnce sync.Once
+	benchRuns []*experiment.LandRun
+	benchErr  error
+)
+
+// dayRuns returns the memoised 24 h runs for the three paper lands.
+func dayRuns(b *testing.B) []*experiment.LandRun {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchRuns, benchErr = experiment.CachedDayRuns(benchSeed)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRuns
+}
+
+func landTrace(b *testing.B, name string) *trace.Trace {
+	b.Helper()
+	for _, run := range dayRuns(b) {
+		if run.Trace.Land == name {
+			return run.Trace
+		}
+	}
+	b.Fatalf("no trace for %q", name)
+	return nil
+}
+
+// shortName maps a land to its metric prefix.
+func shortName(land string) string {
+	return map[string]string{
+		"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
+	}[land]
+}
+
+// benchContacts times contact extraction over all three lands at range r
+// and reports per-land medians from the final timed iteration.
+func benchContacts(b *testing.B, r float64, metric string, pick func(*core.ContactSet) []float64) {
+	runs := dayRuns(b)
+	last := make([]*core.ContactSet, len(runs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, run := range runs {
+			cs, err := core.ExtractContacts(run.Trace, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last[j] = cs
+		}
+	}
+	b.StopTimer()
+	for j, run := range runs {
+		sample := pick(last[j])
+		if len(sample) == 0 {
+			continue
+		}
+		b.ReportMetric(stats.MustEmpirical(sample).Median(),
+			shortName(run.Trace.Land)+"_"+metric+"_median_s")
+	}
+}
+
+// T1 — the §3 trace summary table.
+func BenchmarkTableT1_TraceSummary(b *testing.B) {
+	runs := dayRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range runs {
+			run.Trace.Summarize()
+		}
+	}
+	b.StopTimer()
+	for _, run := range runs {
+		sum := run.Trace.Summarize()
+		name := map[string]string{
+			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
+		}[run.Trace.Land]
+		b.ReportMetric(float64(sum.Unique), name+"_unique")
+		b.ReportMetric(sum.MeanConcurrent, name+"_concurrent")
+	}
+}
+
+// Fig. 1 — temporal analysis.
+func BenchmarkFig1a_ContactTimeCCDF_r10(b *testing.B) {
+	benchContacts(b, core.BluetoothRange, "ct", func(c *core.ContactSet) []float64 { return c.CT })
+}
+
+func BenchmarkFig1b_InterContactCCDF_r10(b *testing.B) {
+	benchContacts(b, core.BluetoothRange, "ict", func(c *core.ContactSet) []float64 { return c.ICT })
+}
+
+func BenchmarkFig1c_FirstContactCCDF_r10(b *testing.B) {
+	benchContacts(b, core.BluetoothRange, "ft", func(c *core.ContactSet) []float64 { return c.FT })
+}
+
+func BenchmarkFig1d_ContactTimeCCDF_r80(b *testing.B) {
+	benchContacts(b, core.WiFiRange, "ct", func(c *core.ContactSet) []float64 { return c.CT })
+}
+
+func BenchmarkFig1e_InterContactCCDF_r80(b *testing.B) {
+	benchContacts(b, core.WiFiRange, "ict", func(c *core.ContactSet) []float64 { return c.ICT })
+}
+
+func BenchmarkFig1f_FirstContactCCDF_r80(b *testing.B) {
+	benchContacts(b, core.WiFiRange, "ft", func(c *core.ContactSet) []float64 { return c.FT })
+}
+
+// benchNets times line-of-sight network analysis and reports a headline
+// metric per land.
+func benchNets(b *testing.B, r float64, metric string, report func(*core.NetMetrics) float64) {
+	runs := dayRuns(b)
+	last := make([]*core.NetMetrics, len(runs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, run := range runs {
+			nm, err := core.LoSMetrics(run.Trace, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last[j] = nm
+		}
+	}
+	b.StopTimer()
+	for j, run := range runs {
+		b.ReportMetric(report(last[j]), shortName(run.Trace.Land)+"_"+metric)
+	}
+}
+
+// Fig. 2 — line-of-sight network properties.
+func BenchmarkFig2a_DegreeCCDF_r10(b *testing.B) {
+	benchNets(b, core.BluetoothRange, "deg0_frac", (*core.NetMetrics).DegreeZeroFraction)
+}
+
+func BenchmarkFig2b_DiameterCDF_r10(b *testing.B) {
+	benchNets(b, core.BluetoothRange, "diam_median", func(nm *core.NetMetrics) float64 {
+		return stats.MustEmpirical(nm.Diameters).Median()
+	})
+}
+
+func BenchmarkFig2c_ClusteringCDF_r10(b *testing.B) {
+	benchNets(b, core.BluetoothRange, "clust_median", func(nm *core.NetMetrics) float64 {
+		return stats.MustEmpirical(nm.Clusterings).Median()
+	})
+}
+
+func BenchmarkFig2d_DegreeCCDF_r80(b *testing.B) {
+	benchNets(b, core.WiFiRange, "deg0_frac", (*core.NetMetrics).DegreeZeroFraction)
+}
+
+func BenchmarkFig2e_DiameterCDF_r80(b *testing.B) {
+	benchNets(b, core.WiFiRange, "diam_median", func(nm *core.NetMetrics) float64 {
+		return stats.MustEmpirical(nm.Diameters).Median()
+	})
+}
+
+func BenchmarkFig2f_ClusteringCDF_r80(b *testing.B) {
+	benchNets(b, core.WiFiRange, "clust_median", func(nm *core.NetMetrics) float64 {
+		return stats.MustEmpirical(nm.Clusterings).Median()
+	})
+}
+
+// Fig. 3 — zone occupation (L = 20 m).
+func BenchmarkFig3_ZoneOccupationCDF(b *testing.B) {
+	runs := dayRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range runs {
+			if _, err := core.ZoneOccupation(run.Trace, 256, core.PaperZoneLength); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	for _, run := range runs {
+		zones, err := core.ZoneOccupation(run.Trace, 256, core.PaperZoneLength)
+		if err != nil {
+			b.Fatal(err)
+		}
+		empty := 0
+		for _, z := range zones {
+			if z == 0 {
+				empty++
+			}
+		}
+		name := map[string]string{
+			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
+		}[run.Trace.Land]
+		b.ReportMetric(float64(empty)/float64(len(zones)), name+"_empty_frac")
+	}
+}
+
+// benchTrips times trip analysis and reports one quantile per land.
+func benchTrips(b *testing.B, metric string, pick func(*core.TripStats) []float64, q float64) {
+	runs := dayRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range runs {
+			core.Trips(run.Trace, 0.5, 0)
+		}
+	}
+	b.StopTimer()
+	for _, run := range runs {
+		tp := core.Trips(run.Trace, 0.5, 0)
+		name := map[string]string{
+			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
+		}[run.Trace.Land]
+		b.ReportMetric(stats.MustEmpirical(pick(tp)).Quantile(q), name+"_"+metric)
+	}
+}
+
+// Fig. 4 — trip analysis.
+func BenchmarkFig4a_TravelLengthCDF(b *testing.B) {
+	benchTrips(b, "travel_p90_m", func(t *core.TripStats) []float64 { return t.TravelLength }, 0.9)
+}
+
+func BenchmarkFig4b_EffectiveTravelTimeCDF(b *testing.B) {
+	benchTrips(b, "efftime_median_s", func(t *core.TripStats) []float64 { return t.EffectiveTravelTime }, 0.5)
+}
+
+func BenchmarkFig4c_TravelTimeCDF(b *testing.B) {
+	benchTrips(b, "session_p90_s", func(t *core.TripStats) []float64 { return t.TravelTime }, 0.9)
+}
+
+// X1 — the "power law + exponential cut-off" tail claim.
+func BenchmarkX1_TailFits(b *testing.B) {
+	tr := landTrace(b, "Dance Island")
+	cs, err := core.ExtractContacts(tr, core.BluetoothRange)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cmp stats.TailComparison
+	for i := 0; i < b.N; i++ {
+		cmp, err = stats.CompareTailModels(cs.CT, float64(core.PaperTau))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(cmp.Cutoff.Alpha, "cutoff_alpha")
+	b.ReportMetric(cmp.Cutoff.Cutoff, "cutoff_scale_s")
+	b.ReportMetric(cmp.Pareto.AIC()-cmp.Cutoff.AIC(), "aic_gain_vs_pareto")
+}
+
+// X2 — trace-driven DTN forwarding.
+func BenchmarkX2_DTNReplay(b *testing.B) {
+	tr := landTrace(b, "Dance Island")
+	window := tr.Window(0, 2*3600)
+	b.ResetTimer()
+	var results []*dtn.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = dtn.CompareProtocols(window, core.BluetoothRange, 100, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for _, res := range results {
+		b.ReportMetric(res.DeliveryRatio(), res.Protocol.String()+"_ratio")
+	}
+}
+
+// X3 — POI-gravity versus synthetic mobility baselines.
+func BenchmarkX3_MobilityBaselines(b *testing.B) {
+	paper := landTrace(b, "Dance Island").Window(0, 2*3600)
+	paperCT, err := core.ExtractContacts(paper, core.BluetoothRange)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var d map[string]float64
+	for i := 0; i < b.N; i++ {
+		d = make(map[string]float64)
+		for _, model := range []world.Model{world.RandomWaypoint, world.LevyWalk} {
+			scn := world.BaselineScenario(model, benchSeed)
+			scn.Duration = 2 * 3600
+			tr, err := world.Collect(scn, core.PaperTau)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs, err := core.ExtractContacts(tr, core.BluetoothRange)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d[model.String()] = stats.KolmogorovSmirnov(paperCT.CT, cs.CT).D
+		}
+	}
+	b.StopTimer()
+	for name, v := range d {
+		b.ReportMetric(v, "ks_d_vs_"+name)
+	}
+}
+
+// X4 — sensor architecture versus crawler coverage.
+func BenchmarkX4_SensorVsCrawler(b *testing.B) {
+	scn := world.ApfelLand(benchSeed)
+	scn.Duration = 2 * 3600
+	truth, err := world.Collect(scn, core.PaperTau)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sensorTrace *trace.Trace
+	var st sensor.Stats
+	for i := 0; i < b.N; i++ {
+		sim, err := world.NewSim(scn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		collector := sensor.NewCollector()
+		engine := sensor.NewEngine(scn.Land)
+		engine.SetPostHook(func(p sensor.FlushPayload) error {
+			collector.Ingest(p)
+			return nil
+		})
+		for _, spec := range sensor.GridSpecs(scn.Land, 4, sensor.MaxRange, core.PaperTau, "hook", true) {
+			if _, err := engine.Deploy(0, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for sim.Time() < scn.Duration {
+			sim.Step()
+			engine.Step(sim.Time(), sim)
+		}
+		sensorTrace = collector.Trace(scn.Land.Name, core.PaperTau)
+		st = engine.Stats()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sensorTrace.UniqueUsers())/float64(truth.UniqueUsers()), "user_coverage")
+	b.ReportMetric(float64(st.Expired), "object_expiries")
+	b.ReportMetric(float64(st.DroppedReadings), "dropped_readings")
+}

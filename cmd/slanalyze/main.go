@@ -1,0 +1,126 @@
+// Command slanalyze computes every metric of the paper from a trace file:
+// the §3 population summary, contact statistics (CT/ICT/FT) at both
+// communication ranges, line-of-sight network properties, zone occupation,
+// trip metrics, and the §4 tail-model comparison. With -figdir it also
+// exports per-panel CSV curves ready for plotting.
+//
+// Usage:
+//
+//	slanalyze -in dance.sltr -figdir figures/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"slmob/internal/core"
+	"slmob/internal/stats"
+	"slmob/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input trace file (.csv or binary)")
+		figdir = flag.String("figdir", "", "write per-metric CSV curves to this directory")
+		zeroOK = flag.Bool("repair-seated", true, "treat {0,0,0} positions as seated (the SL quirk)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := core.Analyze(tr, core.Config{TreatZeroAsSeated: *zeroOK})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s\n", an.Summary)
+	med := func(xs []float64) float64 { return stats.Summarize(xs).Median }
+	for _, r := range []float64{core.BluetoothRange, core.WiFiRange} {
+		cs := an.Contacts[r]
+		nm := an.Nets[r]
+		fmt.Printf("-- r = %gm\n", r)
+		fmt.Printf("   contact time:       %s\n", stats.Summarize(cs.CT))
+		fmt.Printf("   inter-contact time: %s\n", stats.Summarize(cs.ICT))
+		fmt.Printf("   first contact time: %s (never contacted: %d, censored contacts: %d)\n",
+			stats.Summarize(cs.FT), cs.NeverContacted, cs.Censored)
+		fmt.Printf("   degree: median %.0f, P(deg=0) %.3f; diameter median %.0f (max %.0f); clustering median %.3f\n",
+			med(nm.Degrees), nm.DegreeZeroFraction(), med(nm.Diameters), nm.MaxDiameter(), med(nm.Clusterings))
+		for metric, sample := range map[string][]float64{"CT": cs.CT, "ICT": cs.ICT} {
+			if len(sample) < 50 {
+				continue
+			}
+			cmp, err := stats.CompareTailModels(sample, float64(tr.Tau))
+			if err != nil {
+				continue
+			}
+			best := cmp.Best()
+			fmt.Printf("   %s tail: best=%s (alpha=%.2f cutoff=%.0f) AIC exp/pareto/cutoff = %.0f/%.0f/%.0f\n",
+				metric, best.Model, cmp.Cutoff.Alpha, cmp.Cutoff.Cutoff,
+				cmp.Exponential.AIC(), cmp.Pareto.AIC(), cmp.Cutoff.AIC())
+		}
+	}
+	fmt.Printf("-- spatial\n")
+	empty := 0
+	for _, z := range an.Zones {
+		if z == 0 {
+			empty++
+		}
+	}
+	fmt.Printf("   zone occupation (L=20m): %.1f%% cells empty, max %v users/cell\n",
+		100*float64(empty)/float64(len(an.Zones)), stats.Summarize(an.Zones).Max)
+	fmt.Printf("   travel length:         %s\n", stats.Summarize(an.Trips.TravelLength))
+	fmt.Printf("   effective travel time: %s\n", stats.Summarize(an.Trips.EffectiveTravelTime))
+	fmt.Printf("   travel (login) time:   %s\n", stats.Summarize(an.Trips.TravelTime))
+
+	if *figdir != "" {
+		if err := os.MkdirAll(*figdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		panels := map[string]struct {
+			sample []float64
+			ccdf   bool
+		}{
+			"ct_r10":         {an.Contacts[10].CT, true},
+			"ict_r10":        {an.Contacts[10].ICT, true},
+			"ft_r10":         {an.Contacts[10].FT, true},
+			"ct_r80":         {an.Contacts[80].CT, true},
+			"ict_r80":        {an.Contacts[80].ICT, true},
+			"ft_r80":         {an.Contacts[80].FT, true},
+			"degree_r10":     {an.Nets[10].Degrees, true},
+			"diameter_r10":   {an.Nets[10].Diameters, false},
+			"clustering_r10": {an.Nets[10].Clusterings, false},
+			"degree_r80":     {an.Nets[80].Degrees, true},
+			"diameter_r80":   {an.Nets[80].Diameters, false},
+			"clustering_r80": {an.Nets[80].Clusterings, false},
+			"zones":          {an.Zones, false},
+			"travel_length":  {an.Trips.TravelLength, false},
+			"effective_time": {an.Trips.EffectiveTravelTime, false},
+			"travel_time":    {an.Trips.TravelTime, false},
+		}
+		for name, p := range panels {
+			fig := &core.Figure{ID: name, Title: name, XLabel: "x", YLabel: "F"}
+			if p.ccdf {
+				fig.Series = []core.Series{core.CCDFSeries(tr.Land, p.sample, false)}
+			} else {
+				fig.Series = []core.Series{core.CDFSeries(tr.Land, p.sample)}
+			}
+			f, err := os.Create(filepath.Join(*figdir, name+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Printf("slanalyze: wrote %d CSV panels to %s\n", len(panels), *figdir)
+	}
+}

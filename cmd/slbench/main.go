@@ -1,0 +1,86 @@
+// Command slbench regenerates the paper's complete evaluation: it
+// simulates all three target lands for 24 hours, runs the full analysis,
+// prints the paper-vs-measured report (the source of EXPERIMENTS.md),
+// renders every figure panel as an ASCII chart, and optionally exports
+// the panels as CSV.
+//
+// Usage:
+//
+//	slbench -seed 1 -out figures/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"slmob/internal/core"
+	"slmob/internal/experiment"
+	"slmob/internal/world"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		duration = flag.Int64("duration", world.DayDuration, "measurement length in sim seconds")
+		out      = flag.String("out", "", "write figure CSVs to this directory")
+		ascii    = flag.Bool("ascii", true, "render ASCII figures")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Printf("slbench: simulating the three target lands for %d sim seconds (seed %d)...\n",
+		*duration, *seed)
+	runs, err := experiment.RunLands(*seed, *duration, core.PaperTau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slbench: simulation + analysis took %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	for _, run := range runs {
+		fmt.Println(run.Analysis.Summary.String())
+	}
+	fmt.Println()
+
+	rep, err := experiment.BuildReport(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fails := rep.Failures()
+	fmt.Printf("\nslbench: %d/%d rows within tolerance\n\n", len(rep.Rows)-len(fails), len(rep.Rows))
+
+	figs, err := experiment.Figures(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ascii {
+		for _, fig := range figs {
+			if err := fig.RenderASCII(os.Stdout, 72, 14); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println()
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, fig := range figs {
+			f, err := os.Create(filepath.Join(*out, fig.ID+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := fig.WriteCSV(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+		fmt.Printf("slbench: wrote %d figure CSVs to %s\n", len(figs), *out)
+	}
+}

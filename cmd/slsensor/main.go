@@ -1,0 +1,110 @@
+// Command slsensor drives the paper's first monitoring architecture
+// against a running region server: it connects as a builder avatar,
+// deploys a grid of in-world sensor objects over the slp protocol, runs
+// the external HTTP collector the sensors flush to, and writes the merged
+// trace when the crawl duration elapses.
+//
+// Deployment fails on private lands (try -land dance on slsim) exactly as
+// it did for the paper's authors.
+//
+// Usage (against a running cmd/slsim hosting a public land):
+//
+//	slsensor -addr 127.0.0.1:7600 -listen 127.0.0.1:7610 -grid 4 -out apfel-sensors.sltr
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"slmob/internal/sensor"
+	"slmob/internal/slp"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7600", "region server address")
+		listen   = flag.String("listen", "127.0.0.1:7610", "collector HTTP listen address")
+		name     = flag.String("name", "builder-01", "builder avatar name")
+		password = flag.String("password", "", "login password")
+		grid     = flag.Int("grid", 4, "deploy an NxN sensor grid")
+		rng      = flag.Float64("range", sensor.MaxRange, "sensing radius (capped at 96)")
+		period   = flag.Int64("period", 10, "scan period in sim seconds")
+		duration = flag.Int64("duration", 86400, "collection length in sim seconds")
+		out      = flag.String("out", "sensors.sltr", "output trace file")
+	)
+	flag.Parse()
+
+	collector := sensor.NewCollector()
+	httpSrv := &http.Server{Addr: *listen, Handler: collector}
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("slsensor: collector: %v", err)
+		}
+	}()
+
+	client, err := slp.Dial(*addr, *name, *password, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	w := client.Welcome()
+	fmt.Printf("slsensor: connected to %q (size %g)\n", w.Land, w.Size)
+
+	land := world.LandConfig{Name: w.Land, Size: w.Size}
+	collectorURL := "http://" + *listen + "/flush"
+	deployed := 0
+	for _, spec := range sensor.GridSpecs(land, *grid, *rng, *period, collectorURL, true) {
+		rep, err := client.CreateObject(slp.ObjectCreate{
+			Kind: slp.ObjectSensor, Pos: spec.Pos, Range: spec.Range,
+			Period: spec.Period, Collector: spec.Collector,
+		}, 10*time.Second)
+		if err != nil {
+			log.Fatalf("slsensor: deployment rejected: %v", err)
+		}
+		deployed++
+		if rep.ExpiresAt > 0 {
+			fmt.Printf("slsensor: object %d deployed at %v (expires at sim %d)\n",
+				rep.ObjectID, spec.Pos, rep.ExpiresAt)
+		} else {
+			fmt.Printf("slsensor: object %d deployed at %v (no expiry)\n", rep.ObjectID, spec.Pos)
+		}
+	}
+	fmt.Printf("slsensor: %d sensors live; collecting for %d sim seconds\n", deployed, *duration)
+
+	// Wait out the measurement in sim time by polling the server clock.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	start := w.SimTime
+	for {
+		select {
+		case <-ctx.Done():
+			goto done
+		case <-time.After(time.Second):
+			now, err := client.Ping(5 * time.Second)
+			if err != nil {
+				log.Printf("slsensor: server gone: %v", err)
+				goto done
+			}
+			if now-start >= *duration {
+				goto done
+			}
+		}
+	}
+done:
+	_ = httpSrv.Close()
+	tr := collector.Trace(w.Land, *period)
+	tr.Meta["size"] = fmt.Sprintf("%g", w.Size)
+	if err := trace.WriteFile(tr, *out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slsensor: %s\n", tr.Summarize())
+	fmt.Printf("slsensor: %d flushes received; wrote %s\n", collector.Flushes(), *out)
+}

@@ -1,0 +1,66 @@
+// Baselines example (experiment X3): the same contact analysis on the
+// POI-gravity model that reproduces the paper versus the classical
+// random-waypoint and Lévy-walk synthetic mobility models, population-
+// matched to Dance Island. The contact-time distributions differ visibly:
+// synthetic models do not produce the paper's POI-concentrated behaviour.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"slmob"
+	"slmob/internal/stats"
+)
+
+func main() {
+	duration := int64(4 * 3600)
+	type row struct {
+		name string
+		ct   []float64
+		deg0 float64
+	}
+	var rows []row
+	scns := map[string]slmob.Scenario{
+		"poi-gravity (paper)": slmob.DanceIsland(3),
+		"random-waypoint":     slmob.BaselineScenario(slmob.RandomWaypoint, 3),
+		"levy-walk":           slmob.BaselineScenario(slmob.LevyWalk, 3),
+	}
+	for _, name := range []string{"poi-gravity (paper)", "random-waypoint", "levy-walk"} {
+		scn := scns[name]
+		scn.Duration = duration
+		tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := slmob.Analyze(tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			name: name,
+			ct:   an.Contacts[slmob.BluetoothRange].CT,
+			deg0: an.Nets[slmob.BluetoothRange].DegreeZeroFraction(),
+		})
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "MODEL\tCT MEDIAN (s)\tCT P90 (s)\tP(DEG=0)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\n",
+			r.name, slmob.Median(r.ct), slmob.Quantile(r.ct, 0.9), r.deg0)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	ks := stats.KolmogorovSmirnov(rows[0].ct, rows[1].ct)
+	fmt.Printf("\nKS(poi-gravity vs random-waypoint) on CT: D=%.3f p=%.2g\n", ks.D, ks.P)
+	ks = stats.KolmogorovSmirnov(rows[0].ct, rows[2].ct)
+	fmt.Printf("KS(poi-gravity vs levy-walk)       on CT: D=%.3f p=%.2g\n", ks.D, ks.P)
+	fmt.Println("\nlarge D: synthetic baselines do not reproduce virtual-world contact statistics.")
+}

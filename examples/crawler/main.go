@@ -1,0 +1,66 @@
+// Crawler example: the full networked measurement path of the paper. It
+// starts a region server hosting Isle of View under a heavy time warp,
+// connects the mimicking crawler over TCP, collects a one-hour trace at
+// τ = 10 s from coarse map pushes, and analyses it — all in one process,
+// but over a real socket.
+//
+//	go run ./examples/crawler
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"slmob"
+	"slmob/internal/crawler"
+	"slmob/internal/server"
+)
+
+func main() {
+	scn := slmob.IsleOfView(7)
+	scn.Duration = 86400
+
+	srv, err := server.New(server.Config{
+		Addr:     "127.0.0.1:0",
+		Scenario: scn,
+		Warp:     1200, // one sim hour ≈ 3 wall seconds
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = srv.Run(ctx) }()
+	fmt.Printf("region server hosting %q on %s (warp 1200x)\n", scn.Land.Name, srv.Addr())
+
+	cr, err := crawler.New(crawler.Config{
+		Addr:     srv.Addr(),
+		Name:     "paper-crawler",
+		Tau:      slmob.PaperTau,
+		Duration: 3600,
+		Mimic:    true,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crawler logged in as avatar %d, mimicking a normal user\n", cr.SelfID())
+
+	runCtx, timeout := context.WithTimeout(ctx, 2*time.Minute)
+	defer timeout()
+	tr, err := cr.Run(runCtx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tr.Summarize())
+
+	an, err := slmob.AnalyzeWith(tr, slmob.AnalysisConfig{TreatZeroAsSeated: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := an.Contacts[slmob.BluetoothRange]
+	fmt.Printf("from the wire (1 m coarse map): median CT %.0fs, ICT %.0fs over %d pairs\n",
+		slmob.Median(cs.CT), slmob.Median(cs.ICT), cs.Pairs)
+}

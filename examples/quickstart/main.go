@@ -1,0 +1,39 @@
+// Quickstart: simulate one of the paper's lands in process, run the full
+// analysis, and print the headline numbers of the paper's evaluation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"slmob"
+)
+
+func main() {
+	// Dance Island, two simulated hours (the paper uses 24 h; see
+	// cmd/slbench for the full reproduction).
+	scn := slmob.DanceIsland(42)
+	scn.Duration = 2 * 3600
+
+	tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := slmob.Analyze(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(an.Summary)
+	for _, r := range []float64{slmob.BluetoothRange, slmob.WiFiRange} {
+		cs := an.Contacts[r]
+		fmt.Printf("r=%2.0fm: median CT %.0fs, ICT %.0fs, FT %.0fs; P(deg=0) %.2f\n",
+			r, slmob.Median(cs.CT), slmob.Median(cs.ICT), slmob.Median(cs.FT),
+			an.Nets[r].DegreeZeroFraction())
+	}
+	fmt.Printf("travel length p90: %.0f m; longest session: %.0f s\n",
+		slmob.Quantile(an.Trips.TravelLength, 0.9),
+		slmob.Quantile(an.Trips.TravelTime, 1.0))
+}

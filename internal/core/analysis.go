@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"slmob/internal/trace"
+)
+
+// Paper measurement constants (§3): snapshot period and the two
+// communication ranges simulating Bluetooth and 802.11a WiFi devices.
+const (
+	PaperTau        int64   = 10
+	BluetoothRange  float64 = 10
+	WiFiRange       float64 = 80
+	PaperZoneLength float64 = 20
+)
+
+// Config controls a full analysis run.
+type Config struct {
+	// Ranges are the communication ranges to analyse; nil selects the
+	// paper's {10, 80}.
+	Ranges []float64
+	// ZoneSize is the zone-occupation cell edge; 0 selects the paper's 20.
+	ZoneSize float64
+	// MoveEps is the minimum sample-to-sample displacement counted as
+	// movement; 0 selects 0.5 m.
+	MoveEps float64
+	// SessionGap is the absence tolerance before a session splits;
+	// 0 selects 2τ.
+	SessionGap int64
+	// TreatZeroAsSeated repairs the {0,0,0} sitting quirk before spatial
+	// analysis. Enable for wire-protocol traces (crawler, sensors), which
+	// cannot observe the seated state directly.
+	TreatZeroAsSeated bool
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c Config) withDefaults() Config {
+	if len(c.Ranges) == 0 {
+		c.Ranges = []float64{BluetoothRange, WiFiRange}
+	}
+	if c.ZoneSize == 0 {
+		c.ZoneSize = PaperZoneLength
+	}
+	if c.MoveEps == 0 {
+		c.MoveEps = 0.5
+	}
+	return c
+}
+
+// Analysis is the complete per-land result set: everything needed to
+// regenerate the paper's figures for one target land.
+type Analysis struct {
+	Land    string
+	Summary trace.Summary
+	// Contacts maps range -> temporal metrics (Fig. 1).
+	Contacts map[float64]*ContactSet
+	// Nets maps range -> line-of-sight network metrics (Fig. 2).
+	Nets map[float64]*NetMetrics
+	// Zones holds per-(cell, snapshot) occupancies (Fig. 3).
+	Zones []float64
+	// Trips holds the per-session trip metrics (Fig. 4).
+	Trips *TripStats
+}
+
+// Analyze runs the full pipeline on one trace.
+func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
+	cfg = cfg.withDefaults()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid trace: %w", err)
+	}
+	if cfg.TreatZeroAsSeated {
+		tr = NormalizeSeated(tr)
+	}
+	a := &Analysis{
+		Land:     tr.Land,
+		Summary:  tr.Summarize(),
+		Contacts: make(map[float64]*ContactSet, len(cfg.Ranges)),
+		Nets:     make(map[float64]*NetMetrics, len(cfg.Ranges)),
+	}
+	for _, r := range cfg.Ranges {
+		cs, err := ExtractContacts(tr, r)
+		if err != nil {
+			return nil, err
+		}
+		a.Contacts[r] = cs
+		nm, err := LoSMetrics(tr, r)
+		if err != nil {
+			return nil, err
+		}
+		a.Nets[r] = nm
+	}
+	zones, err := ZoneOccupation(tr, landSizeOf(tr), cfg.ZoneSize)
+	if err != nil {
+		return nil, err
+	}
+	a.Zones = zones
+	a.Trips = Trips(tr, cfg.MoveEps, cfg.SessionGap)
+	return a, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"slmob/internal/stats"
+)
+
+// Series is one named curve of a figure (one target land, in the paper).
+type Series struct {
+	Name  string
+	Curve stats.Curve
+}
+
+// Figure is plot-ready data for one panel of the paper: an identifier
+// (e.g. "fig1a"), axis labels, and one curve per land.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX renders/export hints: the paper draws Fig. 1 on a log X axis.
+	LogX   bool
+	Series []Series
+}
+
+// CCDFSeries builds a CCDF curve from a sample, dropping non-positive
+// values when destined for a log axis.
+func CCDFSeries(name string, sample []float64, logX bool) Series {
+	vals := sample
+	if logX {
+		vals = make([]float64, 0, len(sample))
+		for _, v := range sample {
+			if v > 0 {
+				vals = append(vals, v)
+			}
+		}
+	}
+	if len(vals) == 0 {
+		return Series{Name: name}
+	}
+	return Series{Name: name, Curve: stats.MustEmpirical(vals).CCDFCurve()}
+}
+
+// CDFSeries builds a CDF curve from a sample.
+func CDFSeries(name string, sample []float64) Series {
+	if len(sample) == 0 {
+		return Series{Name: name}
+	}
+	return Series{Name: name, Curve: stats.MustEmpirical(sample).CDFCurve()}
+}
+
+// WriteCSV exports the figure as long-format CSV: series,x,y.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\nseries,x,y\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Curve {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RenderASCII draws the figure as a text chart of the given size, one
+// glyph per series, for terminal inspection by cmd/slbench. Width and
+// height are the plot-area dimensions in characters.
+func (f *Figure) RenderASCII(w io.Writer, width, height int) error {
+	if width < 10 || height < 4 {
+		return fmt.Errorf("core: chart too small %dx%d", width, height)
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Establish bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, 1.0 // distribution plots are always [0,1] in Y
+	for _, s := range f.Series {
+		for _, p := range s.Curve {
+			x := p.X
+			if f.LogX && x <= 0 {
+				continue
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+		}
+	}
+	if math.IsInf(minX, 1) || minX == maxX {
+		_, err := fmt.Fprintf(w, "%s: no drawable data\n", f.ID)
+		return err
+	}
+	xpos := func(x float64) int {
+		t := 0.0
+		if f.LogX {
+			t = (math.Log(x) - math.Log(minX)) / (math.Log(maxX) - math.Log(minX))
+		} else {
+			t = (x - minX) / (maxX - minX)
+		}
+		i := int(t * float64(width-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+	ypos := func(y float64) int {
+		t := (y - minY) / (maxY - minY)
+		i := int(t * float64(height-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= height {
+			i = height - 1
+		}
+		return height - 1 - i
+	}
+
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		glyph := glyphs[si%len(glyphs)]
+		// Step-interpolate the curve across the full X span so flat tails
+		// stay visible.
+		col := 0
+		for _, p := range s.Curve {
+			if f.LogX && p.X <= 0 {
+				continue
+			}
+			c := xpos(p.X)
+			row := ypos(p.Y)
+			for ; col <= c; col++ {
+				canvas[row][col] = glyph
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for _, line := range canvas {
+		if _, err := fmt.Fprintf(w, "  |%s\n", line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  +%s\n   %-*g%*g\n", strings.Repeat("-", width),
+		width/2, minX, width-width/2, maxX); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "   y: %s in [0,1]; x: %s%s\n   %s\n",
+		f.YLabel, f.XLabel, map[bool]string{true: " (log)", false: ""}[f.LogX],
+		strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCCDFSeriesDropsNonPositiveForLogAxis(t *testing.T) {
+	s := CCDFSeries("land", []float64{0, -5, 10, 20}, true)
+	for _, p := range s.Curve {
+		if p.X <= 0 {
+			t.Errorf("log-axis series contains x=%v", p.X)
+		}
+	}
+	if len(s.Curve) != 2 {
+		t.Errorf("curve = %v", s.Curve)
+	}
+	// Linear axis keeps zeros.
+	s = CCDFSeries("land", []float64{0, 10}, false)
+	if len(s.Curve) != 2 {
+		t.Errorf("linear curve = %v", s.Curve)
+	}
+	// Empty samples yield an empty (but named) series.
+	s = CCDFSeries("land", nil, true)
+	if s.Name != "land" || len(s.Curve) != 0 {
+		t.Errorf("empty series = %+v", s)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	s := CDFSeries("x", []float64{1, 2, 3})
+	if len(s.Curve) != 3 || s.Curve[2].Y != 1 {
+		t.Errorf("curve = %v", s.Curve)
+	}
+	if got := CDFSeries("x", nil); len(got.Curve) != 0 {
+		t.Error("empty sample should give empty curve")
+	}
+}
+
+func testFigure() *Figure {
+	return &Figure{
+		ID: "fig1a", Title: "Contact Time CCDF", XLabel: "Time (s)", YLabel: "1-F(x)",
+		LogX: true,
+		Series: []Series{
+			CCDFSeries("Apfel Land", []float64{10, 20, 30, 100, 400}, true),
+			CCDFSeries("Dance Island", []float64{50, 100, 300, 900}, true),
+		},
+	}
+}
+
+func TestFigureWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# fig1a: Contact Time CCDF\nseries,x,y\n") {
+		t.Errorf("header = %q", out[:40])
+	}
+	if !strings.Contains(out, "Apfel Land,10,") {
+		t.Errorf("missing data row: %s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 2+5+4 { // header rows + points
+		t.Errorf("lines = %d", lines)
+	}
+}
+
+func TestFigureRenderASCII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testFigure().RenderASCII(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig1a") || !strings.Contains(out, "*") {
+		t.Errorf("render = %s", out)
+	}
+	if !strings.Contains(out, "Apfel Land") {
+		t.Error("legend missing")
+	}
+	// Too-small canvas must error, not panic.
+	if err := testFigure().RenderASCII(&buf, 5, 2); err == nil {
+		t.Error("tiny canvas accepted")
+	}
+}
+
+func TestFigureRenderASCIIEmpty(t *testing.T) {
+	f := &Figure{ID: "empty", Series: []Series{{Name: "none"}}}
+	var buf bytes.Buffer
+	if err := f.RenderASCII(&buf, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no drawable data") {
+		t.Errorf("render = %q", buf.String())
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"slmob/internal/geom"
+	"slmob/internal/graph"
+	"slmob/internal/trace"
+)
+
+// NetMetrics aggregates the line-of-sight network properties of §3.2 over
+// the whole measurement period, as the paper's Fig. 2 does.
+type NetMetrics struct {
+	// Range is the communication range r in metres.
+	Range float64
+	// Degrees holds one node-degree sample per (user, snapshot), the
+	// population behind the aggregated degree CCDF (Fig. 2a/2d).
+	Degrees []float64
+	// Diameters holds, per snapshot, the longest shortest path of the
+	// largest connected component (Fig. 2b/2e). Snapshots without users
+	// are skipped.
+	Diameters []float64
+	// Clusterings holds, per snapshot, the mean Watts–Strogatz clustering
+	// coefficient over all users (Fig. 2c/2f).
+	Clusterings []float64
+}
+
+// LoSMetrics computes the per-snapshot line-of-sight network metrics of a
+// trace at range r, assuming an ideal wireless channel (no obstacles),
+// exactly as the paper does. Seated samples are excluded.
+func LoSMetrics(tr *trace.Trace, r float64) (*NetMetrics, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("core: non-positive range %v", r)
+	}
+	nm := &NetMetrics{Range: r}
+	var positions []geom.Vec
+	for _, snap := range tr.Snapshots {
+		positions = positions[:0]
+		for _, s := range snap.Samples {
+			if !s.Seated {
+				positions = append(positions, s.Pos)
+			}
+		}
+		if len(positions) == 0 {
+			continue
+		}
+		g := graph.FromPositions(positions, r)
+		for u := 0; u < g.N(); u++ {
+			nm.Degrees = append(nm.Degrees, float64(g.Degree(u)))
+		}
+		nm.Diameters = append(nm.Diameters, float64(g.Diameter()))
+		nm.Clusterings = append(nm.Clusterings, g.MeanClustering())
+	}
+	return nm, nil
+}
+
+// DegreeZeroFraction returns the fraction of (user, snapshot) samples with
+// no neighbour — the paper's headline observation for Fig. 2a ("for Apfel
+// Land ... 60% of users have no neighbors").
+func (nm *NetMetrics) DegreeZeroFraction() float64 {
+	if len(nm.Degrees) == 0 {
+		return 0
+	}
+	zero := 0
+	for _, d := range nm.Degrees {
+		if d == 0 {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(nm.Degrees))
+}
+
+// MaxDiameter returns the largest per-snapshot diameter observed.
+func (nm *NetMetrics) MaxDiameter() float64 {
+	max := 0.0
+	for _, d := range nm.Diameters {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

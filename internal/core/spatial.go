@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"slmob/internal/trace"
+)
+
+// ZoneOccupation divides the land into square cells of edge cellSize
+// metres and returns one occupancy count per (cell, snapshot) pair —
+// the population behind the paper's Fig. 3 CDF (L = 20 m). Empty cells
+// contribute zeros: the paper's observation is precisely that "a large
+// fraction of the land has no users".
+func ZoneOccupation(tr *trace.Trace, landSize, cellSize float64) ([]float64, error) {
+	if landSize <= 0 || cellSize <= 0 {
+		return nil, fmt.Errorf("core: invalid zone parameters land=%v cell=%v", landSize, cellSize)
+	}
+	n := int(math.Ceil(landSize / cellSize))
+	cells := n * n
+	counts := make([]int, cells)
+	var out []float64
+	for _, snap := range tr.Snapshots {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, s := range snap.Samples {
+			if s.Seated {
+				continue
+			}
+			cx := int(s.Pos.X / cellSize)
+			cy := int(s.Pos.Y / cellSize)
+			if cx < 0 || cy < 0 || cx >= n || cy >= n {
+				continue // outside the modelled footprint
+			}
+			counts[cy*n+cx]++
+		}
+		for _, c := range counts {
+			out = append(out, float64(c))
+		}
+	}
+	return out, nil
+}
+
+// TripStats aggregates the per-session trip metrics of §3.2 (Fig. 4).
+type TripStats struct {
+	// TravelLength is the distance covered by each session, computed as
+	// the sampled ground-plane path length from login to logout (Fig. 4a).
+	TravelLength []float64
+	// EffectiveTravelTime is the time spent moving — pause intervals
+	// excluded — per session (Fig. 4b).
+	EffectiveTravelTime []float64
+	// TravelTime is the total connection time per session (Fig. 4c, the
+	// "login time").
+	TravelTime []float64
+}
+
+// Trips computes trip metrics over the trace's sessions. A sample-to-
+// sample displacement above moveEps metres marks the interval as "moving"
+// for the effective-travel-time metric; moveEps <= 0 selects a default of
+// 0.5 m, below which coarse 1 m map quantisation produces phantom motion.
+func Trips(tr *trace.Trace, moveEps float64, sessionGap int64) *TripStats {
+	if moveEps <= 0 {
+		moveEps = 0.5
+	}
+	ts := &TripStats{}
+	for _, sess := range tr.Sessions(sessionGap) {
+		ts.TravelTime = append(ts.TravelTime, float64(sess.Duration()))
+		var length float64
+		var moving int64
+		var prev *trace.TimedPos
+		for i := range sess.Samples {
+			cur := &sess.Samples[i]
+			if cur.Seated {
+				continue
+			}
+			if prev != nil {
+				d := cur.Pos.DistXY(prev.Pos)
+				length += d
+				if d > moveEps {
+					moving += cur.T - prev.T
+				}
+			}
+			prev = cur
+		}
+		ts.TravelLength = append(ts.TravelLength, length)
+		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(moving))
+	}
+	return ts
+}
+
+// NormalizeSeated returns a copy of the trace in which any sample at the
+// exact origin is flagged as seated. Wire-protocol monitors cannot see the
+// seated state directly — they only see the {0,0,0} coordinate quirk the
+// paper documents — so analysis of crawler traces applies this repair
+// before computing spatial metrics.
+func NormalizeSeated(tr *trace.Trace) *trace.Trace {
+	out := trace.New(tr.Land, tr.Tau)
+	for k, v := range tr.Meta {
+		out.Meta[k] = v
+	}
+	for _, snap := range tr.Snapshots {
+		ns := trace.Snapshot{T: snap.T, Samples: make([]trace.Sample, len(snap.Samples))}
+		copy(ns.Samples, snap.Samples)
+		for i := range ns.Samples {
+			if ns.Samples[i].Pos.IsZero() {
+				ns.Samples[i].Seated = true
+			}
+		}
+		out.Snapshots = append(out.Snapshots, ns)
+	}
+	return out
+}
+
+// landSizeOf extracts the land size from trace metadata, defaulting to the
+// Second Life standard 256 m.
+func landSizeOf(tr *trace.Trace) float64 {
+	if s, ok := tr.Meta["size"]; ok {
+		var v float64
+		if _, err := fmt.Sscanf(s, "%g", &v); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 256
+}

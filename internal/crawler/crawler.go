@@ -1,0 +1,172 @@
+// Package crawler implements the paper's second — and preferred —
+// monitoring architecture: an external client that logs into the
+// metaverse as a regular avatar and extracts the position of every user
+// on the target land from the coarse map at a fixed period (τ = 10 s).
+//
+// A naive crawler perturbs the measurement: it is perceived as an avatar,
+// and a silent, motionless avatar attracts curious users ("a steady
+// convergence of user movements towards our crawler", §2). The crawler
+// therefore mimics a normal user, moving randomly over the land and
+// broadcasting canned chat phrases; set Mimic to false to reproduce the
+// perturbation experiment.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"slmob/internal/geom"
+	"slmob/internal/rng"
+	"slmob/internal/slp"
+	"slmob/internal/trace"
+)
+
+// DefaultPhrases is the crawler's small set of pre-defined chat lines.
+var DefaultPhrases = []string{
+	"hello everyone :)",
+	"nice place!",
+	"anyone know where the music is from?",
+	"brb",
+	"this land looks great today",
+	"hi! just looking around",
+}
+
+// Config controls one crawl.
+type Config struct {
+	// Addr is the region server address.
+	Addr string
+	// Name and Password are the login credentials (the crawler needs a
+	// valid account, like any avatar).
+	Name, Password string
+	// Tau is the snapshot period in simulated seconds (the paper's 10).
+	Tau int64
+	// Duration is the crawl length in simulated seconds.
+	Duration int64
+	// Mimic enables user mimicry (random movement + canned chat).
+	Mimic bool
+	// MovePeriod and ChatPeriod are mimicry cadences in simulated
+	// seconds; zero selects 45 s and 120 s.
+	MovePeriod, ChatPeriod int64
+	// Phrases overrides DefaultPhrases.
+	Phrases []string
+	// Seed drives the mimicry randomness.
+	Seed uint64
+	// DialTimeout bounds connection establishment; zero selects 10 s.
+	DialTimeout time.Duration
+}
+
+// Crawler is a connected measurement client.
+type Crawler struct {
+	cfg    Config
+	client *slp.Client
+	rng    *rng.Source
+	size   float64
+	selfID trace.AvatarID
+}
+
+// New connects and logs the crawler in.
+func New(cfg Config) (*Crawler, error) {
+	if cfg.Tau <= 0 {
+		return nil, fmt.Errorf("crawler: tau must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("crawler: duration must be positive")
+	}
+	if cfg.MovePeriod <= 0 {
+		cfg.MovePeriod = 45
+	}
+	if cfg.ChatPeriod <= 0 {
+		cfg.ChatPeriod = 120
+	}
+	if len(cfg.Phrases) == 0 {
+		cfg.Phrases = DefaultPhrases
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	client, err := slp.Dial(cfg.Addr, cfg.Name, cfg.Password, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	w := client.Welcome()
+	return &Crawler{
+		cfg:    cfg,
+		client: client,
+		rng:    rng.New(cfg.Seed),
+		size:   w.Size,
+		selfID: trace.AvatarID(w.AvatarID),
+	}, nil
+}
+
+// SelfID returns the crawler's avatar identity on the land.
+func (c *Crawler) SelfID() trace.AvatarID { return c.selfID }
+
+// Run subscribes to map pushes and assembles the trace until Duration
+// simulated seconds have been observed or the context is cancelled. The
+// crawler's own avatar is filtered out of every snapshot.
+func (c *Crawler) Run(ctx context.Context) (*trace.Trace, error) {
+	defer c.client.Close()
+	if err := c.client.Subscribe(c.cfg.Tau); err != nil {
+		return nil, err
+	}
+	w := c.client.Welcome()
+	tr := trace.New(w.Land, c.cfg.Tau)
+	tr.Meta["monitor"] = "crawler"
+	tr.Meta["mimic"] = strconv.FormatBool(c.cfg.Mimic)
+	tr.Meta["size"] = strconv.FormatFloat(w.Size, 'g', -1, 64)
+
+	start := w.SimTime
+	var lastMove, lastChat int64
+	for {
+		select {
+		case <-ctx.Done():
+			return tr, ctx.Err()
+		case reply, ok := <-c.client.Maps():
+			if !ok {
+				if err := c.client.Err(); err != nil {
+					return tr, err
+				}
+				return tr, fmt.Errorf("crawler: connection closed")
+			}
+			snap := trace.Snapshot{T: reply.SimTime - start}
+			for _, ent := range reply.Entries {
+				if ent.ID == c.selfID {
+					continue
+				}
+				snap.Samples = append(snap.Samples, trace.Sample{ID: ent.ID, Pos: ent.Pos})
+			}
+			if err := tr.Append(snap); err != nil {
+				// A duplicate push (e.g. poll racing a subscription) is
+				// dropped rather than corrupting the trace.
+				continue
+			}
+			now := reply.SimTime
+			if c.cfg.Mimic {
+				if now-lastMove >= c.cfg.MovePeriod {
+					lastMove = now
+					if err := c.client.Move(c.randomPoint()); err != nil {
+						return tr, err
+					}
+				}
+				if now-lastChat >= c.cfg.ChatPeriod {
+					lastChat = now
+					phrase := c.cfg.Phrases[c.rng.Intn(len(c.cfg.Phrases))]
+					if err := c.client.Chat(phrase); err != nil {
+						return tr, err
+					}
+				}
+			}
+			if now-start >= c.cfg.Duration {
+				return tr, nil
+			}
+		}
+	}
+}
+
+// randomPoint picks a uniformly random ground position on the land, the
+// paper's "randomly moves over the target land".
+func (c *Crawler) randomPoint() geom.Vec {
+	return geom.V2(c.rng.Range(0, c.size), c.rng.Range(0, c.size))
+}

@@ -1,0 +1,40 @@
+package crawler
+
+import (
+	"testing"
+	"time"
+)
+
+// Connection-level behaviour is covered by the end-to-end test in
+// internal/server; these tests pin configuration validation and defaults.
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Addr: "127.0.0.1:1", Tau: 0, Duration: 100}); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	if _, err := New(Config{Addr: "127.0.0.1:1", Tau: 10, Duration: 0}); err == nil {
+		t.Error("duration=0 accepted")
+	}
+}
+
+func TestDialFailureSurfaces(t *testing.T) {
+	_, err := New(Config{
+		Addr: "127.0.0.1:1", // nothing listens here
+		Tau:  10, Duration: 100,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err == nil {
+		t.Error("dial to dead address succeeded")
+	}
+}
+
+func TestDefaultPhrasesNonEmpty(t *testing.T) {
+	if len(DefaultPhrases) == 0 {
+		t.Error("no canned phrases")
+	}
+	for _, p := range DefaultPhrases {
+		if len(p) == 0 || len(p) > 255 {
+			t.Errorf("bad phrase %q", p)
+		}
+	}
+}

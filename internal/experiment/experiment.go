@@ -1,0 +1,90 @@
+// Package experiment maps every table and figure of the paper's evaluation
+// to a runnable experiment: it simulates the three target lands, collects
+// τ-sampled traces, runs the full analysis, renders figures, and reports
+// paper-vs-measured values (see DESIGN.md §3 for the experiment index).
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"slmob/internal/core"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// LandRun bundles one land's scenario, trace, and analysis.
+type LandRun struct {
+	Scenario world.Scenario
+	Trace    *trace.Trace
+	Analysis *core.Analysis
+}
+
+// Lands are the three paper lands in the paper's presentation order.
+var LandNames = []string{"Apfel Land", "Dance Island", "Isle of View"}
+
+// RunLand simulates and analyses a single paper land.
+func RunLand(scn world.Scenario, tau int64) (*LandRun, error) {
+	tr, err := world.Collect(scn, tau)
+	if err != nil {
+		return nil, err
+	}
+	tr.Meta["size"] = fmt.Sprintf("%g", scn.Land.Size)
+	an, err := core.Analyze(tr, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &LandRun{Scenario: scn, Trace: tr, Analysis: an}, nil
+}
+
+// RunLands simulates and analyses the three paper lands for the given
+// duration at snapshot period tau. The lands are independent simulations
+// and run concurrently.
+func RunLands(seed uint64, duration, tau int64) ([]*LandRun, error) {
+	scns := world.PaperLands(seed)
+	runs := make([]*LandRun, len(scns))
+	errs := make([]error, len(scns))
+	var wg sync.WaitGroup
+	for i, scn := range scns {
+		scn.Duration = duration
+		wg.Add(1)
+		go func(i int, scn world.Scenario) {
+			defer wg.Done()
+			run, err := RunLand(scn, tau)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: %s: %w", scn.Land.Name, err)
+				return
+			}
+			runs[i] = run
+		}(i, scn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// cache memoises full-day runs per seed so that the seventeen benchmarks
+// (one per table/figure) pay the simulation cost once per process.
+var (
+	cacheMu sync.Mutex
+	cache   = map[uint64][]*LandRun{}
+)
+
+// CachedDayRuns returns the memoised 24 h / τ=10 s runs for a seed.
+func CachedDayRuns(seed uint64) ([]*LandRun, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if runs, ok := cache[seed]; ok {
+		return runs, nil
+	}
+	runs, err := RunLands(seed, world.DayDuration, core.PaperTau)
+	if err != nil {
+		return nil, err
+	}
+	cache[seed] = runs
+	return runs, nil
+}

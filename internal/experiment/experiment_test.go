@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"slmob/internal/core"
+)
+
+// shortRuns simulates the three lands briefly; enough structure for the
+// report and figure builders to operate on.
+func shortRuns(t *testing.T) []*LandRun {
+	t.Helper()
+	runs, err := RunLands(3, 2*3600, core.PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runs
+}
+
+func TestRunLandsProducesAllLands(t *testing.T) {
+	runs := shortRuns(t)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, run := range runs {
+		seen[run.Trace.Land] = true
+		if run.Analysis == nil || run.Trace == nil {
+			t.Fatal("incomplete run")
+		}
+		if run.Analysis.Summary.Unique == 0 {
+			t.Errorf("%s: no users", run.Trace.Land)
+		}
+	}
+	for _, name := range LandNames {
+		if !seen[name] {
+			t.Errorf("missing land %q", name)
+		}
+	}
+}
+
+func TestBuildReportStructure(t *testing.T) {
+	runs := shortRuns(t)
+	rep, err := BuildReport(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 50 {
+		t.Errorf("rows = %d, expected the full experiment matrix", len(rep.Rows))
+	}
+	ids := map[string]bool{}
+	for _, row := range rep.Rows {
+		ids[row.ID] = true
+		if row.Metric == "" || row.Land == "" {
+			t.Errorf("incomplete row: %+v", row)
+		}
+		if !math.IsNaN(row.Paper) && math.IsNaN(row.Measured) {
+			t.Errorf("row %s/%s has NaN measurement", row.ID, row.Metric)
+		}
+	}
+	for _, want := range []string{"T1", "F1a", "F1b", "F1c", "F1d", "F1e", "F1f",
+		"F2a", "F2b", "F2c", "F2d", "F2e", "F2f", "F3", "F4a", "F4c", "X1"} {
+		if !ids[want] {
+			t.Errorf("missing experiment id %s", want)
+		}
+	}
+	// On a 2 h run many rows will miss (calibration targets are 24 h);
+	// the structure is what is under test here, plus rendering.
+	var buf bytes.Buffer
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MEASURED") {
+		t.Error("table header missing")
+	}
+	_ = rep.Failures() // must not panic
+}
+
+func TestBuildReportRejectsWrongRunCount(t *testing.T) {
+	runs := shortRuns(t)
+	if _, err := BuildReport(runs[:2]); err == nil {
+		t.Error("two runs accepted")
+	}
+	// Duplicate lands: missing land must be detected.
+	bad := []*LandRun{runs[0], runs[0], runs[0]}
+	if _, err := BuildReport(bad); err == nil {
+		t.Error("duplicate-land runs accepted")
+	}
+}
+
+func TestFiguresAllPanels(t *testing.T) {
+	runs := shortRuns(t)
+	figs, err := Figures(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig1a", "fig1b", "fig1c", "fig1d", "fig1e", "fig1f",
+		"fig2a", "fig2b", "fig2c", "fig2d", "fig2e", "fig2f",
+		"fig3", "fig4a", "fig4b", "fig4c"}
+	if len(figs) != len(wantIDs) {
+		t.Fatalf("figures = %d, want %d", len(figs), len(wantIDs))
+	}
+	for i, f := range figs {
+		if f.ID != wantIDs[i] {
+			t.Errorf("figure %d = %s, want %s", i, f.ID, wantIDs[i])
+		}
+		if len(f.Series) != 3 {
+			t.Errorf("%s: %d series", f.ID, len(f.Series))
+		}
+	}
+	if _, err := Figures(runs[:1]); err == nil {
+		t.Error("single run accepted")
+	}
+}
+
+func TestCachedDayRunsMemoises(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24h run skipped in -short mode")
+	}
+	a, err := CachedDayRuns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedDayRuns(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Error("cache miss for identical seed")
+	}
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+
+	"slmob/internal/core"
+)
+
+// Figures renders every panel of the paper's evaluation — Fig. 1(a-f),
+// Fig. 2(a-f), Fig. 3, and Fig. 4(a-c) — from the three land runs, in the
+// paper's order.
+func Figures(runs []*LandRun) ([]*core.Figure, error) {
+	if len(runs) != 3 {
+		return nil, fmt.Errorf("experiment: want 3 land runs, got %d", len(runs))
+	}
+	rb, rw := core.BluetoothRange, core.WiFiRange
+	var figs []*core.Figure
+
+	ccdf := func(id, title, xlabel string, sample func(*LandRun) []float64, logX bool) *core.Figure {
+		f := &core.Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "1-F(x)", LogX: logX}
+		for _, run := range runs {
+			f.Series = append(f.Series, core.CCDFSeries(run.Trace.Land, sample(run), logX))
+		}
+		return f
+	}
+	cdf := func(id, title, xlabel string, sample func(*LandRun) []float64) *core.Figure {
+		f := &core.Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "F(x)"}
+		for _, run := range runs {
+			f.Series = append(f.Series, core.CDFSeries(run.Trace.Land, sample(run)))
+		}
+		return f
+	}
+
+	// Fig. 1 — temporal analysis (CCDFs on log time axes).
+	figs = append(figs,
+		ccdf("fig1a", "Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].CT }, true),
+		ccdf("fig1b", "Inter-Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].ICT }, true),
+		ccdf("fig1c", "First Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].FT }, true),
+		ccdf("fig1d", "Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].CT }, true),
+		ccdf("fig1e", "Inter-Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].ICT }, true),
+		ccdf("fig1f", "First Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].FT }, true),
+	)
+
+	// Fig. 2 — line-of-sight network properties.
+	figs = append(figs,
+		ccdf("fig2a", "Node Degree CCDF, r=10m", "Degree",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Degrees }, false),
+		cdf("fig2b", "Network Diameter CDF, r=10m", "Diameter",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Diameters }),
+		cdf("fig2c", "Clustering Coefficient CDF, r=10m", "Coefficient",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Clusterings }),
+		ccdf("fig2d", "Node Degree CCDF, r=80m", "Degree",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Degrees }, false),
+		cdf("fig2e", "Network Diameter CDF, r=80m", "Diameter",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Diameters }),
+		cdf("fig2f", "Clustering Coefficient CDF, r=80m", "Coefficient",
+			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Clusterings }),
+	)
+
+	// Fig. 3 — spatial distribution of users.
+	figs = append(figs,
+		cdf("fig3", "Zone Occupation CDF, L=20m", "Number of users per cell",
+			func(r *LandRun) []float64 { return r.Analysis.Zones }),
+	)
+
+	// Fig. 4 — trip analysis.
+	figs = append(figs,
+		cdf("fig4a", "Travel Length CDF", "Length (m)",
+			func(r *LandRun) []float64 { return r.Analysis.Trips.TravelLength }),
+		cdf("fig4b", "Effective Travel Time CDF", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Trips.EffectiveTravelTime }),
+		cdf("fig4c", "Travel Time CDF", "Time (s)",
+			func(r *LandRun) []float64 { return r.Analysis.Trips.TravelTime }),
+	)
+	return figs, nil
+}

@@ -1,0 +1,113 @@
+package geom
+
+// Grid is a uniform spatial hash over the ground plane used to answer
+// "all points within r of p" queries without O(n^2) scans. It is rebuilt
+// per snapshot by the analysis pipeline and per tick by the world, so
+// insertion and reset are the hot paths: the implementation reuses its
+// bucket slices across Reset calls to stay allocation-free at steady state.
+//
+// The grid is not safe for concurrent use.
+type Grid struct {
+	cell    float64
+	buckets map[cellKey][]gridEntry
+}
+
+type cellKey struct{ cx, cy int32 }
+
+type gridEntry struct {
+	id  int64
+	pos Vec
+}
+
+// NewGrid returns a grid with the given cell edge length in metres.
+// A cell size close to the dominant query radius performs best.
+func NewGrid(cell float64) *Grid {
+	if cell <= 0 {
+		panic("geom: grid cell size must be positive")
+	}
+	return &Grid{cell: cell, buckets: make(map[cellKey][]gridEntry)}
+}
+
+// CellSize returns the configured cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Reset removes all points while retaining bucket capacity.
+func (g *Grid) Reset() {
+	for k, b := range g.buckets {
+		g.buckets[k] = b[:0]
+	}
+}
+
+// Insert adds a point with an opaque identifier.
+func (g *Grid) Insert(id int64, p Vec) {
+	k := g.key(p)
+	g.buckets[k] = append(g.buckets[k], gridEntry{id: id, pos: p})
+}
+
+// Len returns the number of stored points.
+func (g *Grid) Len() int {
+	n := 0
+	for _, b := range g.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// VisitWithin calls fn for every stored point whose ground-plane distance
+// to p is at most r, including any point stored at p itself. Iteration
+// stops early if fn returns false.
+func (g *Grid) VisitWithin(p Vec, r float64, fn func(id int64, q Vec) bool) {
+	if r < 0 {
+		return
+	}
+	r2 := r * r
+	minX := int32(floorDiv(p.X-r, g.cell))
+	maxX := int32(floorDiv(p.X+r, g.cell))
+	minY := int32(floorDiv(p.Y-r, g.cell))
+	maxY := int32(floorDiv(p.Y+r, g.cell))
+	for cx := minX; cx <= maxX; cx++ {
+		for cy := minY; cy <= maxY; cy++ {
+			for _, e := range g.buckets[cellKey{cx, cy}] {
+				dx, dy := e.pos.X-p.X, e.pos.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					if !fn(e.id, e.pos) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Within returns the identifiers of all points within r of p, in
+// unspecified order.
+func (g *Grid) Within(p Vec, r float64) []int64 {
+	var ids []int64
+	g.VisitWithin(p, r, func(id int64, _ Vec) bool {
+		ids = append(ids, id)
+		return true
+	})
+	return ids
+}
+
+// CountWithin returns the number of points within r of p.
+func (g *Grid) CountWithin(p Vec, r float64) int {
+	n := 0
+	g.VisitWithin(p, r, func(int64, Vec) bool { n++; return true })
+	return n
+}
+
+func (g *Grid) key(p Vec) cellKey {
+	return cellKey{cx: int32(floorDiv(p.X, g.cell)), cy: int32(floorDiv(p.Y, g.cell))}
+}
+
+// floorDiv returns floor(x/cell) as a float64 suitable for int conversion,
+// correct for negative coordinates as well.
+func floorDiv(x, cell float64) float64 {
+	q := x / cell
+	f := float64(int64(q))
+	if q < 0 && q != f {
+		f--
+	}
+	return f
+}

@@ -1,0 +1,157 @@
+package geom
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridFindsNeighborsExactly(t *testing.T) {
+	g := NewGrid(10)
+	pts := []Vec{
+		V2(0, 0), V2(5, 0), V2(9.9, 0), V2(10.1, 0),
+		V2(0, 5), V2(50, 50), V2(255, 255),
+	}
+	for i, p := range pts {
+		g.Insert(int64(i), p)
+	}
+	got := g.Within(V2(0, 0), 10)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	want := []int64{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Within = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Within = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGridCountAndLen(t *testing.T) {
+	g := NewGrid(20)
+	for i := 0; i < 100; i++ {
+		g.Insert(int64(i), V2(float64(i), float64(i)))
+	}
+	if g.Len() != 100 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	// Points on the diagonal within radius r of (50,50): |i-50|*sqrt2 <= r.
+	n := g.CountWithin(V2(50, 50), 10)
+	want := 0
+	for i := 0; i < 100; i++ {
+		if math.Hypot(float64(i)-50, float64(i)-50) <= 10 {
+			want++
+		}
+	}
+	if n != want {
+		t.Errorf("CountWithin = %d, want %d", n, want)
+	}
+}
+
+func TestGridReset(t *testing.T) {
+	g := NewGrid(8)
+	g.Insert(1, V2(1, 1))
+	g.Insert(2, V2(100, 100))
+	g.Reset()
+	if g.Len() != 0 {
+		t.Errorf("Len after reset = %d", g.Len())
+	}
+	if n := g.CountWithin(V2(1, 1), 500); n != 0 {
+		t.Errorf("CountWithin after reset = %d", n)
+	}
+	g.Insert(3, V2(1, 1))
+	if n := g.CountWithin(V2(0, 0), 5); n != 1 {
+		t.Errorf("reuse after reset: CountWithin = %d", n)
+	}
+}
+
+func TestGridEarlyStop(t *testing.T) {
+	g := NewGrid(10)
+	for i := 0; i < 10; i++ {
+		g.Insert(int64(i), V2(1, 1))
+	}
+	calls := 0
+	g.VisitWithin(V2(1, 1), 1, func(int64, Vec) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop visited %d, want 3", calls)
+	}
+}
+
+func TestGridNegativeCoordinates(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V2(-5, -5))
+	g.Insert(2, V2(-25, -25))
+	got := g.Within(V2(-4, -4), 3)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Within negative region = %v", got)
+	}
+}
+
+func TestGridNegativeRadius(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V2(0, 0))
+	if got := g.Within(V2(0, 0), -1); len(got) != 0 {
+		t.Errorf("negative radius returned %v", got)
+	}
+}
+
+func TestGridZeroCellPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(0) did not panic")
+		}
+	}()
+	NewGrid(0)
+}
+
+// TestGridMatchesBruteForceProperty cross-checks grid range queries against
+// an O(n^2) scan on random point sets.
+func TestGridMatchesBruteForceProperty(t *testing.T) {
+	type input struct {
+		Seed uint16
+	}
+	f := func(in input) bool {
+		// Simple deterministic pseudo-random points from the seed.
+		s := uint64(in.Seed) + 1
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / float64(1<<53) * 256
+		}
+		const n = 60
+		pts := make([]Vec, n)
+		for i := range pts {
+			pts[i] = V2(next(), next())
+		}
+		g := NewGrid(13)
+		for i, p := range pts {
+			g.Insert(int64(i), p)
+		}
+		center := V2(next(), next())
+		r := next() / 4
+		got := g.Within(center, r)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		var want []int64
+		for i, p := range pts {
+			if p.DistXY(center) <= r {
+				want = append(want, int64(i))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

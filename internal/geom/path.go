@@ -1,0 +1,49 @@
+package geom
+
+// PathLength returns the total length of the polyline through the given
+// points, i.e. the travelled distance when visiting them in order. Fewer
+// than two points yield zero.
+func PathLength(points []Vec) float64 {
+	total := 0.0
+	for i := 1; i < len(points); i++ {
+		total += points[i].Dist(points[i-1])
+	}
+	return total
+}
+
+// PathLengthXY is PathLength restricted to the ground plane.
+func PathLengthXY(points []Vec) float64 {
+	total := 0.0
+	for i := 1; i < len(points); i++ {
+		total += points[i].DistXY(points[i-1])
+	}
+	return total
+}
+
+// Displacement returns the straight-line distance between the first and
+// last point of a path, or zero for paths shorter than two points.
+func Displacement(points []Vec) float64 {
+	if len(points) < 2 {
+		return 0
+	}
+	return points[0].Dist(points[len(points)-1])
+}
+
+// Quantize rounds p to the given resolution in metres (e.g. 1.0 for the
+// coarse 1 m map updates the crawler receives). Resolution must be
+// positive.
+func Quantize(p Vec, res float64) Vec {
+	return Vec{
+		X: quantize1(p.X, res),
+		Y: quantize1(p.Y, res),
+		Z: quantize1(p.Z, res),
+	}
+}
+
+func quantize1(x, res float64) float64 {
+	if res <= 0 {
+		return x
+	}
+	n := int64(x/res + 0.5)
+	return float64(n) * res
+}

@@ -1,0 +1,133 @@
+// Package geom provides the small amount of 2-D/3-D geometry the rest of
+// the repository needs: vectors, axis-aligned boxes, polyline paths and a
+// uniform-grid spatial index used for range queries over avatar positions.
+//
+// Positions follow the Second Life convention used by the paper: coordinates
+// {x, y, z} are relative to a land whose default footprint is 256x256
+// metres, x and y in [0, size) and z the altitude.
+package geom
+
+import "math"
+
+// Vec is a point or displacement in land coordinates, in metres.
+type Vec struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec.
+func V(x, y, z float64) Vec { return Vec{X: x, Y: y, Z: z} }
+
+// V2 constructs a ground-plane Vec with zero altitude.
+func V2(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product of v and w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Len returns the Euclidean norm of v.
+func (v Vec) Len() float64 { return math.Sqrt(v.LenSq()) }
+
+// LenSq returns the squared Euclidean norm of v.
+func (v Vec) LenSq() float64 { return v.X*v.X + v.Y*v.Y + v.Z*v.Z }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Len() }
+
+// DistSq returns the squared Euclidean distance between v and w.
+func (v Vec) DistSq(w Vec) float64 { return v.Sub(w).LenSq() }
+
+// DistXY returns the ground-plane (x, y) distance between v and w,
+// ignoring altitude. Line-of-sight networks in the paper are effectively
+// planar; the helper makes that choice explicit at call sites.
+func (v Vec) DistXY(w Vec) float64 {
+	dx, dy := v.X-w.X, v.Y-w.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// XY returns v with its altitude dropped.
+func (v Vec) XY() Vec { return Vec{X: v.X, Y: v.Y} }
+
+// Norm returns the unit vector in the direction of v, or the zero vector
+// when v has zero length.
+func (v Vec) Norm() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return v.Scale(1 / l)
+}
+
+// Lerp linearly interpolates from v to w; t=0 yields v and t=1 yields w.
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	return Vec{
+		X: v.X + (w.X-v.X)*t,
+		Y: v.Y + (w.Y-v.Y)*t,
+		Z: v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// IsZero reports whether v is exactly the origin. Second Life reports
+// {0,0,0} for seated avatars, so the zero position doubles as the "seated"
+// sentinel in raw traces.
+func (v Vec) IsZero() bool { return v.X == 0 && v.Y == 0 && v.Z == 0 }
+
+// StepToward returns the position reached by moving from v toward target by
+// at most step metres, and whether the target was reached.
+func (v Vec) StepToward(target Vec, step float64) (Vec, bool) {
+	d := v.Dist(target)
+	if d <= step || d == 0 {
+		return target, true
+	}
+	return v.Add(target.Sub(v).Scale(step / d)), false
+}
+
+// AABB is an axis-aligned bounding box; Min is inclusive, Max exclusive for
+// containment on the ground plane.
+type AABB struct {
+	Min, Max Vec
+}
+
+// Square returns the axis-aligned box covering a size x size land footprint
+// with unbounded altitude.
+func Square(size float64) AABB {
+	return AABB{Min: Vec{}, Max: Vec{X: size, Y: size, Z: math.Inf(1)}}
+}
+
+// Contains reports whether p lies inside the box on the ground plane.
+func (b AABB) Contains(p Vec) bool {
+	return p.X >= b.Min.X && p.X < b.Max.X && p.Y >= b.Min.Y && p.Y < b.Max.Y
+}
+
+// Clamp returns p moved to the nearest point inside the box (ground plane
+// only; altitude is clamped to be non-negative).
+func (b AABB) Clamp(p Vec) Vec {
+	p.X = clamp(p.X, b.Min.X, math.Nextafter(b.Max.X, b.Min.X))
+	p.Y = clamp(p.Y, b.Min.Y, math.Nextafter(b.Max.Y, b.Min.Y))
+	if p.Z < 0 {
+		p.Z = 0
+	}
+	return p
+}
+
+// Center returns the box centre on the ground plane.
+func (b AABB) Center() Vec {
+	return Vec{X: (b.Min.X + b.Max.X) / 2, Y: (b.Min.Y + b.Max.Y) / 2}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,190 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestVecBasicOps(t *testing.T) {
+	v := V(1, 2, 3)
+	w := V(4, 6, 8)
+	if got := v.Add(w); got != V(5, 8, 11) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := w.Sub(v); got != V(3, 4, 5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 1*4+2*6+3*8 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestDistAndDistXY(t *testing.T) {
+	a := V(0, 0, 0)
+	b := V(3, 4, 12)
+	if got := a.Dist(b); !almostEq(got, 13) {
+		t.Errorf("Dist = %v, want 13", got)
+	}
+	if got := a.DistXY(b); !almostEq(got, 5) {
+		t.Errorf("DistXY = %v, want 5", got)
+	}
+	if got := a.DistSq(b); !almostEq(got, 169) {
+		t.Errorf("DistSq = %v, want 169", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := V(0, 0, 0).Norm(); !got.IsZero() {
+		t.Errorf("Norm(0) = %v, want zero", got)
+	}
+	n := V(3, 4, 0).Norm()
+	if !almostEq(n.Len(), 1) {
+		t.Errorf("norm length = %v", n.Len())
+	}
+	if !almostEq(n.X, 0.6) || !almostEq(n.Y, 0.8) {
+		t.Errorf("Norm = %v", n)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V(1, 1, 1), V(5, 9, -3)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !almostEq(mid.X, 3) || !almostEq(mid.Y, 5) || !almostEq(mid.Z, -1) {
+		t.Errorf("Lerp(0.5) = %v", mid)
+	}
+}
+
+func TestStepToward(t *testing.T) {
+	p := V(0, 0, 0)
+	target := V(10, 0, 0)
+	q, reached := p.StepToward(target, 4)
+	if reached || !almostEq(q.X, 4) {
+		t.Errorf("StepToward = %v reached=%v", q, reached)
+	}
+	q, reached = q.StepToward(target, 100)
+	if !reached || q != target {
+		t.Errorf("StepToward overshoot = %v reached=%v", q, reached)
+	}
+	// Zero distance: immediately reached.
+	if _, reached := target.StepToward(target, 0.1); !reached {
+		t.Error("StepToward at target should report reached")
+	}
+}
+
+func TestIsZeroSeatedSentinel(t *testing.T) {
+	if !V(0, 0, 0).IsZero() {
+		t.Error("origin should be zero")
+	}
+	if V(0, 0, 0.001).IsZero() {
+		t.Error("near-origin should not be zero")
+	}
+}
+
+func TestAABB(t *testing.T) {
+	b := Square(256)
+	if !b.Contains(V(0, 0, 0)) || !b.Contains(V(255.9, 255.9, 50)) {
+		t.Error("Contains failed for interior points")
+	}
+	if b.Contains(V(256, 10, 0)) || b.Contains(V(-0.1, 10, 0)) {
+		t.Error("Contains accepted exterior points")
+	}
+	p := b.Clamp(V(300, -5, -2))
+	if !b.Contains(p) || p.Z != 0 {
+		t.Errorf("Clamp = %v not inside", p)
+	}
+	c := b.Center()
+	if !almostEq(c.X, 128) || !almostEq(c.Y, 128) {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz float64) bool {
+		a, b, c := V(ax, ay, az), V(bx, by, bz), V(cx, cy, cz)
+		if math.IsNaN(a.Dist(b) + b.Dist(c) + a.Dist(c)) {
+			return true // ignore pathological float inputs
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6*(1+a.Dist(c))
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := V2(ax, ay), V2(bx, by)
+		return a.Dist(b) == b.Dist(a) && a.DistXY(b) == b.DistXY(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	pts := []Vec{V2(0, 0), V2(3, 4), V2(3, 4), V2(6, 8)}
+	if got := PathLength(pts); !almostEq(got, 10) {
+		t.Errorf("PathLength = %v, want 10", got)
+	}
+	if got := PathLength(pts[:1]); got != 0 {
+		t.Errorf("single-point path length = %v", got)
+	}
+	if got := Displacement(pts); !almostEq(got, 10) {
+		t.Errorf("Displacement = %v, want 10", got)
+	}
+	if got := Displacement(nil); got != 0 {
+		t.Errorf("empty displacement = %v", got)
+	}
+}
+
+func TestPathLengthXYIgnoresAltitude(t *testing.T) {
+	pts := []Vec{V(0, 0, 0), V(3, 4, 100)}
+	if got := PathLengthXY(pts); !almostEq(got, 5) {
+		t.Errorf("PathLengthXY = %v, want 5", got)
+	}
+	if got := PathLength(pts); got <= 100 {
+		t.Errorf("PathLength = %v, want > 100", got)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	p := Quantize(V(10.6, 0.4, 21.5), 1)
+	if p != V(11, 0, 22) {
+		t.Errorf("Quantize = %v", p)
+	}
+	if got := Quantize(V(1.23, 4.56, 7.89), 0); got != V(1.23, 4.56, 7.89) {
+		t.Errorf("Quantize(res=0) should be identity, got %v", got)
+	}
+	q := Quantize(V(0.13, 0.88, 0), 0.25)
+	if !almostEq(q.X, 0.25) || !almostEq(q.Y, 1.0) {
+		t.Errorf("Quantize 0.25 = %v", q)
+	}
+}
+
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.Abs(x) > 1e12 || math.Abs(y) > 1e12 || math.Abs(z) > 1e12 {
+			return true
+		}
+		q := Quantize(V(x, y, z), 1)
+		return Quantize(q, 1) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package graph implements the undirected-graph machinery behind the
+// paper's line-of-sight network analysis (Fig. 2): proximity graphs built
+// from avatar positions, connected components, BFS shortest paths, the
+// diameter of the largest component, and the Watts–Strogatz clustering
+// coefficient.
+//
+// Graphs here are small (a Second Life land holds at most ~100 concurrent
+// avatars) but are rebuilt for every 10-second snapshot of a 24-hour trace,
+// so construction is the hot path: adjacency uses compact int32 slices and
+// proximity construction is grid-accelerated.
+package graph
+
+import (
+	"fmt"
+
+	"slmob/internal/geom"
+)
+
+// Graph is a simple undirected graph over vertices 0..n-1. Parallel edges
+// and self-loops are rejected at construction.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// AddEdge inserts the undirected edge {u, v}. It returns an error for
+// out-of-range endpoints, self-loops, or duplicate edges.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.m++
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the degree of vertex u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Degrees returns the degree of every vertex.
+func (g *Graph) Degrees() []int {
+	d := make([]int, len(g.adj))
+	for u := range g.adj {
+		d[u] = len(g.adj[u])
+	}
+	return d
+}
+
+// Neighbors returns the adjacency list of u. The caller must not modify
+// the returned slice.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// Components returns the connected components as vertex lists, largest
+// first among equals in first-seen order.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	queue := make([]int32, 0, len(g.adj))
+	for s := range g.adj {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue = append(queue[:0], int32(s))
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, int(u))
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponent returns the vertices of the largest connected component
+// (ties broken by first-seen order); it returns nil for the empty graph.
+func (g *Graph) LargestComponent() []int {
+	var best []int
+	for _, c := range g.Components() {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= len(g.adj) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Diameter computes the paper's "network diameter" metric: the longest
+// shortest path within the largest connected component. The empty graph
+// and singleton components yield 0. Exact all-pairs BFS is used; with at
+// most ~100 vertices per snapshot this is cheap.
+func (g *Graph) Diameter() int {
+	comp := g.LargestComponent()
+	if len(comp) < 2 {
+		return 0
+	}
+	diam := 0
+	for _, u := range comp {
+		dist := g.BFS(u)
+		for _, v := range comp {
+			if dist[v] > diam {
+				diam = dist[v]
+			}
+		}
+	}
+	return diam
+}
+
+// LocalClustering returns the Watts–Strogatz clustering coefficient of u:
+// the fraction of pairs of u's neighbours that are themselves connected.
+// Vertices with degree < 2 have coefficient 0, following the convention
+// used by the paper's reference [10].
+func (g *Graph) LocalClustering(u int) float64 {
+	nbrs := g.adj[u]
+	k := len(nbrs)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if g.HasEdge(int(nbrs[i]), int(nbrs[j])) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// MeanClustering returns the average of LocalClustering over all vertices,
+// "the mean value ... representative of the whole communication network"
+// (paper §3.2). The empty graph yields 0.
+func (g *Graph) MeanClustering() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := range g.adj {
+		sum += g.LocalClustering(u)
+	}
+	return sum / float64(len(g.adj))
+}
+
+// FromPositions builds the line-of-sight proximity graph over the given
+// ground-plane positions: vertices i and j are adjacent iff their distance
+// is at most r (an ideal wireless channel, per the paper's assumption).
+// Construction is accelerated with a uniform grid, giving near-linear time
+// for the sparse graphs typical of a land snapshot.
+func FromPositions(ps []geom.Vec, r float64) *Graph {
+	g := New(len(ps))
+	if r <= 0 || len(ps) < 2 {
+		return g
+	}
+	grid := geom.NewGrid(r)
+	for i, p := range ps {
+		grid.Insert(int64(i), p)
+	}
+	for i, p := range ps {
+		grid.VisitWithin(p, r, func(id int64, _ geom.Vec) bool {
+			j := int(id)
+			if j > i {
+				// AddEdge cannot fail here: indices are valid, j > i
+				// prevents self-loops, and each unordered pair is visited
+				// once from its lower endpoint.
+				if err := g.AddEdge(i, j); err != nil {
+					panic(err)
+				}
+			}
+			return true
+		})
+	}
+	return g
+}

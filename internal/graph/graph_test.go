@@ -1,0 +1,293 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"slmob/internal/geom"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(1, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	mustEdge(t, g, 0, 1)
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d", g.M())
+	}
+}
+
+func TestDegreesAndNeighbors(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 0, 3)
+	if g.Degree(0) != 3 || g.Degree(1) != 1 {
+		t.Errorf("degrees = %v", g.Degrees())
+	}
+	d := g.Degrees()
+	if d[0] != 3 || d[1] != 1 || d[2] != 1 || d[3] != 1 {
+		t.Errorf("Degrees = %v", d)
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 2) || g.HasEdge(-1, 0) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	if lc := g.LargestComponent(); len(lc) != 3 {
+		t.Errorf("largest component = %v", lc)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path graph 0-1-2-3-4.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		mustEdge(t, g, i, i+1)
+	}
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	d = g.BFS(-1)
+	for _, x := range d {
+		if x != -1 {
+			t.Error("invalid source should give all -1")
+		}
+	}
+}
+
+func TestDiameterPathAndDisconnected(t *testing.T) {
+	// Path 0-1-2-3-4 has diameter 4.
+	g := New(5)
+	for i := 0; i < 4; i++ {
+		mustEdge(t, g, i, i+1)
+	}
+	if got := g.Diameter(); got != 4 {
+		t.Errorf("path diameter = %d", got)
+	}
+	// Disconnected: path of 3 plus isolated pair; largest component wins.
+	h := New(5)
+	mustEdge(t, h, 0, 1)
+	mustEdge(t, h, 1, 2)
+	mustEdge(t, h, 3, 4)
+	if got := h.Diameter(); got != 2 {
+		t.Errorf("largest-component diameter = %d, want 2", got)
+	}
+	// The paper's Apfel Land artefact: small r gives small components and
+	// therefore a SMALLER diameter than large r. Emulate with two graphs.
+	small := New(10) // five disconnected pairs
+	for i := 0; i < 10; i += 2 {
+		mustEdge(t, small, i, i+1)
+	}
+	big := New(10) // one path through all vertices
+	for i := 0; i < 9; i++ {
+		mustEdge(t, big, i, i+1)
+	}
+	if small.Diameter() >= big.Diameter() {
+		t.Errorf("expected fragmented diameter %d < connected diameter %d",
+			small.Diameter(), big.Diameter())
+	}
+}
+
+func TestDiameterTrivial(t *testing.T) {
+	if New(0).Diameter() != 0 {
+		t.Error("empty graph diameter")
+	}
+	if New(3).Diameter() != 0 {
+		t.Error("edgeless graph diameter")
+	}
+}
+
+func TestClusteringTriangle(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 0, 2)
+	for u := 0; u < 3; u++ {
+		if got := g.LocalClustering(u); got != 1 {
+			t.Errorf("triangle clustering(%d) = %v", u, got)
+		}
+	}
+	if got := g.MeanClustering(); got != 1 {
+		t.Errorf("triangle mean clustering = %v", got)
+	}
+}
+
+func TestClusteringStar(t *testing.T) {
+	// A star has no closed triangles: centre coefficient 0, leaves degree 1.
+	g := New(5)
+	for i := 1; i < 5; i++ {
+		mustEdge(t, g, 0, i)
+	}
+	if got := g.MeanClustering(); got != 0 {
+		t.Errorf("star clustering = %v", got)
+	}
+}
+
+func TestClusteringPartial(t *testing.T) {
+	// Vertex 0 adjacent to 1,2,3; only edge {1,2} closed: C(0) = 1/3.
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 0, 3)
+	mustEdge(t, g, 1, 2)
+	if got := g.LocalClustering(0); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("clustering = %v, want 1/3", got)
+	}
+}
+
+func TestMeanClusteringEmpty(t *testing.T) {
+	if got := New(0).MeanClustering(); got != 0 {
+		t.Errorf("empty mean clustering = %v", got)
+	}
+}
+
+func TestFromPositionsSimple(t *testing.T) {
+	ps := []geom.Vec{
+		geom.V2(0, 0), geom.V2(5, 0), geom.V2(11, 0), geom.V2(100, 100),
+	}
+	g := FromPositions(ps, 10)
+	if !g.HasEdge(0, 1) {
+		t.Error("missing edge 0-1 at distance 5")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("unexpected edge 0-2 at distance 11")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Error("missing edge 1-2 at distance 6")
+	}
+	if g.Degree(3) != 0 {
+		t.Error("distant vertex should be isolated")
+	}
+}
+
+func TestFromPositionsEdgeAtExactRange(t *testing.T) {
+	ps := []geom.Vec{geom.V2(0, 0), geom.V2(10, 0)}
+	g := FromPositions(ps, 10)
+	if !g.HasEdge(0, 1) {
+		t.Error("distance exactly r should be connected")
+	}
+}
+
+func TestFromPositionsDegenerate(t *testing.T) {
+	if g := FromPositions(nil, 10); g.N() != 0 || g.M() != 0 {
+		t.Error("nil positions")
+	}
+	ps := []geom.Vec{geom.V2(0, 0), geom.V2(1, 1)}
+	if g := FromPositions(ps, 0); g.M() != 0 {
+		t.Error("r=0 should produce no edges")
+	}
+}
+
+func TestFromPositionsCoincidentPoints(t *testing.T) {
+	// All avatars on the same spot (a dance floor in the limit): complete
+	// graph, clustering 1, diameter 1.
+	ps := make([]geom.Vec, 8)
+	for i := range ps {
+		ps[i] = geom.V2(50, 50)
+	}
+	g := FromPositions(ps, 10)
+	if g.M() != 8*7/2 {
+		t.Errorf("M = %d, want 28", g.M())
+	}
+	if g.Diameter() != 1 {
+		t.Errorf("diameter = %d", g.Diameter())
+	}
+	if g.MeanClustering() != 1 {
+		t.Errorf("clustering = %v", g.MeanClustering())
+	}
+}
+
+// TestFromPositionsMatchesBruteForceProperty checks grid-accelerated
+// construction against the O(n^2) definition.
+func TestFromPositionsMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := uint64(seed)*2654435761 + 1
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s>>11) / float64(1<<53) * 256
+		}
+		const n = 40
+		ps := make([]geom.Vec, n)
+		for i := range ps {
+			ps[i] = geom.V2(next(), next())
+		}
+		r := 10 + next()/8
+		g := FromPositions(ps, r)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := ps[i].DistXY(ps[j]) <= r
+				if g.HasEdge(i, j) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestComponentsPartitionProperty: components partition the vertex set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		s := uint64(seed) + 7
+		next := func() uint64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return s >> 33
+		}
+		const n = 30
+		g := New(n)
+		for k := 0; k < 25; k++ {
+			u, v := int(next()%n), int(next()%n)
+			if u != v && !g.HasEdge(u, v) {
+				if err := g.AddEdge(u, v); err != nil {
+					return false
+				}
+			}
+		}
+		seen := make([]bool, n)
+		total := 0
+		for _, c := range g.Components() {
+			for _, u := range c {
+				if seen[u] {
+					return false
+				}
+				seen[u] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

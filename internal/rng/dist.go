@@ -1,0 +1,237 @@
+package rng
+
+import "math"
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+// It panics when rate <= 0.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	// -log(1-U) avoids log(0) because Float64 < 1.
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Pareto returns a Pareto variate with scale xm > 0 and shape alpha > 0:
+// P(X > x) = (xm/x)^alpha for x >= xm.
+func (r *Source) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("rng: Pareto with non-positive parameter")
+	}
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}
+
+// BoundedPareto returns a Pareto variate truncated to [lo, hi] with shape
+// alpha > 0, via inverse-transform sampling of the bounded Pareto CDF.
+// Session lengths and pause times in the world model use this family: it
+// delivers the heavy-tailed "power-law phase" the paper observes while
+// keeping a hard upper bound (no Second Life session exceeded 4 hours).
+func (r *Source) BoundedPareto(lo, hi, alpha float64) float64 {
+	if lo <= 0 || hi <= lo || alpha <= 0 {
+		panic("rng: BoundedPareto with invalid parameters")
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	// Inverse CDF: x = (-(u*ha - u*la - ha) / (ha*la))^(-1/alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+// BoundedParetoMean returns the expected value of the bounded Pareto
+// distribution on [lo, hi] with shape alpha (alpha != 1).
+func BoundedParetoMean(lo, hi, alpha float64) float64 {
+	if math.Abs(alpha-1) < 1e-9 {
+		// Limit case: E = lo*hi/(hi-lo) * ln(hi/lo).
+		return lo * hi / (hi - lo) * math.Log(hi/lo)
+	}
+	la := math.Pow(lo, alpha)
+	ratio := math.Pow(lo/hi, alpha)
+	return la / (1 - ratio) * alpha / (alpha - 1) *
+		(1/math.Pow(lo, alpha-1) - 1/math.Pow(hi, alpha-1))
+}
+
+// SolveBoundedParetoAlpha finds the shape alpha for which the bounded
+// Pareto on [lo, hi] has the requested mean, via bisection. The mean must
+// lie strictly between the distribution's limits; out-of-range targets are
+// clamped. Used by scenario calibration to hit the paper's per-land mean
+// session durations.
+func SolveBoundedParetoAlpha(lo, hi, mean float64) float64 {
+	// Mean is monotonically decreasing in alpha: alpha->0 pushes mass to
+	// the upper bound, large alpha concentrates at the lower bound.
+	const (
+		aMin = 1e-3
+		aMax = 16.0
+	)
+	target := mean
+	if m := BoundedParetoMean(lo, hi, aMin); target > m {
+		target = m
+	}
+	if m := BoundedParetoMean(lo, hi, aMax); target < m {
+		target = m
+	}
+	loA, hiA := aMin, aMax
+	for i := 0; i < 80; i++ {
+		mid := (loA + hiA) / 2
+		if BoundedParetoMean(lo, hi, mid) > target {
+			loA = mid
+		} else {
+			hiA = mid
+		}
+	}
+	return (loA + hiA) / 2
+}
+
+// LogNormal returns a log-normal variate where the underlying normal has
+// the given mu and sigma.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Weibull returns a Weibull variate with the given shape and scale.
+func (r *Source) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull with non-positive parameter")
+	}
+	return scale * math.Pow(-math.Log(1-r.Float64()), 1/shape)
+}
+
+// Poisson returns a Poisson variate with the given mean, using Knuth's
+// method for small means and normal approximation with rejection guard for
+// large ones.
+func (r *Source) Poisson(mean float64) int {
+	if mean < 0 {
+		panic("rng: Poisson with negative mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation, adequate for arrival batching.
+	for {
+		x := mean + math.Sqrt(mean)*r.NormFloat64()
+		if x >= 0 {
+			return int(x + 0.5)
+		}
+	}
+}
+
+// Levy returns a step length from a (truncated) Lévy distribution with
+// stability exponent alpha in (0, 2], minimum step lo and maximum step hi,
+// approximated by a bounded Pareto tail. Step lengths of this family are
+// the defining ingredient of the Lévy-walk mobility baseline (Rhee et al.,
+// INFOCOM 2008, cited by the paper).
+func (r *Source) Levy(alpha, lo, hi float64) float64 {
+	return r.BoundedPareto(lo, hi, alpha)
+}
+
+// Choice returns an index in [0, len(weights)) with probability
+// proportional to the weights. Zero-total or empty weights panic.
+func (r *Source) Choice(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Choice with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Choice with non-positive total weight")
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// ExpCutoffSampler draws from a power law with exponential cutoff,
+// pdf(x) ∝ x^(-alpha) * exp(-x/cutoff) on [xmin, ∞). The paper reports
+// this two-phase shape for both contact and inter-contact times; the
+// sampler exists so the fitting code in internal/stats can be validated
+// against known ground truth. Sampling inverts a tabulated CDF built once
+// at construction (trapezoidal quadrature on a geometric mesh truncated at
+// xmin + 60*cutoff, beyond which less than exp(-60) of the mass remains).
+type ExpCutoffSampler struct {
+	mesh []float64
+	cdf  []float64
+}
+
+// NewExpCutoffSampler validates parameters and precomputes the inversion
+// table. alpha must be >= 0; xmin and cutoff must be positive.
+func NewExpCutoffSampler(xmin, alpha, cutoff float64) *ExpCutoffSampler {
+	if xmin <= 0 || cutoff <= 0 || alpha < 0 {
+		panic("rng: ExpCutoffSampler with invalid parameter")
+	}
+	const cells = 2048
+	upper := xmin + 60*cutoff
+	s := &ExpCutoffSampler{
+		mesh: make([]float64, cells+1),
+		cdf:  make([]float64, cells+1),
+	}
+	ratio := math.Log(upper / xmin)
+	f := func(x float64) float64 {
+		return math.Exp(-alpha*math.Log(x) - x/cutoff)
+	}
+	prevX, prevF := xmin, f(xmin)
+	s.mesh[0] = xmin
+	for i := 1; i <= cells; i++ {
+		x := xmin * math.Exp(ratio*float64(i)/cells)
+		fx := f(x)
+		s.mesh[i] = x
+		s.cdf[i] = s.cdf[i-1] + (x-prevX)*(fx+prevF)/2
+		prevX, prevF = x, fx
+	}
+	total := s.cdf[cells]
+	for i := range s.cdf {
+		s.cdf[i] /= total
+	}
+	return s
+}
+
+// Sample draws one variate using the supplied source.
+func (s *ExpCutoffSampler) Sample(r *Source) float64 {
+	u := r.Float64()
+	// Binary search for the mesh cell containing u, then interpolate.
+	lo, hi := 0, len(s.cdf)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] <= u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	span := s.cdf[hi] - s.cdf[lo]
+	t := 0.0
+	if span > 0 {
+		t = (u - s.cdf[lo]) / span
+	}
+	return s.mesh[lo] + t*(s.mesh[hi]-s.mesh[lo])
+}
+
+// ExpCutoffPowerLaw is a convenience wrapper that builds a one-shot
+// sampler; prefer NewExpCutoffSampler when drawing many variates.
+func (r *Source) ExpCutoffPowerLaw(xmin, alpha, cutoff float64) float64 {
+	return NewExpCutoffSampler(xmin, alpha, cutoff).Sample(r)
+}

@@ -1,0 +1,339 @@
+// Package sensor implements the paper's first monitoring architecture: an
+// in-world network of scripted sensor objects. It reproduces the platform
+// limits the paper documents in §2 — 96 m sensing range, at most 16
+// avatars detected per scan, a 16 KB local cache flushed over HTTP, a
+// throttle on HTTP messaging, deployment forbidden on private lands, and
+// object expiry on public lands (mitigated by periodic replication) — so
+// the architecture-comparison experiment (X4) can quantify the coverage
+// trade-offs that pushed the authors to the crawler.
+package sensor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"slmob/internal/geom"
+	"slmob/internal/world"
+)
+
+// Platform limits from the paper (§2).
+const (
+	// MaxRange is the maximum sensing radius in metres.
+	MaxRange = 96.0
+	// MaxDetected is the maximum number of avatars one scan returns.
+	MaxDetected = 16
+	// MaxCacheBytes is the sensor's local storage.
+	MaxCacheBytes = 16 * 1024
+	// ReadingBytes is the accounting size of one cached reading.
+	ReadingBytes = 24
+	// MinFlushInterval is the platform's HTTP throttle: a sensor may not
+	// flush more often than this many simulated seconds.
+	MinFlushInterval = 60
+	// DefaultReplicationInterval re-creates expired sensors this often.
+	DefaultReplicationInterval = 300
+)
+
+// Spec describes one sensor deployment request.
+type Spec struct {
+	Pos geom.Vec
+	// Range is the sensing radius; capped at MaxRange.
+	Range float64
+	// Period is the scan period in simulated seconds.
+	Period int64
+	// Collector is the HTTP endpoint that receives cache flushes.
+	Collector string
+	// Replicate re-deploys the sensor after public-land expiry.
+	Replicate bool
+}
+
+// Reading is one sensed avatar observation.
+type Reading struct {
+	T  int64   `json:"t"`
+	ID uint64  `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+	Z  float64 `json:"z"`
+}
+
+// FlushPayload is the HTTP POST body of a cache flush.
+type FlushPayload struct {
+	Object   uint64    `json:"object"`
+	Land     string    `json:"land"`
+	Readings []Reading `json:"readings"`
+}
+
+// object is a deployed sensor.
+type object struct {
+	id        uint64
+	spec      Spec
+	expiresAt int64 // 0 = never
+	nextScan  int64
+	lastFlush int64
+	cache     []Reading
+}
+
+// DeployInfo reports a successful deployment.
+type DeployInfo struct {
+	ID        uint64
+	ExpiresAt int64
+}
+
+// Stats summarises engine activity for the architecture comparison.
+type Stats struct {
+	Deployed        int
+	Expired         int
+	Replicated      int
+	Scans           int
+	Readings        int
+	DroppedReadings int
+	Flushes         int
+	FlushErrors     int
+	TruncatedScans  int
+}
+
+// Engine hosts the sensor objects of one land. The server advances it
+// with Step after every simulation second; Deploy enforces the land's
+// object policy. Engine methods are not safe for concurrent use; the
+// server serialises access under its simulation lock.
+type Engine struct {
+	land   world.LandConfig
+	nextID uint64
+
+	objects []*object
+	// pending are replicate-enabled specs waiting for the next
+	// replication tick after their object expired.
+	pending []Spec
+
+	replicationInterval int64
+	nextReplication     int64
+
+	stats Stats
+
+	httpc *http.Client
+	// postHook, when set, intercepts flushes instead of HTTP (tests).
+	postHook func(FlushPayload) error
+
+	wg sync.WaitGroup
+	mu sync.Mutex // guards stats fields written by flush goroutines
+}
+
+// NewEngine creates the engine for a land.
+func NewEngine(land world.LandConfig) *Engine {
+	return &Engine{
+		land:                land,
+		replicationInterval: DefaultReplicationInterval,
+		httpc:               &http.Client{Timeout: 5 * time.Second},
+	}
+}
+
+// SetPostHook replaces HTTP flushing with a callback (used by in-process
+// experiments and tests).
+func (e *Engine) SetPostHook(fn func(FlushPayload) error) { e.postHook = fn }
+
+// SetReplicationInterval overrides the replication cadence.
+func (e *Engine) SetReplicationInterval(secs int64) {
+	if secs > 0 {
+		e.replicationInterval = secs
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ActiveObjects returns the number of live sensors.
+func (e *Engine) ActiveObjects() int { return len(e.objects) }
+
+// Deploy validates the spec against the land policy and installs the
+// sensor. Private lands reject deployment; public lands attach the
+// land's object lifetime.
+func (e *Engine) Deploy(now int64, spec Spec) (DeployInfo, error) {
+	if e.land.Kind == world.Private {
+		return DeployInfo{}, fmt.Errorf(
+			"sensor: land %q is private: object deployment forbidden", e.land.Name)
+	}
+	if !e.land.Bounds().Contains(spec.Pos) {
+		return DeployInfo{}, fmt.Errorf("sensor: position %v outside land", spec.Pos)
+	}
+	if spec.Range <= 0 || spec.Period <= 0 {
+		return DeployInfo{}, fmt.Errorf("sensor: range and period must be positive")
+	}
+	if spec.Range > MaxRange {
+		spec.Range = MaxRange
+	}
+	e.nextID++
+	obj := &object{
+		id:        e.nextID,
+		spec:      spec,
+		nextScan:  now + spec.Period,
+		lastFlush: now - MinFlushInterval,
+	}
+	if e.land.Kind == world.Public && e.land.ObjectLifetime > 0 {
+		obj.expiresAt = now + e.land.ObjectLifetime
+	}
+	e.objects = append(e.objects, obj)
+	e.mu.Lock()
+	e.stats.Deployed++
+	e.mu.Unlock()
+	return DeployInfo{ID: obj.id, ExpiresAt: obj.expiresAt}, nil
+}
+
+// Step advances the engine to sim time now: expiry, replication, scans,
+// and flushes.
+func (e *Engine) Step(now int64, sim *world.Sim) {
+	// Expiry.
+	live := e.objects[:0]
+	for _, obj := range e.objects {
+		if obj.expiresAt > 0 && now >= obj.expiresAt {
+			e.mu.Lock()
+			e.stats.Expired++
+			e.mu.Unlock()
+			e.flush(now, obj) // salvage the cache before the object dies
+			if obj.spec.Replicate {
+				e.pending = append(e.pending, obj.spec)
+			}
+			continue
+		}
+		live = append(live, obj)
+	}
+	e.objects = live
+
+	// Replication tick.
+	if len(e.pending) > 0 && now >= e.nextReplication {
+		e.nextReplication = now + e.replicationInterval
+		pend := e.pending
+		e.pending = nil
+		for _, spec := range pend {
+			if _, err := e.Deploy(now, spec); err == nil {
+				e.mu.Lock()
+				e.stats.Replicated++
+				e.stats.Deployed-- // replication is not a fresh deployment
+				e.mu.Unlock()
+			}
+		}
+	}
+
+	// Scans.
+	var states []world.AvatarState
+	for _, obj := range e.objects {
+		if now < obj.nextScan {
+			continue
+		}
+		obj.nextScan = now + obj.spec.Period
+		if states == nil {
+			states = sim.ResidentStates(nil)
+		}
+		e.scan(now, obj, states)
+	}
+}
+
+// scan senses up to MaxDetected avatars in range and caches readings,
+// flushing (or dropping) when the cache fills.
+func (e *Engine) scan(now int64, obj *object, states []world.AvatarState) {
+	e.mu.Lock()
+	e.stats.Scans++
+	e.mu.Unlock()
+	detected := 0
+	for _, st := range states {
+		if st.Seated {
+			continue // a seated avatar reports no usable position
+		}
+		if st.Pos.DistXY(obj.spec.Pos) > obj.spec.Range {
+			continue
+		}
+		if detected >= MaxDetected {
+			e.mu.Lock()
+			e.stats.TruncatedScans++
+			e.mu.Unlock()
+			break
+		}
+		detected++
+		if (len(obj.cache)+1)*ReadingBytes > MaxCacheBytes {
+			// Cache full: try to flush; if throttled, the reading is lost
+			// (the granularity-vs-duration trade-off of §2).
+			if !e.flush(now, obj) {
+				e.mu.Lock()
+				e.stats.DroppedReadings++
+				e.mu.Unlock()
+				continue
+			}
+		}
+		obj.cache = append(obj.cache, Reading{
+			T: now, ID: uint64(st.ID), X: st.Pos.X, Y: st.Pos.Y, Z: st.Pos.Z,
+		})
+		e.mu.Lock()
+		e.stats.Readings++
+		e.mu.Unlock()
+	}
+	// Opportunistic flush when the cache is at least half full and the
+	// throttle allows it.
+	if len(obj.cache)*ReadingBytes*2 >= MaxCacheBytes {
+		e.flush(now, obj)
+	}
+}
+
+// flush posts the cache to the collector; it reports whether a flush
+// happened (false when throttled or the cache is empty).
+func (e *Engine) flush(now int64, obj *object) bool {
+	if len(obj.cache) == 0 {
+		return false
+	}
+	if now-obj.lastFlush < MinFlushInterval {
+		return false
+	}
+	obj.lastFlush = now
+	payload := FlushPayload{
+		Object:   obj.id,
+		Land:     e.land.Name,
+		Readings: obj.cache,
+	}
+	url := obj.spec.Collector
+	obj.cache = nil
+	e.mu.Lock()
+	e.stats.Flushes++
+	e.mu.Unlock()
+	if e.postHook != nil {
+		if err := e.postHook(payload); err != nil {
+			e.mu.Lock()
+			e.stats.FlushErrors++
+			e.mu.Unlock()
+		}
+		return true
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		if err := e.post(url, payload); err != nil {
+			e.mu.Lock()
+			e.stats.FlushErrors++
+			e.mu.Unlock()
+		}
+	}()
+	return true
+}
+
+func (e *Engine) post(url string, payload FlushPayload) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	resp, err := e.httpc.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sensor: collector returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Wait blocks until in-flight HTTP flushes complete (tests, shutdown).
+func (e *Engine) Wait() { e.wg.Wait() }

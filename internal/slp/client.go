@@ -1,0 +1,209 @@
+package slp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slmob/internal/geom"
+)
+
+// Client is a minimal metaverse client: it logs in as an avatar, can move
+// and chat, and consumes map snapshots — the same capability set as the
+// paper's libsecondlife-based crawler.
+//
+// A background goroutine demultiplexes inbound messages onto channels;
+// Move/Chat/Subscribe are fire-and-forget writes and are safe for
+// concurrent use.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+
+	welcome Welcome
+
+	maps  chan MapReply
+	chats chan ChatEvent
+	pongs chan Pong
+	objs  chan ObjectReply
+
+	done    chan struct{}
+	errOnce sync.Once
+	err     error
+}
+
+// Dial connects, logs in, and starts the read loop. The returned client
+// must be closed with Close.
+func Dial(addr, name, password string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:  conn,
+		bw:    bufio.NewWriter(conn),
+		maps:  make(chan MapReply, 64),
+		chats: make(chan ChatEvent, 64),
+		pongs: make(chan Pong, 8),
+		objs:  make(chan ObjectReply, 8),
+		done:  make(chan struct{}),
+	}
+	if err := c.send(Hello{Version: Version, Name: name, Password: password}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(timeout))
+	msg, err := ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("slp: handshake read: %w", err)
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	switch v := msg.(type) {
+	case Welcome:
+		c.welcome = v
+	case Error:
+		conn.Close()
+		return nil, fmt.Errorf("slp: login rejected (%d): %s", v.Code, v.Message)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("slp: unexpected handshake reply %s", msg.Type())
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Welcome returns the login acknowledgement (avatar ID, land, warp).
+func (c *Client) Welcome() Welcome { return c.welcome }
+
+// Maps returns the channel of map snapshots (poll replies and
+// subscription pushes). It is closed when the connection dies.
+func (c *Client) Maps() <-chan MapReply { return c.maps }
+
+// Chats returns the channel of chat events heard near the avatar.
+func (c *Client) Chats() <-chan ChatEvent { return c.chats }
+
+// Err returns the terminal connection error, if any.
+func (c *Client) Err() error {
+	select {
+	case <-c.done:
+		return c.err
+	default:
+		return nil
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.errOnce.Do(func() {
+		c.err = err
+		close(c.done)
+		close(c.maps)
+		close(c.chats)
+		c.conn.Close()
+	})
+}
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := ReadMessage(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch v := msg.(type) {
+		case MapReply:
+			select {
+			case c.maps <- v:
+			default: // drop if the consumer lags; the next push supersedes
+			}
+		case ChatEvent:
+			select {
+			case c.chats <- v:
+			default:
+			}
+		case Pong:
+			select {
+			case c.pongs <- v:
+			default:
+			}
+		case ObjectReply:
+			select {
+			case c.objs <- v:
+			default:
+			}
+		case Error:
+			c.fail(fmt.Errorf("slp: server error (%d): %s", v.Code, v.Message))
+			return
+		default:
+			// Ignore unexpected but well-formed messages.
+		}
+	}
+}
+
+func (c *Client) send(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := WriteMessage(c.bw, m); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Move relocates the avatar.
+func (c *Client) Move(pos geom.Vec) error {
+	return c.send(Move{Pos: pos})
+}
+
+// Chat says something in local chat.
+func (c *Client) Chat(text string) error {
+	return c.send(Chat{Text: text})
+}
+
+// RequestMap polls the coarse map once; the reply arrives on Maps.
+func (c *Client) RequestMap() error {
+	return c.send(MapRequest{})
+}
+
+// Subscribe asks for a map push every tau simulated seconds.
+func (c *Client) Subscribe(tau int64) error {
+	return c.send(Subscribe{Tau: tau})
+}
+
+// CreateObject deploys a sensor object and waits for the acknowledgement.
+func (c *Client) CreateObject(req ObjectCreate, timeout time.Duration) (ObjectReply, error) {
+	if err := c.send(req); err != nil {
+		return ObjectReply{}, err
+	}
+	select {
+	case rep := <-c.objs:
+		return rep, nil
+	case <-c.done:
+		return ObjectReply{}, c.err
+	case <-time.After(timeout):
+		return ObjectReply{}, fmt.Errorf("slp: object create timed out")
+	}
+}
+
+// Ping round-trips a liveness probe and returns the server's sim time.
+func (c *Client) Ping(timeout time.Duration) (int64, error) {
+	if err := c.send(Ping{Seq: 1}); err != nil {
+		return 0, err
+	}
+	select {
+	case p := <-c.pongs:
+		return p.SimTime, nil
+	case <-c.done:
+		return 0, c.err
+	case <-time.After(timeout):
+		return 0, fmt.Errorf("slp: ping timed out")
+	}
+}
+
+// Close logs out and tears the connection down.
+func (c *Client) Close() error {
+	_ = c.send(Logout{})
+	c.fail(fmt.Errorf("slp: client closed"))
+	return nil
+}

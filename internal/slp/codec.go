@@ -1,0 +1,326 @@
+package slp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+// The codec is hand-rolled on a byte buffer: message volumes are small
+// (one frame per protocol event) but MapReply decoding sits on the
+// crawler's hot path, so encoding avoids reflection entirely.
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v byte)     { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16)  { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
+func (e *encoder) f32(v float64) { e.u32(math.Float32bits(float32(v))) }
+func (e *encoder) vec(v geom.Vec) {
+	e.f32(v.X)
+	e.f32(v.Y)
+	e.f32(v.Z)
+}
+
+func (e *encoder) str(s string) error {
+	if len(s) > 65535 {
+		return fmt.Errorf("slp: string too long (%d bytes)", len(s))
+	}
+	e.u16(uint16(len(s)))
+	e.buf = append(e.buf, s...)
+	return nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("slp: truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f32() float64 { return float64(math.Float32frombits(d.u32())) }
+func (d *decoder) vec() geom.Vec {
+	return geom.V(d.f32(), d.f32(), d.f32())
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("slp: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// quantizeEntry packs a map entry at CoarseLocationUpdate resolution:
+// x and y to 1 m in a byte, z to 4 m in a byte.
+func quantizeEntry(e *encoder, id trace.AvatarID, pos geom.Vec, size float64) {
+	clampByte := func(v float64) byte {
+		if v < 0 {
+			return 0
+		}
+		if v > 255 {
+			return 255
+		}
+		return byte(v + 0.5)
+	}
+	_ = size
+	e.u64(uint64(id))
+	e.u8(clampByte(pos.X))
+	e.u8(clampByte(pos.Y))
+	e.u8(clampByte(pos.Z / 4))
+}
+
+// Marshal encodes a message payload (type byte + body).
+func Marshal(m Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 64)}
+	e.u8(byte(m.Type()))
+	switch v := m.(type) {
+	case Hello:
+		e.u8(v.Version)
+		if err := e.str(v.Name); err != nil {
+			return nil, err
+		}
+		if err := e.str(v.Password); err != nil {
+			return nil, err
+		}
+	case Welcome:
+		e.u64(v.AvatarID)
+		if err := e.str(v.Land); err != nil {
+			return nil, err
+		}
+		e.f32(v.Size)
+		e.i64(v.SimTime)
+		e.f32(v.Warp)
+		e.vec(v.Spawn)
+	case Error:
+		e.u8(byte(v.Code))
+		if err := e.str(v.Message); err != nil {
+			return nil, err
+		}
+	case Move:
+		e.vec(v.Pos)
+	case Chat:
+		if len(v.Text) > 255 {
+			return nil, fmt.Errorf("slp: chat text too long (%d bytes)", len(v.Text))
+		}
+		if err := e.str(v.Text); err != nil {
+			return nil, err
+		}
+	case ChatEvent:
+		e.u64(uint64(v.From))
+		e.vec(v.Pos)
+		if err := e.str(v.Text); err != nil {
+			return nil, err
+		}
+	case MapRequest:
+	case MapReply:
+		e.i64(v.SimTime)
+		if len(v.Entries) > 1000 {
+			return nil, fmt.Errorf("slp: map reply too large (%d entries)", len(v.Entries))
+		}
+		e.u16(uint16(len(v.Entries)))
+		for _, ent := range v.Entries {
+			quantizeEntry(e, ent.ID, ent.Pos, 256)
+		}
+	case Subscribe:
+		e.i64(v.Tau)
+	case ObjectCreate:
+		e.u8(byte(v.Kind))
+		e.vec(v.Pos)
+		e.f32(v.Range)
+		e.i64(v.Period)
+		if err := e.str(v.Collector); err != nil {
+			return nil, err
+		}
+	case ObjectReply:
+		e.u64(v.ObjectID)
+		e.i64(v.ExpiresAt)
+	case Ping:
+		e.u32(v.Seq)
+	case Pong:
+		e.u32(v.Seq)
+		e.i64(v.SimTime)
+	case Logout:
+	default:
+		return nil, fmt.Errorf("slp: cannot marshal %T", m)
+	}
+	if len(e.buf) > MaxPayload {
+		return nil, fmt.Errorf("slp: payload %d exceeds max %d", len(e.buf), MaxPayload)
+	}
+	return e.buf, nil
+}
+
+// Unmarshal decodes a payload produced by Marshal.
+func Unmarshal(payload []byte) (Message, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("slp: empty payload")
+	}
+	d := &decoder{buf: payload, off: 1}
+	var m Message
+	switch MsgType(payload[0]) {
+	case TypeHello:
+		v := Hello{Version: d.u8()}
+		v.Name = d.str()
+		v.Password = d.str()
+		m = v
+	case TypeWelcome:
+		v := Welcome{AvatarID: d.u64()}
+		v.Land = d.str()
+		v.Size = d.f32()
+		v.SimTime = d.i64()
+		v.Warp = d.f32()
+		v.Spawn = d.vec()
+		m = v
+	case TypeError:
+		v := Error{Code: ErrCode(d.u8())}
+		v.Message = d.str()
+		m = v
+	case TypeMove:
+		m = Move{Pos: d.vec()}
+	case TypeChat:
+		m = Chat{Text: d.str()}
+	case TypeChatEvent:
+		v := ChatEvent{From: trace.AvatarID(d.u64())}
+		v.Pos = d.vec()
+		v.Text = d.str()
+		m = v
+	case TypeMapRequest:
+		m = MapRequest{}
+	case TypeMapReply:
+		v := MapReply{SimTime: d.i64()}
+		n := int(d.u16())
+		if d.err == nil && n > 1000 {
+			return nil, fmt.Errorf("slp: map reply claims %d entries", n)
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			id := trace.AvatarID(d.u64())
+			x := float64(d.u8())
+			y := float64(d.u8())
+			z := float64(d.u8()) * 4
+			v.Entries = append(v.Entries, MapEntry{ID: id, Pos: geom.V(x, y, z)})
+		}
+		m = v
+	case TypeSubscribe:
+		m = Subscribe{Tau: d.i64()}
+	case TypeObjectCreate:
+		v := ObjectCreate{Kind: ObjectKind(d.u8())}
+		v.Pos = d.vec()
+		v.Range = d.f32()
+		v.Period = d.i64()
+		v.Collector = d.str()
+		m = v
+	case TypeObjectReply:
+		m = ObjectReply{ObjectID: d.u64(), ExpiresAt: d.i64()}
+	case TypePing:
+		m = Ping{Seq: d.u32()}
+	case TypePong:
+		m = Pong{Seq: d.u32(), SimTime: d.i64()}
+	case TypeLogout:
+		m = Logout{}
+	default:
+		return nil, fmt.Errorf("slp: unknown message type %d", payload[0])
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, m Message) error {
+	payload, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	var hdr [2]byte
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadMessage reads and decodes one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[:]))
+	if n == 0 || n > MaxPayload {
+		return nil, fmt.Errorf("slp: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Unmarshal(payload)
+}

@@ -1,0 +1,234 @@
+// Package slp implements the Second Life-style wire protocol spoken
+// between the metaverse server (internal/server) and external clients —
+// most importantly the measurement crawler, which uses the protocol's
+// coarse map facility exactly as the paper's crawler used libsecondlife's
+// map feature.
+//
+// Framing is a 2-byte big-endian payload length followed by the payload;
+// the first payload byte is the message type. Positions in MapReply are
+// quantised to 1 metre in x and y and 4 metres in z, replicating the
+// CoarseLocationUpdate resolution the real client received. All multi-byte
+// integers are big-endian.
+package slp
+
+import (
+	"fmt"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+// Version is the protocol version carried in Hello.
+const Version = 1
+
+// MaxPayload bounds a frame's payload size.
+const MaxPayload = 16 * 1024
+
+// MsgType identifies a message.
+type MsgType byte
+
+// Message type codes. The zero value is invalid so that an all-zeros
+// frame cannot masquerade as a message.
+const (
+	TypeInvalid MsgType = iota
+	TypeHello
+	TypeWelcome
+	TypeError
+	TypeMove
+	TypeChat
+	TypeChatEvent
+	TypeMapRequest
+	TypeMapReply
+	TypeSubscribe
+	TypeObjectCreate
+	TypeObjectReply
+	TypePing
+	TypePong
+	TypeLogout
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	names := [...]string{"invalid", "hello", "welcome", "error", "move", "chat",
+		"chat-event", "map-request", "map-reply", "subscribe", "object-create",
+		"object-reply", "ping", "pong", "logout"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", byte(t))
+}
+
+// Message is implemented by every protocol message.
+type Message interface {
+	// Type returns the message's wire type code.
+	Type() MsgType
+}
+
+// Hello opens a session: the client logs in as an avatar, exactly like the
+// stripped-down libsecondlife client of the paper ("requires a valid
+// login/password to connect").
+type Hello struct {
+	Version  byte
+	Name     string
+	Password string
+}
+
+// Type implements Message.
+func (Hello) Type() MsgType { return TypeHello }
+
+// Welcome acknowledges a login.
+type Welcome struct {
+	// AvatarID is the server-assigned identity; the crawler filters its
+	// own entry out of map replies with it.
+	AvatarID uint64
+	// Land and Size describe the hosted land.
+	Land string
+	Size float64
+	// SimTime is the current simulation clock in seconds.
+	SimTime int64
+	// Warp is the number of simulated seconds per wall-clock second.
+	Warp float64
+	// Spawn is the avatar's initial position.
+	Spawn geom.Vec
+}
+
+// Type implements Message.
+func (Welcome) Type() MsgType { return TypeWelcome }
+
+// ErrCode classifies protocol errors.
+type ErrCode byte
+
+// Error codes.
+const (
+	ErrNone ErrCode = iota
+	ErrBadVersion
+	ErrLandFull
+	ErrBadCredentials
+	ErrObjectsForbidden
+	ErrBadRequest
+)
+
+// Error reports a request failure.
+type Error struct {
+	Code    ErrCode
+	Message string
+}
+
+// Type implements Message.
+func (Error) Type() MsgType { return TypeError }
+
+// Move asks the server to relocate the client's avatar.
+type Move struct {
+	Pos geom.Vec
+}
+
+// Type implements Message.
+func (Move) Type() MsgType { return TypeMove }
+
+// Chat broadcasts a local chat message (server-enforced ~20 m audibility).
+type Chat struct {
+	Text string
+}
+
+// Type implements Message.
+func (Chat) Type() MsgType { return TypeChat }
+
+// ChatEvent delivers a chat utterance heard near the client's avatar.
+type ChatEvent struct {
+	From trace.AvatarID
+	Pos  geom.Vec
+	Text string
+}
+
+// Type implements Message.
+func (ChatEvent) Type() MsgType { return TypeChatEvent }
+
+// MapRequest polls the land map once.
+type MapRequest struct{}
+
+// Type implements Message.
+func (MapRequest) Type() MsgType { return TypeMapRequest }
+
+// MapEntry is one avatar on the coarse map. Coordinates are already
+// dequantised back to metres on decode (x, y at 1 m, z at 4 m resolution).
+type MapEntry struct {
+	ID  trace.AvatarID
+	Pos geom.Vec
+}
+
+// MapReply carries a full-land snapshot: the position of every connected
+// avatar, bounded only by the land's ~100-avatar cap.
+type MapReply struct {
+	SimTime int64
+	Entries []MapEntry
+}
+
+// Type implements Message.
+func (MapReply) Type() MsgType { return TypeMapReply }
+
+// Subscribe requests a MapReply push every Tau simulated seconds,
+// replacing hand-rolled polling under time warp.
+type Subscribe struct {
+	Tau int64
+}
+
+// Type implements Message.
+func (Subscribe) Type() MsgType { return TypeSubscribe }
+
+// ObjectKind classifies deployable objects.
+type ObjectKind byte
+
+// Object kinds.
+const (
+	ObjectSensor ObjectKind = 1
+)
+
+// ObjectCreate deploys a scripted object (a virtual sensor) on the land,
+// subject to the land's object policy.
+type ObjectCreate struct {
+	Kind ObjectKind
+	Pos  geom.Vec
+	// Range is the sensing radius in metres (the platform caps it at 96).
+	Range float64
+	// Period is the scan period in simulated seconds.
+	Period int64
+	// Collector is the HTTP URL the sensor flushes its cache to.
+	Collector string
+}
+
+// Type implements Message.
+func (ObjectCreate) Type() MsgType { return TypeObjectCreate }
+
+// ObjectReply acknowledges an ObjectCreate.
+type ObjectReply struct {
+	ObjectID uint64
+	// ExpiresAt is the sim time at which a public land reclaims the
+	// object; 0 means no expiry (sandbox).
+	ExpiresAt int64
+}
+
+// Type implements Message.
+func (ObjectReply) Type() MsgType { return TypeObjectReply }
+
+// Ping measures liveness; the server echoes Seq in a Pong.
+type Ping struct {
+	Seq uint32
+}
+
+// Type implements Message.
+func (Ping) Type() MsgType { return TypePing }
+
+// Pong answers a Ping.
+type Pong struct {
+	Seq     uint32
+	SimTime int64
+}
+
+// Type implements Message.
+func (Pong) Type() MsgType { return TypePong }
+
+// Logout closes the session cleanly.
+type Logout struct{}
+
+// Type implements Message.
+func (Logout) Type() MsgType { return TypeLogout }

@@ -1,0 +1,189 @@
+// Package stats implements the empirical statistics the paper's analysis
+// needs and that the Go standard library lacks: empirical CDF/CCDF curves,
+// quantiles, histograms, log-spaced binning, two-sample Kolmogorov–Smirnov
+// tests, and maximum-likelihood fits for exponential, Pareto, and
+// power-law-with-exponential-cutoff tail models.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Empirical is the empirical distribution of a sample. The zero value is
+// unusable; construct with NewEmpirical.
+type Empirical struct {
+	sorted []float64
+}
+
+// NewEmpirical copies and sorts the sample. NaNs are rejected so that every
+// downstream quantile is well defined.
+func NewEmpirical(xs []float64) (*Empirical, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	for _, x := range s {
+		if math.IsNaN(x) {
+			return nil, fmt.Errorf("stats: sample contains NaN")
+		}
+	}
+	sort.Float64s(s)
+	return &Empirical{sorted: s}, nil
+}
+
+// MustEmpirical is NewEmpirical for samples known to be valid; it panics on
+// error and exists for tests and internal pipelines.
+func MustEmpirical(xs []float64) *Empirical {
+	e, err := NewEmpirical(xs)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// N returns the sample size.
+func (e *Empirical) N() int { return len(e.sorted) }
+
+// Min returns the sample minimum.
+func (e *Empirical) Min() float64 { return e.sorted[0] }
+
+// Max returns the sample maximum.
+func (e *Empirical) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// Mean returns the sample mean.
+func (e *Empirical) Mean() float64 {
+	sum := 0.0
+	for _, x := range e.sorted {
+		sum += x
+	}
+	return sum / float64(len(e.sorted))
+}
+
+// Std returns the sample standard deviation (n-1 in the denominator when
+// n > 1, else 0).
+func (e *Empirical) Std() float64 {
+	n := len(e.sorted)
+	if n < 2 {
+		return 0
+	}
+	m := e.Mean()
+	sum := 0.0
+	for _, x := range e.sorted {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// CDF returns the empirical distribution function F(x) = P(X <= x).
+func (e *Empirical) CDF(x float64) float64 {
+	// Upper bound: first index with sorted[i] > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// CCDF returns the complementary CDF 1 - F(x) = P(X > x), the quantity the
+// paper plots for contact metrics (Fig. 1) and node degree (Fig. 2).
+func (e *Empirical) CCDF(x float64) float64 { return 1 - e.CDF(x) }
+
+// Quantile returns the p-quantile for p in [0, 1] using the nearest-rank
+// definition (Quantile(0.5) is the median).
+func (e *Empirical) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.Min()
+	}
+	if p >= 1 {
+		return e.Max()
+	}
+	idx := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(e.sorted) {
+		idx = len(e.sorted) - 1
+	}
+	return e.sorted[idx]
+}
+
+// Median returns the 0.5-quantile.
+func (e *Empirical) Median() float64 { return e.Quantile(0.5) }
+
+// Sorted returns the underlying sorted sample. The caller must not modify
+// the returned slice.
+func (e *Empirical) Sorted() []float64 { return e.sorted }
+
+// Point is a single (X, Y) pair on a distribution curve.
+type Point struct {
+	X, Y float64
+}
+
+// Curve is an ordered series of points, ready for plotting or CSV export.
+type Curve []Point
+
+// CDFCurve returns the full step curve of the empirical CDF, one point per
+// distinct sample value.
+func (e *Empirical) CDFCurve() Curve {
+	return e.curve(func(cum int) float64 {
+		return float64(cum) / float64(len(e.sorted))
+	})
+}
+
+// CCDFCurve returns the full step curve of the empirical CCDF, one point
+// per distinct sample value: (x, P(X > x)).
+func (e *Empirical) CCDFCurve() Curve {
+	return e.curve(func(cum int) float64 {
+		return 1 - float64(cum)/float64(len(e.sorted))
+	})
+}
+
+func (e *Empirical) curve(y func(cum int) float64) Curve {
+	var c Curve
+	for i := 0; i < len(e.sorted); {
+		j := i
+		for j < len(e.sorted) && e.sorted[j] == e.sorted[i] {
+			j++
+		}
+		c = append(c, Point{X: e.sorted[i], Y: y(j)})
+		i = j
+	}
+	return c
+}
+
+// SampleCurve evaluates fn at each of the given x positions; used to render
+// curves on the paper's log-spaced axes.
+func SampleCurve(xs []float64, fn func(x float64) float64) Curve {
+	c := make(Curve, 0, len(xs))
+	for _, x := range xs {
+		c = append(c, Point{X: x, Y: fn(x)})
+	}
+	return c
+}
+
+// LogSpace returns n points logarithmically spaced over [lo, hi]. Both
+// bounds must be positive and n >= 2.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: invalid LogSpace parameters")
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinSpace returns n points linearly spaced over [lo, hi], n >= 2.
+func LinSpace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: invalid LinSpace parameters")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

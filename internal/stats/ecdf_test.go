@@ -1,0 +1,221 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := NewEmpirical([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN sample accepted")
+	}
+	if _, err := NewEmpirical([]float64{3, 1, 2}); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+}
+
+func TestNewEmpiricalDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	MustEmpirical(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestCDFAndCCDF(t *testing.T) {
+	e := MustEmpirical([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x   float64
+		cdf float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {2.9, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); math.Abs(got-c.cdf) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.cdf)
+		}
+		if got := e.CCDF(c.x); math.Abs(got-(1-c.cdf)) > 1e-12 {
+			t.Errorf("CCDF(%v) = %v, want %v", c.x, got, 1-c.cdf)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	e := MustEmpirical(xs)
+	if got := e.Median(); got != 50 {
+		t.Errorf("median = %v, want 50", got)
+	}
+	if got := e.Quantile(0.9); got != 90 {
+		t.Errorf("p90 = %v, want 90", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1", got)
+	}
+	if got := e.Quantile(1); got != 100 {
+		t.Errorf("p1 = %v, want 100", got)
+	}
+	if got := e.Quantile(0.01); got != 1 {
+		t.Errorf("p01 = %v, want 1", got)
+	}
+}
+
+func TestMeanStdMinMax(t *testing.T) {
+	e := MustEmpirical([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := e.Mean(); got != 5 {
+		t.Errorf("mean = %v", got)
+	}
+	// Sample std with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7.0)
+	if got := e.Std(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", got, want)
+	}
+	if e.Min() != 2 || e.Max() != 9 {
+		t.Errorf("min/max = %v/%v", e.Min(), e.Max())
+	}
+	single := MustEmpirical([]float64{3})
+	if single.Std() != 0 {
+		t.Errorf("std of singleton = %v", single.Std())
+	}
+}
+
+func TestCDFCurveSteps(t *testing.T) {
+	e := MustEmpirical([]float64{1, 2, 2, 5})
+	c := e.CDFCurve()
+	want := Curve{{1, 0.25}, {2, 0.75}, {5, 1}}
+	if len(c) != len(want) {
+		t.Fatalf("curve = %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("curve[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	cc := e.CCDFCurve()
+	if cc[0].Y != 0.75 || cc[2].Y != 0 {
+		t.Errorf("ccdf curve = %v", cc)
+	}
+}
+
+func TestCurveMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		e := MustEmpirical(xs)
+		c := e.CDFCurve()
+		for i := 1; i < len(c); i++ {
+			if c[i].X <= c[i-1].X || c[i].Y < c[i-1].Y {
+				return false
+			}
+		}
+		return c[len(c)-1].Y == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileCDFInverseProperty(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p := float64(pRaw%99+1) / 100
+		e := MustEmpirical(xs)
+		q := e.Quantile(p)
+		// CDF at the p-quantile must be >= p (nearest-rank definition).
+		return e.CDF(q) >= p-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	pts := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(pts[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if !sort.Float64sAreSorted(pts) {
+		t.Error("LogSpace not sorted")
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	pts := LinSpace(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-12 {
+			t.Errorf("LinSpace[%d] = %v", i, pts[i])
+		}
+	}
+}
+
+func TestSampleCurve(t *testing.T) {
+	e := MustEmpirical([]float64{1, 2, 3, 4})
+	c := SampleCurve([]float64{0, 2.5, 5}, e.CDF)
+	if c[0].Y != 0 || c[1].Y != 0.5 || c[2].Y != 1 {
+		t.Errorf("SampleCurve = %v", c)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s = Summarize(xs)
+	if s.N != 100 || s.Median != 50 || s.P90 != 90 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{-1, 0.5, 0.7, 5.5, 9.9, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // -1 clamped, 0.5, 0.7
+		t.Errorf("first bin = %d", h.Counts[0])
+	}
+	if h.Counts[9] != 2 { // 9.9 and clamped 42
+		t.Errorf("last bin = %d", h.Counts[9])
+	}
+	if got := h.Mode(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mode = %v", got)
+	}
+}

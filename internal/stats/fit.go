@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TailModel identifies one of the candidate models for the upper tail of a
+// positive sample, all defined on [xmin, +inf).
+type TailModel int
+
+const (
+	// ModelExponential is pdf(x) = rate * exp(-rate*(x-xmin)).
+	ModelExponential TailModel = iota
+	// ModelPareto is the pure power law pdf(x) ∝ x^-(alpha+1).
+	ModelPareto
+	// ModelPowerLawCutoff is pdf(x) ∝ x^-alpha * exp(-x/cutoff): the
+	// two-phase shape (power-law body, exponential cut-off) the paper
+	// reports for contact and inter-contact times.
+	ModelPowerLawCutoff
+)
+
+// String returns the human-readable model name.
+func (m TailModel) String() string {
+	switch m {
+	case ModelExponential:
+		return "exponential"
+	case ModelPareto:
+		return "pareto"
+	case ModelPowerLawCutoff:
+		return "powerlaw+cutoff"
+	default:
+		return fmt.Sprintf("TailModel(%d)", int(m))
+	}
+}
+
+// Fit is a fitted tail model with its maximised log-likelihood.
+type Fit struct {
+	Model TailModel
+	Xmin  float64
+	// Alpha is the power-law exponent (Pareto shape for ModelPareto,
+	// pdf exponent for ModelPowerLawCutoff); unused for ModelExponential.
+	Alpha float64
+	// Rate is the exponential rate for ModelExponential; unused otherwise.
+	Rate float64
+	// Cutoff is the exponential cut-off scale for ModelPowerLawCutoff.
+	Cutoff float64
+	// LogLik is the maximised log-likelihood over the n tail samples.
+	LogLik float64
+	// N is the number of samples at or above Xmin used in the fit.
+	N int
+}
+
+// AIC returns the Akaike information criterion (lower is better).
+func (f Fit) AIC() float64 {
+	k := 1.0
+	if f.Model == ModelPowerLawCutoff {
+		k = 2
+	}
+	return 2*k - 2*f.LogLik
+}
+
+// tailSample extracts the observations >= xmin and their sufficient
+// statistics.
+func tailSample(xs []float64, xmin float64) (tail []float64, sumX, sumLnX float64, err error) {
+	for _, x := range xs {
+		if x >= xmin {
+			if x <= 0 {
+				return nil, 0, 0, fmt.Errorf("stats: non-positive tail sample %v", x)
+			}
+			tail = append(tail, x)
+			sumX += x
+			sumLnX += math.Log(x)
+		}
+	}
+	if len(tail) < 2 {
+		return nil, 0, 0, fmt.Errorf("stats: fewer than 2 samples above xmin=%v", xmin)
+	}
+	return tail, sumX, sumLnX, nil
+}
+
+// FitExponential fits a shifted exponential to the tail of xs above xmin by
+// maximum likelihood.
+func FitExponential(xs []float64, xmin float64) (Fit, error) {
+	tail, sumX, _, err := tailSample(xs, xmin)
+	if err != nil {
+		return Fit{}, err
+	}
+	n := float64(len(tail))
+	mean := sumX/n - xmin
+	if mean <= 0 {
+		// Degenerate sample: all values equal xmin.
+		mean = 1e-9
+	}
+	rate := 1 / mean
+	ll := n*math.Log(rate) - rate*(sumX-n*xmin)
+	return Fit{Model: ModelExponential, Xmin: xmin, Rate: rate, LogLik: ll, N: len(tail)}, nil
+}
+
+// FitPareto fits a pure Pareto (power-law) tail above xmin by maximum
+// likelihood (the Hill estimator).
+func FitPareto(xs []float64, xmin float64) (Fit, error) {
+	tail, _, sumLnX, err := tailSample(xs, xmin)
+	if err != nil {
+		return Fit{}, err
+	}
+	n := float64(len(tail))
+	denom := sumLnX - n*math.Log(xmin)
+	if denom <= 0 {
+		denom = 1e-9
+	}
+	alpha := n / denom
+	ll := n*math.Log(alpha) + n*alpha*math.Log(xmin) - (alpha+1)*sumLnX
+	return Fit{Model: ModelPareto, Xmin: xmin, Alpha: alpha, LogLik: ll, N: len(tail)}, nil
+}
+
+// FitPowerLawCutoff fits pdf ∝ x^-alpha * exp(-x/cutoff) on [xmin, ∞) by
+// maximum likelihood. The normalising constant has no elementary closed
+// form, so it is computed by composite Simpson quadrature on a geometric
+// mesh, and the two-parameter likelihood is maximised by a coarse grid
+// search followed by coordinate refinement.
+func FitPowerLawCutoff(xs []float64, xmin float64) (Fit, error) {
+	tail, sumX, sumLnX, err := tailSample(xs, xmin)
+	if err != nil {
+		return Fit{}, err
+	}
+	n := float64(len(tail))
+	maxX := 0.0
+	for _, x := range tail {
+		if x > maxX {
+			maxX = x
+		}
+	}
+
+	ll := func(alpha, cutoff float64) float64 {
+		z := cutoffNorm(xmin, alpha, cutoff)
+		if z <= 0 || math.IsInf(z, 0) || math.IsNaN(z) {
+			return math.Inf(-1)
+		}
+		return -alpha*sumLnX - sumX/cutoff - n*math.Log(z)
+	}
+
+	// Coarse grid.
+	alphas := LinSpace(0, 4, 17)
+	cutoffs := LogSpace(math.Max(xmin/4, 1e-6), 20*maxX+xmin, 17)
+	bestA, bestC, bestLL := alphas[0], cutoffs[0], math.Inf(-1)
+	for _, a := range alphas {
+		for _, c := range cutoffs {
+			if v := ll(a, c); v > bestLL {
+				bestA, bestC, bestLL = a, c, v
+			}
+		}
+	}
+	// Coordinate refinement: shrink a local box around the best point.
+	da, dc := 0.25, 2.0 // alpha step; cutoff multiplicative step
+	for iter := 0; iter < 40; iter++ {
+		improved := false
+		for _, a := range []float64{bestA - da, bestA + da} {
+			if a < 0 || a > 8 {
+				continue
+			}
+			if v := ll(a, bestC); v > bestLL {
+				bestA, bestLL, improved = a, v, true
+			}
+		}
+		for _, c := range []float64{bestC / dc, bestC * dc} {
+			if c <= 0 {
+				continue
+			}
+			if v := ll(bestA, c); v > bestLL {
+				bestC, bestLL, improved = c, v, true
+			}
+		}
+		if !improved {
+			da /= 2
+			dc = math.Sqrt(dc)
+			if da < 1e-4 && dc < 1.0005 {
+				break
+			}
+		}
+	}
+	return Fit{
+		Model: ModelPowerLawCutoff, Xmin: xmin,
+		Alpha: bestA, Cutoff: bestC, LogLik: bestLL, N: len(tail),
+	}, nil
+}
+
+// cutoffNorm computes Z = ∫_{xmin}^∞ x^-alpha exp(-x/cutoff) dx by
+// composite Simpson quadrature over a geometric mesh. The integrand decays
+// like exp(-x/cutoff), so truncating at xmin + 60*cutoff loses less than
+// exp(-60) of the mass.
+func cutoffNorm(xmin, alpha, cutoff float64) float64 {
+	upper := xmin + 60*cutoff
+	const segments = 400
+	mesh := LogSpace(xmin, upper, segments+1)
+	f := func(x float64) float64 {
+		return math.Exp(-alpha*math.Log(x) - x/cutoff)
+	}
+	total := 0.0
+	for i := 0; i < segments; i++ {
+		a, b := mesh[i], mesh[i+1]
+		m := (a + b) / 2
+		total += (b - a) / 6 * (f(a) + 4*f(m) + f(b))
+	}
+	return total
+}
+
+// TailComparison holds all three candidate fits for one sample.
+type TailComparison struct {
+	Exponential Fit
+	Pareto      Fit
+	Cutoff      Fit
+}
+
+// CompareTailModels fits all three models above xmin and returns them. Use
+// Best to identify the AIC-preferred model.
+func CompareTailModels(xs []float64, xmin float64) (TailComparison, error) {
+	var c TailComparison
+	var err error
+	if c.Exponential, err = FitExponential(xs, xmin); err != nil {
+		return c, err
+	}
+	if c.Pareto, err = FitPareto(xs, xmin); err != nil {
+		return c, err
+	}
+	if c.Cutoff, err = FitPowerLawCutoff(xs, xmin); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+// Best returns the fit with the lowest AIC.
+func (c TailComparison) Best() Fit {
+	best := c.Exponential
+	if c.Pareto.AIC() < best.AIC() {
+		best = c.Pareto
+	}
+	if c.Cutoff.AIC() < best.AIC() {
+		best = c.Cutoff
+	}
+	return best
+}
+
+// LinearRegression fits y = slope*x + intercept by least squares and
+// returns the coefficient of determination r2. Used for log-log slope
+// estimation on CCDF curves.
+func LinearRegression(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: regression needs >= 2 paired points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1, nil
+	}
+	ssRes := 0.0
+	for i := range xs {
+		d := ys[i] - (slope*xs[i] + intercept)
+		ssRes += d * d
+	}
+	return slope, intercept, 1 - ssRes/ssTot, nil
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"slmob/internal/rng"
+)
+
+func TestFitExponentialRecoversRate(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = 5 + r.Exp(0.1) // shifted exponential above xmin=5
+	}
+	fit, err := FitExponential(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rate-0.1)/0.1 > 0.05 {
+		t.Errorf("rate = %v, want ~0.1", fit.Rate)
+	}
+	if fit.N != len(xs) {
+		t.Errorf("N = %d", fit.N)
+	}
+}
+
+func TestFitParetoRecoversAlpha(t *testing.T) {
+	r := rng.New(2)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Pareto(10, 1.8)
+	}
+	fit, err := FitPareto(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-1.8)/1.8 > 0.05 {
+		t.Errorf("alpha = %v, want ~1.8", fit.Alpha)
+	}
+}
+
+func TestFitPowerLawCutoffRecoversParameters(t *testing.T) {
+	r := rng.New(3)
+	const xmin, alpha, cutoff = 10.0, 0.9, 400.0
+	sampler := rng.NewExpCutoffSampler(xmin, alpha, cutoff)
+	xs := make([]float64, 8000)
+	for i := range xs {
+		xs[i] = sampler.Sample(r)
+	}
+	fit, err := FitPowerLawCutoff(xs, xmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.25 {
+		t.Errorf("alpha = %v, want ~%v", fit.Alpha, alpha)
+	}
+	if fit.Cutoff < cutoff/2 || fit.Cutoff > cutoff*2 {
+		t.Errorf("cutoff = %v, want ~%v", fit.Cutoff, cutoff)
+	}
+}
+
+func TestModelSelectionPrefersTrueModel(t *testing.T) {
+	r := rng.New(4)
+
+	// Data generated from a power law with exponential cutoff: the
+	// two-phase model must win the AIC comparison (the paper's claim X1).
+	sampler := rng.NewExpCutoffSampler(10, 0.8, 300)
+	xs := make([]float64, 6000)
+	for i := range xs {
+		xs[i] = sampler.Sample(r)
+	}
+	cmp, err := CompareTailModels(xs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmp.Best().Model; got != ModelPowerLawCutoff {
+		t.Errorf("best model for cutoff data = %v", got)
+	}
+
+	// Pure exponential data: exponential must beat pure Pareto, and the
+	// cutoff model must not lose badly (it nests the exponential at
+	// alpha=0 up to quadrature error).
+	ys := make([]float64, 6000)
+	for i := range ys {
+		ys[i] = 10 + r.Exp(0.02)
+	}
+	cmp2, err := CompareTailModels(ys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp2.Exponential.AIC() > cmp2.Pareto.AIC() {
+		t.Errorf("exponential AIC %v should beat pareto %v on exp data",
+			cmp2.Exponential.AIC(), cmp2.Pareto.AIC())
+	}
+
+	// Pure Pareto data: Pareto must beat exponential.
+	zs := make([]float64, 6000)
+	for i := range zs {
+		zs[i] = r.Pareto(10, 1.2)
+	}
+	cmp3, err := CompareTailModels(zs, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp3.Pareto.AIC() > cmp3.Exponential.AIC() {
+		t.Errorf("pareto AIC %v should beat exponential %v on pareto data",
+			cmp3.Pareto.AIC(), cmp3.Exponential.AIC())
+	}
+}
+
+func TestFitErrorsOnTinySample(t *testing.T) {
+	if _, err := FitExponential([]float64{1}, 0.5); err == nil {
+		t.Error("singleton tail accepted")
+	}
+	if _, err := FitPareto([]float64{5, 6}, 100); err == nil {
+		t.Error("empty tail accepted")
+	}
+	if _, err := FitPowerLawCutoff([]float64{-1, 2}, -2); err == nil {
+		t.Error("non-positive samples accepted")
+	}
+}
+
+func TestTailModelString(t *testing.T) {
+	if ModelExponential.String() != "exponential" ||
+		ModelPareto.String() != "pareto" ||
+		ModelPowerLawCutoff.String() != "powerlaw+cutoff" {
+		t.Error("model names wrong")
+	}
+	if TailModel(99).String() == "" {
+		t.Error("unknown model name empty")
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{3, 5, 7, 9, 11} // y = 2x + 1
+	slope, intercept, r2, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-1) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Errorf("fit = %v, %v, %v", slope, intercept, r2)
+	}
+	if _, _, _, err := LinearRegression([]float64{1}, []float64{2}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, _, _, err := LinearRegression([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("degenerate x accepted")
+	}
+}
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	r := rng.New(5)
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.P < 0.01 {
+		t.Errorf("same-distribution KS rejected: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKolmogorovSmirnovDifferentDistributions(t *testing.T) {
+	r := rng.New(6)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1 // shifted
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.P > 1e-6 {
+		t.Errorf("shifted distributions not detected: D=%v p=%v", res.D, res.P)
+	}
+	if res.D < 0.2 {
+		t.Errorf("D = %v too small for unit shift", res.D)
+	}
+}
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res := KolmogorovSmirnov(a, a)
+	if res.D != 0 || res.P != 1 {
+		t.Errorf("identical samples: D=%v p=%v", res.D, res.P)
+	}
+}
+
+func TestKolmogorovSmirnovEmpty(t *testing.T) {
+	res := KolmogorovSmirnov(nil, []float64{1})
+	if !math.IsNaN(res.D) {
+		t.Errorf("empty sample D = %v, want NaN", res.D)
+	}
+}
+
+func TestFitAICParameterCount(t *testing.T) {
+	f1 := Fit{Model: ModelExponential, LogLik: -100}
+	f2 := Fit{Model: ModelPowerLawCutoff, LogLik: -100}
+	if f2.AIC()-f1.AIC() != 2 {
+		t.Errorf("AIC penalty difference = %v, want 2", f2.AIC()-f1.AIC())
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the maximum absolute difference between the two empirical CDFs.
+	D float64
+	// P is the asymptotic p-value for the null hypothesis that both
+	// samples come from the same distribution.
+	P float64
+}
+
+// KolmogorovSmirnov runs the two-sample KS test. It is used to compare
+// metric distributions between monitoring architectures (crawler vs
+// sensors), between mobility models, and between seeds.
+func KolmogorovSmirnov(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{D: math.NaN(), P: math.NaN()}
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	na, nb := len(as), len(bs)
+	var i, j int
+	var d float64
+	for i < na && j < nb {
+		x := math.Min(as[i], bs[j])
+		for i < na && as[i] <= x {
+			i++
+		}
+		for j < nb && bs[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, P: ksProb(lambda)}
+}
+
+// ksProb is the asymptotic Kolmogorov distribution tail
+// Q(lambda) = 2 * sum_{k>=1} (-1)^(k-1) exp(-2 k^2 lambda^2).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}

@@ -1,0 +1,389 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"slmob/internal/geom"
+)
+
+// The CSV layout is one observation per row — t,id,x,y,z,seated — with
+// header comments carrying land, tau and metadata. It is the interchange
+// format of the CLI tools; the binary format below is the compact archive
+// format (roughly 10x smaller).
+
+// WriteCSV writes the trace in CSV form.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# land=%s\n# tau=%d\n", tr.Land, tr.Tau); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(tr.Meta))
+	for k := range tr.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(bw, "# meta %s=%s\n", k, tr.Meta[k]); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"t", "id", "x", "y", "z", "seated"}); err != nil {
+		return err
+	}
+	row := make([]string, 6)
+	for _, s := range tr.Snapshots {
+		for _, a := range s.Samples {
+			row[0] = strconv.FormatInt(s.T, 10)
+			row[1] = strconv.FormatUint(uint64(a.ID), 10)
+			row[2] = strconv.FormatFloat(a.Pos.X, 'f', 3, 64)
+			row[3] = strconv.FormatFloat(a.Pos.Y, 'f', 3, 64)
+			row[4] = strconv.FormatFloat(a.Pos.Z, 'f', 3, 64)
+			row[5] = "0"
+			if a.Seated {
+				row[5] = "1"
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		// Empty snapshots still matter for concurrency statistics; encode
+		// them as a row with an empty id.
+		if len(s.Samples) == 0 {
+			row[0] = strconv.FormatInt(s.T, 10)
+			row[1], row[2], row[3], row[4], row[5] = "", "", "", "", ""
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	tr := New("", 10)
+	// Header comments.
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return tr, nil
+			}
+			return nil, err
+		}
+		if b[0] != '#' {
+			break
+		}
+		line, err := br.ReadString('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		line = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		switch {
+		case strings.HasPrefix(line, "land="):
+			tr.Land = strings.TrimPrefix(line, "land=")
+		case strings.HasPrefix(line, "tau="):
+			v, err := strconv.ParseInt(strings.TrimPrefix(line, "tau="), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad tau header: %w", err)
+			}
+			tr.Tau = v
+		case strings.HasPrefix(line, "meta "):
+			kv := strings.SplitN(strings.TrimPrefix(line, "meta "), "=", 2)
+			if len(kv) == 2 {
+				tr.Meta[kv[0]] = kv[1]
+			}
+		}
+	}
+	cr := csv.NewReader(br)
+	cr.FieldsPerRecord = 6
+	first := true
+	var cur *Snapshot
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == "t" {
+				continue // header row
+			}
+		}
+		t, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", rec[0], err)
+		}
+		if cur == nil || cur.T != t {
+			tr.Snapshots = append(tr.Snapshots, Snapshot{T: t})
+			cur = &tr.Snapshots[len(tr.Snapshots)-1]
+		}
+		if rec[1] == "" {
+			continue // empty-snapshot marker
+		}
+		id, err := strconv.ParseUint(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad id %q: %w", rec[1], err)
+		}
+		var sample Sample
+		sample.ID = AvatarID(id)
+		if sample.Pos.X, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return nil, fmt.Errorf("trace: bad x %q: %w", rec[2], err)
+		}
+		if sample.Pos.Y, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return nil, fmt.Errorf("trace: bad y %q: %w", rec[3], err)
+		}
+		if sample.Pos.Z, err = strconv.ParseFloat(rec[4], 64); err != nil {
+			return nil, fmt.Errorf("trace: bad z %q: %w", rec[4], err)
+		}
+		sample.Seated = rec[5] == "1"
+		cur.Samples = append(cur.Samples, sample)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Binary format:
+//
+//	magic "SLTR", version byte 0x01
+//	land string (uvarint length + bytes)
+//	tau (uvarint), meta count (uvarint) + key/value strings
+//	snapshot count (uvarint)
+//	per snapshot: delta-T (uvarint), sample count (uvarint)
+//	per sample: id (uvarint), x, y, z as float32 bits, flags byte
+//
+// Positions are stored as float32: land coordinates span [0, 256) metres,
+// where float32 keeps sub-millimetre precision.
+
+var binMagic = [4]byte{'S', 'L', 'T', 'R'}
+
+const binVersion = 1
+
+// WriteBinary writes the compact binary representation.
+func (tr *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binVersion); err != nil {
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(bw, uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeString(tr.Land); err != nil {
+		return err
+	}
+	if err := writeUvarint(bw, uint64(tr.Tau)); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(tr.Meta))
+	for k := range tr.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if err := writeUvarint(bw, uint64(len(keys))); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if err := writeString(k); err != nil {
+			return err
+		}
+		if err := writeString(tr.Meta[k]); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(bw, uint64(len(tr.Snapshots))); err != nil {
+		return err
+	}
+	var prevT int64
+	for _, s := range tr.Snapshots {
+		if err := writeUvarint(bw, uint64(s.T-prevT)); err != nil {
+			return err
+		}
+		prevT = s.T
+		if err := writeUvarint(bw, uint64(len(s.Samples))); err != nil {
+			return err
+		}
+		for _, a := range s.Samples {
+			if err := writeUvarint(bw, uint64(a.ID)); err != nil {
+				return err
+			}
+			for _, f := range [3]float64{a.Pos.X, a.Pos.Y, a.Pos.Z} {
+				var buf [4]byte
+				binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(f)))
+				if _, err := bw.Write(buf[:]); err != nil {
+					return err
+				}
+			}
+			var flags byte
+			if a.Seated {
+				flags |= 1
+			}
+			if err := bw.WriteByte(flags); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if [4]byte(magic[:4]) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
+	}
+	if magic[4] != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	land, err := readString()
+	if err != nil {
+		return nil, err
+	}
+	tau, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	tr := New(land, int64(tau))
+	nMeta, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nMeta; i++ {
+		k, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		v, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		tr.Meta[k] = v
+	}
+	nSnap, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	var t int64
+	for i := uint64(0); i < nSnap; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t += int64(dt)
+		nSamp, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		snap := Snapshot{T: t, Samples: make([]Sample, 0, nSamp)}
+		for j := uint64(0); j < nSamp; j++ {
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			var coords [3]float64
+			for c := range coords {
+				var buf [4]byte
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, err
+				}
+				coords[c] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:])))
+			}
+			flags, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			snap.Samples = append(snap.Samples, Sample{
+				ID:     AvatarID(id),
+				Pos:    geom.V(coords[0], coords[1], coords[2]),
+				Seated: flags&1 != 0,
+			})
+		}
+		tr.Snapshots = append(tr.Snapshots, snap)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// WriteFile writes the trace to path, selecting the codec by extension:
+// ".csv" for CSV, anything else for binary.
+func WriteFile(tr *Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		if err := tr.WriteCSV(f); err != nil {
+			return err
+		}
+	} else if err := tr.WriteBinary(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from path, selecting the codec by extension.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return ReadCSV(f)
+	}
+	return ReadBinary(f)
+}

@@ -1,0 +1,265 @@
+// Package trace defines the mobility-trace model shared by every producer
+// (the in-process world observer, the network crawler, the sensor
+// collector) and every consumer (the analysis in internal/core, the DTN
+// replayer, the CLI tools).
+//
+// A trace is a time-ordered sequence of snapshots of one land; each
+// snapshot holds the position of every avatar the monitor saw at that
+// instant, at the paper's granularity of one snapshot every τ = 10 s.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"slmob/internal/geom"
+)
+
+// AvatarID identifies an avatar within one trace. Identifiers are opaque:
+// producers may hash names or assign sequence numbers, and the analysis
+// only relies on equality.
+type AvatarID uint64
+
+// Sample is one avatar observation inside a snapshot.
+type Sample struct {
+	ID  AvatarID
+	Pos geom.Vec
+	// Seated marks the Second Life quirk the paper documents: an avatar
+	// sitting on an object reports coordinates {0,0,0}. Producers that can
+	// detect the state set the flag so consumers can exclude or repair the
+	// bogus position instead of treating it as a teleport to the origin.
+	Seated bool
+}
+
+// Snapshot is the set of avatars present on the land at sim-time T
+// (seconds since the start of the measurement).
+type Snapshot struct {
+	T       int64
+	Samples []Sample
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s Snapshot) Clone() Snapshot {
+	out := Snapshot{T: s.T, Samples: make([]Sample, len(s.Samples))}
+	copy(out.Samples, s.Samples)
+	return out
+}
+
+// Trace is a monitored land's full measurement.
+type Trace struct {
+	// Land names the monitored land ("Apfel Land", "Dance Island", ...).
+	Land string
+	// Tau is the snapshot period in seconds (the paper uses 10).
+	Tau int64
+	// Snapshots are strictly increasing in T.
+	Snapshots []Snapshot
+	// Meta carries free-form provenance (monitor kind, seed, ranges...).
+	Meta map[string]string
+}
+
+// New returns an empty trace for the given land and snapshot period.
+func New(land string, tau int64) *Trace {
+	return &Trace{Land: land, Tau: tau, Meta: make(map[string]string)}
+}
+
+// Append adds a snapshot, enforcing strictly increasing timestamps.
+func (tr *Trace) Append(s Snapshot) error {
+	if n := len(tr.Snapshots); n > 0 && s.T <= tr.Snapshots[n-1].T {
+		return fmt.Errorf("trace: snapshot at t=%d not after t=%d", s.T, tr.Snapshots[n-1].T)
+	}
+	tr.Snapshots = append(tr.Snapshots, s)
+	return nil
+}
+
+// Duration returns the time spanned by the trace in seconds (last minus
+// first snapshot time), or 0 for traces with fewer than two snapshots.
+func (tr *Trace) Duration() int64 {
+	if len(tr.Snapshots) < 2 {
+		return 0
+	}
+	return tr.Snapshots[len(tr.Snapshots)-1].T - tr.Snapshots[0].T
+}
+
+// UniqueUsers returns the number of distinct avatars observed.
+func (tr *Trace) UniqueUsers() int {
+	seen := make(map[AvatarID]struct{})
+	for _, s := range tr.Snapshots {
+		for _, a := range s.Samples {
+			seen[a.ID] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// Summary holds the per-land population statistics the paper reports in
+// its trace-summary table (§3).
+type Summary struct {
+	Land           string
+	Snapshots      int
+	DurationSec    int64
+	Unique         int
+	MeanConcurrent float64
+	MaxConcurrent  int
+}
+
+// Summarize computes the population summary.
+func (tr *Trace) Summarize() Summary {
+	sum := Summary{
+		Land:        tr.Land,
+		Snapshots:   len(tr.Snapshots),
+		DurationSec: tr.Duration(),
+		Unique:      tr.UniqueUsers(),
+	}
+	if len(tr.Snapshots) == 0 {
+		return sum
+	}
+	total := 0
+	for _, s := range tr.Snapshots {
+		n := len(s.Samples)
+		total += n
+		if n > sum.MaxConcurrent {
+			sum.MaxConcurrent = n
+		}
+	}
+	sum.MeanConcurrent = float64(total) / float64(len(tr.Snapshots))
+	return sum
+}
+
+// String renders the summary in the format of the paper's §3 text.
+func (s Summary) String() string {
+	return fmt.Sprintf("%s: %d unique visitors, %.1f concurrent users in average (max %d) over %ds",
+		s.Land, s.Unique, s.MeanConcurrent, s.MaxConcurrent, s.DurationSec)
+}
+
+// TimedPos is one position observation within a session.
+type TimedPos struct {
+	T      int64
+	Pos    geom.Vec
+	Seated bool
+}
+
+// Session is one contiguous presence of an avatar on the land: from the
+// first snapshot in which the monitor saw it (its "login", in the paper's
+// terms) to the last before it disappeared.
+type Session struct {
+	ID      AvatarID
+	Samples []TimedPos
+}
+
+// Login returns the session start time.
+func (s Session) Login() int64 { return s.Samples[0].T }
+
+// Logout returns the session end time.
+func (s Session) Logout() int64 { return s.Samples[len(s.Samples)-1].T }
+
+// Duration returns the paper's "travel time" metric: the total connection
+// time to the monitored land.
+func (s Session) Duration() int64 { return s.Logout() - s.Login() }
+
+// Path returns the observed positions in time order, excluding seated
+// samples (whose raw coordinates are the {0,0,0} sentinel).
+func (s Session) Path() []geom.Vec {
+	out := make([]geom.Vec, 0, len(s.Samples))
+	for _, p := range s.Samples {
+		if !p.Seated {
+			out = append(out, p.Pos)
+		}
+	}
+	return out
+}
+
+// Sessions splits the trace into per-avatar sessions. An avatar absent for
+// more than maxGap seconds is considered to have logged out and back in;
+// pass 0 to use twice the snapshot period, which tolerates one missed
+// sample (a crawler poll lost to the network) without splitting.
+// Sessions are returned sorted by login time, then avatar ID.
+func (tr *Trace) Sessions(maxGap int64) []Session {
+	if maxGap <= 0 {
+		maxGap = 2 * tr.Tau
+	}
+	open := make(map[AvatarID]*Session)
+	var done []Session
+	for _, snap := range tr.Snapshots {
+		for _, a := range snap.Samples {
+			tp := TimedPos{T: snap.T, Pos: a.Pos, Seated: a.Seated}
+			if s, ok := open[a.ID]; ok {
+				if snap.T-s.Logout() > maxGap {
+					done = append(done, *s)
+					open[a.ID] = &Session{ID: a.ID, Samples: []TimedPos{tp}}
+				} else {
+					s.Samples = append(s.Samples, tp)
+				}
+			} else {
+				open[a.ID] = &Session{ID: a.ID, Samples: []TimedPos{tp}}
+			}
+		}
+	}
+	for _, s := range open {
+		done = append(done, *s)
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Login() != done[j].Login() {
+			return done[i].Login() < done[j].Login()
+		}
+		return done[i].ID < done[j].ID
+	})
+	return done
+}
+
+// DropSeated returns a copy of the trace with seated samples removed,
+// matching the paper's lands where "users did not sit".
+func (tr *Trace) DropSeated() *Trace {
+	out := New(tr.Land, tr.Tau)
+	for k, v := range tr.Meta {
+		out.Meta[k] = v
+	}
+	for _, s := range tr.Snapshots {
+		ns := Snapshot{T: s.T}
+		for _, a := range s.Samples {
+			if !a.Seated {
+				ns.Samples = append(ns.Samples, a)
+			}
+		}
+		out.Snapshots = append(out.Snapshots, ns)
+	}
+	return out
+}
+
+// Window returns a copy restricted to snapshots with from <= T < to.
+func (tr *Trace) Window(from, to int64) *Trace {
+	out := New(tr.Land, tr.Tau)
+	for k, v := range tr.Meta {
+		out.Meta[k] = v
+	}
+	for _, s := range tr.Snapshots {
+		if s.T >= from && s.T < to {
+			out.Snapshots = append(out.Snapshots, s.Clone())
+		}
+	}
+	return out
+}
+
+// Validate checks structural invariants: strictly increasing snapshot
+// times and no duplicate avatar within one snapshot. Producers run it in
+// tests; consumers may run it on untrusted input files.
+func (tr *Trace) Validate() error {
+	if tr.Tau <= 0 {
+		return fmt.Errorf("trace: non-positive tau %d", tr.Tau)
+	}
+	var prev int64
+	seen := make(map[AvatarID]struct{})
+	for i, s := range tr.Snapshots {
+		if i > 0 && s.T <= prev {
+			return fmt.Errorf("trace: snapshot %d at t=%d not after t=%d", i, s.T, prev)
+		}
+		prev = s.T
+		clear(seen)
+		for _, a := range s.Samples {
+			if _, dup := seen[a.ID]; dup {
+				return fmt.Errorf("trace: duplicate avatar %d in snapshot t=%d", a.ID, s.T)
+			}
+			seen[a.ID] = struct{}{}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"slmob/internal/geom"
+)
+
+func snap(t int64, ids ...AvatarID) Snapshot {
+	s := Snapshot{T: t}
+	for _, id := range ids {
+		s.Samples = append(s.Samples, Sample{ID: id, Pos: geom.V2(float64(id), float64(id))})
+	}
+	return s
+}
+
+func TestAppendMonotonic(t *testing.T) {
+	tr := New("Test", 10)
+	if err := tr.Append(snap(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(snap(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Append(snap(10, 1)); err == nil {
+		t.Error("equal timestamp accepted")
+	}
+	if err := tr.Append(snap(5, 1)); err == nil {
+		t.Error("regressing timestamp accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := New("Dance Island", 10)
+	_ = tr.Append(snap(0, 1, 2, 3))
+	_ = tr.Append(snap(10, 1, 2))
+	_ = tr.Append(snap(20, 4))
+	s := tr.Summarize()
+	if s.Unique != 4 {
+		t.Errorf("unique = %d", s.Unique)
+	}
+	if math.Abs(s.MeanConcurrent-2) > 1e-12 {
+		t.Errorf("mean concurrent = %v", s.MeanConcurrent)
+	}
+	if s.MaxConcurrent != 3 {
+		t.Errorf("max concurrent = %d", s.MaxConcurrent)
+	}
+	if s.DurationSec != 20 {
+		t.Errorf("duration = %d", s.DurationSec)
+	}
+	if !strings.Contains(s.String(), "Dance Island") {
+		t.Errorf("summary string = %q", s.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := New("X", 10).Summarize()
+	if s.Unique != 0 || s.MeanConcurrent != 0 || s.DurationSec != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSessionsSplitOnGap(t *testing.T) {
+	tr := New("Test", 10)
+	// Avatar 1 present at t=0..20, absent until t=100, present again.
+	_ = tr.Append(snap(0, 1))
+	_ = tr.Append(snap(10, 1))
+	_ = tr.Append(snap(20, 1))
+	_ = tr.Append(snap(100, 1))
+	_ = tr.Append(snap(110, 1))
+	sessions := tr.Sessions(0) // default gap = 2*tau = 20
+	if len(sessions) != 2 {
+		t.Fatalf("sessions = %d, want 2", len(sessions))
+	}
+	if sessions[0].Login() != 0 || sessions[0].Logout() != 20 {
+		t.Errorf("first session [%d,%d]", sessions[0].Login(), sessions[0].Logout())
+	}
+	if sessions[1].Login() != 100 || sessions[1].Duration() != 10 {
+		t.Errorf("second session login=%d dur=%d", sessions[1].Login(), sessions[1].Duration())
+	}
+}
+
+func TestSessionsToleratesSingleMissedSample(t *testing.T) {
+	tr := New("Test", 10)
+	_ = tr.Append(snap(0, 1))
+	// t=10 missed by the monitor.
+	_ = tr.Append(snap(20, 1))
+	sessions := tr.Sessions(0)
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1 (gap of one sample tolerated)", len(sessions))
+	}
+}
+
+func TestSessionsSortedAndMultiUser(t *testing.T) {
+	tr := New("Test", 10)
+	_ = tr.Append(snap(0, 2))
+	_ = tr.Append(snap(10, 2, 1))
+	_ = tr.Append(snap(20, 1))
+	ss := tr.Sessions(0)
+	if len(ss) != 2 {
+		t.Fatalf("sessions = %d", len(ss))
+	}
+	if ss[0].ID != 2 || ss[1].ID != 1 {
+		t.Errorf("session order: %v then %v", ss[0].ID, ss[1].ID)
+	}
+}
+
+func TestSessionPathExcludesSeated(t *testing.T) {
+	tr := New("Test", 10)
+	s0 := Snapshot{T: 0, Samples: []Sample{{ID: 7, Pos: geom.V2(10, 10)}}}
+	s1 := Snapshot{T: 10, Samples: []Sample{{ID: 7, Pos: geom.V(0, 0, 0), Seated: true}}}
+	s2 := Snapshot{T: 20, Samples: []Sample{{ID: 7, Pos: geom.V2(12, 10)}}}
+	_ = tr.Append(s0)
+	_ = tr.Append(s1)
+	_ = tr.Append(s2)
+	ss := tr.Sessions(0)
+	if len(ss) != 1 {
+		t.Fatalf("sessions = %d", len(ss))
+	}
+	path := ss[0].Path()
+	if len(path) != 2 {
+		t.Fatalf("path = %v; seated sample should be excluded", path)
+	}
+	// Without exclusion the path length would include two ~14m legs to the
+	// origin and back; with it, the travel is the direct 2m.
+	if got := geom.PathLengthXY(path); math.Abs(got-2) > 1e-9 {
+		t.Errorf("path length = %v, want 2", got)
+	}
+}
+
+func TestDropSeated(t *testing.T) {
+	tr := New("Test", 10)
+	tr.Meta["monitor"] = "crawler"
+	_ = tr.Append(Snapshot{T: 0, Samples: []Sample{
+		{ID: 1, Pos: geom.V2(1, 1)},
+		{ID: 2, Seated: true},
+	}})
+	out := tr.DropSeated()
+	if len(out.Snapshots[0].Samples) != 1 || out.Snapshots[0].Samples[0].ID != 1 {
+		t.Errorf("DropSeated = %+v", out.Snapshots[0].Samples)
+	}
+	if out.Meta["monitor"] != "crawler" {
+		t.Error("meta not copied")
+	}
+	// Original untouched.
+	if len(tr.Snapshots[0].Samples) != 2 {
+		t.Error("original mutated")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := New("Test", 10)
+	for i := int64(0); i < 10; i++ {
+		_ = tr.Append(snap(i*10, 1))
+	}
+	w := tr.Window(20, 50)
+	if len(w.Snapshots) != 3 {
+		t.Fatalf("window snapshots = %d", len(w.Snapshots))
+	}
+	if w.Snapshots[0].T != 20 || w.Snapshots[2].T != 40 {
+		t.Errorf("window bounds [%d,%d]", w.Snapshots[0].T, w.Snapshots[2].T)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := New("Test", 10)
+	_ = tr.Append(snap(0, 1, 2))
+	if err := tr.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	bad := New("Test", 10)
+	bad.Snapshots = []Snapshot{{T: 0, Samples: []Sample{{ID: 1}, {ID: 1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate avatar accepted")
+	}
+	bad2 := New("Test", 0)
+	if err := bad2.Validate(); err == nil {
+		t.Error("tau=0 accepted")
+	}
+	bad3 := New("Test", 10)
+	bad3.Snapshots = []Snapshot{{T: 10}, {T: 10}}
+	if err := bad3.Validate(); err == nil {
+		t.Error("non-increasing snapshots accepted")
+	}
+}
+
+func roundTripCSV(t *testing.T, tr *Trace) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func sampleTrace() *Trace {
+	tr := New("Isle of View", 10)
+	tr.Meta["seed"] = "42"
+	tr.Meta["monitor"] = "crawler"
+	_ = tr.Append(Snapshot{T: 0, Samples: []Sample{
+		{ID: 1, Pos: geom.V(10.125, 20.5, 30)},
+		{ID: 2, Pos: geom.V(0, 0, 0), Seated: true},
+	}})
+	_ = tr.Append(Snapshot{T: 10}) // empty snapshot
+	_ = tr.Append(Snapshot{T: 20, Samples: []Sample{
+		{ID: 1, Pos: geom.V(11, 21, 30)},
+	}})
+	return tr
+}
+
+func tracesEqual(t *testing.T, got, want *Trace) {
+	t.Helper()
+	if got.Land != want.Land || got.Tau != want.Tau {
+		t.Fatalf("header: got %q/%d want %q/%d", got.Land, got.Tau, want.Land, want.Tau)
+	}
+	for k, v := range want.Meta {
+		if got.Meta[k] != v {
+			t.Fatalf("meta[%q] = %q, want %q", k, got.Meta[k], v)
+		}
+	}
+	if len(got.Snapshots) != len(want.Snapshots) {
+		t.Fatalf("snapshots = %d, want %d", len(got.Snapshots), len(want.Snapshots))
+	}
+	for i := range want.Snapshots {
+		gs, ws := got.Snapshots[i], want.Snapshots[i]
+		if gs.T != ws.T || len(gs.Samples) != len(ws.Samples) {
+			t.Fatalf("snapshot %d: %+v vs %+v", i, gs, ws)
+		}
+		for j := range ws.Samples {
+			ga, wa := gs.Samples[j], ws.Samples[j]
+			if ga.ID != wa.ID || ga.Seated != wa.Seated {
+				t.Fatalf("sample %d/%d: %+v vs %+v", i, j, ga, wa)
+			}
+			if ga.Pos.Dist(wa.Pos) > 1e-3 {
+				t.Fatalf("sample %d/%d pos: %v vs %v", i, j, ga.Pos, wa.Pos)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	got := roundTripCSV(t, want)
+	tracesEqual(t, got, want)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := want.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, got, want)
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{'S', 'L', 'T', 'R', 99})); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("t,id,x,y,z,seated\nnotanumber,1,0,0,0,0\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("t,id,x,y,z,seated\n0,xx,0,0,0,0\n")); err == nil {
+		t.Error("bad id accepted")
+	}
+}
+
+func TestFileRoundTripBothCodecs(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleTrace()
+	for _, name := range []string{"trace.csv", "trace.sltr"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(want, path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tracesEqual(t, got, want)
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	tr := New("Size", 10)
+	for i := int64(0); i < 100; i++ {
+		s := Snapshot{T: i * 10}
+		for j := 0; j < 50; j++ {
+			s.Samples = append(s.Samples, Sample{
+				ID:  AvatarID(j),
+				Pos: geom.V(float64(j), float64(i%256), 25),
+			})
+		}
+		_ = tr.Append(s)
+	}
+	var csvBuf, binBuf bytes.Buffer
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len() >= csvBuf.Len() {
+		t.Errorf("binary %d bytes not smaller than csv %d bytes", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+func TestSnapshotClone(t *testing.T) {
+	s := snap(5, 1, 2)
+	c := s.Clone()
+	c.Samples[0].ID = 99
+	if s.Samples[0].ID == 99 {
+		t.Error("clone shares storage")
+	}
+}

@@ -1,0 +1,243 @@
+package world
+
+import (
+	"fmt"
+
+	"slmob/internal/rng"
+)
+
+// Model selects the mobility model driving avatar movement.
+type Model int
+
+const (
+	// POIGravity is the paper-calibrated model: avatars revolve around
+	// points of interest, pausing with heavy-tailed durations and making
+	// small in-place movements while paused (dancing, chatting, browsing).
+	POIGravity Model = iota
+	// RandomWaypoint is the classical synthetic baseline: uniform random
+	// destinations with uniform pauses.
+	RandomWaypoint
+	// LevyWalk is the Lévy-walk baseline of Rhee et al. (INFOCOM 2008,
+	// the paper's reference [8]): heavy-tailed step lengths with
+	// heavy-tailed pauses.
+	LevyWalk
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case POIGravity:
+		return "poi-gravity"
+	case RandomWaypoint:
+		return "random-waypoint"
+	case LevyWalk:
+		return "levy-walk"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Behavior holds the per-land behavioural parameters of the avatar state
+// machine. Zero values are invalid; land presets provide calibrated sets.
+type Behavior struct {
+	// WalkSpeed and RunSpeed in m/s (Second Life: ~3.2 walk, ~5.2 run).
+	WalkSpeed, RunSpeed float64
+	// RunProb is the probability that a given leg is run rather than
+	// walked.
+	RunProb float64
+
+	// PauseMin/PauseMax/PauseAlpha parameterise the bounded-Pareto pause
+	// duration at a destination, in seconds.
+	PauseMin, PauseMax, PauseAlpha float64
+
+	// MicroMoveProb is the per-second probability of a small in-place
+	// movement while paused (dancing, stepping to the bar); MicroMoveStep
+	// bounds the hop length in metres.
+	MicroMoveProb float64
+	MicroMoveStep float64
+
+	// ExploreProb is the probability that a destination is a uniformly
+	// random point of the land instead of a POI.
+	ExploreProb float64
+
+	// WandererFrac is the fraction of logins who are wanderers: avatars
+	// that tour WandererLegs random waypoints before adopting POI
+	// behaviour. They produce the long travel-length tail (the ~2 % of
+	// Isle of View users who cover more than 2 km).
+	WandererFrac float64
+	WandererLegs int
+
+	// SitProb is the probability of taking a free sit spot when pausing
+	// near one (only on lands with AllowSit).
+	SitProb float64
+
+	// ChatProb is the per-second probability that a paused avatar says
+	// something in local chat.
+	ChatProb float64
+
+	// CuriosityProb is the per-second probability that an avatar starts
+	// investigating a suspicious presence (a silent, motionless avatar —
+	// i.e. a naive measurement crawler; paper §2). Set to 0 to disable
+	// the perturbation model.
+	CuriosityProb float64
+
+	// SpawnJitter is the radius of the arrival platform in metres: logins
+	// materialise uniformly within it. Zero selects a 3 m default.
+	SpawnJitter float64
+
+	// ArrivalPauseMin/Max bound the uniform "arrival ritual" pause at the
+	// spawn platform (orienting, reading welcome signs) before the first
+	// leg. Max zero disables the ritual. On sparse newbie lands this
+	// ritual is long, which is what delays the first contact (Apfel
+	// Land's FT median of ~5 minutes).
+	ArrivalPauseMin, ArrivalPauseMax float64
+
+	// ScatterLoginFrac is the fraction of logins that materialise at a
+	// uniform random point of the land instead of the telehub: Second
+	// Life returns users to their last saved location, so only first-time
+	// visitors arrive at the spawn. Scattered logins skip the arrival
+	// ritual.
+	ScatterLoginFrac float64
+
+	// GravityGamma adds distance decay to POI selection: the weight of a
+	// candidate POI is divided by max(distance, 20m)^GravityGamma, the
+	// classical gravity model. Zero disables decay. Decay keeps users
+	// hopping between nearby attractions with occasional long trips.
+	GravityGamma float64
+}
+
+// Validate checks the behaviour parameters.
+func (b Behavior) Validate() error {
+	if b.WalkSpeed <= 0 || b.RunSpeed < b.WalkSpeed {
+		return fmt.Errorf("world: invalid speeds walk=%v run=%v", b.WalkSpeed, b.RunSpeed)
+	}
+	if b.PauseMin <= 0 || b.PauseMax <= b.PauseMin || b.PauseAlpha <= 0 {
+		return fmt.Errorf("world: invalid pause distribution [%v,%v] alpha=%v",
+			b.PauseMin, b.PauseMax, b.PauseAlpha)
+	}
+	if b.GravityGamma < 0 || b.GravityGamma > 4 {
+		return fmt.Errorf("world: gravity exponent %v out of [0,4]", b.GravityGamma)
+	}
+	for _, p := range []float64{b.RunProb, b.MicroMoveProb, b.ExploreProb,
+		b.WandererFrac, b.SitProb, b.ChatProb, b.CuriosityProb, b.ScatterLoginFrac} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("world: probability %v out of [0,1]", p)
+		}
+	}
+	if b.MicroMoveProb > 0 && b.MicroMoveStep <= 0 {
+		return fmt.Errorf("world: micro-moves enabled with non-positive step")
+	}
+	if b.WandererFrac > 0 && b.WandererLegs <= 0 {
+		return fmt.Errorf("world: wanderers enabled with no legs")
+	}
+	if b.SpawnJitter < 0 {
+		return fmt.Errorf("world: negative spawn jitter")
+	}
+	if b.ArrivalPauseMax > 0 && (b.ArrivalPauseMin < 0 || b.ArrivalPauseMin > b.ArrivalPauseMax) {
+		return fmt.Errorf("world: invalid arrival pause [%v,%v]",
+			b.ArrivalPauseMin, b.ArrivalPauseMax)
+	}
+	return nil
+}
+
+// SessionModel is the distribution of session durations (the paper's
+// "travel time": total connection time to the land). The body is a
+// bounded Pareto on [Min, Max]; an optional "stayer" mixture component
+// models event attendees who remain for hours (Isle of View hosted a
+// St. Valentine's event).
+type SessionModel struct {
+	Min, Max float64
+	Alpha    float64
+	// StayerFrac of sessions are drawn uniformly from
+	// [StayerMin, StayerMax] instead of the Pareto body.
+	StayerFrac           float64
+	StayerMin, StayerMax float64
+}
+
+// Validate checks the session model.
+func (m SessionModel) Validate() error {
+	if m.Min <= 0 || m.Max <= m.Min || m.Alpha <= 0 {
+		return fmt.Errorf("world: invalid session body [%v,%v] alpha=%v", m.Min, m.Max, m.Alpha)
+	}
+	if m.StayerFrac < 0 || m.StayerFrac > 1 {
+		return fmt.Errorf("world: stayer fraction %v out of [0,1]", m.StayerFrac)
+	}
+	if m.StayerFrac > 0 && (m.StayerMin <= 0 || m.StayerMax <= m.StayerMin) {
+		return fmt.Errorf("world: invalid stayer range [%v,%v]", m.StayerMin, m.StayerMax)
+	}
+	return nil
+}
+
+// Sample draws one session duration in seconds.
+func (m SessionModel) Sample(r *rng.Source) float64 {
+	if m.StayerFrac > 0 && r.Bool(m.StayerFrac) {
+		return r.Range(m.StayerMin, m.StayerMax)
+	}
+	return r.BoundedPareto(m.Min, m.Max, m.Alpha)
+}
+
+// Mean returns the expected session duration.
+func (m SessionModel) Mean() float64 {
+	body := rng.BoundedParetoMean(m.Min, m.Max, m.Alpha)
+	if m.StayerFrac == 0 {
+		return body
+	}
+	stay := (m.StayerMin + m.StayerMax) / 2
+	return m.StayerFrac*stay + (1-m.StayerFrac)*body
+}
+
+// SessionModelWithMean builds a pure bounded-Pareto session model on
+// [min, max] whose mean equals the target (used by the calibrated land
+// presets; targets derive from the paper's unique-visitor and concurrency
+// figures).
+func SessionModelWithMean(min, max, mean float64) SessionModel {
+	return SessionModel{Min: min, Max: max, Alpha: rng.SolveBoundedParetoAlpha(min, max, mean)}
+}
+
+// Arrivals models the login process: a Poisson process whose rate is
+// modulated over the day, approximating the diurnal activity cycle of the
+// real service.
+type Arrivals struct {
+	// RatePerSec is the mean arrival rate averaged over a full day.
+	RatePerSec float64
+	// Diurnal holds 24 hourly multipliers, normalised internally to mean
+	// 1 so RatePerSec stays the daily average. Nil means a flat rate.
+	Diurnal []float64
+	// StartHour is the hour of day at sim time zero.
+	StartHour int
+}
+
+// Validate checks the arrival model.
+func (a Arrivals) Validate() error {
+	if a.RatePerSec < 0 {
+		return fmt.Errorf("world: negative arrival rate")
+	}
+	if len(a.Diurnal) != 0 && len(a.Diurnal) != 24 {
+		return fmt.Errorf("world: diurnal profile needs 24 entries, got %d", len(a.Diurnal))
+	}
+	for _, m := range a.Diurnal {
+		if m < 0 {
+			return fmt.Errorf("world: negative diurnal multiplier")
+		}
+	}
+	if a.StartHour < 0 || a.StartHour > 23 {
+		return fmt.Errorf("world: start hour %d out of range", a.StartHour)
+	}
+	return nil
+}
+
+// Rate returns the instantaneous arrival rate at sim time t (seconds).
+func (a Arrivals) Rate(t int64) float64 {
+	if len(a.Diurnal) == 0 {
+		return a.RatePerSec
+	}
+	sum := 0.0
+	for _, m := range a.Diurnal {
+		sum += m
+	}
+	if sum == 0 {
+		return 0
+	}
+	hour := (int(t/3600) + a.StartHour) % 24
+	return a.RatePerSec * a.Diurnal[hour] * 24 / sum
+}

@@ -1,0 +1,43 @@
+package world
+
+import (
+	"fmt"
+	"strconv"
+
+	"slmob/internal/trace"
+)
+
+// Collect runs a fresh simulation of the scenario and samples the land
+// every tau seconds, exactly as the paper's crawler did (τ = 10 s). This
+// is the in-process fast path used by the experiment harness and the
+// benchmarks; cmd/slcrawl produces the same traces over the wire protocol.
+//
+// Seated avatars keep their true position in the returned trace along
+// with the Seated flag; the wire-protocol path degrades them to the
+// authentic {0,0,0} sentinel instead.
+func Collect(scn Scenario, tau int64) (*trace.Trace, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("world: non-positive tau %d", tau)
+	}
+	sim, err := NewSim(scn)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(scn.Land.Name, tau)
+	tr.Meta["monitor"] = "in-process"
+	tr.Meta["seed"] = strconv.FormatUint(scn.Seed, 10)
+	tr.Meta["model"] = scn.Model.String()
+	var buf []AvatarState
+	for t := tau; t <= scn.Duration; t += tau {
+		sim.RunUntil(t)
+		buf = sim.ResidentStates(buf)
+		snap := trace.Snapshot{T: t, Samples: make([]trace.Sample, len(buf))}
+		for i, st := range buf {
+			snap.Samples[i] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
+		}
+		if err := tr.Append(snap); err != nil {
+			return nil, err
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,142 @@
+// Package world implements the metaverse simulator that stands in for the
+// live Second Life service the paper measured (see DESIGN.md §1 for the
+// substitution argument). It models lands, avatars with a behavioural
+// state machine, point-of-interest gravity mobility (plus random-waypoint
+// and Lévy-walk baselines), Poisson login churn with heavy-tailed session
+// durations, sitting, chat, and the crawler-perturbation effect the paper
+// describes in §2.
+//
+// The simulator advances in fixed one-second ticks. A land holds at most
+// ~100 concurrent avatars (the Second Life cap the paper reports), so a
+// full 24-hour run is a few million avatar-ticks — laptop scale.
+package world
+
+import (
+	"fmt"
+
+	"slmob/internal/geom"
+)
+
+// Kind classifies a land's object policy, which constrains the sensor
+// monitoring architecture exactly as in the paper: private lands forbid
+// object deployment entirely, public lands expire objects after a
+// land-dependent lifetime, sandboxes allow free deployment.
+type Kind int
+
+const (
+	// Public lands accept objects but expire them after ObjectLifetime.
+	Public Kind = iota
+	// Private lands reject object deployment without authorisation.
+	Private
+	// Sandbox lands accept objects with no expiry.
+	Sandbox
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case Public:
+		return "public"
+	case Private:
+		return "private"
+	case Sandbox:
+		return "sandbox"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// POI is a point of interest: a location that attracts avatars (a dance
+// floor, a bar, an info plaza, an event stage). Weight sets the relative
+// probability of being chosen as a destination; Radius the area within
+// which an arriving avatar settles.
+type POI struct {
+	Name   string
+	Pos    geom.Vec
+	Radius float64
+	Weight float64
+}
+
+// SitSpot is an object avatars can sit on. Seated avatars report the
+// coordinates {0,0,0} to monitors — the quirk the paper documents in §3.
+type SitSpot struct {
+	Pos      geom.Vec
+	Capacity int
+}
+
+// LandConfig describes one land (island) of the metaverse.
+type LandConfig struct {
+	// Name of the land ("Apfel Land", "Dance Island", "Isle of View").
+	Name string
+	// Size is the edge length in metres; Second Life's default is 256.
+	Size float64
+	// Kind sets the object-deployment policy.
+	Kind Kind
+	// ObjectLifetime is the expiry of deployed objects in seconds on
+	// public lands; 0 means no expiry.
+	ObjectLifetime int64
+	// MaxAvatars caps concurrent avatars; the paper reports roughly 100
+	// for Second Life. Zero means 100.
+	MaxAvatars int
+	// POIs are the land's attraction points. Must be non-empty for the
+	// POI-gravity mobility model.
+	POIs []POI
+	// Spawns are login locations (telehubs). Must be non-empty.
+	Spawns []geom.Vec
+	// SitSpots are sittable objects; relevant only when AllowSit is true.
+	SitSpots []SitSpot
+	// AllowSit enables sitting. The paper's three target lands effectively
+	// had none ("in the target lands we selected users did not sit").
+	AllowSit bool
+}
+
+// Bounds returns the land's ground-plane bounding box.
+func (c LandConfig) Bounds() geom.AABB { return geom.Square(c.Size) }
+
+// EffectiveMaxAvatars returns the avatar cap with the Second Life default
+// applied.
+func (c LandConfig) EffectiveMaxAvatars() int {
+	if c.MaxAvatars <= 0 {
+		return 100
+	}
+	return c.MaxAvatars
+}
+
+// Validate checks the configuration for structural problems.
+func (c LandConfig) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("world: land needs a name")
+	}
+	if c.Size <= 0 {
+		return fmt.Errorf("world: land %q has non-positive size %v", c.Name, c.Size)
+	}
+	if len(c.Spawns) == 0 {
+		return fmt.Errorf("world: land %q has no spawn points", c.Name)
+	}
+	b := c.Bounds()
+	for _, s := range c.Spawns {
+		if !b.Contains(s) {
+			return fmt.Errorf("world: land %q spawn %v outside bounds", c.Name, s)
+		}
+	}
+	for _, p := range c.POIs {
+		if !b.Contains(p.Pos) {
+			return fmt.Errorf("world: land %q POI %q outside bounds", c.Name, p.Name)
+		}
+		if p.Weight < 0 {
+			return fmt.Errorf("world: land %q POI %q has negative weight", c.Name, p.Name)
+		}
+		if p.Radius <= 0 {
+			return fmt.Errorf("world: land %q POI %q has non-positive radius", c.Name, p.Name)
+		}
+	}
+	for i, s := range c.SitSpots {
+		if !b.Contains(s.Pos) {
+			return fmt.Errorf("world: land %q sit spot %d outside bounds", c.Name, i)
+		}
+	}
+	if c.ObjectLifetime < 0 {
+		return fmt.Errorf("world: land %q has negative object lifetime", c.Name)
+	}
+	return nil
+}

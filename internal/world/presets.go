@@ -1,0 +1,257 @@
+package world
+
+import (
+	"fmt"
+
+	"slmob/internal/geom"
+)
+
+// DayDuration is the paper's measurement length: 24 hours.
+const DayDuration int64 = 86400
+
+// Paper population targets (§3): unique visitors and mean concurrency for
+// the three target lands, used to derive arrival rates and mean session
+// durations. Exported so the experiment harness can report
+// paper-vs-measured.
+const (
+	ApfelUniqueTarget     = 1568
+	ApfelConcurrentTarget = 13.0
+	DanceUniqueTarget     = 3347
+	DanceConcurrentTarget = 34.0
+	IsleUniqueTarget      = 2656
+	IsleConcurrentTarget  = 65.0
+)
+
+// arrivalRateFor derives the Poisson rate that yields the target number of
+// unique visitors over a day, accounting for the warmup population.
+func arrivalRateFor(unique int, warmup int) float64 {
+	return float64(unique-warmup) / float64(DayDuration)
+}
+
+// meanSessionFor derives the mean session duration that sustains the
+// target concurrency at the given arrival rate (Little's law).
+func meanSessionFor(concurrent float64, ratePerSec float64) float64 {
+	return concurrent / ratePerSec
+}
+
+// mildDiurnal is a gentle day/night activity profile. Second Life was a
+// global service, so the modulation is much flatter than a single
+// timezone's: the paper's 24 h concurrency varies but never empties.
+var mildDiurnal = []float64{
+	0.8, 0.7, 0.6, 0.6, 0.7, 0.8, 0.9, 1.0,
+	1.1, 1.1, 1.2, 1.2, 1.2, 1.2, 1.2, 1.2,
+	1.3, 1.3, 1.3, 1.2, 1.1, 1.0, 0.9, 0.8,
+}
+
+// ApfelLand is the paper's out-door land: a German-speaking arena for
+// newbies. Sparse population, many weak points of interest, lots of
+// exploratory walking. Public land, so sensor objects expire.
+func ApfelLand(seed uint64) Scenario {
+	warmup := int(ApfelConcurrentTarget)
+	rate := arrivalRateFor(ApfelUniqueTarget, warmup)
+	mean := meanSessionFor(ApfelConcurrentTarget, rate)
+	return Scenario{
+		Land: LandConfig{
+			Name:           "Apfel Land",
+			Size:           256,
+			Kind:           Public,
+			ObjectLifetime: 7200,
+			POIs: []POI{
+				// A compact welcome arena in the land's centre — many
+				// distinct spots 20-45 m apart — plus a few outlying
+				// attractions. The arena keeps pairs >10 m apart most of
+				// the time (P(deg=0)≈0.6) while chaining everyone within
+				// 80 m; the outliers and remote telehubs produce the long
+				// first-contact waits the paper reports for this land.
+				{Name: "welcome plaza", Pos: geom.V2(128, 128), Radius: 12, Weight: 1.0},
+				{Name: "info boards", Pos: geom.V2(104, 146), Radius: 10, Weight: 0.8},
+				{Name: "shops", Pos: geom.V2(148, 142), Radius: 10, Weight: 0.8},
+				{Name: "fountain", Pos: geom.V2(112, 108), Radius: 10, Weight: 0.7},
+				{Name: "gallery", Pos: geom.V2(92, 128), Radius: 10, Weight: 0.7},
+				{Name: "tutorial alley", Pos: geom.V2(144, 104), Radius: 10, Weight: 0.7},
+				{Name: "freebie shop", Pos: geom.V2(128, 160), Radius: 10, Weight: 0.8},
+				{Name: "flea market", Pos: geom.V2(160, 120), Radius: 10, Weight: 0.7},
+				{Name: "biergarten", Pos: geom.V2(108, 164), Radius: 10, Weight: 0.9},
+				{Name: "sandbox corner", Pos: geom.V2(210, 70), Radius: 12, Weight: 0.8},
+				{Name: "lookout hill", Pos: geom.V2(36, 224), Radius: 12, Weight: 0.7},
+				{Name: "pond", Pos: geom.V2(20, 150), Radius: 12, Weight: 0.7},
+			},
+			// Two corner telehubs ~100 m from the arena: arrivals walk for
+			// half a minute before anyone is even in WiFi range, and the
+			// split login stream keeps consecutive arrivals from meeting
+			// at the hub itself.
+			Spawns: []geom.Vec{geom.V2(248, 232), geom.V2(8, 8)},
+		},
+		Behavior: Behavior{
+			WalkSpeed: 3.2, RunSpeed: 5.2, RunProb: 0.25,
+			PauseMin: 40, PauseMax: 1800, PauseAlpha: 0.42,
+			MicroMoveProb: 0.02, MicroMoveStep: 1.2,
+			ExploreProb:  0.12,
+			WandererFrac: 0.03, WandererLegs: 5,
+			ChatProb:        0.01,
+			CuriosityProb:   0.004,
+			SpawnJitter:     10,
+			ArrivalPauseMin: 1, ArrivalPauseMax: 4,
+			ScatterLoginFrac: 0.10,
+			GravityGamma:     0.9,
+		},
+		Session:  SessionModelWithMean(60, 14400, mean),
+		Arrivals: Arrivals{RatePerSec: rate, Diurnal: mildDiurnal},
+		Model:    POIGravity,
+		Seed:     seed,
+		Duration: DayDuration,
+		Warmup:   warmup,
+	}
+}
+
+// DanceIsland is the paper's in-door land: a virtual discotheque where
+// most users spend most of their time on the dance floor or at the bar.
+// Private land, so sensor objects cannot be deployed — only the crawler
+// architecture can monitor it, as the paper found.
+func DanceIsland(seed uint64) Scenario {
+	warmup := int(DanceConcurrentTarget)
+	rate := arrivalRateFor(DanceUniqueTarget, warmup)
+	mean := meanSessionFor(DanceConcurrentTarget, rate)
+	return Scenario{
+		Land: LandConfig{
+			Name: "Dance Island",
+			Size: 256,
+			Kind: Private,
+			POIs: []POI{
+				{Name: "dance floor", Pos: geom.V2(128, 132), Radius: 5.5, Weight: 6.0},
+				{Name: "bar", Pos: geom.V2(152, 128), Radius: 5, Weight: 2.0},
+				{Name: "chill lounge", Pos: geom.V2(114, 152), Radius: 6, Weight: 1.0},
+				{Name: "quiet beach", Pos: geom.V2(226, 40), Radius: 7, Weight: 0.25},
+			},
+			Spawns: []geom.Vec{geom.V2(92, 128)},
+		},
+		Behavior: Behavior{
+			WalkSpeed: 3.2, RunSpeed: 5.2, RunProb: 0.1,
+			PauseMin: 150, PauseMax: 2400, PauseAlpha: 0.42,
+			// Dance animations do not move an avatar's coordinates in
+			// Second Life: dancers are nearly static, repositioning only
+			// occasionally. This is what makes Dance Island contacts long
+			// and inter-contacts rare-but-long in the paper.
+			MicroMoveProb: 0.003, MicroMoveStep: 0.7,
+			ExploreProb:  0.015,
+			WandererFrac: 0.01, WandererLegs: 4,
+			ChatProb:        0.02,
+			CuriosityProb:   0.003,
+			SpawnJitter:     5,
+			ArrivalPauseMin: 5, ArrivalPauseMax: 20,
+			ScatterLoginFrac: 0.1,
+		},
+		// Club visits shorter than two minutes are not a thing: the venue
+		// is a destination, which stretches the short end of the session
+		// distribution and with it the r=80 contact times.
+		Session:  SessionModelWithMean(120, 14400, mean),
+		Arrivals: Arrivals{RatePerSec: rate, Diurnal: mildDiurnal},
+		Model:    POIGravity,
+		Seed:     seed,
+		Duration: DayDuration,
+		Warmup:   warmup,
+	}
+}
+
+// IsleOfView is the paper's event land: a St. Valentine's event drew a
+// large, dense crowd with a heavy "stayer" population and a small
+// population of explorers who tour the whole island (the ~2 % of users
+// who travel more than 2 km).
+func IsleOfView(seed uint64) Scenario {
+	warmup := int(IsleConcurrentTarget)
+	rate := arrivalRateFor(IsleUniqueTarget, warmup)
+	mean := meanSessionFor(IsleConcurrentTarget, rate)
+	// Session mixture: event stayers remain 1-3 hours; the Pareto body
+	// absorbs the remaining mean mass (see DESIGN.md calibration notes).
+	const stayerFrac = 0.18
+	stayMean := (3600.0 + 10800.0) / 2
+	bodyMean := (mean - stayerFrac*stayMean) / (1 - stayerFrac)
+	s := SessionModelWithMean(60, 14400, bodyMean)
+	s.StayerFrac = stayerFrac
+	s.StayerMin, s.StayerMax = 3600, 10800
+	return Scenario{
+		Land: LandConfig{
+			Name:           "Isle of View",
+			Size:           256,
+			Kind:           Public,
+			ObjectLifetime: 3600,
+			POIs: []POI{
+				// The event venue is elongated (two stage wings), which
+				// strings the crowd out: line-of-sight networks at r=10
+				// become multi-hop chains (diameters up to ~10) while r=80
+				// spans the whole venue in one hop — the diameter-shrink
+				// effect of Fig. 2.
+				{Name: "stage west", Pos: geom.V2(116, 140), Radius: 9, Weight: 3.0},
+				{Name: "stage east", Pos: geom.V2(140, 142), Radius: 9, Weight: 3.0},
+				{Name: "gift shop", Pos: geom.V2(100, 112), Radius: 8, Weight: 1.5},
+				{Name: "photo spot", Pos: geom.V2(160, 118), Radius: 6, Weight: 1.0},
+				{Name: "lookout bridge", Pos: geom.V2(204, 200), Radius: 8, Weight: 0.8},
+				{Name: "beach", Pos: geom.V2(56, 204), Radius: 10, Weight: 0.7},
+			},
+			Spawns: []geom.Vec{geom.V2(122, 124)},
+		},
+		Behavior: Behavior{
+			WalkSpeed: 3.2, RunSpeed: 5.2, RunProb: 0.2,
+			PauseMin: 45, PauseMax: 3600, PauseAlpha: 0.40,
+			MicroMoveProb: 0.025, MicroMoveStep: 0.8,
+			ExploreProb:  0.03,
+			WandererFrac: 0.05, WandererLegs: 18,
+			ChatProb:        0.015,
+			CuriosityProb:   0.003,
+			SpawnJitter:     8,
+			ArrivalPauseMin: 5, ArrivalPauseMax: 30,
+			ScatterLoginFrac: 0.3,
+			GravityGamma:     0.5,
+		},
+		Session:  s,
+		Arrivals: Arrivals{RatePerSec: rate, Diurnal: mildDiurnal},
+		Model:    POIGravity,
+		Seed:     seed,
+		Duration: DayDuration,
+		Warmup:   warmup,
+	}
+}
+
+// PaperLands returns the three calibrated scenarios in the paper's order.
+func PaperLands(seed uint64) []Scenario {
+	return []Scenario{
+		ApfelLand(seed),
+		DanceIsland(seed + 1),
+		IsleOfView(seed + 2),
+	}
+}
+
+// PaperLand returns the calibrated scenario with the given land name.
+func PaperLand(name string, seed uint64) (Scenario, error) {
+	switch name {
+	case "apfel", "Apfel Land":
+		return ApfelLand(seed), nil
+	case "dance", "Dance Island":
+		return DanceIsland(seed), nil
+	case "isle", "Isle of View":
+		return IsleOfView(seed), nil
+	default:
+		return Scenario{}, fmt.Errorf("world: unknown paper land %q (want apfel, dance, or isle)", name)
+	}
+}
+
+// BaselineScenario builds a synthetic-mobility comparison scenario on a
+// generic land, population-matched to Dance Island so contact statistics
+// are directly comparable between the POI-gravity model and the classical
+// baselines (experiment X3).
+func BaselineScenario(model Model, seed uint64) Scenario {
+	scn := DanceIsland(seed)
+	scn.Model = model
+	scn.Land.Name = "Baseline " + model.String()
+	scn.Land.Kind = Sandbox
+	if model == RandomWaypoint {
+		// Classical RWP uses modest uniform pauses.
+		scn.Behavior.PauseMin, scn.Behavior.PauseMax = 10, 120
+		scn.Behavior.MicroMoveProb = 0
+	}
+	if model == LevyWalk {
+		scn.Behavior.PauseMin, scn.Behavior.PauseMax, scn.Behavior.PauseAlpha = 5, 1000, 0.8
+		scn.Behavior.MicroMoveProb = 0
+	}
+	return scn
+}

@@ -1,0 +1,162 @@
+// Package slmob is a from-scratch Go reproduction of "Characterizing User
+// Mobility in Second Life" (La & Michiardi, SIGCOMM WOSN 2008): a
+// metaverse simulator standing in for the 2008 Second Life service, the
+// paper's two monitoring architectures (in-world sensors and an external
+// crawler speaking a coarse-map wire protocol), the full temporal /
+// spatial / graph-theoretic analysis behind every figure in the paper,
+// and the trace-driven DTN replay the paper motivates.
+//
+// This package is the high-level façade. Typical use:
+//
+//	scn := slmob.ApfelLand(42)
+//	scn.Duration = 6 * 3600
+//	tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
+//	an, err := slmob.Analyze(tr)
+//	fmt.Println(an.Summary, slmob.Median(an.Contacts[slmob.BluetoothRange].CT))
+//
+// The subsystems live in internal packages; everything a downstream user
+// needs is re-exported here. DESIGN.md documents the architecture and the
+// per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
+package slmob
+
+import (
+	"math"
+
+	"slmob/internal/core"
+	"slmob/internal/dtn"
+	"slmob/internal/experiment"
+	"slmob/internal/stats"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// Measurement constants of the paper (§3).
+const (
+	// PaperTau is the snapshot period in seconds.
+	PaperTau = core.PaperTau
+	// BluetoothRange and WiFiRange are the two communication ranges.
+	BluetoothRange = core.BluetoothRange
+	WiFiRange      = core.WiFiRange
+	// ZoneLength is the zone-occupation cell edge (Fig. 3).
+	ZoneLength = core.PaperZoneLength
+	// Day is the paper's 24-hour measurement duration in seconds.
+	Day = world.DayDuration
+)
+
+// Re-exported core types.
+type (
+	// Scenario fully describes one land simulation.
+	Scenario = world.Scenario
+	// Trace is a τ-sampled mobility trace of one land.
+	Trace = trace.Trace
+	// Analysis holds every per-land metric of the paper.
+	Analysis = core.Analysis
+	// AnalysisConfig tunes the analysis pipeline.
+	AnalysisConfig = core.Config
+	// ContactSet holds CT/ICT/FT samples for one range.
+	ContactSet = core.ContactSet
+	// Figure is plot-ready data for one paper panel.
+	Figure = core.Figure
+	// LandRun bundles scenario, trace and analysis for one land.
+	LandRun = experiment.LandRun
+	// Report compares measured values against the paper.
+	Report = experiment.Report
+	// DTNConfig controls a trace-driven DTN replay.
+	DTNConfig = dtn.Config
+	// DTNResult summarises a DTN replay.
+	DTNResult = dtn.Result
+)
+
+// The three calibrated paper lands and the synthetic-mobility baselines.
+var (
+	// ApfelLand is the out-door German newbie arena.
+	ApfelLand = world.ApfelLand
+	// DanceIsland is the in-door virtual discotheque.
+	DanceIsland = world.DanceIsland
+	// IsleOfView is the St. Valentine's event land.
+	IsleOfView = world.IsleOfView
+	// PaperLands returns all three, in the paper's order.
+	PaperLands = world.PaperLands
+	// BaselineScenario builds a random-waypoint or Lévy-walk comparison
+	// scenario (experiment X3).
+	BaselineScenario = world.BaselineScenario
+)
+
+// Mobility model identifiers for BaselineScenario.
+const (
+	POIGravity     = world.POIGravity
+	RandomWaypoint = world.RandomWaypoint
+	LevyWalk       = world.LevyWalk
+)
+
+// DTN forwarding schemes for Replay.
+const (
+	Epidemic       = dtn.Epidemic
+	DirectDelivery = dtn.Direct
+	TwoHopRelay    = dtn.TwoHop
+	SprayAndWait   = dtn.SprayAndWait
+)
+
+// CollectTrace simulates the scenario and samples avatar positions every
+// tau seconds, in process (the fast path used by the benchmarks). The
+// network path — cmd/slsim plus cmd/slcrawl — produces equivalent traces
+// over TCP.
+func CollectTrace(scn Scenario, tau int64) (*Trace, error) {
+	return world.Collect(scn, tau)
+}
+
+// Analyze runs the paper's full analysis with default parameters
+// (r ∈ {10, 80}, L = 20 m).
+func Analyze(tr *Trace) (*Analysis, error) {
+	return core.Analyze(tr, core.Config{})
+}
+
+// AnalyzeWith runs the analysis with explicit configuration.
+func AnalyzeWith(tr *Trace, cfg AnalysisConfig) (*Analysis, error) {
+	return core.Analyze(tr, cfg)
+}
+
+// RunPaperLands simulates and analyses all three target lands for the
+// given duration (use Day for the paper's 24 h).
+func RunPaperLands(seed uint64, duration int64) ([]*LandRun, error) {
+	return experiment.RunLands(seed, duration, PaperTau)
+}
+
+// BuildReport compares three land runs against the paper's published
+// values, row by row (see EXPERIMENTS.md).
+func BuildReport(runs []*LandRun) (*Report, error) {
+	return experiment.BuildReport(runs)
+}
+
+// BuildFigures renders every figure panel of the paper from three land
+// runs.
+func BuildFigures(runs []*LandRun) ([]*Figure, error) {
+	return experiment.Figures(runs)
+}
+
+// Replay runs a DTN forwarding scheme over a trace.
+func Replay(tr *Trace, cfg DTNConfig) (*DTNResult, error) {
+	return dtn.Replay(tr, cfg)
+}
+
+// CompareDTN replays the trace under all four forwarding schemes.
+func CompareDTN(tr *Trace, r float64, messages int, seed uint64) ([]*DTNResult, error) {
+	return dtn.CompareProtocols(tr, r, messages, seed)
+}
+
+// Median is a convenience for summarising metric samples; it returns NaN
+// for an empty sample.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return stats.MustEmpirical(xs).Median()
+}
+
+// Quantile returns the p-quantile of a sample, NaN when empty.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	return stats.MustEmpirical(xs).Quantile(p)
+}
