@@ -12,6 +12,8 @@ package slmob
 // timing via ResetTimer).
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -100,9 +102,7 @@ func BenchmarkTableT1_TraceSummary(b *testing.B) {
 	b.StopTimer()
 	for _, run := range runs {
 		sum := run.Trace.Summarize()
-		name := map[string]string{
-			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
-		}[run.Trace.Land]
+		name := shortName(run.Trace.Land)
 		b.ReportMetric(float64(sum.Unique), name+"_unique")
 		b.ReportMetric(sum.MeanConcurrent, name+"_concurrent")
 	}
@@ -210,9 +210,7 @@ func BenchmarkFig3_ZoneOccupationCDF(b *testing.B) {
 				empty++
 			}
 		}
-		name := map[string]string{
-			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
-		}[run.Trace.Land]
+		name := shortName(run.Trace.Land)
 		b.ReportMetric(float64(empty)/float64(len(zones)), name+"_empty_frac")
 	}
 }
@@ -229,9 +227,7 @@ func benchTrips(b *testing.B, metric string, pick func(*core.TripStats) []float6
 	b.StopTimer()
 	for _, run := range runs {
 		tp := core.Trips(run.Trace, 0.5, 0)
-		name := map[string]string{
-			"Apfel Land": "apfel", "Dance Island": "dance", "Isle of View": "isle",
-		}[run.Trace.Land]
+		name := shortName(run.Trace.Land)
 		b.ReportMetric(stats.MustEmpirical(pick(tp)).Quantile(q), name+"_"+metric)
 	}
 }
@@ -318,6 +314,87 @@ func BenchmarkX3_MobilityBaselines(b *testing.B) {
 	for name, v := range d {
 		b.ReportMetric(v, "ks_d_vs_"+name)
 	}
+}
+
+// liveHeap returns the live heap after a full GC, in bytes.
+func liveHeap() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// reportPipelineMetrics reports the streaming-vs-batch comparison
+// headline numbers: analysis+simulation cost per snapshot and the heap
+// retained by the pipeline at its end (the batch path retains the whole
+// trace, the streaming path only the Analysis).
+func reportPipelineMetrics(b *testing.B, snapshots int64, baseHeap, endHeap uint64) {
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*snapshots), "ns/snapshot")
+	retained := float64(0)
+	if endHeap > baseHeap {
+		retained = float64(endHeap-baseHeap) / (1 << 20)
+	}
+	b.ReportMetric(retained, "retained_MB")
+}
+
+// P1 — the batch pipeline on a 24 h Apfel Land measurement: materialise
+// the full trace, then re-walk it once per metric. Memory is
+// O(snapshots × avatars).
+func BenchmarkPipelineBatch24hApfel(b *testing.B) {
+	scn := world.ApfelLand(benchSeed)
+	base := liveHeap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var end uint64
+	for i := 0; i < b.N; i++ {
+		tr, err := world.Collect(scn, core.PaperTau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err := core.Analyze(tr, core.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		end = liveHeap() // trace + analysis both still live here
+		runtime.KeepAlive(tr)
+		runtime.KeepAlive(an)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	reportPipelineMetrics(b, scn.Duration/core.PaperTau, base, end)
+}
+
+// P2 — the streaming pipeline on the same measurement: snapshots flow
+// from the simulation straight into the incremental analyzer and are
+// dropped immediately. Pipeline state is O(avatars + contact pairs);
+// only the Analysis itself is retained.
+func BenchmarkPipelineStreaming24hApfel(b *testing.B) {
+	scn := world.ApfelLand(benchSeed)
+	base := liveHeap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var end uint64
+	for i := 0; i < b.N; i++ {
+		src, err := world.NewSource(scn, core.PaperTau)
+		if err != nil {
+			b.Fatal(err)
+		}
+		analyzer, err := core.NewAnalyzer(scn.Land.Name, core.PaperTau, core.Config{LandSize: scn.Land.Size})
+		if err != nil {
+			b.Fatal(err)
+		}
+		an, err := analyzer.Consume(context.Background(), src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		end = liveHeap() // only the analysis is still live
+		runtime.KeepAlive(an)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	reportPipelineMetrics(b, scn.Duration/core.PaperTau, base, end)
 }
 
 // X4 — sensor architecture versus crawler coverage.

@@ -4,16 +4,22 @@
 // trip metrics, and the §4 tail-model comparison. With -figdir it also
 // exports per-panel CSV curves ready for plotting.
 //
+// The file is streamed through the incremental analyzer: snapshots are
+// decoded and folded into the running metrics one at a time, so a
+// multi-gigabyte archive analyses in constant memory.
+//
 // Usage:
 //
 //	slanalyze -in dance.sltr -figdir figures/
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"slmob/internal/core"
@@ -32,11 +38,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tr, err := trace.ReadFile(*in)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fs, err := trace.OpenStream(*in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	an, err := core.Analyze(tr, core.Config{TreatZeroAsSeated: *zeroOK})
+	defer fs.Close()
+	info := fs.Info()
+	cfg := core.Config{TreatZeroAsSeated: *zeroOK, LandSize: info.Size()}
+	analyzer, err := core.NewAnalyzer(info.Land, info.Tau, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := analyzer.Consume(ctx, fs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +73,7 @@ func main() {
 			if len(sample) < 50 {
 				continue
 			}
-			cmp, err := stats.CompareTailModels(sample, float64(tr.Tau))
+			cmp, err := stats.CompareTailModels(sample, float64(info.Tau))
 			if err != nil {
 				continue
 			}
@@ -108,9 +124,9 @@ func main() {
 		for name, p := range panels {
 			fig := &core.Figure{ID: name, Title: name, XLabel: "x", YLabel: "F"}
 			if p.ccdf {
-				fig.Series = []core.Series{core.CCDFSeries(tr.Land, p.sample, false)}
+				fig.Series = []core.Series{core.CCDFSeries(info.Land, p.sample, false)}
 			} else {
-				fig.Series = []core.Series{core.CDFSeries(tr.Land, p.sample)}
+				fig.Series = []core.Series{core.CDFSeries(info.Land, p.sample)}
 			}
 			f, err := os.Create(filepath.Join(*figdir, name+".csv"))
 			if err != nil {

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -31,10 +33,13 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	fmt.Printf("slbench: simulating the three target lands for %d sim seconds (seed %d)...\n",
 		*duration, *seed)
-	runs, err := experiment.RunLands(*seed, *duration, core.PaperTau)
+	runs, err := experiment.RunLands(ctx, *seed, *duration, core.PaperTau)
 	if err != nil {
 		log.Fatal(err)
 	}

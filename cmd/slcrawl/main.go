@@ -44,7 +44,10 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	tr, err := cr.Run(ctx)
+	// Stream map pushes into the trace; ^C stops mid-crawl and keeps the
+	// partial data.
+	tr, err := trace.Collect(ctx, cr.Source(), "", 0)
+	cr.Close()
 	if err != nil && ctx.Err() == nil {
 		log.Printf("slcrawl: crawl ended early: %v", err)
 	}

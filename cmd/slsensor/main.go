@@ -100,7 +100,11 @@ func main() {
 	}
 done:
 	_ = httpSrv.Close()
-	tr := collector.Trace(w.Land, *period)
+	// Drain the collector's merged readings as a snapshot stream.
+	tr, err := trace.Collect(context.Background(), collector.Source(w.Land, *period), "", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
 	tr.Meta["size"] = fmt.Sprintf("%g", w.Size)
 	if err := trace.WriteFile(tr, *out); err != nil {
 		log.Fatal(err)

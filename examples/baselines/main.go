@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,11 +34,7 @@ func main() {
 	for _, name := range []string{"poi-gravity (paper)", "random-waypoint", "levy-walk"} {
 		scn := scns[name]
 		scn.Duration = duration
-		tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
-		if err != nil {
-			log.Fatal(err)
-		}
-		an, err := slmob.Analyze(tr)
+		an, err := slmob.Run(context.Background(), scn)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -48,18 +48,17 @@ func main() {
 	}
 	fmt.Printf("crawler logged in as avatar %d, mimicking a normal user\n", cr.SelfID())
 
+	// Stream the crawl straight into the incremental analyzer: no trace is
+	// ever materialised, and the context bounds the whole measurement.
 	runCtx, timeout := context.WithTimeout(ctx, 2*time.Minute)
 	defer timeout()
-	tr, err := cr.Run(runCtx)
+	an, err := slmob.AnalyzeStream(runCtx, cr.Source(), slmob.WithSeatedRepair())
+	cr.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(tr.Summarize())
+	fmt.Println(an.Summary)
 
-	an, err := slmob.AnalyzeWith(tr, slmob.AnalysisConfig{TreatZeroAsSeated: true})
-	if err != nil {
-		log.Fatal(err)
-	}
 	cs := an.Contacts[slmob.BluetoothRange]
 	fmt.Printf("from the wire (1 m coarse map): median CT %.0fs, ICT %.0fs over %d pairs\n",
 		slmob.Median(cs.CT), slmob.Median(cs.ICT), cs.Pairs)

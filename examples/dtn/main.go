@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -17,7 +18,13 @@ import (
 func main() {
 	scn := slmob.DanceIsland(21)
 	scn.Duration = 4 * 3600
-	tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
+	// The DTN replayer needs random access to the trace, so bridge the
+	// streaming source into a materialised trace explicitly.
+	src, err := slmob.NewSource(scn, slmob.PaperTau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := slmob.CollectSource(context.Background(), src)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,13 @@
-// Quickstart: simulate one of the paper's lands in process, run the full
-// analysis, and print the headline numbers of the paper's evaluation.
+// Quickstart: simulate one of the paper's lands and analyse it as a
+// single streaming pipeline — snapshots flow straight from the simulation
+// into the incremental analyzer, under a context, in constant memory —
+// then print the headline numbers of the paper's evaluation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +20,9 @@ func main() {
 	scn := slmob.DanceIsland(42)
 	scn.Duration = 2 * 3600
 
-	tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
-	if err != nil {
-		log.Fatal(err)
-	}
-	an, err := slmob.Analyze(tr)
+	an, err := slmob.Run(context.Background(), scn,
+		slmob.WithTau(slmob.PaperTau),
+		slmob.WithRanges(slmob.BluetoothRange, slmob.WiFiRange))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -57,23 +58,20 @@ func main() {
 	fmt.Printf("sensor grid: %d scans, %d readings, %d flushes, %d dropped readings, %d expiries (%d replicated), %d truncated scans\n",
 		st.Scans, st.Readings, st.Flushes, st.DroppedReadings, st.Expired, st.Replicated, st.TruncatedScans)
 
-	sensorTrace := collector.Trace(scn.Land.Name, 10)
-	groundTruth, err := slmob.CollectTrace(scn, slmob.PaperTau)
+	// Both monitors analyse through the same streaming pipeline: the
+	// sensor collector drains as a snapshot source, and the ground truth
+	// streams from a fresh in-process simulation.
+	ctx := context.Background()
+	sAn, err := slmob.AnalyzeStream(ctx, collector.Source(scn.Land.Name, 10))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sensors see: %s\n", sensorTrace.Summarize())
-	fmt.Printf("crawler/ground truth: %s\n", groundTruth.Summarize())
-
-	// Quantify the difference on a headline metric.
-	sAn, err := slmob.Analyze(sensorTrace)
+	gAn, err := slmob.Run(ctx, scn)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gAn, err := slmob.Analyze(groundTruth)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("sensors see: %s\n", sAn.Summary)
+	fmt.Printf("crawler/ground truth: %s\n", gAn.Summary)
 	sCT := sAn.Contacts[slmob.BluetoothRange].CT
 	gCT := gAn.Contacts[slmob.BluetoothRange].CT
 	if len(sCT) > 0 && len(gCT) > 0 {

@@ -1,0 +1,3 @@
+module slmob
+
+go 1.24

@@ -28,22 +28,33 @@ type Config struct {
 	// SessionGap is the absence tolerance before a session splits;
 	// 0 selects 2τ.
 	SessionGap int64
+	// LandSize is the modelled land edge for zone occupation; 0 selects
+	// the trace metadata's "size" key on the batch path, falling back to
+	// the Second Life standard 256 m.
+	LandSize float64
 	// TreatZeroAsSeated repairs the {0,0,0} sitting quirk before spatial
 	// analysis. Enable for wire-protocol traces (crawler, sensors), which
 	// cannot observe the seated state directly.
 	TreatZeroAsSeated bool
 }
 
-// withDefaults fills zero fields with the paper's parameters.
-func (c Config) withDefaults() Config {
+// withDefaults fills zero fields with the paper's parameters. The trace's
+// snapshot period resolves the documented SessionGap default of 2τ.
+func (c Config) withDefaults(tau int64) Config {
 	if len(c.Ranges) == 0 {
 		c.Ranges = []float64{BluetoothRange, WiFiRange}
 	}
 	if c.ZoneSize == 0 {
 		c.ZoneSize = PaperZoneLength
 	}
-	if c.MoveEps == 0 {
+	if c.MoveEps <= 0 {
 		c.MoveEps = 0.5
+	}
+	if c.SessionGap <= 0 {
+		c.SessionGap = 2 * tau
+	}
+	if c.LandSize == 0 {
+		c.LandSize = 256
 	}
 	return c
 }
@@ -63,9 +74,14 @@ type Analysis struct {
 	Trips *TripStats
 }
 
-// Analyze runs the full pipeline on one trace.
+// Analyze runs the full pipeline on one trace, re-walking it once per
+// metric. The incremental Analyzer produces the same Analysis from a
+// snapshot stream in a single pass without materialising the trace.
 func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
-	cfg = cfg.withDefaults()
+	if cfg.LandSize == 0 {
+		cfg.LandSize = landSizeOf(tr)
+	}
+	cfg = cfg.withDefaults(tr.Tau)
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid trace: %w", err)
 	}
@@ -90,7 +106,7 @@ func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
 		}
 		a.Nets[r] = nm
 	}
-	zones, err := ZoneOccupation(tr, landSizeOf(tr), cfg.ZoneSize)
+	zones, err := ZoneOccupation(tr, cfg.LandSize, cfg.ZoneSize)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"slmob/internal/geom"
+	"slmob/internal/graph"
+	"slmob/internal/trace"
+)
+
+// Analyzer is the incremental counterpart of Analyze: it consumes a
+// snapshot stream one observation at a time and produces the same
+// Analysis without ever holding the full trace. Per-snapshot state is
+// O(avatars + contact pairs); only the result distributions themselves
+// accumulate. Feed it with Observe (or drive it from a trace.Source with
+// Consume), then call Finish exactly once.
+//
+// The distributions of the resulting Analysis hold the same samples as
+// the batch path but not necessarily in the same order: both paths emit
+// contact samples in Go map-iteration order. Compare them as multisets
+// (see the parity tests).
+type Analyzer struct {
+	land     string
+	tau      int64
+	cfg      Config
+	finished bool
+
+	// Summary accumulators.
+	snapshots     int
+	firstT, lastT int64
+	totalSamples  int
+	maxConcurrent int
+
+	// Per-range contact and line-of-sight state.
+	ranges []*rangeState
+	// firstSeenT is each avatar's first appearance (seated included),
+	// shared by every range's first-contact computation; its key count is
+	// also the unique-user tally.
+	firstSeenT map[trace.AvatarID]int64
+
+	// Zone occupation.
+	zoneN      int
+	zoneCounts []int
+	zones      []float64
+
+	// Trip sessionisation.
+	open   map[trace.AvatarID]*sessionState
+	closed []closedSession
+
+	// Per-snapshot scratch, reused across Observe calls.
+	ids       []trace.AvatarID
+	positions []geom.Vec
+	dup       map[trace.AvatarID]struct{}
+}
+
+// rangeState carries one communication range's running contact state
+// machine and line-of-sight accumulators.
+type rangeState struct {
+	// pairs holds every pair ever observed in contact (their lastEnd
+	// feeds inter-contact times); active holds only the subset currently
+	// in contact, so per-snapshot end detection is O(active), not
+	// O(pairs ever seen).
+	pairs        map[pairKey]*pairState
+	active       map[pairKey]*pairState
+	firstContact map[trace.AvatarID]int64
+	inContactNow map[pairKey]struct{}
+	cs           *ContactSet
+	nm           *NetMetrics
+}
+
+// sessionState is one avatar's open presence on the land.
+type sessionState struct {
+	login   int64
+	last    int64
+	length  float64
+	moving  int64
+	hasPrev bool
+	prevPos geom.Vec
+	prevT   int64
+}
+
+// closedSession is a finished session's trip metrics, kept until Finish
+// so the output order matches the batch path (login time, then ID).
+type closedSession struct {
+	id       trace.AvatarID
+	login    int64
+	duration int64
+	length   float64
+	moving   int64
+}
+
+// NewAnalyzer builds an incremental analyzer for one land's snapshot
+// stream sampled every tau seconds. Zero cfg fields select the paper's
+// parameters, as in Analyze; cfg.LandSize zero selects the Second Life
+// standard 256 m (the batch path reads it from trace metadata instead).
+func NewAnalyzer(land string, tau int64, cfg Config) (*Analyzer, error) {
+	if tau <= 0 {
+		return nil, fmt.Errorf("core: non-positive tau %d", tau)
+	}
+	cfg = cfg.withDefaults(tau)
+	for _, r := range cfg.Ranges {
+		if r <= 0 {
+			return nil, fmt.Errorf("core: non-positive range %v", r)
+		}
+	}
+	if cfg.ZoneSize <= 0 || cfg.LandSize <= 0 {
+		return nil, fmt.Errorf("core: invalid zone parameters land=%v cell=%v", cfg.LandSize, cfg.ZoneSize)
+	}
+	n := int(math.Ceil(cfg.LandSize / cfg.ZoneSize))
+	a := &Analyzer{
+		land:       land,
+		tau:        tau,
+		cfg:        cfg,
+		firstSeenT: make(map[trace.AvatarID]int64),
+		zoneN:      n,
+		zoneCounts: make([]int, n*n),
+		open:       make(map[trace.AvatarID]*sessionState),
+		dup:        make(map[trace.AvatarID]struct{}),
+	}
+	for _, r := range cfg.Ranges {
+		a.ranges = append(a.ranges, &rangeState{
+			pairs:        make(map[pairKey]*pairState),
+			active:       make(map[pairKey]*pairState),
+			firstContact: make(map[trace.AvatarID]int64),
+			inContactNow: make(map[pairKey]struct{}),
+			cs:           &ContactSet{Range: r, Tau: tau},
+			nm:           &NetMetrics{Range: r},
+		})
+	}
+	return a, nil
+}
+
+// seated reports the sample's effective seated state, applying the
+// {0,0,0} repair when configured (the streaming equivalent of
+// NormalizeSeated).
+func (a *Analyzer) seated(s trace.Sample) bool {
+	return s.Seated || (a.cfg.TreatZeroAsSeated && s.Pos.IsZero())
+}
+
+// Observe folds one snapshot into the running analysis. Snapshots must
+// arrive in strictly increasing time order with no duplicate avatars,
+// the invariants Trace.Validate enforces on the batch path.
+func (a *Analyzer) Observe(snap trace.Snapshot) error {
+	if a.finished {
+		return fmt.Errorf("core: Observe after Finish")
+	}
+	if a.snapshots > 0 && snap.T <= a.lastT {
+		return fmt.Errorf("core: invalid stream: snapshot at t=%d not after t=%d", snap.T, a.lastT)
+	}
+	clear(a.dup)
+	for _, s := range snap.Samples {
+		if _, ok := a.dup[s.ID]; ok {
+			return fmt.Errorf("core: invalid stream: duplicate avatar %d in snapshot t=%d", s.ID, snap.T)
+		}
+		a.dup[s.ID] = struct{}{}
+	}
+	if a.snapshots == 0 {
+		a.firstT = snap.T
+	}
+	a.lastT = snap.T
+	a.snapshots++
+	a.totalSamples += len(snap.Samples)
+	if n := len(snap.Samples); n > a.maxConcurrent {
+		a.maxConcurrent = n
+	}
+
+	// Live (non-seated) avatars of this snapshot, plus first appearances.
+	a.ids = a.ids[:0]
+	a.positions = a.positions[:0]
+	for _, s := range snap.Samples {
+		if _, ok := a.firstSeenT[s.ID]; !ok {
+			a.firstSeenT[s.ID] = snap.T
+		}
+		if a.seated(s) {
+			continue
+		}
+		a.ids = append(a.ids, s.ID)
+		a.positions = append(a.positions, s.Pos)
+	}
+
+	for i, r := range a.cfg.Ranges {
+		a.observeRange(a.ranges[i], r, snap.T)
+	}
+	a.observeZones()
+	a.observeTrips(snap)
+	return nil
+}
+
+// observeRange advances one range's contact state machine and appends its
+// line-of-sight metrics, sharing a single proximity graph between both.
+func (a *Analyzer) observeRange(rs *rangeState, r float64, t int64) {
+	g := graph.FromPositions(a.positions, r)
+
+	// Pairs in range this snapshot, and first contacts.
+	clear(rs.inContactNow)
+	for i := range a.ids {
+		if g.Degree(i) > 0 {
+			if _, ok := rs.firstContact[a.ids[i]]; !ok {
+				rs.firstContact[a.ids[i]] = t
+			}
+		}
+		for _, j := range g.Neighbors(i) {
+			if int(j) > i {
+				rs.inContactNow[makePair(a.ids[i], a.ids[int(j)])] = struct{}{}
+			}
+		}
+	}
+
+	// Transitions: starts and continuations.
+	for pk := range rs.inContactNow {
+		st := rs.pairs[pk]
+		if st == nil {
+			st = &pairState{}
+			rs.pairs[pk] = st
+			rs.cs.Pairs++
+		}
+		if !st.inContact {
+			st.inContact = true
+			st.start = t
+			st.leftCensored = t == a.firstT
+			if st.hasPrev {
+				rs.cs.ICT = append(rs.cs.ICT, float64(t-st.lastEnd))
+			}
+			rs.active[pk] = st
+		}
+		st.lastSeen = t
+	}
+	// Transitions: ends (in contact before, not now).
+	for pk, st := range rs.active {
+		if _, ok := rs.inContactNow[pk]; !ok {
+			if st.leftCensored {
+				rs.cs.Censored++
+			} else {
+				rs.cs.CT = append(rs.cs.CT, float64(st.lastSeen-st.start+a.tau))
+			}
+			st.lastEnd = st.lastSeen
+			st.hasPrev = true
+			st.inContact = false
+			st.leftCensored = false
+			delete(rs.active, pk)
+		}
+	}
+
+	// Line-of-sight metrics; snapshots without users are skipped.
+	if len(a.positions) == 0 {
+		return
+	}
+	for u := 0; u < g.N(); u++ {
+		rs.nm.Degrees = append(rs.nm.Degrees, float64(g.Degree(u)))
+	}
+	rs.nm.Diameters = append(rs.nm.Diameters, float64(g.Diameter()))
+	rs.nm.Clusterings = append(rs.nm.Clusterings, g.MeanClustering())
+}
+
+// observeZones appends one occupancy count per cell for this snapshot.
+func (a *Analyzer) observeZones() {
+	for i := range a.zoneCounts {
+		a.zoneCounts[i] = 0
+	}
+	for _, p := range a.positions {
+		cx := int(p.X / a.cfg.ZoneSize)
+		cy := int(p.Y / a.cfg.ZoneSize)
+		if cx < 0 || cy < 0 || cx >= a.zoneN || cy >= a.zoneN {
+			continue // outside the modelled footprint
+		}
+		a.zoneCounts[cy*a.zoneN+cx]++
+	}
+	for _, c := range a.zoneCounts {
+		a.zones = append(a.zones, float64(c))
+	}
+}
+
+// observeTrips advances the per-avatar sessionisation: an avatar absent
+// longer than the session gap logs out and back in.
+func (a *Analyzer) observeTrips(snap trace.Snapshot) {
+	for _, s := range snap.Samples {
+		ss := a.open[s.ID]
+		if ss != nil && snap.T-ss.last > a.cfg.SessionGap {
+			a.closeSession(s.ID, ss)
+			ss = nil
+		}
+		if ss == nil {
+			ss = &sessionState{login: snap.T}
+			a.open[s.ID] = ss
+		}
+		ss.last = snap.T
+		if a.seated(s) {
+			continue
+		}
+		if ss.hasPrev {
+			d := s.Pos.DistXY(ss.prevPos)
+			ss.length += d
+			if d > a.cfg.MoveEps {
+				ss.moving += snap.T - ss.prevT
+			}
+		}
+		ss.hasPrev = true
+		ss.prevPos = s.Pos
+		ss.prevT = snap.T
+	}
+}
+
+func (a *Analyzer) closeSession(id trace.AvatarID, ss *sessionState) {
+	a.closed = append(a.closed, closedSession{
+		id:       id,
+		login:    ss.login,
+		duration: ss.last - ss.login,
+		length:   ss.length,
+		moving:   ss.moving,
+	})
+}
+
+// Finish closes censored contacts and open sessions and returns the
+// completed Analysis. The analyzer cannot be reused afterwards.
+func (a *Analyzer) Finish() (*Analysis, error) {
+	if a.finished {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	a.finished = true
+
+	an := &Analysis{
+		Land: a.land,
+		Summary: trace.Summary{
+			Land:          a.land,
+			Snapshots:     a.snapshots,
+			Unique:        len(a.firstSeenT),
+			MaxConcurrent: a.maxConcurrent,
+		},
+		Contacts: make(map[float64]*ContactSet, len(a.cfg.Ranges)),
+		Nets:     make(map[float64]*NetMetrics, len(a.cfg.Ranges)),
+		Zones:    a.zones,
+	}
+	if a.snapshots >= 2 {
+		an.Summary.DurationSec = a.lastT - a.firstT
+	}
+	if a.snapshots > 0 {
+		an.Summary.MeanConcurrent = float64(a.totalSamples) / float64(a.snapshots)
+	}
+
+	for i, r := range a.cfg.Ranges {
+		rs := a.ranges[i]
+		// Contacts still open at the end of the stream are right-censored.
+		rs.cs.Censored += len(rs.active)
+		// First-contact times.
+		for id, t0 := range a.firstSeenT {
+			if tc, ok := rs.firstContact[id]; ok {
+				rs.cs.FT = append(rs.cs.FT, float64(tc-t0))
+			} else {
+				rs.cs.NeverContacted++
+			}
+		}
+		an.Contacts[r] = rs.cs
+		an.Nets[r] = rs.nm
+	}
+
+	// Close open sessions and emit trips in the batch path's order.
+	for id, ss := range a.open {
+		a.closeSession(id, ss)
+	}
+	sort.Slice(a.closed, func(i, j int) bool {
+		if a.closed[i].login != a.closed[j].login {
+			return a.closed[i].login < a.closed[j].login
+		}
+		return a.closed[i].id < a.closed[j].id
+	})
+	ts := &TripStats{}
+	for _, cs := range a.closed {
+		ts.TravelTime = append(ts.TravelTime, float64(cs.duration))
+		ts.TravelLength = append(ts.TravelLength, cs.length)
+		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(cs.moving))
+	}
+	an.Trips = ts
+	return an, nil
+}
+
+// Consume drains a snapshot source into the analyzer and finishes it: the
+// one-call streaming pipeline. It stops on the first error; a cancelled
+// context surfaces as ctx.Err() from the source.
+func (a *Analyzer) Consume(ctx context.Context, src trace.Source) (*Analysis, error) {
+	for {
+		snap, err := src.Next(ctx)
+		if err == io.EOF {
+			return a.Finish()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Observe(snap); err != nil {
+			return nil, err
+		}
+	}
+}

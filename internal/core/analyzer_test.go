@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+// TestWithDefaultsSessionGap is the regression test for the documented
+// "0 selects 2τ" default: it used to be applied only deep inside
+// Trace.Sessions, never by withDefaults itself.
+func TestWithDefaultsSessionGap(t *testing.T) {
+	cfg := Config{}.withDefaults(10)
+	if cfg.SessionGap != 20 {
+		t.Errorf("SessionGap default = %d, want 2τ = 20", cfg.SessionGap)
+	}
+	cfg = Config{SessionGap: 45}.withDefaults(10)
+	if cfg.SessionGap != 45 {
+		t.Errorf("explicit SessionGap overridden to %d", cfg.SessionGap)
+	}
+	cfg = Config{}.withDefaults(30)
+	if cfg.SessionGap != 60 {
+		t.Errorf("SessionGap default = %d for τ=30, want 60", cfg.SessionGap)
+	}
+	if cfg.LandSize != 256 {
+		t.Errorf("LandSize default = %v, want 256", cfg.LandSize)
+	}
+	// A negative MoveEps must clamp like the batch Trips path does, or the
+	// streaming analyzer diverges from core.Analyze.
+	if cfg := (Config{MoveEps: -1}).withDefaults(10); cfg.MoveEps != 0.5 {
+		t.Errorf("negative MoveEps = %v after defaults, want 0.5", cfg.MoveEps)
+	}
+}
+
+// sessionGapTrace has one avatar absent for exactly 2τ (no split at the
+// default gap) and another absent for 3τ (split).
+func sessionGapTrace() *trace.Trace {
+	tr := trace.New("gap", 10)
+	add := func(T int64, ids ...trace.AvatarID) {
+		s := trace.Snapshot{T: T}
+		for _, id := range ids {
+			s.Samples = append(s.Samples, trace.Sample{ID: id, Pos: geom.V2(float64(id), float64(T))})
+		}
+		tr.Snapshots = append(tr.Snapshots, s)
+	}
+	add(10, 1, 2)
+	add(20, 1, 2)
+	// Avatar 1 misses t=30 (gap 20 = 2τ when reappearing at 40: no split);
+	// avatar 2 misses t=30 and t=40 (gap 30 > 2τ: split).
+	add(30)
+	add(40, 1)
+	add(50, 1, 2)
+	add(60, 1, 2)
+	return tr
+}
+
+func TestAnalyzeAppliesSessionGapDefault(t *testing.T) {
+	tr := sessionGapTrace()
+	an, err := Analyze(tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Avatar 1: one session; avatar 2: two sessions. Three trips total.
+	if got := len(an.Trips.TravelTime); got != 3 {
+		t.Fatalf("sessions = %d, want 3 (default gap must be 2τ)", got)
+	}
+}
+
+// streamAnalysis runs the incremental analyzer over the trace's replay
+// source.
+func streamAnalysis(t *testing.T, tr *trace.Trace, cfg Config) *Analysis {
+	t.Helper()
+	a, err := NewAnalyzer(tr.Land, tr.Tau, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := a.Consume(context.Background(), tr.Source())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+// assertAnalysisEquivalent asserts the streaming/batch parity contract.
+func assertAnalysisEquivalent(t *testing.T, got, want *Analysis) {
+	t.Helper()
+	for _, d := range DiffAnalyses(got, want) {
+		t.Error(d)
+	}
+}
+
+// syntheticTrace exercises every analyzer code path: contacts starting,
+// breaking and resuming (ICT), left/right censoring, seated samples, the
+// {0,0,0} quirk, session splits, and an empty snapshot.
+func syntheticTrace() *trace.Trace {
+	tr := trace.New("synthetic", 10)
+	snaps := []trace.Snapshot{
+		{T: 10, Samples: []trace.Sample{
+			{ID: 1, Pos: geom.V2(10, 10)},
+			{ID: 2, Pos: geom.V2(15, 10)}, // in contact with 1 from the start: left-censored
+			{ID: 3, Pos: geom.V2(200, 200)},
+		}},
+		{T: 20, Samples: []trace.Sample{
+			{ID: 1, Pos: geom.V2(10, 10)},
+			{ID: 2, Pos: geom.V2(60, 10)}, // contact with 1 broken
+			{ID: 3, Pos: geom.V2(200, 200)},
+			{ID: 4, Pos: geom.V2(0, 0)}, // the seated quirk position
+		}},
+		{T: 30, Samples: []trace.Sample{
+			{ID: 1, Pos: geom.V2(10, 10)},
+			{ID: 2, Pos: geom.V2(12, 10)}, // contact resumes: ICT sample
+			{ID: 4, Pos: geom.V2(30, 40), Seated: true},
+		}},
+		{T: 40},
+		{T: 50, Samples: []trace.Sample{
+			{ID: 1, Pos: geom.V2(100, 100)}, // back after 2τ: same session
+			{ID: 3, Pos: geom.V2(202, 201)}, // back after 3τ: new session
+			{ID: 5, Pos: geom.V2(101, 101)}, // contact with 1 open at the end: right-censored
+		}},
+	}
+	tr.Snapshots = snaps
+	return tr
+}
+
+func TestAnalyzerMatchesBatchOnSyntheticTrace(t *testing.T) {
+	tr := syntheticTrace()
+	for _, cfg := range []Config{
+		{},
+		{TreatZeroAsSeated: true},
+		{Ranges: []float64{25}, ZoneSize: 32, SessionGap: 15},
+	} {
+		batch, err := Analyze(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := streamAnalysis(t, tr, cfg)
+		assertAnalysisEquivalent(t, stream, batch)
+	}
+}
+
+func TestAnalyzerRejectsInvalidStream(t *testing.T) {
+	a, err := NewAnalyzer("x", 10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(trace.Snapshot{T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(trace.Snapshot{T: 10}); err == nil {
+		t.Error("non-increasing snapshot time accepted")
+	}
+	if err := a.Observe(trace.Snapshot{T: 30, Samples: []trace.Sample{{ID: 7}, {ID: 7}}}); err == nil {
+		t.Error("duplicate avatar accepted")
+	}
+	if _, err := a.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Finish(); err == nil {
+		t.Error("second Finish accepted")
+	}
+	if err := a.Observe(trace.Snapshot{T: 40}); err == nil {
+		t.Error("Observe after Finish accepted")
+	}
+}
+
+func TestNewAnalyzerValidates(t *testing.T) {
+	if _, err := NewAnalyzer("x", 0, Config{}); err == nil {
+		t.Error("zero tau accepted")
+	}
+	if _, err := NewAnalyzer("x", 10, Config{Ranges: []float64{-1}}); err == nil {
+		t.Error("negative range accepted")
+	}
+	if _, err := NewAnalyzer("x", 10, Config{ZoneSize: -5}); err == nil {
+		t.Error("negative zone size accepted")
+	}
+}
+
+func TestAnalyzerEmptyStream(t *testing.T) {
+	a, err := NewAnalyzer("empty", 10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Summary.Snapshots != 0 || an.Summary.Unique != 0 {
+		t.Errorf("empty stream summary = %+v", an.Summary)
+	}
+	if an.Summary.MeanConcurrent != 0 || math.IsNaN(an.Summary.MeanConcurrent) {
+		t.Errorf("MeanConcurrent = %v", an.Summary.MeanConcurrent)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// DiffAnalyses compares two Analysis values under the streaming/batch
+// parity contract: the contact distributions (CT, ICT, FT), whose
+// emission order is Go map-iteration order on both paths, are compared
+// as multisets; everything else must match exactly. It returns one line
+// per difference, empty when the analyses are equivalent — the parity
+// tests assert on it, and tooling can use it to validate a migrated
+// pipeline against a reference run.
+func DiffAnalyses(got, want *Analysis) []string {
+	var diffs []string
+	addf := func(format string, args ...any) {
+		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	if got.Land != want.Land {
+		addf("Land = %q, want %q", got.Land, want.Land)
+	}
+	if got.Summary != want.Summary {
+		addf("Summary = %+v, want %+v", got.Summary, want.Summary)
+	}
+	if len(got.Contacts) != len(want.Contacts) {
+		addf("contact ranges = %d, want %d", len(got.Contacts), len(want.Contacts))
+	}
+	for r, w := range want.Contacts {
+		g := got.Contacts[r]
+		if g == nil {
+			addf("missing contact range %v", r)
+			continue
+		}
+		if g.Range != w.Range || g.Tau != w.Tau {
+			addf("r=%v: Range/Tau = %v/%d, want %v/%d", r, g.Range, g.Tau, w.Range, w.Tau)
+		}
+		if g.Censored != w.Censored || g.NeverContacted != w.NeverContacted || g.Pairs != w.Pairs {
+			addf("r=%v: counters censored/never/pairs = %d/%d/%d, want %d/%d/%d",
+				r, g.Censored, g.NeverContacted, g.Pairs, w.Censored, w.NeverContacted, w.Pairs)
+		}
+		for name, pair := range map[string][2][]float64{
+			"CT":  {g.CT, w.CT},
+			"ICT": {g.ICT, w.ICT},
+			"FT":  {g.FT, w.FT},
+		} {
+			if !reflect.DeepEqual(sortedCopy(pair[0]), sortedCopy(pair[1])) {
+				addf("r=%v: %s multiset differs (%d vs %d samples)", r, name, len(pair[0]), len(pair[1]))
+			}
+		}
+	}
+	if len(got.Nets) != len(want.Nets) {
+		addf("net ranges = %d, want %d", len(got.Nets), len(want.Nets))
+	}
+	for r, w := range want.Nets {
+		g := got.Nets[r]
+		if g == nil {
+			addf("missing net range %v", r)
+			continue
+		}
+		// LoS metrics are emitted in snapshot order on both paths: exact.
+		if !reflect.DeepEqual(g.Degrees, w.Degrees) {
+			addf("r=%v: Degrees differ (%d vs %d samples)", r, len(g.Degrees), len(w.Degrees))
+		}
+		if !reflect.DeepEqual(g.Diameters, w.Diameters) {
+			addf("r=%v: Diameters differ", r)
+		}
+		if !reflect.DeepEqual(g.Clusterings, w.Clusterings) {
+			addf("r=%v: Clusterings differ", r)
+		}
+	}
+	if !reflect.DeepEqual(got.Zones, want.Zones) {
+		addf("Zones differ (%d vs %d samples)", len(got.Zones), len(want.Zones))
+	}
+	if !reflect.DeepEqual(got.Trips, want.Trips) {
+		addf("Trips differ: got %+v, want %+v", got.Trips, want.Trips)
+	}
+	return diffs
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -115,11 +115,8 @@ func NormalizeSeated(tr *trace.Trace) *trace.Trace {
 // landSizeOf extracts the land size from trace metadata, defaulting to the
 // Second Life standard 256 m.
 func landSizeOf(tr *trace.Trace) float64 {
-	if s, ok := tr.Meta["size"]; ok {
-		var v float64
-		if _, err := fmt.Sscanf(s, "%g", &v); err == nil && v > 0 {
-			return v
-		}
+	if v := (trace.Info{Meta: tr.Meta}).Size(); v > 0 {
+		return v
 	}
 	return 256
 }

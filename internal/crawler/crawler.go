@@ -14,6 +14,7 @@ package crawler
 import (
 	"context"
 	"fmt"
+	"io"
 	"strconv"
 	"time"
 
@@ -103,66 +104,133 @@ func New(cfg Config) (*Crawler, error) {
 // SelfID returns the crawler's avatar identity on the land.
 func (c *Crawler) SelfID() trace.AvatarID { return c.selfID }
 
-// Run subscribes to map pushes and assembles the trace until Duration
-// simulated seconds have been observed or the context is cancelled. The
-// crawler's own avatar is filtered out of every snapshot.
-func (c *Crawler) Run(ctx context.Context) (*trace.Trace, error) {
-	defer c.client.Close()
-	if err := c.client.Subscribe(c.cfg.Tau); err != nil {
-		return nil, err
-	}
-	w := c.client.Welcome()
-	tr := trace.New(w.Land, c.cfg.Tau)
-	tr.Meta["monitor"] = "crawler"
-	tr.Meta["mimic"] = strconv.FormatBool(c.cfg.Mimic)
-	tr.Meta["size"] = strconv.FormatFloat(w.Size, 'g', -1, 64)
+// Close logs the crawler out and tears the connection down. Run closes
+// implicitly; standalone Source users must call Close themselves.
+func (c *Crawler) Close() error { return c.client.Close() }
 
-	start := w.SimTime
-	var lastMove, lastChat int64
+// Source is the crawler as a streaming snapshot producer: each Next call
+// blocks on the next coarse-map push, runs the user-mimicry schedule, and
+// yields the observed snapshot. The crawler's own avatar is filtered out
+// of every snapshot.
+type Source struct {
+	c          *Crawler
+	subscribed bool
+	started    bool
+	start      int64 // sim time of the first push; snapshots are rebased to it
+	lastT      int64 // last emitted snapshot time (duplicate-push guard)
+	lastMove   int64
+	lastChat   int64
+	done       bool
+	// pendingErr is a mimicry failure deferred so the snapshot received
+	// just before it is still delivered (an interrupted crawl keeps all
+	// observed data).
+	pendingErr error
+}
+
+// Source returns the crawler's streaming view. The first Next call
+// subscribes to map pushes at the configured τ.
+func (c *Crawler) Source() *Source { return &Source{c: c} }
+
+// Info reports the crawl's provenance.
+func (s *Source) Info() trace.Info {
+	w := s.c.client.Welcome()
+	return trace.Info{
+		Land: w.Land,
+		Tau:  s.c.cfg.Tau,
+		Meta: map[string]string{
+			"monitor": "crawler",
+			"mimic":   strconv.FormatBool(s.c.cfg.Mimic),
+			"size":    strconv.FormatFloat(w.Size, 'g', -1, 64),
+		},
+	}
+}
+
+// Next yields the next map snapshot. It returns io.EOF once Duration
+// simulated seconds have been observed and ctx.Err() promptly after the
+// context is cancelled.
+func (s *Source) Next(ctx context.Context) (trace.Snapshot, error) {
+	if s.pendingErr != nil {
+		err := s.pendingErr
+		s.pendingErr = nil
+		return trace.Snapshot{}, err
+	}
+	if s.done {
+		return trace.Snapshot{}, io.EOF
+	}
+	c := s.c
+	if !s.subscribed {
+		if err := c.client.Subscribe(c.cfg.Tau); err != nil {
+			return trace.Snapshot{}, err
+		}
+		s.subscribed = true
+		s.start = c.client.Welcome().SimTime
+	}
 	for {
 		select {
 		case <-ctx.Done():
-			return tr, ctx.Err()
+			return trace.Snapshot{}, ctx.Err()
 		case reply, ok := <-c.client.Maps():
 			if !ok {
+				// Wrap the transport error: a raw io.EOF must not read as
+				// the Source's own end-of-stream sentinel.
 				if err := c.client.Err(); err != nil {
-					return tr, err
+					return trace.Snapshot{}, fmt.Errorf("crawler: connection lost: %w", err)
 				}
-				return tr, fmt.Errorf("crawler: connection closed")
+				return trace.Snapshot{}, fmt.Errorf("crawler: connection closed")
 			}
-			snap := trace.Snapshot{T: reply.SimTime - start}
+			snap := trace.Snapshot{T: reply.SimTime - s.start}
+			if s.started && snap.T <= s.lastT {
+				// A duplicate push (e.g. poll racing a subscription) is
+				// dropped rather than corrupting the stream.
+				continue
+			}
 			for _, ent := range reply.Entries {
 				if ent.ID == c.selfID {
 					continue
 				}
 				snap.Samples = append(snap.Samples, trace.Sample{ID: ent.ID, Pos: ent.Pos})
 			}
-			if err := tr.Append(snap); err != nil {
-				// A duplicate push (e.g. poll racing a subscription) is
-				// dropped rather than corrupting the trace.
-				continue
-			}
+			s.started = true
+			s.lastT = snap.T
 			now := reply.SimTime
+			if now-s.start >= c.cfg.Duration {
+				// The crawl is complete; skip mimicry so a send failure
+				// cannot turn a fully-observed measurement into an error.
+				s.done = true
+				return snap, nil
+			}
 			if c.cfg.Mimic {
-				if now-lastMove >= c.cfg.MovePeriod {
-					lastMove = now
+				if now-s.lastMove >= c.cfg.MovePeriod {
+					s.lastMove = now
 					if err := c.client.Move(c.randomPoint()); err != nil {
-						return tr, err
+						s.pendingErr = fmt.Errorf("crawler: mimicry move failed: %w", err)
+						return snap, nil
 					}
 				}
-				if now-lastChat >= c.cfg.ChatPeriod {
-					lastChat = now
+				if now-s.lastChat >= c.cfg.ChatPeriod {
+					s.lastChat = now
 					phrase := c.cfg.Phrases[c.rng.Intn(len(c.cfg.Phrases))]
 					if err := c.client.Chat(phrase); err != nil {
-						return tr, err
+						s.pendingErr = fmt.Errorf("crawler: mimicry chat failed: %w", err)
+						return snap, nil
 					}
 				}
 			}
-			if now-start >= c.cfg.Duration {
-				return tr, nil
-			}
+			return snap, nil
 		}
 	}
+}
+
+// Run subscribes to map pushes and assembles the trace until Duration
+// simulated seconds have been observed or the context is cancelled, then
+// closes the connection. On early termination the partial trace is
+// returned alongside the error.
+//
+// Deprecated: Run materialises the whole crawl; stream through Source
+// instead when the consumer is incremental.
+func (c *Crawler) Run(ctx context.Context) (*trace.Trace, error) {
+	defer c.client.Close()
+	return trace.Collect(ctx, c.Source(), "", 0)
 }
 
 // randomPoint picks a uniformly random ground position on the land, the

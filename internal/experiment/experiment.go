@@ -5,10 +5,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"slmob/internal/core"
+	"slmob/internal/fanout"
 	"slmob/internal/trace"
 	"slmob/internal/world"
 )
@@ -23,14 +25,44 @@ type LandRun struct {
 // Lands are the three paper lands in the paper's presentation order.
 var LandNames = []string{"Apfel Land", "Dance Island", "Isle of View"}
 
-// RunLand simulates and analyses a single paper land.
-func RunLand(scn world.Scenario, tau int64) (*LandRun, error) {
-	tr, err := world.Collect(scn, tau)
+// teeSource passes snapshots through while appending each one to a
+// materialised trace, so a single drain feeds both the incremental
+// analyzer and the batch consumers (figure renderers, the DTN replayer).
+type teeSource struct {
+	src trace.Source
+	tr  *trace.Trace
+}
+
+func (t *teeSource) Next(ctx context.Context) (trace.Snapshot, error) {
+	snap, err := t.src.Next(ctx)
+	if err != nil {
+		return snap, err
+	}
+	if err := t.tr.Append(snap); err != nil {
+		return trace.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+// RunLand simulates and analyses a single paper land as one streaming
+// pipeline: each snapshot is analysed incrementally as it is produced and
+// tee'd into the materialised trace the figure renderers and the DTN
+// replayer still need.
+func RunLand(ctx context.Context, scn world.Scenario, tau int64) (*LandRun, error) {
+	src, err := world.NewSource(scn, tau)
 	if err != nil {
 		return nil, err
 	}
-	tr.Meta["size"] = fmt.Sprintf("%g", scn.Land.Size)
-	an, err := core.Analyze(tr, core.Config{})
+	analyzer, err := core.NewAnalyzer(scn.Land.Name, tau, core.Config{LandSize: scn.Land.Size})
+	if err != nil {
+		return nil, err
+	}
+	info := src.Info()
+	tr := trace.New(info.Land, tau)
+	for k, v := range info.Meta {
+		tr.Meta[k] = v
+	}
+	an, err := analyzer.Consume(ctx, &teeSource{src: src, tr: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -38,33 +70,21 @@ func RunLand(scn world.Scenario, tau int64) (*LandRun, error) {
 }
 
 // RunLands simulates and analyses the three paper lands for the given
-// duration at snapshot period tau. The lands are independent simulations
-// and run concurrently.
-func RunLands(seed uint64, duration, tau int64) ([]*LandRun, error) {
+// duration at snapshot period tau. The lands are independent streaming
+// pipelines and run concurrently; the first failure cancels the rest and
+// is reported as the root cause.
+func RunLands(ctx context.Context, seed uint64, duration, tau int64) ([]*LandRun, error) {
 	scns := world.PaperLands(seed)
-	runs := make([]*LandRun, len(scns))
-	errs := make([]error, len(scns))
-	var wg sync.WaitGroup
-	for i, scn := range scns {
-		scn.Duration = duration
-		wg.Add(1)
-		go func(i int, scn world.Scenario) {
-			defer wg.Done()
-			run, err := RunLand(scn, tau)
+	return fanout.Run(ctx, len(scns), 0,
+		func(ctx context.Context, i int) (*LandRun, error) {
+			scn := scns[i]
+			scn.Duration = duration
+			run, err := RunLand(ctx, scn, tau)
 			if err != nil {
-				errs[i] = fmt.Errorf("experiment: %s: %w", scn.Land.Name, err)
-				return
+				return nil, fmt.Errorf("experiment: %s: %w", scn.Land.Name, err)
 			}
-			runs[i] = run
-		}(i, scn)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return runs, nil
+			return run, nil
+		})
 }
 
 // cache memoises full-day runs per seed so that the seventeen benchmarks
@@ -81,7 +101,7 @@ func CachedDayRuns(seed uint64) ([]*LandRun, error) {
 	if runs, ok := cache[seed]; ok {
 		return runs, nil
 	}
-	runs, err := RunLands(seed, world.DayDuration, core.PaperTau)
+	runs, err := RunLands(context.Background(), seed, world.DayDuration, core.PaperTau)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -13,11 +15,21 @@ import (
 // report and figure builders to operate on.
 func shortRuns(t *testing.T) []*LandRun {
 	t.Helper()
-	runs, err := RunLands(3, 2*3600, core.PaperTau)
+	runs, err := RunLands(context.Background(), 3, 2*3600, core.PaperTau)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return runs
+}
+
+// TestRunLandsHonoursCancellation: a cancelled context stops the
+// streaming pipelines mid-run and surfaces ctx.Err().
+func TestRunLandsHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunLands(ctx, 3, 2*3600, core.PaperTau); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
 }
 
 func TestRunLandsProducesAllLands(t *testing.T) {

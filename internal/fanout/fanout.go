@@ -1,0 +1,64 @@
+// Package fanout runs independent jobs concurrently with the
+// cancel-on-first-failure semantics shared by the slmob façade and the
+// experiment harness.
+package fanout
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Run executes jobs 0..n-1 concurrently, at most limit at a time
+// (limit <= 0 or > n selects n), and returns their results in index
+// order. The first failure cancels the context handed to the remaining
+// jobs, and the returned error is the root cause — a sibling's
+// context.Canceled never masks the real failure.
+func Run[T any](ctx context.Context, n, limit int, job func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, limit)
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			r, err := job(ctx, i)
+			if err != nil {
+				errs[i] = err
+				cancel()
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

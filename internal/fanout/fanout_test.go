@@ -1,0 +1,88 @@
+package fanout
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	out, err := Run(context.Background(), 5, 2, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	out, err := Run(context.Background(), 0, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("job called")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestRunReportsRootCause: a real failure cancels the siblings, and the
+// siblings' resulting cancellations must not mask it — even when the
+// failing job has a higher index.
+func TestRunReportsRootCause(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), 3, 3, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+			return 0, fmt.Errorf("job %d: %w", i, ctx.Err())
+		case <-time.After(5 * time.Second):
+			return 0, errors.New("sibling was not cancelled")
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the root cause", err)
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	_, err := Run(context.Background(), 8, 2, func(_ context.Context, i int) (int, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds limit 2", p)
+	}
+}
+
+func TestRunCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, 3, 0, func(ctx context.Context, i int) (int, error) {
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,8 +1,10 @@
 package sensor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
@@ -67,36 +69,78 @@ func (c *Collector) Flushes() int {
 	return c.flushes
 }
 
-// Trace assembles the merged readings into a mobility trace with the
-// given nominal snapshot period. Coverage may be partial: avatars outside
-// every sensor's range simply never appear, which is exactly the
-// architecture's documented weakness.
-func (c *Collector) Trace(land string, tau int64) *trace.Trace {
+// Source is a streaming view of the collector's merged readings: one
+// snapshot per observed sim time, in time order, built lazily so only one
+// snapshot is resident at a time. The set of snapshot times is fixed when
+// the source is created — the sensor architecture is store-and-forward
+// (caches flush minutes late), so create the source once collection has
+// finished. Coverage may be partial: avatars outside every sensor's range
+// simply never appear, which is exactly the architecture's documented
+// weakness.
+type Source struct {
+	c     *Collector
+	land  string
+	tau   int64
+	times []int64
+	i     int
+}
+
+// Source returns a streaming view over the readings merged so far.
+func (c *Collector) Source(land string, tau int64) *Source {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	tr := trace.New(land, tau)
-	tr.Meta["monitor"] = "sensors"
 	times := make([]int64, 0, len(c.readings))
 	for t := range c.readings {
 		times = append(times, t)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	for _, t := range times {
-		m := c.readings[t]
-		snap := trace.Snapshot{T: t, Samples: make([]trace.Sample, 0, len(m))}
-		ids := make([]trace.AvatarID, 0, len(m))
-		for id := range m {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			snap.Samples = append(snap.Samples, trace.Sample{ID: id, Pos: m[id]})
-		}
-		// Append keeps times strictly increasing because times is sorted
-		// and unique.
-		if err := tr.Append(snap); err != nil {
-			panic(err) // unreachable: times are sorted unique
-		}
+	return &Source{c: c, land: land, tau: tau, times: times}
+}
+
+// Info reports the merged trace's provenance.
+func (s *Source) Info() trace.Info {
+	return trace.Info{
+		Land: s.land,
+		Tau:  s.tau,
+		Meta: map[string]string{"monitor": "sensors"},
+	}
+}
+
+// Next assembles and returns the snapshot for the next observed time,
+// io.EOF past the last.
+func (s *Source) Next(ctx context.Context) (trace.Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return trace.Snapshot{}, err
+	}
+	if s.i >= len(s.times) {
+		return trace.Snapshot{}, io.EOF
+	}
+	t := s.times[s.i]
+	s.i++
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	m := s.c.readings[t]
+	snap := trace.Snapshot{T: t, Samples: make([]trace.Sample, 0, len(m))}
+	ids := make([]trace.AvatarID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		snap.Samples = append(snap.Samples, trace.Sample{ID: id, Pos: m[id]})
+	}
+	return snap, nil
+}
+
+// Trace assembles the merged readings into a mobility trace with the
+// given nominal snapshot period.
+//
+// Deprecated: Trace materialises every reading at once; stream through
+// Source instead when the consumer is incremental.
+func (c *Collector) Trace(land string, tau int64) *trace.Trace {
+	tr, err := trace.Collect(context.Background(), c.Source(land, tau), "", 0)
+	if err != nil {
+		panic(err) // unreachable: source times are sorted unique
 	}
 	return tr
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/csv"
 	"fmt"
@@ -73,16 +74,28 @@ func (tr *Trace) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace written by WriteCSV.
-func ReadCSV(r io.Reader) (*Trace, error) {
+// CSVSource streams snapshots from a CSV trace, grouping consecutive rows
+// that share a timestamp. It holds one snapshot's samples at a time rather
+// than the whole trace.
+type CSVSource struct {
+	cr      *csv.Reader
+	info    Info
+	started bool
+	done    bool
+	pending []string // one row read ahead to detect snapshot boundaries
+}
+
+// NewCSVSource parses the header comments and positions the source at the
+// first snapshot.
+func NewCSVSource(r io.Reader) (*CSVSource, error) {
 	br := bufio.NewReader(r)
-	tr := New("", 10)
-	// Header comments.
+	src := &CSVSource{info: Info{Tau: 10, Meta: make(map[string]string)}}
 	for {
 		b, err := br.Peek(1)
 		if err != nil {
 			if err == io.EOF {
-				return tr, nil
+				src.done = true
+				return src, nil
 			}
 			return nil, err
 		}
@@ -96,66 +109,129 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		line = strings.TrimSpace(strings.TrimPrefix(line, "#"))
 		switch {
 		case strings.HasPrefix(line, "land="):
-			tr.Land = strings.TrimPrefix(line, "land=")
+			src.info.Land = strings.TrimPrefix(line, "land=")
 		case strings.HasPrefix(line, "tau="):
 			v, err := strconv.ParseInt(strings.TrimPrefix(line, "tau="), 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: bad tau header: %w", err)
 			}
-			tr.Tau = v
+			src.info.Tau = v
 		case strings.HasPrefix(line, "meta "):
 			kv := strings.SplitN(strings.TrimPrefix(line, "meta "), "=", 2)
 			if len(kv) == 2 {
-				tr.Meta[kv[0]] = kv[1]
+				src.info.Meta[kv[0]] = kv[1]
 			}
 		}
 	}
-	cr := csv.NewReader(br)
-	cr.FieldsPerRecord = 6
-	first := true
-	var cur *Snapshot
+	src.cr = csv.NewReader(br)
+	src.cr.FieldsPerRecord = 6
+	return src, nil
+}
+
+// Info reports the provenance parsed from the header.
+func (s *CSVSource) Info() Info { return s.info }
+
+// readRow returns the next data row, skipping the column-header row.
+func (s *CSVSource) readRow() ([]string, error) {
 	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
+		rec, err := s.cr.Read()
 		if err != nil {
-			return nil, fmt.Errorf("trace: csv: %w", err)
+			return nil, err
 		}
-		if first {
-			first = false
+		if !s.started {
+			s.started = true
 			if rec[0] == "t" {
 				continue // header row
 			}
 		}
+		return rec, nil
+	}
+}
+
+// Next assembles and returns the next snapshot, io.EOF at end of input.
+func (s *CSVSource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	if s.done {
+		return Snapshot{}, io.EOF
+	}
+	var snap Snapshot
+	have := false
+	for {
+		rec := s.pending
+		s.pending = nil
+		if rec == nil {
+			var err error
+			rec, err = s.readRow()
+			if err == io.EOF {
+				s.done = true
+				if have {
+					return snap, nil
+				}
+				return Snapshot{}, io.EOF
+			}
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("trace: csv: %w", err)
+			}
+		}
 		t, err := strconv.ParseInt(rec[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad timestamp %q: %w", rec[0], err)
+			return Snapshot{}, fmt.Errorf("trace: bad timestamp %q: %w", rec[0], err)
 		}
-		if cur == nil || cur.T != t {
-			tr.Snapshots = append(tr.Snapshots, Snapshot{T: t})
-			cur = &tr.Snapshots[len(tr.Snapshots)-1]
+		if have && t != snap.T {
+			s.pending = rec
+			return snap, nil
+		}
+		if !have {
+			snap = Snapshot{T: t}
+			have = true
 		}
 		if rec[1] == "" {
 			continue // empty-snapshot marker
 		}
-		id, err := strconv.ParseUint(rec[1], 10, 64)
+		sample, err := parseCSVSample(rec)
 		if err != nil {
-			return nil, fmt.Errorf("trace: bad id %q: %w", rec[1], err)
+			return Snapshot{}, err
 		}
-		var sample Sample
-		sample.ID = AvatarID(id)
-		if sample.Pos.X, err = strconv.ParseFloat(rec[2], 64); err != nil {
-			return nil, fmt.Errorf("trace: bad x %q: %w", rec[2], err)
-		}
-		if sample.Pos.Y, err = strconv.ParseFloat(rec[3], 64); err != nil {
-			return nil, fmt.Errorf("trace: bad y %q: %w", rec[3], err)
-		}
-		if sample.Pos.Z, err = strconv.ParseFloat(rec[4], 64); err != nil {
-			return nil, fmt.Errorf("trace: bad z %q: %w", rec[4], err)
-		}
-		sample.Seated = rec[5] == "1"
-		cur.Samples = append(cur.Samples, sample)
+		snap.Samples = append(snap.Samples, sample)
+	}
+}
+
+func parseCSVSample(rec []string) (Sample, error) {
+	var sample Sample
+	id, err := strconv.ParseUint(rec[1], 10, 64)
+	if err != nil {
+		return sample, fmt.Errorf("trace: bad id %q: %w", rec[1], err)
+	}
+	sample.ID = AvatarID(id)
+	if sample.Pos.X, err = strconv.ParseFloat(rec[2], 64); err != nil {
+		return sample, fmt.Errorf("trace: bad x %q: %w", rec[2], err)
+	}
+	if sample.Pos.Y, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return sample, fmt.Errorf("trace: bad y %q: %w", rec[3], err)
+	}
+	if sample.Pos.Z, err = strconv.ParseFloat(rec[4], 64); err != nil {
+		return sample, fmt.Errorf("trace: bad z %q: %w", rec[4], err)
+	}
+	sample.Seated = rec[5] == "1"
+	return sample, nil
+}
+
+// ReadCSV parses a trace written by WriteCSV, materialising the stream.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	src, err := NewCSVSource(r)
+	if err != nil {
+		return nil, err
+	}
+	return materialize(src)
+}
+
+// materialize drains a described file source into a validated trace.
+func materialize(src Source) (*Trace, error) {
+	tr, err := Collect(context.Background(), src, "", 0)
+	if err != nil {
+		return nil, err
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -252,8 +328,19 @@ func (tr *Trace) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a trace written by WriteBinary.
-func ReadBinary(r io.Reader) (*Trace, error) {
+// BinarySource streams snapshots from a binary trace. Only one snapshot's
+// samples are resident at a time, so a multi-gigabyte archive replays in
+// constant memory.
+type BinarySource struct {
+	br        *bufio.Reader
+	info      Info
+	remaining uint64 // snapshots left to read
+	t         int64  // running timestamp (deltas accumulate)
+}
+
+// NewBinarySource parses the binary header and positions the source at
+// the first snapshot.
+func NewBinarySource(r io.Reader) (*BinarySource, error) {
 	br := bufio.NewReader(r)
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -265,21 +352,7 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if magic[4] != binVersion {
 		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
 	}
-	readString := func() (string, error) {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return "", err
-		}
-		if n > 1<<20 {
-			return "", fmt.Errorf("trace: unreasonable string length %d", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	land, err := readString()
+	land, err := readBinString(br)
 	if err != nil {
 		return nil, err
 	}
@@ -287,67 +360,119 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := New(land, int64(tau))
+	src := &BinarySource{
+		br:   br,
+		info: Info{Land: land, Tau: int64(tau), Meta: make(map[string]string)},
+	}
 	nMeta, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
 	for i := uint64(0); i < nMeta; i++ {
-		k, err := readString()
+		k, err := readBinString(br)
 		if err != nil {
 			return nil, err
 		}
-		v, err := readString()
+		v, err := readBinString(br)
 		if err != nil {
 			return nil, err
 		}
-		tr.Meta[k] = v
+		src.info.Meta[k] = v
 	}
-	nSnap, err := binary.ReadUvarint(br)
+	if src.remaining, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	return src, nil
+}
+
+func readBinString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: unreasonable string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Info reports the provenance parsed from the header.
+func (s *BinarySource) Info() Info { return s.info }
+
+// truncated maps a mid-snapshot io.EOF to io.ErrUnexpectedEOF: the
+// header promised more snapshots, so a clean EOF here is a truncated
+// file, and it must not read as the Source's end-of-stream sentinel.
+func truncated(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("trace: truncated binary trace: %w", io.ErrUnexpectedEOF)
+	}
+	return err
+}
+
+// Next decodes and returns the next snapshot, io.EOF past the last.
+func (s *BinarySource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	if s.remaining == 0 {
+		return Snapshot{}, io.EOF
+	}
+	s.remaining--
+	dt, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Snapshot{}, truncated(err)
+	}
+	s.t += int64(dt)
+	nSamp, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return Snapshot{}, truncated(err)
+	}
+	// Sanity-cap the count before allocating: a corrupt or malicious file
+	// must produce an error, not an out-of-memory crash. One snapshot
+	// holds a land's concurrent avatars — a million is far beyond any
+	// plausible land.
+	if nSamp > 1<<20 {
+		return Snapshot{}, fmt.Errorf("trace: unreasonable sample count %d in snapshot t=%d", nSamp, s.t)
+	}
+	snap := Snapshot{T: s.t, Samples: make([]Sample, 0, nSamp)}
+	for j := uint64(0); j < nSamp; j++ {
+		id, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return Snapshot{}, truncated(err)
+		}
+		var coords [3]float64
+		for c := range coords {
+			var buf [4]byte
+			if _, err := io.ReadFull(s.br, buf[:]); err != nil {
+				return Snapshot{}, truncated(err)
+			}
+			coords[c] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:])))
+		}
+		flags, err := s.br.ReadByte()
+		if err != nil {
+			return Snapshot{}, truncated(err)
+		}
+		snap.Samples = append(snap.Samples, Sample{
+			ID:     AvatarID(id),
+			Pos:    geom.V(coords[0], coords[1], coords[2]),
+			Seated: flags&1 != 0,
+		})
+	}
+	return snap, nil
+}
+
+// ReadBinary parses a trace written by WriteBinary, materialising the
+// stream.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	src, err := NewBinarySource(r)
 	if err != nil {
 		return nil, err
 	}
-	var t int64
-	for i := uint64(0); i < nSnap; i++ {
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		t += int64(dt)
-		nSamp, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		snap := Snapshot{T: t, Samples: make([]Sample, 0, nSamp)}
-		for j := uint64(0); j < nSamp; j++ {
-			id, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			var coords [3]float64
-			for c := range coords {
-				var buf [4]byte
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
-					return nil, err
-				}
-				coords[c] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[:])))
-			}
-			flags, err := br.ReadByte()
-			if err != nil {
-				return nil, err
-			}
-			snap.Samples = append(snap.Samples, Sample{
-				ID:     AvatarID(id),
-				Pos:    geom.V(coords[0], coords[1], coords[2]),
-				Seated: flags&1 != 0,
-			})
-		}
-		tr.Snapshots = append(tr.Snapshots, snap)
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
-	}
-	return tr, nil
+	return materialize(src)
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) error {
@@ -377,13 +502,52 @@ func WriteFile(tr *Trace, path string) error {
 
 // ReadFile reads a trace from path, selecting the codec by extension.
 func ReadFile(path string) (*Trace, error) {
+	fs, err := OpenStream(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fs.Close()
+	return materialize(fs)
+}
+
+// FileStream is a Source streaming snapshots from a trace file without
+// materialising it. Close it when done.
+type FileStream struct {
+	f   *os.File
+	src Source
+}
+
+// OpenStream opens a trace file for streaming, selecting the codec by
+// extension like ReadFile: ".csv" for CSV, anything else for binary.
+func OpenStream(path string) (*FileStream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	var src Source
 	if strings.HasSuffix(path, ".csv") {
-		return ReadCSV(f)
+		src, err = NewCSVSource(f)
+	} else {
+		var bs *BinarySource
+		bs, err = NewBinarySource(f)
+		src = bs
 	}
-	return ReadBinary(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStream{f: f, src: src}, nil
 }
+
+// Next yields the next snapshot from the file.
+func (fs *FileStream) Next(ctx context.Context) (Snapshot, error) {
+	return fs.src.Next(ctx)
+}
+
+// Info reports the provenance parsed from the file header.
+func (fs *FileStream) Info() Info {
+	return fs.src.(Described).Info()
+}
+
+// Close releases the underlying file.
+func (fs *FileStream) Close() error { return fs.f.Close() }

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"strconv"
+)
+
+// Source is the streaming producer interface of the measurement pipeline:
+// a monitor that yields one snapshot at a time, in strictly increasing
+// sim-time order. Next returns io.EOF when the measurement is over, and
+// ctx.Err() promptly after the context is cancelled — a Source never
+// blocks past cancellation.
+//
+// Implementations: the in-process simulation observer (world.NewSource),
+// the TCP crawler (crawler.Source), the sensor collector
+// (sensor.Collector.Source), and trace replay (Trace.Source, OpenStream).
+type Source interface {
+	Next(ctx context.Context) (Snapshot, error)
+}
+
+// Info describes a source's provenance: the monitored land, the snapshot
+// period, and free-form metadata — the same fields a materialised Trace
+// carries in its header.
+type Info struct {
+	Land string
+	Tau  int64
+	Meta map[string]string
+}
+
+// Size returns the land edge recorded in the "size" metadata key, or 0
+// when absent or unusable. Consumers fall back to the Second Life
+// standard 256 m.
+func (i Info) Size() float64 {
+	s, ok := i.Meta["size"]
+	if !ok {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0
+	}
+	return v
+}
+
+// Described is implemented by sources that know their provenance.
+// Consumers (the collector below, the analysis façade) use it to label
+// results without requiring a materialised trace.
+type Described interface {
+	Info() Info
+}
+
+// ReplaySource streams the snapshots of an in-memory trace. Snapshots are
+// not cloned: the consumer must not mutate them.
+type ReplaySource struct {
+	tr *Trace
+	i  int
+}
+
+// Source returns a streaming view of the trace, positioned at the first
+// snapshot.
+func (tr *Trace) Source() *ReplaySource {
+	return &ReplaySource{tr: tr}
+}
+
+// Next yields the next snapshot, io.EOF past the last.
+func (s *ReplaySource) Next(ctx context.Context) (Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return Snapshot{}, err
+	}
+	if s.i >= len(s.tr.Snapshots) {
+		return Snapshot{}, io.EOF
+	}
+	snap := s.tr.Snapshots[s.i]
+	s.i++
+	return snap, nil
+}
+
+// Info reports the replayed trace's provenance.
+func (s *ReplaySource) Info() Info {
+	return Info{Land: s.tr.Land, Tau: s.tr.Tau, Meta: s.tr.Meta}
+}
+
+// Collect drains a source into a materialised trace: the bridge from the
+// streaming pipeline to the batch consumers (file writers, the DTN
+// replayer). Land and tau label the result; when the source implements
+// Described, an empty land and a zero tau are filled from its Info, and
+// its metadata is copied.
+//
+// On error — including context cancellation — Collect returns the partial
+// trace collected so far alongside the error, so a crawl interrupted by
+// ^C still yields its data.
+func Collect(ctx context.Context, src Source, land string, tau int64) (*Trace, error) {
+	if d, ok := src.(Described); ok {
+		info := d.Info()
+		if land == "" {
+			land = info.Land
+		}
+		if tau == 0 {
+			tau = info.Tau
+		}
+		tr := New(land, tau)
+		for k, v := range info.Meta {
+			tr.Meta[k] = v
+		}
+		return collectInto(ctx, src, tr)
+	}
+	return collectInto(ctx, src, New(land, tau))
+}
+
+func collectInto(ctx context.Context, src Source, tr *Trace) (*Trace, error) {
+	for {
+		snap, err := src.Next(ctx)
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return tr, err
+		}
+		if err := tr.Append(snap); err != nil {
+			return tr, err
+		}
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"path/filepath"
 	"strings"
@@ -274,6 +275,42 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 	}
 	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+}
+
+// TestBinaryRejectsTruncated: a file cut off mid-stream must surface an
+// error, not read as a clean (shorter) trace — the header's snapshot
+// count is a promise, and the streaming source must not let a transport
+// io.EOF pose as its own end-of-stream sentinel.
+func TestBinaryRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for _, cut := range []int{len(whole) - 1, len(whole) - 7, len(whole) / 2} {
+		if _, err := ReadBinary(bytes.NewReader(whole[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes accepted", cut, len(whole))
+		}
+	}
+}
+
+// TestBinaryRejectsHugeSampleCount: a crafted header promising an absurd
+// per-snapshot sample count must error out, not attempt the allocation.
+func TestBinaryRejectsHugeSampleCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SLTR\x01")
+	buf.WriteByte(0)  // empty land name
+	buf.WriteByte(10) // tau
+	buf.WriteByte(0)  // no meta
+	buf.WriteByte(1)  // one snapshot
+	buf.WriteByte(10) // delta-T
+	// sample count 1<<40 as uvarint
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], 1<<40)
+	buf.Write(tmp[:n])
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("absurd sample count accepted")
 	}
 }
 

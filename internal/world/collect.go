@@ -1,21 +1,34 @@
 package world
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"strconv"
 
 	"slmob/internal/trace"
 )
 
-// Collect runs a fresh simulation of the scenario and samples the land
-// every tau seconds, exactly as the paper's crawler did (τ = 10 s). This
-// is the in-process fast path used by the experiment harness and the
-// benchmarks; cmd/slcrawl produces the same traces over the wire protocol.
+// Source streams τ-sampled snapshots out of a running in-process
+// simulation: the streaming producer behind the experiment harness and
+// the benchmarks. Each Next call advances the simulation by tau seconds
+// and observes the land, so memory stays constant no matter how long the
+// measurement runs; cmd/slcrawl produces the same snapshots over the wire
+// protocol.
 //
-// Seated avatars keep their true position in the returned trace along
+// Seated avatars keep their true position in the emitted samples along
 // with the Seated flag; the wire-protocol path degrades them to the
 // authentic {0,0,0} sentinel instead.
-func Collect(scn Scenario, tau int64) (*trace.Trace, error) {
+type Source struct {
+	sim *Sim
+	tau int64
+	buf []AvatarState
+}
+
+// NewSource validates the scenario, spawns the simulation, and returns a
+// source that yields one snapshot every tau simulated seconds until the
+// scenario duration elapses.
+func NewSource(scn Scenario, tau int64) (*Source, error) {
 	if tau <= 0 {
 		return nil, fmt.Errorf("world: non-positive tau %d", tau)
 	}
@@ -23,21 +36,56 @@ func Collect(scn Scenario, tau int64) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := trace.New(scn.Land.Name, tau)
-	tr.Meta["monitor"] = "in-process"
-	tr.Meta["seed"] = strconv.FormatUint(scn.Seed, 10)
-	tr.Meta["model"] = scn.Model.String()
-	var buf []AvatarState
-	for t := tau; t <= scn.Duration; t += tau {
-		sim.RunUntil(t)
-		buf = sim.ResidentStates(buf)
-		snap := trace.Snapshot{T: t, Samples: make([]trace.Sample, len(buf))}
-		for i, st := range buf {
-			snap.Samples[i] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
-		}
-		if err := tr.Append(snap); err != nil {
-			return nil, err
-		}
+	return &Source{sim: sim, tau: tau}, nil
+}
+
+// Sim exposes the underlying simulation (ground-truth inspection).
+func (s *Source) Sim() *Sim { return s.sim }
+
+// Info reports the monitored land's provenance.
+func (s *Source) Info() trace.Info {
+	scn := s.sim.Scenario()
+	return trace.Info{
+		Land: scn.Land.Name,
+		Tau:  s.tau,
+		Meta: map[string]string{
+			"monitor": "in-process",
+			"seed":    strconv.FormatUint(scn.Seed, 10),
+			"model":   scn.Model.String(),
+			"size":    strconv.FormatFloat(scn.Land.Size, 'g', -1, 64),
+		},
 	}
-	return tr, nil
+}
+
+// Next advances the simulation one snapshot period and samples the land.
+// It returns io.EOF once the scenario duration has been observed and
+// ctx.Err() promptly after cancellation.
+func (s *Source) Next(ctx context.Context) (trace.Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return trace.Snapshot{}, err
+	}
+	next := s.sim.Time() + s.tau
+	if next > s.sim.Scenario().Duration {
+		return trace.Snapshot{}, io.EOF
+	}
+	s.sim.RunUntil(next)
+	s.buf = s.sim.ResidentStates(s.buf)
+	snap := trace.Snapshot{T: next, Samples: make([]trace.Sample, len(s.buf))}
+	for i, st := range s.buf {
+		snap.Samples[i] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
+	}
+	return snap, nil
+}
+
+// Collect runs a fresh simulation of the scenario and materialises the
+// full τ-sampled trace, exactly as the paper's crawler did (τ = 10 s).
+//
+// Deprecated: Collect holds the whole trace in memory; stream through
+// NewSource instead when the consumer is incremental.
+func Collect(scn Scenario, tau int64) (*trace.Trace, error) {
+	src, err := NewSource(scn, tau)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Collect(context.Background(), src, "", 0)
 }

@@ -1,0 +1,220 @@
+package slmob
+
+import (
+	"context"
+	"fmt"
+
+	"slmob/internal/core"
+	"slmob/internal/fanout"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// Streaming pipeline types, re-exported for downstream use.
+type (
+	// SnapshotSource is the streaming producer interface: anything that
+	// yields τ-sampled snapshots — the in-process simulation, the TCP
+	// crawler, the sensor collector, or a trace file.
+	SnapshotSource = trace.Source
+	// Snapshot is one observation of every avatar on the land.
+	Snapshot = trace.Snapshot
+	// SourceInfo carries a source's provenance (land, τ, metadata).
+	SourceInfo = trace.Info
+	// Analyzer is the incremental analysis engine behind Run.
+	Analyzer = core.Analyzer
+	// TraceFileStream streams snapshots from a trace file.
+	TraceFileStream = trace.FileStream
+)
+
+// Option configures a streaming run. Options follow the functional-
+// options idiom: Run(ctx, scn, WithTau(10), WithRanges(10, 80)).
+type Option func(*options)
+
+type options struct {
+	tau      int64
+	tauSet   bool
+	land     string
+	cfg      core.Config
+	parallel int
+}
+
+func buildOptions(opts []Option) options {
+	o := options{tau: PaperTau}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithTau sets the snapshot period in simulated seconds (default: the
+// paper's 10 s). It overrides a source's own period in AnalyzeStream.
+func WithTau(tau int64) Option {
+	return func(o *options) { o.tau = tau; o.tauSet = true }
+}
+
+// WithRanges sets the communication ranges to analyse (default: the
+// paper's 10 m and 80 m).
+func WithRanges(ranges ...float64) Option {
+	return func(o *options) { o.cfg.Ranges = append([]float64(nil), ranges...) }
+}
+
+// WithZoneSize sets the zone-occupation cell edge (default: 20 m).
+func WithZoneSize(metres float64) Option {
+	return func(o *options) { o.cfg.ZoneSize = metres }
+}
+
+// WithMoveEps sets the minimum displacement counted as movement
+// (default: 0.5 m).
+func WithMoveEps(metres float64) Option {
+	return func(o *options) { o.cfg.MoveEps = metres }
+}
+
+// WithSessionGap sets the absence tolerance before a session splits
+// (default: 2τ).
+func WithSessionGap(seconds int64) Option {
+	return func(o *options) { o.cfg.SessionGap = seconds }
+}
+
+// WithLandSize sets the modelled land edge for zone occupation. Run
+// defaults it to the scenario's land; AnalyzeStream reads the source's
+// "size" metadata, falling back to the Second Life standard 256 m.
+func WithLandSize(metres float64) Option {
+	return func(o *options) { o.cfg.LandSize = metres }
+}
+
+// WithSeatedRepair treats {0,0,0} positions as seated — the Second Life
+// quirk — before spatial analysis. Enable for wire-protocol sources
+// (crawler, sensors), which cannot observe the seated state directly.
+func WithSeatedRepair() Option {
+	return func(o *options) { o.cfg.TreatZeroAsSeated = true }
+}
+
+// WithLand labels the analysis with a land name when the source does not
+// describe itself.
+func WithLand(name string) Option {
+	return func(o *options) { o.land = name }
+}
+
+// WithParallelLands bounds how many lands RunLands simulates concurrently
+// (default: all of them).
+func WithParallelLands(n int) Option {
+	return func(o *options) { o.parallel = n }
+}
+
+// WithAnalysisConfig replaces the whole analysis configuration at once,
+// for settings without a dedicated option.
+func WithAnalysisConfig(cfg AnalysisConfig) Option {
+	return func(o *options) { o.cfg = cfg }
+}
+
+// Run simulates the scenario and analyses it as one streaming pipeline:
+// snapshots flow from the in-process simulation straight into the
+// incremental analyzer. Pipeline state stays O(avatars + contact pairs)
+// — the trace is never materialised — though the result distributions of
+// the returned Analysis (contact samples, degree samples, zone counts)
+// still accumulate with measurement length, as they must.
+//
+// Run honours ctx: cancellation stops the simulation mid-stream and
+// returns ctx.Err().
+func Run(ctx context.Context, scn Scenario, opts ...Option) (*Analysis, error) {
+	o := buildOptions(opts)
+	src, err := world.NewSource(scn, o.tau)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.cfg
+	if cfg.LandSize == 0 {
+		cfg.LandSize = scn.Land.Size
+	}
+	a, err := core.NewAnalyzer(scn.Land.Name, o.tau, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Consume(ctx, src)
+}
+
+// RunLands runs the scenarios as independent streaming pipelines, at most
+// WithParallelLands at a time (default: all), and returns one Analysis
+// per scenario in input order. The first failure cancels the rest and is
+// reported as the root cause.
+func RunLands(ctx context.Context, scns []Scenario, opts ...Option) ([]*Analysis, error) {
+	o := buildOptions(opts)
+	return fanout.Run(ctx, len(scns), o.parallel,
+		func(ctx context.Context, i int) (*Analysis, error) {
+			an, err := Run(ctx, scns[i], opts...)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", scns[i].Land.Name, err)
+			}
+			return an, nil
+		})
+}
+
+// AnalyzeStream runs the incremental analysis over any snapshot source —
+// a crawler mid-flight, a sensor collector, a replayed trace file. When
+// the source describes itself (trace.Described), its land, period, and
+// size metadata label the analysis; explicit options win.
+func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*Analysis, error) {
+	o := buildOptions(opts)
+	land, tau, cfg := o.land, o.tau, o.cfg
+	if d, ok := src.(trace.Described); ok {
+		info := d.Info()
+		if land == "" {
+			land = info.Land
+		}
+		if !o.tauSet && info.Tau > 0 {
+			tau = info.Tau
+		}
+		if cfg.LandSize == 0 {
+			cfg.LandSize = info.Size()
+		}
+	}
+	a, err := core.NewAnalyzer(land, tau, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Consume(ctx, src)
+}
+
+// NewSource returns a streaming source over a fresh in-process simulation
+// of the scenario, one snapshot every tau seconds.
+func NewSource(scn Scenario, tau int64) (SnapshotSource, error) {
+	return world.NewSource(scn, tau)
+}
+
+// TraceSource returns a streaming view of an in-memory trace.
+func TraceSource(tr *Trace) SnapshotSource {
+	return tr.Source()
+}
+
+// OpenTraceStream opens a trace file for constant-memory streaming,
+// selecting the codec by extension like ReadTraceFile. Close it when
+// done.
+func OpenTraceStream(path string) (*TraceFileStream, error) {
+	return trace.OpenStream(path)
+}
+
+// CollectSource drains a source into a materialised trace — the bridge
+// to batch-only consumers such as the DTN replayer and the file writers.
+// Self-describing sources label the trace themselves; for a custom
+// SnapshotSource, supply WithLand and WithTau (an unlabelled source
+// falls back to the paper's τ so the trace is always valid).
+func CollectSource(ctx context.Context, src SnapshotSource, opts ...Option) (*Trace, error) {
+	o := buildOptions(opts)
+	var tau int64
+	if o.tauSet {
+		tau = o.tau
+	}
+	tr, err := trace.Collect(ctx, src, o.land, tau)
+	if tr != nil && tr.Tau <= 0 {
+		tr.Tau = o.tau
+	}
+	return tr, err
+}
+
+// ReadTraceFile reads a trace from disk (".csv" for CSV, anything else
+// for the compact binary format).
+func ReadTraceFile(path string) (*Trace, error) { return trace.ReadFile(path) }
+
+// WriteTraceFile writes a trace to disk, selecting the codec the same
+// way.
+func WriteTraceFile(tr *Trace, path string) error { return trace.WriteFile(tr, path) }

@@ -6,20 +6,34 @@
 // spatial / graph-theoretic analysis behind every figure in the paper,
 // and the trace-driven DTN replay the paper motivates.
 //
-// This package is the high-level façade. Typical use:
+// This package is the high-level façade. The primary API is the
+// streaming pipeline: snapshots flow from a SnapshotSource (in-process
+// simulation, TCP crawler, sensor collector, or trace file) into the
+// incremental analyzer under a context, without ever materialising the
+// trace. Typical use:
 //
 //	scn := slmob.ApfelLand(42)
 //	scn.Duration = 6 * 3600
-//	tr, err := slmob.CollectTrace(scn, slmob.PaperTau)
-//	an, err := slmob.Analyze(tr)
+//	an, err := slmob.Run(ctx, scn, slmob.WithTau(10), slmob.WithRanges(10, 80))
 //	fmt.Println(an.Summary, slmob.Median(an.Contacts[slmob.BluetoothRange].CT))
 //
+// Any other source analyses the same way:
+//
+//	fs, err := slmob.OpenTraceStream("dance.sltr")
+//	an, err := slmob.AnalyzeStream(ctx, fs, slmob.WithSeatedRepair())
+//
+// The batch entry points (CollectTrace, Analyze) remain as thin wrappers
+// for workloads that genuinely need the materialised trace, such as the
+// DTN replayer.
+//
 // The subsystems live in internal packages; everything a downstream user
-// needs is re-exported here. DESIGN.md documents the architecture and the
-// per-experiment index; EXPERIMENTS.md records paper-vs-measured values.
+// needs is re-exported here. DESIGN.md documents the architecture, the
+// streaming pipeline, and the per-experiment index; EXPERIMENTS.md
+// records paper-vs-measured values.
 package slmob
 
 import (
+	"context"
 	"math"
 
 	"slmob/internal/core"
@@ -98,28 +112,47 @@ const (
 )
 
 // CollectTrace simulates the scenario and samples avatar positions every
-// tau seconds, in process (the fast path used by the benchmarks). The
-// network path — cmd/slsim plus cmd/slcrawl — produces equivalent traces
-// over TCP.
+// tau seconds, in process, materialising the whole trace. The network
+// path — cmd/slsim plus cmd/slcrawl — produces equivalent traces over
+// TCP.
+//
+// Deprecated: use Run for analysis (it streams in constant memory), or
+// NewSource + CollectSource when the materialised trace itself is needed.
 func CollectTrace(scn Scenario, tau int64) (*Trace, error) {
 	return world.Collect(scn, tau)
 }
 
 // Analyze runs the paper's full analysis with default parameters
-// (r ∈ {10, 80}, L = 20 m).
+// (r ∈ {10, 80}, L = 20 m), re-walking the trace once per metric.
+//
+// Deprecated: use Run (simulation) or AnalyzeStream (any source) — the
+// streaming pipeline computes the same Analysis in a single pass.
 func Analyze(tr *Trace) (*Analysis, error) {
 	return core.Analyze(tr, core.Config{})
 }
 
 // AnalyzeWith runs the analysis with explicit configuration.
+//
+// Deprecated: use AnalyzeStream with options (WithRanges, WithZoneSize,
+// WithSeatedRepair, ...) over TraceSource(tr).
 func AnalyzeWith(tr *Trace, cfg AnalysisConfig) (*Analysis, error) {
 	return core.Analyze(tr, cfg)
 }
 
 // RunPaperLands simulates and analyses all three target lands for the
 // given duration (use Day for the paper's 24 h).
+//
+// Deprecated: use RunPaperLandsContext, which streams and honours
+// cancellation — or RunLands over PaperLands scenarios when option
+// control (WithParallelLands, WithRanges, ...) is needed.
 func RunPaperLands(seed uint64, duration int64) ([]*LandRun, error) {
-	return experiment.RunLands(seed, duration, PaperTau)
+	return experiment.RunLands(context.Background(), seed, duration, PaperTau)
+}
+
+// RunPaperLandsContext simulates and analyses the three target lands as
+// concurrent streaming pipelines under a context.
+func RunPaperLandsContext(ctx context.Context, seed uint64, duration int64) ([]*LandRun, error) {
+	return experiment.RunLands(ctx, seed, duration, PaperTau)
 }
 
 // BuildReport compares three land runs against the paper's published
