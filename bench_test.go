@@ -397,6 +397,79 @@ func BenchmarkPipelineStreaming24hApfel(b *testing.B) {
 	reportPipelineMetrics(b, scn.Duration/core.PaperTau, base, end)
 }
 
+// Estate fixture for P3: one simulated hour of the 4×4 mainland preset,
+// materialised once per process so both worker configurations replay the
+// identical stream.
+var (
+	estateOnce   sync.Once
+	estateInfos  []trace.Info
+	estateTraces []*trace.Trace
+	estateErr    error
+)
+
+func estateHourTraces(b *testing.B) ([]trace.Info, []*trace.Trace) {
+	b.Helper()
+	estateOnce.Do(func() {
+		est := world.MainlandEstate(benchSeed)
+		est.Duration = 3600
+		src, err := world.NewEstateSource(est, core.PaperTau)
+		if err != nil {
+			estateErr = err
+			return
+		}
+		estateInfos = src.Regions()
+		estateTraces, estateErr = trace.CollectEstate(context.Background(), src)
+	})
+	if estateErr != nil {
+		b.Fatal(estateErr)
+	}
+	return estateInfos, estateTraces
+}
+
+// benchEstateAnalysis times the sharded analysis of the mainland hour at
+// a given region-worker count. Simulation cost is excluded: the
+// benchmark isolates exactly the work WithRegionWorkers parallelises.
+func benchEstateAnalysis(b *testing.B, workers int) {
+	infos, trs := estateHourTraces(b)
+	metas, err := core.RegionMetasFromInfos(infos)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *core.EstateAnalysis
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		replay, err := trace.NewEstateReplay(infos, trs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ea, err := core.NewEstateAnalyzer("Mainland", metas, core.PaperTau, core.Config{}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last, err = ea.Consume(context.Background(), replay)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Global.Summary.Unique), "unique")
+	b.ReportMetric(float64(last.Global.Contacts[core.BluetoothRange].Pairs), "global_pairs_r10")
+}
+
+// P3 — sharded estate analysis, sequential baseline: one region at a
+// time (WithRegionWorkers(1)).
+func BenchmarkP3EstateAnalysisSequential(b *testing.B) {
+	benchEstateAnalysis(b, 1)
+}
+
+// P3 — sharded estate analysis, parallel: per-region analyzers fan out
+// over four workers (the WithRegionWorkers(N) path). The reported
+// results are identical to the sequential run — the worker count is
+// pure wall-clock leverage, realised on multi-core hardware.
+func BenchmarkP3EstateAnalysisParallel(b *testing.B) {
+	benchEstateAnalysis(b, 4)
+}
+
 // X4 — sensor architecture versus crawler coverage.
 func BenchmarkX4_SensorVsCrawler(b *testing.B) {
 	scn := world.ApfelLand(benchSeed)

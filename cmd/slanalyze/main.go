@@ -8,9 +8,16 @@
 // decoded and folded into the running metrics one at a time, so a
 // multi-gigabyte archive analyses in constant memory.
 //
+// With multiple input files the tool switches to estate mode: each file
+// is one region of a sharded estate (as written by slsim -estate), the
+// regions are analysed on parallel workers, and the estate-global
+// summary — whose contacts stay correct across region borders and
+// handoffs — is printed alongside each region's.
+//
 // Usage:
 //
 //	slanalyze -in dance.sltr -figdir figures/
+//	slanalyze -workers 4 region0.sltr region1.sltr region2.sltr
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os/signal"
 	"path/filepath"
 
+	"slmob"
 	"slmob/internal/core"
 	"slmob/internal/stats"
 	"slmob/internal/trace"
@@ -29,25 +37,43 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input trace file (.csv or binary)")
-		figdir = flag.String("figdir", "", "write per-metric CSV curves to this directory")
-		zeroOK = flag.Bool("repair-seated", true, "treat {0,0,0} positions as seated (the SL quirk)")
+		in      = flag.String("in", "", "input trace file (.csv or binary)")
+		figdir  = flag.String("figdir", "", "write per-metric CSV curves to this directory")
+		zeroOK  = flag.Bool("repair-seated", true, "treat {0,0,0} positions as seated (the SL quirk)")
+		estate  = flag.String("estate", "", "label for the estate-global results in multi-file mode")
+		workers = flag.Int("workers", 0, "regions analysed concurrently in multi-file mode (0: GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *in == "" {
+	paths := flag.Args()
+	if *in != "" {
+		paths = append([]string{*in}, paths...)
+	}
+	if len(paths) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fs, err := trace.OpenStream(*in)
+	if len(paths) > 1 {
+		if *figdir != "" {
+			log.Printf("slanalyze: -figdir applies to single-file mode only, ignoring")
+		}
+		analyzeEstate(ctx, paths, *estate, *workers, *zeroOK)
+		return
+	}
+
+	fs, err := trace.OpenStream(paths[0])
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer fs.Close()
 	info := fs.Info()
-	cfg := core.Config{TreatZeroAsSeated: *zeroOK, LandSize: info.Size()}
+	size, err := info.Size()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{TreatZeroAsSeated: *zeroOK, LandSize: size}
 	analyzer, err := core.NewAnalyzer(info.Land, info.Tau, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -138,5 +164,42 @@ func main() {
 			f.Close()
 		}
 		fmt.Printf("slanalyze: wrote %d CSV panels to %s\n", len(panels), *figdir)
+	}
+}
+
+// analyzeEstate zips the region files into one estate stream and runs
+// the sharded façade pipeline: per-region analyzers on parallel workers
+// plus the estate-global pass.
+func analyzeEstate(ctx context.Context, paths []string, estate string, workers int, zeroOK bool) {
+	es, err := slmob.OpenEstateTraceStream(paths...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer es.Close()
+	opts := []slmob.Option{slmob.WithRegionWorkers(workers)}
+	if zeroOK {
+		opts = append(opts, slmob.WithSeatedRepair())
+	}
+	if estate != "" {
+		opts = append(opts, slmob.WithLand(estate))
+	}
+	res, err := slmob.AnalyzeEstateStream(ctx, es, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== estate %s (%d regions)\n", res.Estate, len(res.Regions))
+	fmt.Printf("   global: %s\n", res.Global.Summary)
+	for _, r := range []float64{core.BluetoothRange, core.WiFiRange} {
+		cs := res.Global.Contacts[r]
+		fmt.Printf("-- global r = %gm (contacts correct across borders and handoffs)\n", r)
+		fmt.Printf("   contact time:       %s\n", stats.Summarize(cs.CT))
+		fmt.Printf("   inter-contact time: %s\n", stats.Summarize(cs.ICT))
+		fmt.Printf("   first contact time: %s (never contacted: %d, censored contacts: %d)\n",
+			stats.Summarize(cs.FT), cs.NeverContacted, cs.Censored)
+	}
+	fmt.Printf("-- per region\n")
+	for _, ra := range res.Regions {
+		fmt.Printf("   %s\n", ra.Summary)
 	}
 }

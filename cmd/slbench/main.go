@@ -4,13 +4,20 @@
 // renders every figure panel as an ASCII chart, and optionally exports
 // the panels as CSV.
 //
+// With -land it benchmarks a single region instead — the short-cycle
+// smoke configuration CI runs — and with -json it writes the wall time
+// and headline metrics as machine-readable JSON, the format of the
+// BENCH_*.json performance trajectory.
+//
 // Usage:
 //
 //	slbench -seed 1 -out figures/
+//	slbench -land apfel -duration 3600 -ascii=false -json BENCH_smoke.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -21,8 +28,48 @@ import (
 
 	"slmob/internal/core"
 	"slmob/internal/experiment"
+	"slmob/internal/stats"
 	"slmob/internal/world"
 )
+
+// landMetrics is one land's headline numbers in the JSON output.
+type landMetrics struct {
+	Name           string  `json:"name"`
+	Unique         int     `json:"unique"`
+	MeanConcurrent float64 `json:"mean_concurrent"`
+	MaxConcurrent  int     `json:"max_concurrent"`
+	CTMedianR10    float64 `json:"ct_median_r10_s"`
+	ICTMedianR10   float64 `json:"ict_median_r10_s"`
+	DegZeroFracR10 float64 `json:"deg_zero_frac_r10"`
+}
+
+// benchOutput is the JSON artifact schema.
+type benchOutput struct {
+	Seed        uint64        `json:"seed"`
+	DurationSec int64         `json:"duration_sec"`
+	Tau         int64         `json:"tau_sec"`
+	WallMS      int64         `json:"wall_ms"`
+	Lands       []landMetrics `json:"lands"`
+}
+
+func metricsOf(an *core.Analysis) landMetrics {
+	med := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Summarize(xs).Median
+	}
+	cs := an.Contacts[core.BluetoothRange]
+	return landMetrics{
+		Name:           an.Land,
+		Unique:         an.Summary.Unique,
+		MeanConcurrent: an.Summary.MeanConcurrent,
+		MaxConcurrent:  an.Summary.MaxConcurrent,
+		CTMedianR10:    med(cs.CT),
+		ICTMedianR10:   med(cs.ICT),
+		DegZeroFracR10: an.Nets[core.BluetoothRange].DegreeZeroFraction(),
+	}
+}
 
 func main() {
 	var (
@@ -30,6 +77,8 @@ func main() {
 		duration = flag.Int64("duration", world.DayDuration, "measurement length in sim seconds")
 		out      = flag.String("out", "", "write figure CSVs to this directory")
 		ascii    = flag.Bool("ascii", true, "render ASCII figures")
+		land     = flag.String("land", "", "benchmark a single land (apfel, dance, isle) instead of all three")
+		jsonOut  = flag.String("json", "", "write wall time and headline metrics as JSON to this file")
 	)
 	flag.Parse()
 
@@ -37,18 +86,61 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	fmt.Printf("slbench: simulating the three target lands for %d sim seconds (seed %d)...\n",
-		*duration, *seed)
-	runs, err := experiment.RunLands(ctx, *seed, *duration, core.PaperTau)
-	if err != nil {
-		log.Fatal(err)
+	var runs []*experiment.LandRun
+	if *land != "" {
+		scn, err := world.PaperLand(*land, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scn.Duration = *duration
+		fmt.Printf("slbench: simulating %q for %d sim seconds (seed %d)...\n",
+			scn.Land.Name, *duration, *seed)
+		run, err := experiment.RunLand(ctx, scn, core.PaperTau)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = []*experiment.LandRun{run}
+	} else {
+		fmt.Printf("slbench: simulating the three target lands for %d sim seconds (seed %d)...\n",
+			*duration, *seed)
+		var err error
+		runs, err = experiment.RunLands(ctx, *seed, *duration, core.PaperTau)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	fmt.Printf("slbench: simulation + analysis took %s\n\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	fmt.Printf("slbench: simulation + analysis took %s\n\n", wall.Round(time.Millisecond))
 
 	for _, run := range runs {
 		fmt.Println(run.Analysis.Summary.String())
 	}
 	fmt.Println()
+
+	if *jsonOut != "" {
+		bo := benchOutput{
+			Seed:        *seed,
+			DurationSec: *duration,
+			Tau:         core.PaperTau,
+			WallMS:      wall.Milliseconds(),
+		}
+		for _, run := range runs {
+			bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
+		}
+		data, err := json.MarshalIndent(bo, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("slbench: wrote metrics JSON to %s\n", *jsonOut)
+	}
+
+	if *land != "" {
+		// The paper report and figures need all three lands.
+		return
+	}
 
 	rep, err := experiment.BuildReport(runs)
 	if err != nil {

@@ -79,7 +79,10 @@ type Analysis struct {
 // snapshot stream in a single pass without materialising the trace.
 func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
 	if cfg.LandSize == 0 {
-		cfg.LandSize = landSizeOf(tr)
+		var err error
+		if cfg.LandSize, err = landSizeOf(tr); err != nil {
+			return nil, err
+		}
 	}
 	cfg = cfg.withDefaults(tr.Tau)
 	if err := tr.Validate(); err != nil {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 
 	"slmob/internal/geom"
 	"slmob/internal/graph"
@@ -48,8 +47,7 @@ type Analyzer struct {
 	zones      []float64
 
 	// Trip sessionisation.
-	open   map[trace.AvatarID]*sessionState
-	closed []closedSession
+	trips *tripTracker
 
 	// Per-snapshot scratch, reused across Observe calls.
 	ids       []trace.AvatarID
@@ -57,19 +55,11 @@ type Analyzer struct {
 	dup       map[trace.AvatarID]struct{}
 }
 
-// rangeState carries one communication range's running contact state
-// machine and line-of-sight accumulators.
+// rangeState pairs one communication range's contact state machine with
+// its line-of-sight accumulators.
 type rangeState struct {
-	// pairs holds every pair ever observed in contact (their lastEnd
-	// feeds inter-contact times); active holds only the subset currently
-	// in contact, so per-snapshot end detection is O(active), not
-	// O(pairs ever seen).
-	pairs        map[pairKey]*pairState
-	active       map[pairKey]*pairState
-	firstContact map[trace.AvatarID]int64
-	inContactNow map[pairKey]struct{}
-	cs           *ContactSet
-	nm           *NetMetrics
+	ct *contactTracker
+	nm *NetMetrics
 }
 
 // sessionState is one avatar's open presence on the land.
@@ -118,17 +108,13 @@ func NewAnalyzer(land string, tau int64, cfg Config) (*Analyzer, error) {
 		firstSeenT: make(map[trace.AvatarID]int64),
 		zoneN:      n,
 		zoneCounts: make([]int, n*n),
-		open:       make(map[trace.AvatarID]*sessionState),
+		trips:      newTripTracker(cfg.MoveEps, cfg.SessionGap),
 		dup:        make(map[trace.AvatarID]struct{}),
 	}
 	for _, r := range cfg.Ranges {
 		a.ranges = append(a.ranges, &rangeState{
-			pairs:        make(map[pairKey]*pairState),
-			active:       make(map[pairKey]*pairState),
-			firstContact: make(map[trace.AvatarID]int64),
-			inContactNow: make(map[pairKey]struct{}),
-			cs:           &ContactSet{Range: r, Tau: tau},
-			nm:           &NetMetrics{Range: r},
+			ct: newContactTracker(r, tau),
+			nm: &NetMetrics{Range: r},
 		})
 	}
 	return a, nil
@@ -186,7 +172,9 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 		a.observeRange(a.ranges[i], r, snap.T)
 	}
 	a.observeZones()
-	a.observeTrips(snap)
+	for _, s := range snap.Samples {
+		a.trips.observe(s.ID, s.Pos, a.seated(s), snap.T)
+	}
 	return nil
 }
 
@@ -194,56 +182,7 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 // line-of-sight metrics, sharing a single proximity graph between both.
 func (a *Analyzer) observeRange(rs *rangeState, r float64, t int64) {
 	g := graph.FromPositions(a.positions, r)
-
-	// Pairs in range this snapshot, and first contacts.
-	clear(rs.inContactNow)
-	for i := range a.ids {
-		if g.Degree(i) > 0 {
-			if _, ok := rs.firstContact[a.ids[i]]; !ok {
-				rs.firstContact[a.ids[i]] = t
-			}
-		}
-		for _, j := range g.Neighbors(i) {
-			if int(j) > i {
-				rs.inContactNow[makePair(a.ids[i], a.ids[int(j)])] = struct{}{}
-			}
-		}
-	}
-
-	// Transitions: starts and continuations.
-	for pk := range rs.inContactNow {
-		st := rs.pairs[pk]
-		if st == nil {
-			st = &pairState{}
-			rs.pairs[pk] = st
-			rs.cs.Pairs++
-		}
-		if !st.inContact {
-			st.inContact = true
-			st.start = t
-			st.leftCensored = t == a.firstT
-			if st.hasPrev {
-				rs.cs.ICT = append(rs.cs.ICT, float64(t-st.lastEnd))
-			}
-			rs.active[pk] = st
-		}
-		st.lastSeen = t
-	}
-	// Transitions: ends (in contact before, not now).
-	for pk, st := range rs.active {
-		if _, ok := rs.inContactNow[pk]; !ok {
-			if st.leftCensored {
-				rs.cs.Censored++
-			} else {
-				rs.cs.CT = append(rs.cs.CT, float64(st.lastSeen-st.start+a.tau))
-			}
-			st.lastEnd = st.lastSeen
-			st.hasPrev = true
-			st.inContact = false
-			st.leftCensored = false
-			delete(rs.active, pk)
-		}
-	}
+	rs.ct.observe(a.ids, g, t, t == a.firstT)
 
 	// Line-of-sight metrics; snapshots without users are skipped.
 	if len(a.positions) == 0 {
@@ -272,46 +211,6 @@ func (a *Analyzer) observeZones() {
 	for _, c := range a.zoneCounts {
 		a.zones = append(a.zones, float64(c))
 	}
-}
-
-// observeTrips advances the per-avatar sessionisation: an avatar absent
-// longer than the session gap logs out and back in.
-func (a *Analyzer) observeTrips(snap trace.Snapshot) {
-	for _, s := range snap.Samples {
-		ss := a.open[s.ID]
-		if ss != nil && snap.T-ss.last > a.cfg.SessionGap {
-			a.closeSession(s.ID, ss)
-			ss = nil
-		}
-		if ss == nil {
-			ss = &sessionState{login: snap.T}
-			a.open[s.ID] = ss
-		}
-		ss.last = snap.T
-		if a.seated(s) {
-			continue
-		}
-		if ss.hasPrev {
-			d := s.Pos.DistXY(ss.prevPos)
-			ss.length += d
-			if d > a.cfg.MoveEps {
-				ss.moving += snap.T - ss.prevT
-			}
-		}
-		ss.hasPrev = true
-		ss.prevPos = s.Pos
-		ss.prevT = snap.T
-	}
-}
-
-func (a *Analyzer) closeSession(id trace.AvatarID, ss *sessionState) {
-	a.closed = append(a.closed, closedSession{
-		id:       id,
-		login:    ss.login,
-		duration: ss.last - ss.login,
-		length:   ss.length,
-		moving:   ss.moving,
-	})
 }
 
 // Finish closes censored contacts and open sessions and returns the
@@ -343,37 +242,10 @@ func (a *Analyzer) Finish() (*Analysis, error) {
 
 	for i, r := range a.cfg.Ranges {
 		rs := a.ranges[i]
-		// Contacts still open at the end of the stream are right-censored.
-		rs.cs.Censored += len(rs.active)
-		// First-contact times.
-		for id, t0 := range a.firstSeenT {
-			if tc, ok := rs.firstContact[id]; ok {
-				rs.cs.FT = append(rs.cs.FT, float64(tc-t0))
-			} else {
-				rs.cs.NeverContacted++
-			}
-		}
-		an.Contacts[r] = rs.cs
+		an.Contacts[r] = rs.ct.finish(a.firstSeenT)
 		an.Nets[r] = rs.nm
 	}
-
-	// Close open sessions and emit trips in the batch path's order.
-	for id, ss := range a.open {
-		a.closeSession(id, ss)
-	}
-	sort.Slice(a.closed, func(i, j int) bool {
-		if a.closed[i].login != a.closed[j].login {
-			return a.closed[i].login < a.closed[j].login
-		}
-		return a.closed[i].id < a.closed[j].id
-	})
-	ts := &TripStats{}
-	for _, cs := range a.closed {
-		ts.TravelTime = append(ts.TravelTime, float64(cs.duration))
-		ts.TravelLength = append(ts.TravelLength, cs.length)
-		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(cs.moving))
-	}
-	an.Trips = ts
+	an.Trips = a.trips.finish()
 	return an, nil
 }
 

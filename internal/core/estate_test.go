@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// scriptedEstate replays hand-built ticks as an EstateSource.
+type scriptedEstate struct {
+	infos []trace.Info
+	ticks []trace.EstateTick
+	i     int
+}
+
+func (s *scriptedEstate) Regions() []trace.Info { return s.infos }
+
+func (s *scriptedEstate) NextTick(ctx context.Context) (trace.EstateTick, error) {
+	if err := ctx.Err(); err != nil {
+		return trace.EstateTick{}, err
+	}
+	if s.i >= len(s.ticks) {
+		return trace.EstateTick{}, io.EOF
+	}
+	tick := s.ticks[s.i]
+	s.i++
+	return tick, nil
+}
+
+// twoRegionMetas places two 256 m regions side by side.
+func twoRegionMetas() []RegionMeta {
+	return []RegionMeta{
+		{Name: "west", Origin: geom.V2(0, 0), Size: 256},
+		{Name: "east", Origin: geom.V2(256, 0), Size: 256},
+	}
+}
+
+// tick builds one estate tick from per-region sample lists.
+func tick(t int64, west, east []trace.Sample) trace.EstateTick {
+	return trace.EstateTick{T: t, Regions: []trace.Snapshot{
+		{T: t, Samples: west},
+		{T: t, Samples: east},
+	}}
+}
+
+// TestBorderContactSpansHandoff is the acceptance test for estate-global
+// contact correctness: avatar 1 walks up to the border of the west
+// region, meets avatar 2 standing just inside the east region, and is
+// then handed off mid-contact. The global analysis must count one
+// contact covering the whole encounter; the per-region view of the east
+// region — which only sees avatar 1 after the handoff — splits it.
+func TestBorderContactSpansHandoff(t *testing.T) {
+	a1 := func(pos geom.Vec) trace.Sample { return trace.Sample{ID: 1, Pos: pos} }
+	a2 := trace.Sample{ID: 2, Pos: geom.V2(4, 100)} // global x = 260
+	src := &scriptedEstate{
+		infos: []trace.Info{{Land: "west", Region: "west", Tau: 10}, {Land: "east", Region: "east", Origin: geom.V2(256, 0), Tau: 10}},
+		ticks: []trace.EstateTick{
+			// Approaching: global distance 64, out of Bluetooth range.
+			tick(10, []trace.Sample{a1(geom.V2(200, 100))}, []trace.Sample{a2}),
+			// At the border: global distance 10 — contact starts.
+			tick(20, []trace.Sample{a1(geom.V2(250, 100))}, []trace.Sample{a2}),
+			// Handed off: avatar 1 now reports from the east region.
+			tick(30, nil, []trace.Sample{a1(geom.V2(2, 100)), a2}),
+			tick(40, nil, []trace.Sample{a1(geom.V2(3, 100)), a2}),
+			tick(50, nil, []trace.Sample{a1(geom.V2(6, 100)), a2}),
+			// Walked away: contact over.
+			tick(60, nil, []trace.Sample{a1(geom.V2(100, 100)), a2}),
+			tick(70, nil, []trace.Sample{a1(geom.V2(100, 100)), a2}),
+		},
+	}
+	ea, err := NewEstateAnalyzer("pair", twoRegionMetas(), 10, Config{Ranges: []float64{10}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ea.Consume(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := res.Global.Contacts[10]
+	if g.Pairs != 1 || g.Censored != 0 {
+		t.Fatalf("global pairs/censored = %d/%d, want 1/0", g.Pairs, g.Censored)
+	}
+	if len(g.CT) != 1 || g.CT[0] != 40 {
+		t.Fatalf("global CT = %v, want one contact of 40 s (t=20..50 + tau)", g.CT)
+	}
+	// The per-region east analyzer only sees the post-handoff tail.
+	east := res.Regions[1].Contacts[10]
+	if len(east.CT) != 1 || east.CT[0] != 30 {
+		t.Fatalf("east region CT = %v, want the split 30 s tail", east.CT)
+	}
+	if west := res.Regions[0].Contacts[10]; len(west.CT) != 0 || west.Pairs != 0 {
+		t.Fatalf("west region saw a contact: %+v", west)
+	}
+	// The global session of avatar 1 spans the handoff: one trip, not two.
+	if n := len(res.Global.Trips.TravelTime); n != 2 {
+		t.Fatalf("global trips = %d sessions, want 2 (one per avatar)", n)
+	}
+}
+
+// TestEstateAnalyzerRejectsDuplicateAvatars: an avatar reported by two
+// regions in one tick violates the estate invariant and must error.
+func TestEstateAnalyzerRejectsDuplicateAvatars(t *testing.T) {
+	s := trace.Sample{ID: 7, Pos: geom.V2(10, 10)}
+	src := &scriptedEstate{
+		infos: []trace.Info{{Land: "west", Tau: 10}, {Land: "east", Tau: 10}},
+		ticks: []trace.EstateTick{tick(10, []trace.Sample{s}, []trace.Sample{s})},
+	}
+	ea, err := NewEstateAnalyzer("pair", twoRegionMetas(), 10, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ea.Consume(context.Background(), src); err == nil {
+		t.Fatal("duplicate avatar across regions not rejected")
+	}
+}
+
+// estateSource builds a live world estate stream for analyzer tests.
+func estateSource(t *testing.T, crossProb float64, duration int64) *world.EstateSource {
+	t.Helper()
+	cfg := world.EstateConfig{
+		Name: "grid",
+		Rows: 2,
+		Cols: 2,
+		Regions: []world.Scenario{
+			world.ApfelLand(21), world.DanceIsland(22),
+			world.IsleOfView(23), world.DanceIsland(24),
+		},
+		CrossProb:    crossProb,
+		TeleportProb: crossProb / 4,
+		Seed:         5,
+		Duration:     duration,
+	}
+	cfg.Regions[3].Land.Name = "Dance Island B"
+	es, err := world.NewEstateSource(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return es
+}
+
+// analyzeEstate runs a fresh EstateAnalyzer over a fresh copy of the
+// stream with the given worker count.
+func analyzeEstate(t *testing.T, workers int) *EstateAnalysis {
+	t.Helper()
+	es := estateSource(t, 0.01, 1800)
+	metas, err := RegionMetasFromInfos(es.Regions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := NewEstateAnalyzer("grid", metas, 10, Config{}, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ea.Consume(context.Background(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestEstateWorkerInvariance: the worker count is a performance knob,
+// never a results knob — sequential (1) and parallel (4) analysis of the
+// same deterministic estate stream must agree region by region and
+// globally.
+func TestEstateWorkerInvariance(t *testing.T) {
+	seq := analyzeEstate(t, 1)
+	par := analyzeEstate(t, 4)
+	if len(seq.Regions) != 4 || len(par.Regions) != 4 {
+		t.Fatalf("region counts = %d/%d, want 4/4", len(seq.Regions), len(par.Regions))
+	}
+	for i := range seq.Regions {
+		for _, d := range DiffAnalyses(par.Regions[i], seq.Regions[i]) {
+			t.Errorf("region %d: %s", i, d)
+		}
+	}
+	// Global Nets is intentionally nil; compare the rest via the
+	// standard parity differ with empty Nets on both sides.
+	for _, d := range DiffAnalyses(par.Global, seq.Global) {
+		t.Errorf("global: %s", d)
+	}
+	if par.Global.Summary.Unique == 0 || len(par.Global.Contacts[BluetoothRange].CT) == 0 {
+		t.Fatal("global analysis is empty")
+	}
+}

@@ -112,11 +112,16 @@ func NormalizeSeated(tr *trace.Trace) *trace.Trace {
 	return out
 }
 
-// landSizeOf extracts the land size from trace metadata, defaulting to the
-// Second Life standard 256 m.
-func landSizeOf(tr *trace.Trace) float64 {
-	if v := (trace.Info{Meta: tr.Meta}).Size(); v > 0 {
-		return v
+// landSizeOf extracts the land size from trace metadata, defaulting to
+// the Second Life standard 256 m when the key is absent. A present but
+// malformed value is a decode error, not a silent fallback.
+func landSizeOf(tr *trace.Trace) (float64, error) {
+	v, err := (trace.Info{Meta: tr.Meta}).Size()
+	if err != nil {
+		return 0, err
 	}
-	return 256
+	if v <= 0 {
+		return 256, nil
+	}
+	return v, nil
 }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sort"
+
+	"slmob/internal/geom"
+	"slmob/internal/graph"
+	"slmob/internal/trace"
+)
+
+// contactTracker is the per-range contact state machine shared by the
+// single-land Analyzer and the estate-global analysis: it folds one
+// proximity graph per snapshot into running CT/ICT/FT distributions.
+// Feeding it with observe per snapshot and calling finish once yields
+// exactly the ContactSet the batch ExtractContacts computes.
+type contactTracker struct {
+	tau int64
+	// pairs holds every pair ever observed in contact (their lastEnd
+	// feeds inter-contact times); active holds only the subset currently
+	// in contact, so per-snapshot end detection is O(active), not
+	// O(pairs ever seen).
+	pairs        map[pairKey]*pairState
+	active       map[pairKey]*pairState
+	firstContact map[trace.AvatarID]int64
+	inContactNow map[pairKey]struct{}
+	cs           *ContactSet
+}
+
+func newContactTracker(r float64, tau int64) *contactTracker {
+	return &contactTracker{
+		tau:          tau,
+		pairs:        make(map[pairKey]*pairState),
+		active:       make(map[pairKey]*pairState),
+		firstContact: make(map[trace.AvatarID]int64),
+		inContactNow: make(map[pairKey]struct{}),
+		cs:           &ContactSet{Range: r, Tau: tau},
+	}
+}
+
+// observe advances the state machine with the proximity graph g over the
+// avatars ids at snapshot time t. first marks the stream's first
+// snapshot, whose ongoing contacts are left-censored.
+func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, first bool) {
+	// Pairs in range this snapshot, and first contacts.
+	clear(c.inContactNow)
+	for i := range ids {
+		if g.Degree(i) > 0 {
+			if _, ok := c.firstContact[ids[i]]; !ok {
+				c.firstContact[ids[i]] = t
+			}
+		}
+		for _, j := range g.Neighbors(i) {
+			if int(j) > i {
+				c.inContactNow[makePair(ids[i], ids[int(j)])] = struct{}{}
+			}
+		}
+	}
+
+	// Transitions: starts and continuations.
+	for pk := range c.inContactNow {
+		st := c.pairs[pk]
+		if st == nil {
+			st = &pairState{}
+			c.pairs[pk] = st
+			c.cs.Pairs++
+		}
+		if !st.inContact {
+			st.inContact = true
+			st.start = t
+			st.leftCensored = first
+			if st.hasPrev {
+				c.cs.ICT = append(c.cs.ICT, float64(t-st.lastEnd))
+			}
+			c.active[pk] = st
+		}
+		st.lastSeen = t
+	}
+	// Transitions: ends (in contact before, not now).
+	for pk, st := range c.active {
+		if _, ok := c.inContactNow[pk]; !ok {
+			if st.leftCensored {
+				c.cs.Censored++
+			} else {
+				c.cs.CT = append(c.cs.CT, float64(st.lastSeen-st.start+c.tau))
+			}
+			st.lastEnd = st.lastSeen
+			st.hasPrev = true
+			st.inContact = false
+			st.leftCensored = false
+			delete(c.active, pk)
+		}
+	}
+}
+
+// finish right-censors contacts still open at the end of the stream,
+// derives first-contact times from the avatars' first appearances, and
+// returns the completed ContactSet.
+func (c *contactTracker) finish(firstSeen map[trace.AvatarID]int64) *ContactSet {
+	c.cs.Censored += len(c.active)
+	for id, t0 := range firstSeen {
+		if tc, ok := c.firstContact[id]; ok {
+			c.cs.FT = append(c.cs.FT, float64(tc-t0))
+		} else {
+			c.cs.NeverContacted++
+		}
+	}
+	return c.cs
+}
+
+// tripTracker is the per-avatar sessionisation state machine shared by
+// the single-land Analyzer and the estate-global analysis: an avatar
+// absent longer than the session gap logs out and back in; displacement
+// above moveEps between consecutive samples counts as movement.
+type tripTracker struct {
+	moveEps float64
+	gap     int64
+	open    map[trace.AvatarID]*sessionState
+	closed  []closedSession
+}
+
+func newTripTracker(moveEps float64, gap int64) *tripTracker {
+	return &tripTracker{
+		moveEps: moveEps,
+		gap:     gap,
+		open:    make(map[trace.AvatarID]*sessionState),
+	}
+}
+
+// observe folds one avatar sample at snapshot time t into the tracker.
+// Seated samples keep the session alive but contribute no movement.
+func (tt *tripTracker) observe(id trace.AvatarID, pos geom.Vec, seated bool, t int64) {
+	ss := tt.open[id]
+	if ss != nil && t-ss.last > tt.gap {
+		tt.closeSession(id, ss)
+		ss = nil
+	}
+	if ss == nil {
+		ss = &sessionState{login: t}
+		tt.open[id] = ss
+	}
+	ss.last = t
+	if seated {
+		return
+	}
+	if ss.hasPrev {
+		d := pos.DistXY(ss.prevPos)
+		ss.length += d
+		if d > tt.moveEps {
+			ss.moving += t - ss.prevT
+		}
+	}
+	ss.hasPrev = true
+	ss.prevPos = pos
+	ss.prevT = t
+}
+
+func (tt *tripTracker) closeSession(id trace.AvatarID, ss *sessionState) {
+	tt.closed = append(tt.closed, closedSession{
+		id:       id,
+		login:    ss.login,
+		duration: ss.last - ss.login,
+		length:   ss.length,
+		moving:   ss.moving,
+	})
+}
+
+// finish closes open sessions and emits trips in the batch path's order
+// (login time, then avatar ID).
+func (tt *tripTracker) finish() *TripStats {
+	for id, ss := range tt.open {
+		tt.closeSession(id, ss)
+	}
+	sort.Slice(tt.closed, func(i, j int) bool {
+		if tt.closed[i].login != tt.closed[j].login {
+			return tt.closed[i].login < tt.closed[j].login
+		}
+		return tt.closed[i].id < tt.closed[j].id
+	})
+	ts := &TripStats{}
+	for _, cs := range tt.closed {
+		ts.TravelTime = append(ts.TravelTime, float64(cs.duration))
+		ts.TravelLength = append(ts.TravelLength, cs.length)
+		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(cs.moving))
+	}
+	return ts
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"slmob/internal/geom"
+)
+
+// crowdPositions lays out a dense, clustered crowd like a busy land
+// snapshot: n avatars around a handful of attraction centres on a 256 m
+// land. Deterministic, no rng dependency.
+func crowdPositions(n int) []geom.Vec {
+	centres := []geom.Vec{
+		geom.V2(128, 132), geom.V2(152, 128), geom.V2(114, 152), geom.V2(200, 60),
+	}
+	ps := make([]geom.Vec, n)
+	for i := range ps {
+		c := centres[i%len(centres)]
+		ang := float64(i) * 2.399963 // golden angle: even angular spread
+		rad := 3 + 12*math.Sqrt(float64(i%97)/97)
+		ps[i] = c.Add(geom.V2(rad*math.Cos(ang), rad*math.Sin(ang)))
+	}
+	return ps
+}
+
+// edgeList materialises the proximity edges once so the insertion
+// benchmarks time only the insertion path.
+func edgeList(ps []geom.Vec, r float64) [][2]int {
+	g := FromPositions(ps, r)
+	var edges [][2]int
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				edges = append(edges, [2]int{u, int(v)})
+			}
+		}
+	}
+	return edges
+}
+
+// BenchmarkFromPositions times the full grid-accelerated proximity
+// builder at both paper ranges — the per-snapshot hot path of every
+// analysis pipeline.
+func BenchmarkFromPositions(b *testing.B) {
+	ps := crowdPositions(100)
+	for _, r := range []float64{10, 80} {
+		b.Run(map[float64]string{10: "r10", 80: "r80"}[r], func(b *testing.B) {
+			b.ReportAllocs()
+			var m int
+			for i := 0; i < b.N; i++ {
+				m = FromPositions(ps, r).M()
+			}
+			b.ReportMetric(float64(m), "edges")
+		})
+	}
+}
+
+// BenchmarkEdgeInsertion isolates the satellite fix: checked AddEdge
+// pays a linear duplicate scan of the adjacency list per insertion,
+// unchecked insertion does not. The r=80 crowd graph is dense (mean
+// degree ≈ 50), which is exactly where the scan hurt.
+func BenchmarkEdgeInsertion(b *testing.B) {
+	ps := crowdPositions(100)
+	edges := edgeList(ps, 80)
+	b.Run("checked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := New(len(ps))
+			for _, e := range edges {
+				if err := g.AddEdge(e[0], e[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("unchecked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := New(len(ps))
+			for _, e := range edges {
+				g.AddEdgeUnchecked(e[0], e[1])
+			}
+		}
+	})
+}

@@ -123,6 +123,9 @@ func NewCSVSource(r io.Reader) (*CSVSource, error) {
 			}
 		}
 	}
+	if err := src.info.fillFromMeta(); err != nil {
+		return nil, err
+	}
 	src.cr = csv.NewReader(br)
 	src.cr.FieldsPerRecord = 6
 	return src, nil
@@ -382,6 +385,9 @@ func NewBinarySource(r io.Reader) (*BinarySource, error) {
 	if src.remaining, err = binary.ReadUvarint(br); err != nil {
 		return nil, err
 	}
+	if err := src.info.fillFromMeta(); err != nil {
+		return nil, err
+	}
 	return src, nil
 }
 
@@ -551,3 +557,117 @@ func (fs *FileStream) Info() Info {
 
 // Close releases the underlying file.
 func (fs *FileStream) Close() error { return fs.f.Close() }
+
+// EstateFileStream replays a set of per-region trace files as one
+// EstateSource: the files are zipped tick by tick, so all regions must
+// carry the same snapshot timeline (the estate's shared clock). Close it
+// when done.
+type EstateFileStream struct {
+	files []*FileStream
+	infos []Info
+	done  bool
+}
+
+// OpenEstateStream opens one trace file per region for zipped streaming.
+// Region placement comes from each file's "origin" metadata; when no
+// file carries it, the regions are laid out side by side in path order,
+// size metres apart (size from metadata, falling back to the Second
+// Life standard 256 m). A mix of placed and unplaced files is an error:
+// guessing a fallback position next to explicit ones risks stacking two
+// regions on the same estate coordinates.
+func OpenEstateStream(paths ...string) (*EstateFileStream, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trace: estate stream needs at least one region file")
+	}
+	es := &EstateFileStream{}
+	placed := 0
+	for _, path := range paths {
+		fs, err := OpenStream(path)
+		if err != nil {
+			es.Close()
+			return nil, err
+		}
+		es.files = append(es.files, fs)
+		info := fs.Info()
+		if info.Region == "" {
+			info.Region = info.Land
+		}
+		if _, ok := info.Meta["origin"]; ok {
+			placed++
+		}
+		es.infos = append(es.infos, info)
+	}
+	switch placed {
+	case len(es.infos): // every region placed by its own metadata
+	case 0: // none placed: side-by-side fallback layout
+		x := 0.0
+		for i := range es.infos {
+			size, err := es.infos[i].Size()
+			if err != nil {
+				es.Close()
+				return nil, err
+			}
+			if size <= 0 {
+				size = 256
+			}
+			es.infos[i].Origin = geom.V2(x, 0)
+			x += size
+		}
+	default:
+		es.Close()
+		return nil, fmt.Errorf("trace: %d of %d region files carry origin metadata; all or none must be placed",
+			placed, len(es.infos))
+	}
+	return es, nil
+}
+
+// Regions describes the opened region files in path order.
+func (es *EstateFileStream) Regions() []Info { return es.infos }
+
+// NextTick decodes the next snapshot of every region and checks that
+// they share one timestamp; regions running out of snapshots before the
+// others make the set inconsistent and surface as an error.
+func (es *EstateFileStream) NextTick(ctx context.Context) (EstateTick, error) {
+	if es.done {
+		return EstateTick{}, io.EOF
+	}
+	tick := EstateTick{Regions: make([]Snapshot, len(es.files))}
+	ended := 0
+	for i, fs := range es.files {
+		snap, err := fs.Next(ctx)
+		if err == io.EOF {
+			ended++
+			continue
+		}
+		if err != nil {
+			return EstateTick{}, err
+		}
+		tick.Regions[i] = snap
+		if i == ended { // first region still streaming sets the tick time
+			tick.T = snap.T
+		} else if snap.T != tick.T {
+			return EstateTick{}, fmt.Errorf("trace: estate regions out of sync: %q at t=%d, want t=%d",
+				es.infos[i].Region, snap.T, tick.T)
+		}
+	}
+	if ended == len(es.files) {
+		es.done = true
+		return EstateTick{}, io.EOF
+	}
+	if ended > 0 {
+		return EstateTick{}, fmt.Errorf("trace: estate regions out of sync: %d of %d region files ended early",
+			ended, len(es.files))
+	}
+	return tick, nil
+}
+
+// Close releases every region file.
+func (es *EstateFileStream) Close() error {
+	var first error
+	for _, fs := range es.files {
+		if err := fs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -2,8 +2,12 @@ package trace
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"strconv"
+	"strings"
+
+	"slmob/internal/geom"
 )
 
 // Source is the streaming producer interface of the measurement pipeline:
@@ -24,23 +28,59 @@ type Source interface {
 // carries in its header.
 type Info struct {
 	Land string
-	Tau  int64
-	Meta map[string]string
+	// Region identifies the stream within a multi-region estate; empty for
+	// single-land sources. Estate producers mirror it into the "region"
+	// metadata key so per-region trace files round-trip the identity.
+	Region string
+	// Origin places the region in estate-global coordinates (the offset
+	// added to local positions); zero for single-land sources. Mirrored
+	// into the "origin" metadata key as "x,y".
+	Origin geom.Vec
+	Tau    int64
+	Meta   map[string]string
 }
 
-// Size returns the land edge recorded in the "size" metadata key, or 0
-// when absent or unusable. Consumers fall back to the Second Life
-// standard 256 m.
-func (i Info) Size() float64 {
+// Size returns the land edge recorded in the "size" metadata key: 0 when
+// the key is absent (consumers fall back to the Second Life standard
+// 256 m), or an error when a value is present but does not decode to a
+// positive length — a malformed size must surface, not silently read as
+// "unknown".
+func (i Info) Size() (float64, error) {
 	s, ok := i.Meta["size"]
 	if !ok {
-		return 0
+		return 0, nil
 	}
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v <= 0 {
-		return 0
+	if err != nil {
+		return 0, fmt.Errorf("trace: malformed size metadata %q: %w", s, err)
 	}
-	return v
+	if v <= 0 {
+		return 0, fmt.Errorf("trace: non-positive size metadata %q", s)
+	}
+	return v, nil
+}
+
+// fillFromMeta populates the Region and Origin fields from the "region"
+// and "origin" metadata keys, used by file sources whose headers carry
+// identity only as metadata. A malformed origin is a decode error.
+func (i *Info) fillFromMeta() error {
+	if i.Region == "" {
+		i.Region = i.Meta["region"]
+	}
+	if s, ok := i.Meta["origin"]; ok && i.Origin.IsZero() {
+		x, y, found := strings.Cut(s, ",")
+		if !found {
+			return fmt.Errorf("trace: malformed origin metadata %q", s)
+		}
+		var err error
+		if i.Origin.X, err = strconv.ParseFloat(x, 64); err != nil {
+			return fmt.Errorf("trace: malformed origin metadata %q: %w", s, err)
+		}
+		if i.Origin.Y, err = strconv.ParseFloat(y, 64); err != nil {
+			return fmt.Errorf("trace: malformed origin metadata %q: %w", s, err)
+		}
+	}
+	return nil
 }
 
 // Described is implemented by sources that know their provenance.
@@ -76,9 +116,12 @@ func (s *ReplaySource) Next(ctx context.Context) (Snapshot, error) {
 	return snap, nil
 }
 
-// Info reports the replayed trace's provenance.
+// Info reports the replayed trace's provenance. Region and origin
+// metadata fill the identity fields on a best-effort basis.
 func (s *ReplaySource) Info() Info {
-	return Info{Land: s.tr.Land, Tau: s.tr.Tau, Meta: s.tr.Meta}
+	info := Info{Land: s.tr.Land, Tau: s.tr.Tau, Meta: s.tr.Meta}
+	_ = info.fillFromMeta() // in-memory traces: malformed meta reads as absent
+	return info
 }
 
 // Collect drains a source into a materialised trace: the bridge from the
@@ -119,6 +162,119 @@ func collectInto(ctx context.Context, src Source, tr *Trace) (*Trace, error) {
 		}
 		if err := tr.Append(snap); err != nil {
 			return tr, err
+		}
+	}
+}
+
+// EstateTick is one simulation tick observed across every region of a
+// multi-region estate: one snapshot per region, all sharing the same
+// time T. Region index order matches the source's Regions().
+type EstateTick struct {
+	T       int64
+	Regions []Snapshot
+}
+
+// EstateSource is the multiplexed producer of a sharded measurement: a
+// monitor covering an estate of regions that advances all of them on one
+// shared clock and yields the per-region snapshots of each tick together.
+// NextTick returns io.EOF when the measurement is over and ctx.Err()
+// promptly after cancellation, like Source.Next.
+//
+// Implementations: the in-process estate observer (world.NewEstateSource)
+// and replay over a set of per-region trace files (OpenEstateStream).
+type EstateSource interface {
+	// Regions describes each region stream — name, placement, period —
+	// in the index order NextTick uses.
+	Regions() []Info
+	NextTick(ctx context.Context) (EstateTick, error)
+}
+
+// EstateReplay replays materialised per-region traces as an
+// EstateSource, zipping them tick by tick on the shared clock. Snapshots
+// are not cloned: the consumer must not mutate them.
+type EstateReplay struct {
+	infos []Info
+	trs   []*Trace
+	i     int
+}
+
+// NewEstateReplay builds an estate replay over per-region traces, which
+// must all carry the same snapshot timeline. Infos supply region
+// identity and placement; a nil infos derives them from the traces'
+// own headers and metadata.
+func NewEstateReplay(infos []Info, trs []*Trace) (*EstateReplay, error) {
+	if len(trs) == 0 {
+		return nil, fmt.Errorf("trace: estate replay needs at least one region trace")
+	}
+	if infos == nil {
+		for _, tr := range trs {
+			infos = append(infos, tr.Source().Info())
+		}
+	}
+	if len(infos) != len(trs) {
+		return nil, fmt.Errorf("trace: %d region infos for %d traces", len(infos), len(trs))
+	}
+	n := len(trs[0].Snapshots)
+	for ri, tr := range trs {
+		if len(tr.Snapshots) != n {
+			return nil, fmt.Errorf("trace: region %d has %d snapshots, want %d", ri, len(tr.Snapshots), n)
+		}
+		for j, s := range tr.Snapshots {
+			if s.T != trs[0].Snapshots[j].T {
+				return nil, fmt.Errorf("trace: region %d snapshot %d at t=%d, want t=%d",
+					ri, j, s.T, trs[0].Snapshots[j].T)
+			}
+		}
+	}
+	return &EstateReplay{infos: infos, trs: trs}, nil
+}
+
+// Regions describes the replayed region traces.
+func (er *EstateReplay) Regions() []Info { return er.infos }
+
+// NextTick yields the next shared-clock tick, io.EOF past the last.
+func (er *EstateReplay) NextTick(ctx context.Context) (EstateTick, error) {
+	if err := ctx.Err(); err != nil {
+		return EstateTick{}, err
+	}
+	if er.i >= len(er.trs[0].Snapshots) {
+		return EstateTick{}, io.EOF
+	}
+	tick := EstateTick{T: er.trs[0].Snapshots[er.i].T, Regions: make([]Snapshot, len(er.trs))}
+	for ri, tr := range er.trs {
+		tick.Regions[ri] = tr.Snapshots[er.i]
+	}
+	er.i++
+	return tick, nil
+}
+
+// CollectEstate drains an estate source into one materialised trace per
+// region, labelled from the source's region Infos. On error — including
+// cancellation — it returns the partial traces collected so far.
+func CollectEstate(ctx context.Context, es EstateSource) ([]*Trace, error) {
+	infos := es.Regions()
+	trs := make([]*Trace, len(infos))
+	for i, info := range infos {
+		trs[i] = New(info.Land, info.Tau)
+		for k, v := range info.Meta {
+			trs[i].Meta[k] = v
+		}
+	}
+	for {
+		tick, err := es.NextTick(ctx)
+		if err == io.EOF {
+			return trs, nil
+		}
+		if err != nil {
+			return trs, err
+		}
+		if len(tick.Regions) != len(trs) {
+			return trs, fmt.Errorf("trace: tick has %d regions, want %d", len(tick.Regions), len(trs))
+		}
+		for i, snap := range tick.Regions {
+			if err := trs[i].Append(snap); err != nil {
+				return trs, err
+			}
 		}
 	}
 }

@@ -371,3 +371,90 @@ func TestSnapshotClone(t *testing.T) {
 		t.Error("clone shares storage")
 	}
 }
+
+func TestInfoSizeDecodeError(t *testing.T) {
+	if v, err := (Info{}).Size(); v != 0 || err != nil {
+		t.Errorf("absent size = %v, %v; want 0, nil", v, err)
+	}
+	if v, err := (Info{Meta: map[string]string{"size": "256"}}).Size(); v != 256 || err != nil {
+		t.Errorf("size 256 = %v, %v", v, err)
+	}
+	for _, bad := range []string{"not-a-number", "-5", "0"} {
+		if _, err := (Info{Meta: map[string]string{"size": bad}}).Size(); err == nil {
+			t.Errorf("size %q did not error", bad)
+		}
+	}
+}
+
+func TestInfoRegionOriginFromMeta(t *testing.T) {
+	tr := New("East", 10)
+	tr.Meta["region"] = "East"
+	tr.Meta["origin"] = "256,0"
+	info := tr.Source().Info()
+	if info.Region != "East" || info.Origin != geom.V2(256, 0) {
+		t.Errorf("info = %+v, want region East at (256,0)", info)
+	}
+
+	dir := t.TempDir()
+	if err := tr.Append(snap(10, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"r.sltr", "r.csv"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(tr, path); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := OpenStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := fs.Info()
+		fs.Close()
+		if got.Region != "East" || got.Origin != geom.V2(256, 0) {
+			t.Errorf("%s: info = %+v, want region East at (256,0)", name, got)
+		}
+	}
+
+	// A malformed origin is a header decode error.
+	tr.Meta["origin"] = "256"
+	bad := filepath.Join(dir, "bad.sltr")
+	if err := WriteFile(tr, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStream(bad); err == nil {
+		t.Error("malformed origin metadata not rejected")
+	}
+}
+
+func TestOpenEstateStreamRejectsMixedPlacement(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, land string, origin string) string {
+		tr := New(land, 10)
+		if origin != "" {
+			tr.Meta["origin"] = origin
+		}
+		if err := tr.Append(snap(10, 1)); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := WriteFile(tr, path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	placed := mk("a.sltr", "A", "0,0")
+	unplaced := mk("b.sltr", "B", "")
+	if _, err := OpenEstateStream(placed, unplaced); err == nil {
+		t.Fatal("mixed placed/unplaced region files not rejected")
+	}
+	// All-unplaced files get the side-by-side fallback layout.
+	es, err := OpenEstateStream(unplaced, mk("c.sltr", "C", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer es.Close()
+	infos := es.Regions()
+	if infos[0].Origin != geom.V2(0, 0) || infos[1].Origin != geom.V2(256, 0) {
+		t.Errorf("fallback origins = %v, %v; want (0,0), (256,0)", infos[0].Origin, infos[1].Origin)
+	}
+}

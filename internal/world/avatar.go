@@ -44,6 +44,10 @@ type avatar struct {
 	// seat is the occupied sit-spot index, or -1.
 	seat int
 
+	// crossTo is the estate region index the avatar is walking a border
+	// toward, or -1. Single-land simulations never set it.
+	crossTo int
+
 	// movingSecs accumulates ground-truth effective travel time.
 	movingSecs int64
 	// travelled accumulates ground-truth path length in metres.

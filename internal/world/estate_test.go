@@ -1,0 +1,258 @@
+package world
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"slmob/internal/trace"
+)
+
+// drainTicks runs an estate source to exhaustion.
+func drainTicks(t *testing.T, es *EstateSource) []trace.EstateTick {
+	t.Helper()
+	var ticks []trace.EstateTick
+	for {
+		tick, err := es.NextTick(context.Background())
+		if err == io.EOF {
+			return ticks
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticks = append(ticks, tick)
+	}
+}
+
+func TestEstateConfigValidate(t *testing.T) {
+	base := func() EstateConfig {
+		cfg := SingleRegionEstate(DanceIsland(1))
+		cfg.Duration = 600
+		return cfg
+	}
+	cases := []struct {
+		name   string
+		break_ func(*EstateConfig)
+	}{
+		{"no name", func(c *EstateConfig) { c.Name = "" }},
+		{"zero rows", func(c *EstateConfig) { c.Rows = 0 }},
+		{"region count mismatch", func(c *EstateConfig) { c.Cols = 2 }},
+		{"bad cross prob", func(c *EstateConfig) { c.CrossProb = 1.5 }},
+		{"bad teleport prob", func(c *EstateConfig) { c.TeleportProb = -0.1 }},
+		{"no duration", func(c *EstateConfig) { c.Duration = 0; c.Regions[0].Duration = 0 }},
+		{"mixed sizes", func(c *EstateConfig) {
+			c.Cols, c.Regions = 2, append(c.Regions, ApfelLand(2))
+			c.Regions[1].Land.Size = 512
+			c.Regions[1].Land.Name = "big"
+		}},
+		{"duplicate names", func(c *EstateConfig) {
+			c.Cols, c.Regions = 2, append(c.Regions, DanceIsland(2))
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.break_(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate() = nil, want error", tc.name)
+		}
+	}
+	good := base()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestSingleRegionEstateParity is the acceptance gate for the estate
+// refactor: a 1×1 estate must reproduce the single-land pipeline's
+// snapshots bit for bit — same IDs, same float positions, same times.
+func TestSingleRegionEstateParity(t *testing.T) {
+	scn := ApfelLand(5)
+	scn.Duration = 2 * 3600
+	single, err := NewSource(scn, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := NewEstateSource(SingleRegionEstate(scn), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ticks := 0
+	for {
+		want, errS := single.Next(ctx)
+		tick, errE := est.NextTick(ctx)
+		if errS == io.EOF || errE == io.EOF {
+			if errS != errE {
+				t.Fatalf("streams end at different times: single=%v estate=%v", errS, errE)
+			}
+			break
+		}
+		if errS != nil || errE != nil {
+			t.Fatal(errS, errE)
+		}
+		if len(tick.Regions) != 1 {
+			t.Fatalf("tick has %d regions, want 1", len(tick.Regions))
+		}
+		got := tick.Regions[0]
+		if got.T != want.T || len(got.Samples) != len(want.Samples) {
+			t.Fatalf("t=%d: snapshot shape %d@%d, want %d@%d",
+				want.T, len(got.Samples), got.T, len(want.Samples), want.T)
+		}
+		for i := range want.Samples {
+			if got.Samples[i] != want.Samples[i] {
+				t.Fatalf("t=%d sample %d: %+v, want %+v", want.T, i, got.Samples[i], want.Samples[i])
+			}
+		}
+		ticks++
+	}
+	if ticks != int(scn.Duration/10) {
+		t.Fatalf("streamed %d ticks, want %d", ticks, scn.Duration/10)
+	}
+	if est.Estate().Crossings()+est.Estate().Teleports() != 0 {
+		t.Fatalf("1x1 estate recorded handoffs")
+	}
+}
+
+// twoRegionEstate builds a 1×2 estate with tunable migration pressure.
+func twoRegionEstate(crossProb, teleportProb float64) EstateConfig {
+	left := DanceIsland(3)
+	right := ApfelLand(4)
+	return EstateConfig{
+		Name:         "pair",
+		Rows:         1,
+		Cols:         2,
+		Regions:      []Scenario{left, right},
+		CrossProb:    crossProb,
+		TeleportProb: teleportProb,
+		Seed:         9,
+		Duration:     3600,
+	}
+}
+
+// TestEstateBorderCrossing drives heavy walking traffic across one border
+// and checks the handoff invariants: crossings happen, every avatar is in
+// exactly one region per tick, positions stay inside region bounds, and
+// at least one avatar is observed on both sides of the border.
+func TestEstateBorderCrossing(t *testing.T) {
+	es, err := NewEstateSource(twoRegionEstate(0.02, 0), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := drainTicks(t, es)
+	if c := es.Estate().Crossings(); c == 0 {
+		t.Fatal("no border crossings under CrossProb=0.02")
+	}
+	if tp := es.Estate().Teleports(); tp != 0 {
+		t.Fatalf("teleports = %d with TeleportProb=0", tp)
+	}
+	perRegion := make([]map[trace.AvatarID]struct{}, 2)
+	for i := range perRegion {
+		perRegion[i] = make(map[trace.AvatarID]struct{})
+	}
+	bounds := es.Estate().Region(0).Scenario().Land.Bounds()
+	for _, tick := range ticks {
+		seen := make(map[trace.AvatarID]int)
+		for ri, snap := range tick.Regions {
+			for _, s := range snap.Samples {
+				if prev, dup := seen[s.ID]; dup {
+					t.Fatalf("t=%d: avatar %d in regions %d and %d", tick.T, s.ID, prev, ri)
+				}
+				seen[s.ID] = ri
+				if !bounds.Contains(s.Pos) {
+					t.Fatalf("t=%d: region %d avatar %d at %v outside region bounds", tick.T, ri, s.ID, s.Pos)
+				}
+				perRegion[ri][s.ID] = struct{}{}
+			}
+		}
+	}
+	both := 0
+	for id := range perRegion[0] {
+		if _, ok := perRegion[1][id]; ok {
+			both++
+		}
+	}
+	if both == 0 {
+		t.Fatal("no avatar observed on both sides of the border")
+	}
+}
+
+// TestEstateTeleports drives teleport-only migration and checks the
+// counters move and walking stays off.
+func TestEstateTeleports(t *testing.T) {
+	es, err := NewEstateSource(twoRegionEstate(0, 0.01), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainTicks(t, es)
+	if tp := es.Estate().Teleports(); tp == 0 {
+		t.Fatal("no teleports under TeleportProb=0.01")
+	}
+	if c := es.Estate().Crossings(); c != 0 {
+		t.Fatalf("crossings = %d with CrossProb=0", c)
+	}
+}
+
+// TestEstateCollectRoundTrip materialises per-region traces, writes them
+// to disk, and zips them back through OpenEstateStream: identities,
+// origins, and tick alignment must round-trip.
+func TestEstateCollectRoundTrip(t *testing.T) {
+	cfg := twoRegionEstate(0.02, 0.002)
+	cfg.Duration = 600
+	es, err := NewEstateSource(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := trace.CollectEstate(context.Background(), es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 {
+		t.Fatalf("collected %d traces, want 2", len(trs))
+	}
+	dir := t.TempDir()
+	paths := make([]string, len(trs))
+	for i, tr := range trs {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("region %d trace invalid: %v", i, err)
+		}
+		paths[i] = dir + "/" + []string{"left", "right"}[i] + ".sltr"
+		if err := trace.WriteFile(tr, paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	efs, err := trace.OpenEstateStream(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer efs.Close()
+	infos := efs.Regions()
+	wantInfos := es.Regions()
+	for i := range infos {
+		if infos[i].Region != wantInfos[i].Region {
+			t.Errorf("region %d identity = %q, want %q", i, infos[i].Region, wantInfos[i].Region)
+		}
+		if infos[i].Origin != wantInfos[i].Origin {
+			t.Errorf("region %d origin = %v, want %v", i, infos[i].Origin, wantInfos[i].Origin)
+		}
+	}
+	n := 0
+	for {
+		tick, err := efs.NextTick(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tick.Regions {
+			if len(tick.Regions[i].Samples) != len(trs[i].Snapshots[n].Samples) {
+				t.Fatalf("tick %d region %d: %d samples, want %d",
+					n, i, len(tick.Regions[i].Samples), len(trs[i].Snapshots[n].Samples))
+			}
+		}
+		n++
+	}
+	if n != len(trs[0].Snapshots) {
+		t.Fatalf("replayed %d ticks, want %d", n, len(trs[0].Snapshots))
+	}
+}

@@ -235,6 +235,56 @@ func PaperLand(name string, seed uint64) (Scenario, error) {
 	}
 }
 
+// PaperEstate arranges the paper's three target lands as a 1×3 estate:
+// the same calibrated populations, now joined by walkable borders and
+// occasional teleports, approximating how the lands sat in the real
+// service's contiguous grid rather than in isolation.
+func PaperEstate(seed uint64) EstateConfig {
+	return EstateConfig{
+		Name:         "Paper Archipelago",
+		Rows:         1,
+		Cols:         3,
+		Regions:      PaperLands(seed),
+		CrossProb:    0.001,  // a paused avatar wanders next door every ~17 min
+		TeleportProb: 0.0003, // and teleports across the estate every ~55 min
+		Seed:         seed,
+		Duration:     DayDuration,
+	}
+}
+
+// MainlandEstate is the 4×4 sharding stress preset: sixteen regions
+// cycling through the three paper-land templates, with livelier border
+// crossing and teleport traffic. At full day length it simulates tens of
+// thousands of avatar sessions across the grid — the workload the
+// estate analyzer's parallel per-region workers are sized for.
+func MainlandEstate(seed uint64) EstateConfig {
+	const n = 4
+	regions := make([]Scenario, 0, n*n)
+	for i := 0; i < n*n; i++ {
+		var scn Scenario
+		switch i % 3 {
+		case 0:
+			scn = ApfelLand(seed + uint64(i))
+		case 1:
+			scn = DanceIsland(seed + uint64(i))
+		default:
+			scn = IsleOfView(seed + uint64(i))
+		}
+		scn.Land.Name = fmt.Sprintf("Mainland (%d,%d)", i/n, i%n)
+		regions = append(regions, scn)
+	}
+	return EstateConfig{
+		Name:         "Mainland",
+		Rows:         n,
+		Cols:         n,
+		Regions:      regions,
+		CrossProb:    0.002,
+		TeleportProb: 0.0005,
+		Seed:         seed,
+		Duration:     DayDuration,
+	}
+}
+
 // BaselineScenario builds a synthetic-mobility comparison scenario on a
 // generic land, population-matched to Dance Island so contact statistics
 // are directly comparable between the POI-gravity model and the classical

@@ -103,6 +103,12 @@ type Sim struct {
 	nextID    uint64
 	externals []*externalState
 
+	// idBase offsets every ID the sim assigns, so the regions of an
+	// estate draw from disjoint ID spaces and an avatar keeps a globally
+	// unique identity across handoffs. Zero for single-land simulations,
+	// which keeps their traces byte-identical to the pre-estate ones.
+	idBase uint64
+
 	root   *rng.Source
 	arrRng *rng.Source
 
@@ -117,12 +123,19 @@ type Sim struct {
 // NewSim validates the scenario and creates the simulation, spawning the
 // warmup population at their destinations.
 func NewSim(scn Scenario) (*Sim, error) {
+	return newSimWithIDBase(scn, 0)
+}
+
+// newSimWithIDBase is NewSim with an avatar-ID namespace offset, used by
+// the estate to keep identities globally unique across regions.
+func newSimWithIDBase(scn Scenario, idBase uint64) (*Sim, error) {
 	if err := scn.Validate(); err != nil {
 		return nil, err
 	}
 	s := &Sim{
-		scn:  scn,
-		root: rng.New(scn.Seed),
+		scn:    scn,
+		root:   rng.New(scn.Seed),
+		idBase: idBase,
 	}
 	s.arrRng = s.root.Split("arrivals")
 	warm := s.root.Split("warmup")
@@ -175,9 +188,10 @@ func (s *Sim) newAvatar() *avatar {
 	s.nextID++
 	id := s.nextID
 	a := &avatar{
-		id:   trace.AvatarID(id),
-		rng:  s.root.SplitIndexed("avatar", id),
-		seat: -1,
+		id:      trace.AvatarID(s.idBase + id),
+		rng:     s.root.SplitIndexed("avatar", id),
+		seat:    -1,
+		crossTo: -1,
 	}
 	b := s.scn.Behavior
 	a.wanderer = a.rng.Bool(b.WandererFrac)
@@ -415,6 +429,17 @@ func (s *Sim) seatedAt(spot int) int {
 
 func (s *Sim) standUp(a *avatar) { a.seat = -1 }
 
+// removeAvatar takes an avatar out of the resident population without
+// recording a logout — the estate hands it to a neighbouring region.
+func (s *Sim) removeAvatar(a *avatar) {
+	for i, b := range s.avatars {
+		if b == a {
+			s.avatars = append(s.avatars[:i], s.avatars[i+1:]...)
+			return
+		}
+	}
+}
+
 // States appends the externally observable avatar states to buf and
 // returns it, sorted by avatar ID. Externals (crawler avatars) are
 // included: a monitor sees itself and other monitors on the map, exactly
@@ -450,7 +475,7 @@ func (s *Sim) AddExternal(pos geom.Vec) (trace.AvatarID, error) {
 	}
 	s.nextID++
 	e := &externalState{
-		id:       trace.AvatarID(s.nextID),
+		id:       trace.AvatarID(s.idBase + s.nextID),
 		pos:      s.scn.Land.Bounds().Clamp(pos),
 		joinedAt: s.t,
 		lastMove: s.t,

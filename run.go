@@ -24,6 +24,11 @@ type (
 	Analyzer = core.Analyzer
 	// TraceFileStream streams snapshots from a trace file.
 	TraceFileStream = trace.FileStream
+	// EstateSource is the multiplexed producer interface of a sharded
+	// measurement: per-region snapshot streams advancing on one clock.
+	EstateSource = trace.EstateSource
+	// EstateTick is one shared-clock tick across every region.
+	EstateTick = trace.EstateTick
 )
 
 // Option configures a streaming run. Options follow the functional-
@@ -31,11 +36,12 @@ type (
 type Option func(*options)
 
 type options struct {
-	tau      int64
-	tauSet   bool
-	land     string
-	cfg      core.Config
-	parallel int
+	tau           int64
+	tauSet        bool
+	land          string
+	cfg           core.Config
+	parallel      int
+	regionWorkers int
 }
 
 func buildOptions(opts []Option) options {
@@ -101,6 +107,14 @@ func WithParallelLands(n int) Option {
 	return func(o *options) { o.parallel = n }
 }
 
+// WithRegionWorkers bounds how many regions RunEstate and
+// AnalyzeEstateStream analyse concurrently. The default (0) selects
+// min(regions, GOMAXPROCS); 1 degenerates to sequential per-region
+// analysis. The worker count never changes results, only wall time.
+func WithRegionWorkers(n int) Option {
+	return func(o *options) { o.regionWorkers = n }
+}
+
 // WithAnalysisConfig replaces the whole analysis configuration at once,
 // for settings without a dedicated option.
 func WithAnalysisConfig(cfg AnalysisConfig) Option {
@@ -131,6 +145,69 @@ func Run(ctx context.Context, scn Scenario, opts ...Option) (*Analysis, error) {
 		return nil, err
 	}
 	return a.Consume(ctx, src)
+}
+
+// RunEstate simulates a multi-region estate and analyses it as one
+// sharded streaming pipeline: every region runs a full incremental
+// analysis on a parallel worker (bounded by WithRegionWorkers), while
+// the estate-global pass — whose contact metrics stay correct for pairs
+// that meet across region borders or whose contact spans a handoff —
+// overlaps on the calling goroutine. A 1×1 estate reproduces the Run
+// pipeline exactly.
+func RunEstate(ctx context.Context, est Estate, opts ...Option) (*EstateAnalysis, error) {
+	o := buildOptions(opts)
+	src, err := world.NewEstateSource(est, o.tau)
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]core.RegionMeta, len(est.Regions))
+	for i, scn := range est.Regions {
+		metas[i] = core.RegionMeta{
+			Name:   scn.Land.Name,
+			Origin: est.RegionOrigin(i),
+			Size:   scn.Land.Size,
+		}
+	}
+	ea, err := core.NewEstateAnalyzer(est.Name, metas, o.tau, o.cfg, o.regionWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return ea.Consume(ctx, src)
+}
+
+// AnalyzeEstateStream runs the sharded incremental analysis over any
+// estate source — a live estate simulation or a set of per-region trace
+// files zipped by OpenEstateTraceStream. Region identities, placements,
+// and sizes come from the source's provenance; WithLand labels the
+// estate-global result.
+func AnalyzeEstateStream(ctx context.Context, es EstateSource, opts ...Option) (*EstateAnalysis, error) {
+	o := buildOptions(opts)
+	metas, err := core.RegionMetasFromInfos(es.Regions())
+	if err != nil {
+		return nil, err
+	}
+	estate := o.land
+	if estate == "" {
+		for _, info := range es.Regions() {
+			if estate = info.Meta["estate"]; estate != "" {
+				break
+			}
+		}
+	}
+	if estate == "" {
+		estate = "estate"
+	}
+	tau := o.tau
+	if !o.tauSet {
+		if infos := es.Regions(); len(infos) > 0 && infos[0].Tau > 0 {
+			tau = infos[0].Tau
+		}
+	}
+	ea, err := core.NewEstateAnalyzer(estate, metas, tau, o.cfg, o.regionWorkers)
+	if err != nil {
+		return nil, err
+	}
+	return ea.Consume(ctx, es)
 }
 
 // RunLands runs the scenarios as independent streaming pipelines, at most
@@ -165,7 +242,11 @@ func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*An
 			tau = info.Tau
 		}
 		if cfg.LandSize == 0 {
-			cfg.LandSize = info.Size()
+			size, err := info.Size()
+			if err != nil {
+				return nil, err
+			}
+			cfg.LandSize = size
 		}
 	}
 	a, err := core.NewAnalyzer(land, tau, cfg)
@@ -179,6 +260,26 @@ func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*An
 // of the scenario, one snapshot every tau seconds.
 func NewSource(scn Scenario, tau int64) (SnapshotSource, error) {
 	return world.NewSource(scn, tau)
+}
+
+// NewEstateSource returns a multiplexed streaming source over a fresh
+// in-process estate simulation: one tick of per-region snapshots every
+// tau seconds on the estate's shared clock.
+func NewEstateSource(est Estate, tau int64) (*world.EstateSource, error) {
+	return world.NewEstateSource(est, tau)
+}
+
+// OpenEstateTraceStream zips one trace file per region into an estate
+// source for AnalyzeEstateStream; all files must share the estate's
+// snapshot timeline. Close it when done.
+func OpenEstateTraceStream(paths ...string) (*trace.EstateFileStream, error) {
+	return trace.OpenEstateStream(paths...)
+}
+
+// CollectEstateSource drains an estate source into one materialised
+// trace per region — the bridge to the per-region file writers.
+func CollectEstateSource(ctx context.Context, es EstateSource) ([]*Trace, error) {
+	return trace.CollectEstate(ctx, es)
 }
 
 // TraceSource returns a streaming view of an in-memory trace.

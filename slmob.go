@@ -22,6 +22,14 @@
 //	fs, err := slmob.OpenTraceStream("dance.sltr")
 //	an, err := slmob.AnalyzeStream(ctx, fs, slmob.WithSeatedRepair())
 //
+// Beyond single lands, the world shards into multi-region estates —
+// grids of 256 m regions joined by walkable borders and teleports, as in
+// the live service — analysed region-parallel with estate-global contact
+// correctness across handoffs:
+//
+//	res, err := slmob.RunEstate(ctx, slmob.PaperEstate(42), slmob.WithRegionWorkers(4))
+//	fmt.Println(res.Global.Summary, res.Regions[1].Summary)
+//
 // The batch entry points (CollectTrace, Analyze) remain as thin wrappers
 // for workloads that genuinely need the materialised trace, such as the
 // DTN replayer.
@@ -61,6 +69,11 @@ const (
 type (
 	// Scenario fully describes one land simulation.
 	Scenario = world.Scenario
+	// Estate describes a multi-region grid of lands with border crossing
+	// and teleports — the sharded world RunEstate simulates.
+	Estate = world.EstateConfig
+	// EstateAnalysis holds per-region plus estate-global results.
+	EstateAnalysis = core.EstateAnalysis
 	// Trace is a τ-sampled mobility trace of one land.
 	Trace = trace.Trace
 	// Analysis holds every per-land metric of the paper.
@@ -91,6 +104,13 @@ var (
 	IsleOfView = world.IsleOfView
 	// PaperLands returns all three, in the paper's order.
 	PaperLands = world.PaperLands
+	// PaperEstate joins the three paper lands into a 1×3 estate.
+	PaperEstate = world.PaperEstate
+	// MainlandEstate is the 4×4 sharding stress preset.
+	MainlandEstate = world.MainlandEstate
+	// SingleRegionEstate wraps one scenario as a 1×1 estate, which
+	// reproduces the single-land pipeline exactly.
+	SingleRegionEstate = world.SingleRegionEstate
 	// BaselineScenario builds a random-waypoint or Lévy-walk comparison
 	// scenario (experiment X3).
 	BaselineScenario = world.BaselineScenario
