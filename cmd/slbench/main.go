@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -71,6 +72,57 @@ func metricsOf(an *core.Analysis) landMetrics {
 	}
 }
 
+// compareBaseline checks the fresh metrics against a committed baseline
+// with a generous relative tolerance — the gate catches distribution
+// shifts and gross slowdowns, not machine-to-machine noise.
+func compareBaseline(fresh benchOutput, path string, tol, wallTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchOutput
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	if base.Seed != fresh.Seed || base.DurationSec != fresh.DurationSec || base.Tau != fresh.Tau {
+		return fmt.Errorf("baseline ran seed=%d duration=%d tau=%d, this run seed=%d duration=%d tau=%d",
+			base.Seed, base.DurationSec, base.Tau, fresh.Seed, fresh.DurationSec, fresh.Tau)
+	}
+	within := func(what string, got, want float64) error {
+		if diff := math.Abs(got - want); diff > tol*math.Max(math.Abs(want), 1) {
+			return fmt.Errorf("%s = %v, baseline %v (tolerance %.0f%%)", what, got, want, tol*100)
+		}
+		return nil
+	}
+	baseLands := make(map[string]landMetrics, len(base.Lands))
+	for _, lm := range base.Lands {
+		baseLands[lm.Name] = lm
+	}
+	for _, lm := range fresh.Lands {
+		want, ok := baseLands[lm.Name]
+		if !ok {
+			return fmt.Errorf("land %q missing from baseline", lm.Name)
+		}
+		checks := []error{
+			within(lm.Name+" unique", float64(lm.Unique), float64(want.Unique)),
+			within(lm.Name+" mean concurrent", lm.MeanConcurrent, want.MeanConcurrent),
+			within(lm.Name+" max concurrent", float64(lm.MaxConcurrent), float64(want.MaxConcurrent)),
+			within(lm.Name+" CT median r10", lm.CTMedianR10, want.CTMedianR10),
+			within(lm.Name+" ICT median r10", lm.ICTMedianR10, want.ICTMedianR10),
+			within(lm.Name+" deg-zero frac r10", lm.DegZeroFracR10, want.DegZeroFracR10),
+		}
+		for _, err := range checks {
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if base.WallMS > 0 && float64(fresh.WallMS) > wallTol*float64(base.WallMS) {
+		return fmt.Errorf("wall time %d ms exceeds %gx baseline %d ms", fresh.WallMS, wallTol, base.WallMS)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		seed     = flag.Uint64("seed", 1, "simulation seed")
@@ -79,6 +131,9 @@ func main() {
 		ascii    = flag.Bool("ascii", true, "render ASCII figures")
 		land     = flag.String("land", "", "benchmark a single land (apfel, dance, isle) instead of all three")
 		jsonOut  = flag.String("json", "", "write wall time and headline metrics as JSON to this file")
+		baseline = flag.String("baseline", "", "compare the fresh metrics against this committed baseline JSON")
+		tol      = flag.Float64("tolerance", 0.5, "relative metric tolerance for -baseline")
+		wallTol  = flag.Float64("wall-tolerance", 10, "wall-time slowdown factor tolerated by -baseline")
 	)
 	flag.Parse()
 
@@ -117,16 +172,16 @@ func main() {
 	}
 	fmt.Println()
 
+	bo := benchOutput{
+		Seed:        *seed,
+		DurationSec: *duration,
+		Tau:         core.PaperTau,
+		WallMS:      wall.Milliseconds(),
+	}
+	for _, run := range runs {
+		bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
+	}
 	if *jsonOut != "" {
-		bo := benchOutput{
-			Seed:        *seed,
-			DurationSec: *duration,
-			Tau:         core.PaperTau,
-			WallMS:      wall.Milliseconds(),
-		}
-		for _, run := range runs {
-			bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
-		}
 		data, err := json.MarshalIndent(bo, "", "  ")
 		if err != nil {
 			log.Fatal(err)
@@ -135,6 +190,12 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("slbench: wrote metrics JSON to %s\n", *jsonOut)
+	}
+	if *baseline != "" {
+		if err := compareBaseline(bo, *baseline, *tol, *wallTol); err != nil {
+			log.Fatalf("slbench: baseline regression: %v", err)
+		}
+		fmt.Printf("slbench: metrics within tolerance of baseline %s\n", *baseline)
 	}
 
 	if *land != "" {

@@ -3,9 +3,16 @@
 // seconds, mimics a normal user to avoid perturbing the measurement, and
 // writes the resulting mobility trace to disk.
 //
-// Usage (against a running cmd/slsim):
+// With -directory it instead crawls a whole served estate (cmd/slserve):
+// it discovers the grid through the directory endpoint, logs one
+// clock-aligned observer monitor into every region server, releases a
+// held estate clock, and writes one per-region trace file — ready for
+// the sharded analysis of slanalyze's multi-file mode.
+//
+// Usage:
 //
 //	slcrawl -addr 127.0.0.1:7600 -tau 10 -duration 86400 -out dance.sltr
+//	slcrawl -directory 127.0.0.1:7700 -tau 10 -trace-dir traces/
 package main
 
 import (
@@ -15,6 +22,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"slmob/internal/crawler"
 	"slmob/internal/trace"
@@ -22,16 +31,34 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7600", "region server address")
-		name     = flag.String("name", "crawler-01", "avatar login name")
-		password = flag.String("password", "", "login password")
-		tau      = flag.Int64("tau", 10, "snapshot period in sim seconds")
-		duration = flag.Int64("duration", 86400, "crawl length in sim seconds")
-		mimic    = flag.Bool("mimic", true, "mimic a normal user (move + chat)")
-		seed     = flag.Uint64("seed", 1, "mimicry randomness seed")
-		out      = flag.String("out", "trace.sltr", "output file (.csv for CSV, else binary)")
+		addr      = flag.String("addr", "127.0.0.1:7600", "region server address")
+		name      = flag.String("name", "crawler-01", "avatar login name")
+		password  = flag.String("password", "", "login password")
+		tau       = flag.Int64("tau", 10, "snapshot period in sim seconds")
+		duration  = flag.Int64("duration", 86400, "crawl length in sim seconds")
+		mimic     = flag.Bool("mimic", true, "mimic a normal user (move + chat)")
+		seed      = flag.Uint64("seed", 1, "mimicry randomness seed")
+		out       = flag.String("out", "trace.sltr", "output file (.csv for CSV, else binary)")
+		directory = flag.String("directory", "", "estate mode: crawl the estate behind this directory endpoint")
+		traceDir  = flag.String("trace-dir", "traces", "estate mode: write per-region trace files here")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *directory != "" {
+		// -duration overrides the estate's scheduled duration only when
+		// given explicitly; the default otherwise adopts the directory's.
+		estateDuration := int64(0)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				estateDuration = *duration
+			}
+		})
+		crawlEstate(ctx, *directory, *name, *password, *tau, estateDuration, *traceDir)
+		return
+	}
 
 	cr, err := crawler.New(crawler.Config{
 		Addr: *addr, Name: *name, Password: *password,
@@ -42,8 +69,6 @@ func main() {
 	}
 	fmt.Printf("slcrawl: logged in as avatar %d, mimic=%v\n", cr.SelfID(), *mimic)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	// Stream map pushes into the trace; ^C stops mid-crawl and keeps the
 	// partial data.
 	tr, err := trace.Collect(ctx, cr.Source(), "", 0)
@@ -59,4 +84,53 @@ func main() {
 	}
 	fmt.Printf("slcrawl: %s\n", tr.Summarize())
 	fmt.Printf("slcrawl: wrote %d snapshots to %s\n", len(tr.Snapshots), *out)
+}
+
+// crawlEstate monitors every region of a served estate and writes one
+// trace file per region. A zero duration adopts the estate's own.
+func crawlEstate(ctx context.Context, directory, name, password string, tau, duration int64, dir string) {
+	ec, err := crawler.NewEstate(crawler.EstateConfig{
+		Directory: directory, Name: name, Password: password, Tau: tau, Duration: duration,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ec.Close()
+	grid := ec.Directory()
+	if duration == 0 {
+		duration = grid.Duration
+	}
+	fmt.Printf("slcrawl: monitoring estate %q (%dx%d regions) at tau=%ds for %ds\n",
+		grid.Estate, grid.Rows, grid.Cols, tau, duration)
+
+	trs, err := trace.CollectEstate(ctx, ec.Source())
+	if err != nil && ctx.Err() == nil {
+		log.Printf("slcrawl: estate crawl ended early: %v", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	wrote := 0
+	for i, tr := range trs {
+		if len(tr.Snapshots) == 0 {
+			continue
+		}
+		slug := strings.Map(func(r rune) rune {
+			switch r {
+			case ' ', '(', ')', ',':
+				return '_'
+			}
+			return r
+		}, strings.ToLower(tr.Land))
+		path := filepath.Join(dir, fmt.Sprintf("region%02d_%s.sltr", i, slug))
+		if err := trace.WriteFile(tr, path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("slcrawl: %s -> %s (%d snapshots, %d unique)\n",
+			tr.Land, path, len(tr.Snapshots), tr.UniqueUsers())
+		wrote++
+	}
+	if wrote == 0 {
+		log.Fatal("slcrawl: no data collected")
+	}
 }

@@ -159,7 +159,7 @@ func (s *Source) Next(ctx context.Context) (trace.Snapshot, error) {
 	}
 	c := s.c
 	if !s.subscribed {
-		if err := c.client.Subscribe(c.cfg.Tau); err != nil {
+		if err := c.client.Subscribe(c.cfg.Tau, false); err != nil {
 			return trace.Snapshot{}, err
 		}
 		s.subscribed = true

@@ -1,0 +1,244 @@
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"slmob/internal/slp"
+	"slmob/internal/trace"
+)
+
+// The estate crawler extends the paper's single-land monitor to a whole
+// served grid: it discovers the regions through the estate's directory
+// endpoint, logs one measurement-grade observer monitor into every
+// region server, and aligns all of them on the shared directory clock by
+// subscribing to pushes anchored at absolute multiples of τ. The zipped
+// per-region snapshots form an estate stream (trace.EstateSource) that
+// feeds the sharded analysis exactly like an offline estate replay.
+//
+// Observer monitors are server-sanctioned: they hold no avatar, consume
+// no capacity slot, and receive full-resolution positions with the
+// seated flag — the measurement does not perturb the world it measures.
+// For the paper's perturbation study (a monitor that is itself an
+// avatar), use the single-land Crawler against one region.
+
+// EstateConfig controls one estate crawl.
+type EstateConfig struct {
+	// Directory is the estate's directory endpoint address.
+	Directory string
+	// Name and Password are the login credentials, shared by every
+	// regional monitor.
+	Name, Password string
+	// Tau is the snapshot period in simulated seconds (the paper's 10).
+	Tau int64
+	// Duration is the crawl length in simulated seconds; zero adopts the
+	// estate's scheduled duration from the directory.
+	Duration int64
+	// DialTimeout bounds connection establishment; zero selects 10 s.
+	DialTimeout time.Duration
+}
+
+// EstateCrawler is a connected set of per-region observer monitors.
+type EstateCrawler struct {
+	cfg      EstateConfig
+	dir      slp.Directory
+	duration int64
+	monitors []*slp.Client
+}
+
+// NewEstate discovers the grid through the directory endpoint and logs
+// one observer monitor into every region.
+func NewEstate(cfg EstateConfig) (*EstateCrawler, error) {
+	if cfg.Tau <= 0 {
+		return nil, fmt.Errorf("crawler: tau must be positive")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	dir, err := slp.FetchDirectory(cfg.Directory, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("crawler: directory: %w", err)
+	}
+	if len(dir.Regions) == 0 {
+		return nil, fmt.Errorf("crawler: estate %q has no regions", dir.Estate)
+	}
+	duration := cfg.Duration
+	if duration <= 0 {
+		duration = dir.Duration
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("crawler: estate %q reports no duration and none was configured", dir.Estate)
+	}
+	ec := &EstateCrawler{cfg: cfg, dir: dir, duration: duration}
+	for i, r := range dir.Regions {
+		c, err := slp.DialObserver(r.Addr, fmt.Sprintf("%s#%d", cfg.Name, i), cfg.Password, cfg.DialTimeout)
+		if err != nil {
+			ec.Close()
+			return nil, fmt.Errorf("crawler: region %q: %w", r.Name, err)
+		}
+		ec.monitors = append(ec.monitors, c)
+	}
+	return ec, nil
+}
+
+// Directory returns the grid description the crawl was built from.
+func (ec *EstateCrawler) Directory() slp.Directory { return ec.dir }
+
+// Close logs every monitor out and tears the connections down.
+func (ec *EstateCrawler) Close() error {
+	for _, c := range ec.monitors {
+		if c != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// EstateSource is the estate crawl as a streaming estate producer: each
+// NextTick blocks until every region's monitor received its push for the
+// next shared-clock instant and yields the zipped per-region snapshots.
+type EstateSource struct {
+	ec         *EstateCrawler
+	subscribed bool
+	started    bool
+	firstT     int64 // shared-clock time of the first zipped tick
+	done       bool
+}
+
+// Source returns the crawl's streaming view. The first NextTick call
+// subscribes every monitor at the configured τ, aligned on the shared
+// clock, and then releases the estate clock if the directory reported it
+// held — so a held estate is observed from its very first tick.
+func (ec *EstateCrawler) Source() *EstateSource { return &EstateSource{ec: ec} }
+
+// Regions reports each regional monitor's provenance, with the same
+// placement metadata the in-process estate observer records: the
+// downstream estate analysis treats a live crawl and an offline replay
+// identically.
+func (s *EstateSource) Regions() []trace.Info {
+	infos := make([]trace.Info, len(s.ec.dir.Regions))
+	for i, r := range s.ec.dir.Regions {
+		infos[i] = trace.Info{
+			Land:   r.Name,
+			Region: r.Name,
+			Origin: r.Origin,
+			Tau:    s.ec.cfg.Tau,
+			Meta: map[string]string{
+				"monitor": "estate-crawler",
+				"estate":  s.ec.dir.Estate,
+				"region":  r.Name,
+				"origin": strconv.FormatFloat(r.Origin.X, 'g', -1, 64) + "," +
+					strconv.FormatFloat(r.Origin.Y, 'g', -1, 64),
+				"size": strconv.FormatFloat(r.Size, 'g', -1, 64),
+			},
+		}
+	}
+	return infos
+}
+
+// NextTick yields the next shared-clock tick across every region. It
+// returns io.EOF once the crawl duration has been observed and ctx.Err()
+// promptly after cancellation.
+func (s *EstateSource) NextTick(ctx context.Context) (trace.EstateTick, error) {
+	if s.done {
+		return trace.EstateTick{}, io.EOF
+	}
+	ec := s.ec
+	if !s.subscribed {
+		for i, c := range ec.monitors {
+			if err := c.Subscribe(ec.cfg.Tau, true); err != nil {
+				return trace.EstateTick{}, fmt.Errorf("crawler: region %q subscribe: %w",
+					ec.dir.Regions[i].Name, err)
+			}
+		}
+		s.subscribed = true
+		if ec.dir.Held {
+			if _, err := slp.StartEstateClock(ec.cfg.Directory, ec.cfg.DialTimeout); err != nil {
+				return trace.EstateTick{}, fmt.Errorf("crawler: clock start: %w", err)
+			}
+		}
+	}
+	read := func(i int) (slp.MapReplyFull, error) {
+		select {
+		case <-ctx.Done():
+			return slp.MapReplyFull{}, ctx.Err()
+		case reply, ok := <-ec.monitors[i].FullMaps():
+			if !ok {
+				if err := ec.monitors[i].Err(); err != nil {
+					return slp.MapReplyFull{}, fmt.Errorf("crawler: region %q connection lost: %w",
+						ec.dir.Regions[i].Name, err)
+				}
+				return slp.MapReplyFull{}, fmt.Errorf("crawler: region %q connection closed",
+					ec.dir.Regions[i].Name)
+			}
+			return reply, nil
+		}
+	}
+	replies := make([]slp.MapReplyFull, len(ec.monitors))
+	for i := range ec.monitors {
+		var err error
+		if replies[i], err = read(i); err != nil {
+			return trace.EstateTick{}, err
+		}
+	}
+	if !s.started {
+		// Against a running (non-held) clock the monitors subscribe a few
+		// milliseconds apart, so their first pushes may straddle a push
+		// boundary. Aligned subscriptions all sit on the same absolute-τ
+		// lattice: drop each monitor's early pushes until every region
+		// reports the latest first-push instant.
+		for {
+			target := replies[0].SimTime
+			for _, r := range replies[1:] {
+				if r.SimTime > target {
+					target = r.SimTime
+				}
+			}
+			aligned := true
+			for i := range replies {
+				for replies[i].SimTime < target {
+					var err error
+					if replies[i], err = read(i); err != nil {
+						return trace.EstateTick{}, err
+					}
+				}
+				if replies[i].SimTime > target {
+					aligned = false
+				}
+			}
+			if aligned {
+				break
+			}
+		}
+		s.started = true
+		s.firstT = replies[0].SimTime
+	}
+	tick := trace.EstateTick{T: replies[0].SimTime, Regions: make([]trace.Snapshot, len(ec.monitors))}
+	for i, reply := range replies {
+		if reply.SimTime != tick.T {
+			// A monitor that lags far enough to drop a push desyncs the
+			// zip; the estate measurement is no longer consistent.
+			return trace.EstateTick{}, fmt.Errorf(
+				"crawler: estate monitors out of sync: region %q at t=%d, want t=%d",
+				ec.dir.Regions[i].Name, reply.SimTime, tick.T)
+		}
+		snap := trace.Snapshot{T: reply.SimTime, Samples: make([]trace.Sample, 0, len(reply.Entries))}
+		for _, ent := range reply.Entries {
+			snap.Samples = append(snap.Samples, trace.Sample{ID: ent.ID, Pos: ent.Pos, Seated: ent.Seated})
+		}
+		tick.Regions[i] = snap
+	}
+	// Duration is a measurement length anchored at the first observed
+	// tick: duration/τ ticks in total. A held-clock crawl starts at
+	// T = τ, making the last tick exactly the offline source's
+	// T = duration; a crawl joining a running estate still observes its
+	// full requested span (or errors with partial data when the estate
+	// itself ends first).
+	if tick.T >= s.firstT+s.ec.duration-ec.cfg.Tau {
+		s.done = true
+	}
+	return tick, nil
+}

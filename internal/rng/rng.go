@@ -90,6 +90,23 @@ func (r *Source) SplitIndexed(label string, idx uint64) *Source {
 	return child
 }
 
+// State returns the generator's internal state, so a mid-stream source
+// can be serialised — the estate service ships an avatar's personal
+// stream across region servers this way — and later resumed with
+// Restore to continue the exact same sequence.
+func (r *Source) State() [4]uint64 { return r.s }
+
+// Restore sets the internal state to one previously captured with State.
+// An all-zero state (never produced by State on a real source) is
+// re-keyed through the default seed guard, since xoshiro cannot run on
+// zeros.
+func (r *Source) Restore(state [4]uint64) {
+	r.s = state
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9E3779B97F4A7C15
+	}
+}
+
 // Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
 func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -1,0 +1,531 @@
+// The estate server: networked multi-region hosting. One region server
+// per grid cell serves clients on its own TCP listener while a shared
+// warped clock advances every region in lockstep — the topology the live
+// Second Life service ran, where one simulator process hosted each 256 m
+// region of the contiguous grid.
+//
+// Avatar handoffs cross the network: when an avatar walks off a region's
+// edge (or teleports to another region's attraction), the source region
+// server encodes its full state — identity, re-based position, behaviour
+// and random stream — into a capsule and sends it to the destination
+// region server as an slp Transfer over an authenticated inter-server
+// link. The destination either admits the avatar (TransferAck accepted)
+// or refuses it at capacity, in which case the source turns the avatar
+// back at the border. Because the clock is lockstep and transfers settle
+// inside the tick, a served estate is bit-identical to the in-process
+// EstateSim — pinned by the live-vs-replay parity test.
+//
+// Failure behaviour: the estate is one measurement instrument, not a
+// fault-tolerant fleet. A dropped inter-server link or region listener
+// is fatal — Run returns the error and shuts every region down — because
+// an estate missing a region can neither route handoffs deterministically
+// nor produce a consistent estate-wide trace.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slmob/internal/slp"
+	"slmob/internal/world"
+)
+
+// EstateConfig configures a networked estate service.
+type EstateConfig struct {
+	// Estate is the hosted multi-region world.
+	Estate world.EstateConfig
+	// Addr is the directory endpoint's TCP listen address; use
+	// "127.0.0.1:0" to pick a free port (see DirectoryAddr).
+	Addr string
+	// RegionAddrs optionally pins each region server's listen address,
+	// indexed like the estate grid; missing or empty entries pick free
+	// ports on the loopback interface.
+	RegionAddrs []string
+	// Warp is simulated seconds per wall-clock second (>= 1), shared by
+	// every region.
+	Warp float64
+	// TickEvery is the wall-clock interval between clock advances; zero
+	// selects 10 ms.
+	TickEvery time.Duration
+	// Password, when non-empty, is required at login and on inter-server
+	// links.
+	Password string
+	// Hold keeps the shared clock at zero until a ClockStart arrives at
+	// the directory endpoint (or StartClock is called), so monitors can
+	// connect and subscribe before the first tick — the estate
+	// measurement then observes the grid from second one.
+	Hold bool
+}
+
+// EstateServer is a running estate service: one region server per grid
+// cell plus the directory endpoint, all on one shared clock.
+type EstateServer struct {
+	cfg      EstateConfig
+	duration int64
+
+	mu      sync.Mutex
+	closed  bool
+	est     *world.EstateSim
+	hosts   []*landHost
+	peers   map[int]*peerLink     // outgoing transfer links, keyed from*regions+to
+	inPeers map[net.Conn]struct{} // incoming transfer links, closed on shutdown
+
+	dirLn net.Listener
+
+	held  bool
+	start chan struct{}
+
+	wg sync.WaitGroup
+}
+
+// ErrDurationReached is the clean end of an estate service: the hosted
+// measurement ran its full scheduled duration on the shared clock.
+var ErrDurationReached = errors.New("server: estate duration reached")
+
+// peerLink is one outgoing inter-server connection, used only by the
+// tick loop (single writer, strict request/reply).
+type peerLink struct {
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// NewEstate validates the estate, builds one region server per cell plus
+// the directory listener, and wires the inter-server transfer fabric.
+func NewEstate(cfg EstateConfig) (*EstateServer, error) {
+	if cfg.Warp <= 0 {
+		cfg.Warp = 1
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	est, err := world.NewEstateSim(cfg.Estate)
+	if err != nil {
+		return nil, err
+	}
+	s := &EstateServer{
+		cfg:      cfg,
+		duration: cfg.Estate.EffectiveDuration(),
+		est:      est,
+		peers:    make(map[int]*peerLink),
+		inPeers:  make(map[net.Conn]struct{}),
+		held:     cfg.Hold,
+		start:    make(chan struct{}),
+	}
+	if !cfg.Hold {
+		close(s.start)
+	}
+	fail := func(err error) (*EstateServer, error) {
+		s.closeListeners()
+		return nil, err
+	}
+	for i := 0; i < est.NumRegions(); i++ {
+		addr := "127.0.0.1:0"
+		if i < len(cfg.RegionAddrs) && cfg.RegionAddrs[i] != "" {
+			addr = cfg.RegionAddrs[i]
+		}
+		host, err := newLandHostSim(&s.mu, &s.closed, est.Region(i), addr, cfg.Warp, cfg.Password)
+		if err != nil {
+			return fail(err)
+		}
+		region := i
+		host.onPeer = func(conn net.Conn, hello slp.PeerHello) {
+			s.servePeer(region, conn)
+		}
+		s.hosts = append(s.hosts, host)
+	}
+	dirAddr := cfg.Addr
+	if dirAddr == "" {
+		dirAddr = "127.0.0.1:0"
+	}
+	s.dirLn, err = net.Listen("tcp", dirAddr)
+	if err != nil {
+		return fail(err)
+	}
+	// An estate whose directory cannot be framed (too many regions, or
+	// absurd names) is a configuration error: fail here, loudly, instead
+	// of serving a grid nobody can discover.
+	if _, err := slp.Marshal(s.directoryLocked()); err != nil {
+		return fail(fmt.Errorf("server: estate directory does not fit a frame: %w", err))
+	}
+	return s, nil
+}
+
+func (s *EstateServer) closeListeners() {
+	for _, h := range s.hosts {
+		h.ln.Close()
+	}
+	if s.dirLn != nil {
+		s.dirLn.Close()
+	}
+}
+
+// DirectoryAddr returns the directory endpoint's bound address — the
+// single address a client needs to discover the whole grid.
+func (s *EstateServer) DirectoryAddr() string { return s.dirLn.Addr().String() }
+
+// RegionAddr returns region i's bound listen address.
+func (s *EstateServer) RegionAddr(i int) string { return s.hosts[i].addr() }
+
+// NumRegions returns the number of hosted regions.
+func (s *EstateServer) NumRegions() int { return len(s.hosts) }
+
+// SimTime returns the shared clock.
+func (s *EstateServer) SimTime() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Time()
+}
+
+// Crossings returns how many walking handoffs completed over the
+// inter-server links.
+func (s *EstateServer) Crossings() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Crossings()
+}
+
+// Teleports returns how many inter-region teleports completed over the
+// inter-server links.
+func (s *EstateServer) Teleports() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.Teleports()
+}
+
+// BlockedHandoffs returns how many handoffs destinations refused at
+// capacity.
+func (s *EstateServer) BlockedHandoffs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.est.BlockedHandoffs()
+}
+
+// StartClock releases a held clock (idempotent) and returns the shared
+// clock value.
+func (s *EstateServer) StartClock() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.held {
+		s.held = false
+		close(s.start)
+	}
+	return s.est.Time()
+}
+
+// directoryLocked assembles the directory reply.
+func (s *EstateServer) directoryLocked() slp.Directory {
+	dir := slp.Directory{
+		Estate:   s.cfg.Estate.Name,
+		Rows:     uint16(s.cfg.Estate.Rows),
+		Cols:     uint16(s.cfg.Estate.Cols),
+		SimTime:  s.est.Time(),
+		Warp:     s.cfg.Warp,
+		Duration: s.duration,
+		Held:     s.held,
+	}
+	for i, h := range s.hosts {
+		scn := h.sim.Scenario()
+		dir.Regions = append(dir.Regions, slp.DirRegion{
+			Name:   scn.Land.Name,
+			Addr:   h.addr(),
+			Origin: s.cfg.Estate.RegionOrigin(i),
+			Size:   scn.Land.Size,
+		})
+	}
+	return dir
+}
+
+// Run serves the estate until the context is cancelled, a region or
+// inter-server connection fails, or the estate duration elapses on the
+// shared clock. It always returns a non-nil reason.
+func (s *EstateServer) Run(ctx context.Context) error {
+	defer s.closeListeners()
+
+	acceptErr := make(chan error, len(s.hosts)+1)
+	for _, h := range s.hosts {
+		host := h
+		go func() { acceptErr <- host.acceptLoop(&s.wg) }()
+	}
+	go func() { acceptErr <- s.directoryLoop() }()
+
+	// A held clock waits for release before tick one, so monitors can
+	// subscribe first and observe the measurement from its first second.
+	select {
+	case <-s.start:
+	case <-ctx.Done():
+		s.shutdown()
+		return ctx.Err()
+	case err := <-acceptErr:
+		s.shutdown()
+		return err
+	}
+
+	ticker := time.NewTicker(s.cfg.TickEvery)
+	defer ticker.Stop()
+	carry := 0.0
+	for {
+		select {
+		case <-ctx.Done():
+			s.shutdown()
+			return ctx.Err()
+		case err := <-acceptErr:
+			s.shutdown()
+			return err
+		case <-ticker.C:
+			carry += s.cfg.Warp * s.cfg.TickEvery.Seconds()
+			steps := int(carry)
+			carry -= float64(steps)
+			for i := 0; i < steps; i++ {
+				end, err := s.step()
+				if err != nil {
+					s.shutdown()
+					return fmt.Errorf("server: estate handoff failed: %w", err)
+				}
+				if end {
+					s.shutdown()
+					return ErrDurationReached
+				}
+			}
+		}
+	}
+}
+
+// step advances the shared clock by one second: every region simulation
+// ticks under the lock, then the tick's cross-region handoffs are routed
+// over the inter-server links — sequentially, in the deterministic order
+// of the migration sweep, with the lock released so each destination's
+// peer handler can admit the avatar — and finally sensors scan and due
+// subscription pushes go out, after all handoffs settled.
+func (s *EstateServer) step() (bool, error) {
+	s.mu.Lock()
+	transfers := s.est.StepPending()
+	s.mu.Unlock()
+
+	for i, tr := range transfers {
+		accepted, err := s.route(tr)
+		if err != nil {
+			return false, err
+		}
+		s.mu.Lock()
+		s.est.ResolveTransfer(i, accepted)
+		s.mu.Unlock()
+	}
+
+	s.mu.Lock()
+	now := s.est.Time()
+	for _, h := range s.hosts {
+		h.stepLocked(now)
+	}
+	s.mu.Unlock()
+	return now >= s.duration, nil
+}
+
+// route carries one handoff to its destination region server over TCP
+// and returns the destination's verdict. Links are dialled lazily and
+// cached per (source, destination) pair.
+func (s *EstateServer) route(tr world.Transfer) (bool, error) {
+	key := tr.From*len(s.hosts) + tr.To
+	link, ok := s.peers[key]
+	if !ok {
+		conn, err := net.DialTimeout("tcp", s.hosts[tr.To].addr(), 5*time.Second)
+		if err != nil {
+			return false, fmt.Errorf("region %d -> %d: %w", tr.From, tr.To, err)
+		}
+		link = &peerLink{conn: conn, bw: bufio.NewWriter(conn)}
+		if err := link.send(slp.PeerHello{Version: slp.Version, Region: uint32(tr.From), Password: s.cfg.Password}); err != nil {
+			conn.Close()
+			return false, fmt.Errorf("region %d -> %d: peer hello: %w", tr.From, tr.To, err)
+		}
+		reply, err := slp.ReadMessage(conn)
+		if err != nil {
+			conn.Close()
+			return false, fmt.Errorf("region %d -> %d: peer handshake: %w", tr.From, tr.To, err)
+		}
+		if e, isErr := reply.(slp.Error); isErr {
+			conn.Close()
+			return false, fmt.Errorf("region %d -> %d: peer refused (%d): %s", tr.From, tr.To, e.Code, e.Message)
+		}
+		if _, isWelcome := reply.(slp.Welcome); !isWelcome {
+			conn.Close()
+			return false, fmt.Errorf("region %d -> %d: unexpected peer handshake reply %s", tr.From, tr.To, reply.Type())
+		}
+		s.peers[key] = link
+	}
+	if err := link.send(slp.Transfer{
+		From:     uint32(tr.From),
+		To:       uint32(tr.To),
+		Teleport: tr.Teleport,
+		Avatar:   tr.Avatar,
+	}); err != nil {
+		return false, fmt.Errorf("region %d -> %d: transfer send: %w", tr.From, tr.To, err)
+	}
+	reply, err := slp.ReadMessage(link.conn)
+	if err != nil {
+		return false, fmt.Errorf("region %d -> %d: transfer ack: %w", tr.From, tr.To, err)
+	}
+	switch v := reply.(type) {
+	case slp.TransferAck:
+		return v.Accepted, nil
+	case slp.Error:
+		return false, fmt.Errorf("region %d -> %d: transfer rejected (%d): %s", tr.From, tr.To, v.Code, v.Message)
+	default:
+		return false, fmt.Errorf("region %d -> %d: unexpected transfer reply %s", tr.From, tr.To, reply.Type())
+	}
+}
+
+func (l *peerLink) send(m slp.Message) error {
+	_ = l.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := slp.WriteMessage(l.bw, m); err != nil {
+		return err
+	}
+	return l.bw.Flush()
+}
+
+// servePeer runs the destination side of an inter-server link on region
+// `region`: it welcomes the peer, then admits (or refuses) each incoming
+// avatar transfer.
+func (s *EstateServer) servePeer(region int, conn net.Conn) {
+	bw := bufio.NewWriter(conn)
+	write := func(m slp.Message) error {
+		_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if err := slp.WriteMessage(bw, m); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.inPeers[conn] = struct{}{}
+	name := s.hosts[region].sim.Scenario().Land.Name
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inPeers, conn)
+		s.mu.Unlock()
+	}()
+	if err := write(slp.Welcome{Land: name}); err != nil {
+		return
+	}
+	for {
+		msg, err := slp.ReadMessage(conn)
+		if err != nil {
+			var de *slp.DecodeError
+			if errors.As(err, &de) {
+				_ = write(slp.Error{Code: slp.ErrMalformed, Message: de.Error()})
+			}
+			return
+		}
+		tr, ok := msg.(slp.Transfer)
+		if !ok {
+			if _, bye := msg.(slp.Logout); bye {
+				return
+			}
+			_ = write(slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("unexpected %s on transfer link", msg.Type())})
+			return
+		}
+		if int(tr.To) != region {
+			_ = write(slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("transfer addressed to region %d arrived at %d", tr.To, region)})
+			return
+		}
+		s.mu.Lock()
+		accepted, err := s.est.Inject(world.Transfer{
+			From:     int(tr.From),
+			To:       int(tr.To),
+			Teleport: tr.Teleport,
+			Avatar:   tr.Avatar,
+		})
+		s.mu.Unlock()
+		if err != nil {
+			_ = write(slp.Error{Code: slp.ErrMalformed, Message: err.Error()})
+			return
+		}
+		if err := write(slp.TransferAck{Accepted: accepted}); err != nil {
+			return
+		}
+	}
+}
+
+// directoryLoop serves grid discovery and clock control.
+func (s *EstateServer) directoryLoop() error {
+	for {
+		conn, err := s.dirLn.Accept()
+		if err != nil {
+			return fmt.Errorf("server: directory accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveDirectory(conn)
+		}()
+	}
+}
+
+func (s *EstateServer) serveDirectory(conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	write := func(m slp.Message) error {
+		_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if err := slp.WriteMessage(bw, m); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		msg, err := slp.ReadMessage(conn)
+		if err != nil {
+			var de *slp.DecodeError
+			if errors.As(err, &de) {
+				_ = write(slp.Error{Code: slp.ErrMalformed, Message: de.Error()})
+			}
+			return
+		}
+		switch msg.(type) {
+		case slp.DirectoryRequest:
+			s.mu.Lock()
+			dir := s.directoryLocked()
+			s.mu.Unlock()
+			if err := write(dir); err != nil {
+				return
+			}
+		case slp.ClockStart:
+			now := s.StartClock()
+			if err := write(slp.ClockStarted{SimTime: now}); err != nil {
+				return
+			}
+		case slp.Logout:
+			return
+		default:
+			_ = write(slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("unexpected %s at directory endpoint", msg.Type())})
+			return
+		}
+	}
+}
+
+func (s *EstateServer) shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	for _, h := range s.hosts {
+		h.shutdownLocked()
+	}
+	for _, l := range s.peers {
+		l.conn.Close()
+	}
+	for conn := range s.inPeers {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.closeListeners()
+	s.wg.Wait()
+}

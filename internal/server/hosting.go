@@ -1,0 +1,374 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"slmob/internal/geom"
+	"slmob/internal/sensor"
+	"slmob/internal/slp"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// landHost serves the slp session protocol for one hosted land. The
+// single-land Server owns exactly one; an EstateServer owns one per
+// region, all guarded by the estate-wide lock. The owner supplies the
+// mutex, runs the simulation clock, and calls pushDueLocked after each
+// advance.
+type landHost struct {
+	mu       *sync.Mutex
+	closed   *bool
+	ln       net.Listener
+	sim      *world.Sim
+	sensors  *sensor.Engine
+	sessions map[*session]struct{}
+	warp     float64
+	password string
+
+	// onPeer, when non-nil, accepts inter-server transfer links (estate
+	// regions only); a single-land host refuses them.
+	onPeer func(conn net.Conn, hello slp.PeerHello)
+}
+
+// session is one connected client.
+type session struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+	// observer marks a measurement-grade session: no avatar admitted,
+	// full-resolution map replies.
+	observer bool
+	avatarID trace.AvatarID
+	// subTau, when non-zero, requests a map push every subTau sim seconds.
+	subTau   int64
+	nextPush int64
+}
+
+func newLandHost(mu *sync.Mutex, closed *bool, scn world.Scenario, addr string, warp float64, password string) (*landHost, error) {
+	sim, err := world.NewSim(scn)
+	if err != nil {
+		return nil, err
+	}
+	return newLandHostSim(mu, closed, sim, addr, warp, password)
+}
+
+func newLandHostSim(mu *sync.Mutex, closed *bool, sim *world.Sim, addr string, warp float64, password string) (*landHost, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &landHost{
+		mu:       mu,
+		closed:   closed,
+		ln:       ln,
+		sim:      sim,
+		sensors:  sensor.NewEngine(sim.Scenario().Land),
+		sessions: make(map[*session]struct{}),
+		warp:     warp,
+		password: password,
+	}
+	sim.SetChatHook(h.relayChat)
+	return h, nil
+}
+
+// addr returns the host's bound listen address.
+func (h *landHost) addr() string { return h.ln.Addr().String() }
+
+// acceptLoop serves connections until the listener closes; every
+// connection runs on its own goroutine tracked by wg.
+func (h *landHost) acceptLoop(wg *sync.WaitGroup) error {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.serveConn(conn)
+		}()
+	}
+}
+
+// shutdownLocked closes every session; the owner holds the lock.
+func (h *landHost) shutdownLocked() {
+	for sess := range h.sessions {
+		sess.conn.Close()
+	}
+}
+
+// serveConn runs the handshake and then the session loop.
+func (h *landHost) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{conn: conn, bw: bufio.NewWriter(conn)}
+
+	// Handshake.
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	msg, err := slp.ReadMessage(conn)
+	if err != nil {
+		// A protocol violation gets a typed reply before the close; a
+		// transport failure (timeout, reset) cannot be answered.
+		var de *slp.DecodeError
+		if errors.As(err, &de) {
+			_ = sess.write(slp.Error{Code: slp.ErrMalformed, Message: de.Error()})
+		}
+		return
+	}
+	if peer, ok := msg.(slp.PeerHello); ok {
+		if h.onPeer == nil {
+			_ = sess.write(slp.Error{Code: slp.ErrNotEstate, Message: "not an estate region"})
+			return
+		}
+		if peer.Version != slp.Version {
+			_ = sess.write(slp.Error{Code: slp.ErrBadVersion, Message: "unsupported protocol version"})
+			return
+		}
+		if h.password != "" && peer.Password != h.password {
+			_ = sess.write(slp.Error{Code: slp.ErrBadCredentials, Message: "bad credentials"})
+			return
+		}
+		_ = conn.SetReadDeadline(time.Time{})
+		h.onPeer(conn, peer)
+		return
+	}
+	hello, ok := msg.(slp.Hello)
+	if !ok {
+		_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "expected hello"})
+		return
+	}
+	if hello.Version != slp.Version {
+		_ = sess.write(slp.Error{Code: slp.ErrBadVersion, Message: "unsupported protocol version"})
+		return
+	}
+	if h.password != "" && hello.Password != h.password {
+		_ = sess.write(slp.Error{Code: slp.ErrBadCredentials, Message: "bad credentials"})
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	h.mu.Lock()
+	if *h.closed {
+		h.mu.Unlock()
+		return
+	}
+	land := h.sim.Scenario().Land
+	var spawn geom.Vec
+	if hello.Observer {
+		// Observers are not in-world: no avatar, no capacity slot, and
+		// nothing for curious residents to investigate.
+		sess.observer = true
+	} else {
+		spawn = land.Spawns[0]
+		id, err := h.sim.AddExternal(spawn)
+		if err != nil {
+			h.mu.Unlock()
+			_ = sess.write(slp.Error{Code: slp.ErrLandFull, Message: err.Error()})
+			return
+		}
+		sess.avatarID = id
+	}
+	h.sessions[sess] = struct{}{}
+	welcome := slp.Welcome{
+		AvatarID: uint64(sess.avatarID),
+		Land:     land.Name,
+		Size:     land.Size,
+		SimTime:  h.sim.Time(),
+		Warp:     h.warp,
+		Spawn:    spawn,
+	}
+	h.mu.Unlock()
+
+	if err := sess.write(welcome); err != nil {
+		h.dropSession(sess)
+		return
+	}
+	defer h.dropSession(sess)
+
+	for {
+		msg, err := slp.ReadMessage(conn)
+		if err != nil {
+			var de *slp.DecodeError
+			if errors.As(err, &de) {
+				_ = sess.write(slp.Error{Code: slp.ErrMalformed, Message: de.Error()})
+			}
+			return
+		}
+		if done := h.handle(sess, msg); done {
+			return
+		}
+	}
+}
+
+func (h *landHost) dropSession(sess *session) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.sessions[sess]; ok {
+		delete(h.sessions, sess)
+		if !sess.observer {
+			h.sim.RemoveExternal(sess.avatarID)
+		}
+	}
+}
+
+// handle processes one client message; it reports whether the session is
+// finished.
+func (h *landHost) handle(sess *session, msg slp.Message) bool {
+	switch v := msg.(type) {
+	case slp.Move:
+		if sess.observer {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "observer session has no avatar"})
+			return false
+		}
+		h.mu.Lock()
+		err := h.sim.MoveExternal(sess.avatarID, v.Pos)
+		h.mu.Unlock()
+		if err != nil {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: err.Error()})
+		}
+	case slp.Chat:
+		if sess.observer {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "observer session has no avatar"})
+			return false
+		}
+		h.mu.Lock()
+		err := h.sim.ExternalChat(sess.avatarID, v.Text)
+		h.mu.Unlock()
+		if err != nil {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: err.Error()})
+		}
+	case slp.MapRequest:
+		h.mu.Lock()
+		h.pushMapLocked(sess)
+		h.mu.Unlock()
+	case slp.Subscribe:
+		if v.Tau <= 0 {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "tau must be positive"})
+			return false
+		}
+		h.mu.Lock()
+		sess.subTau = v.Tau
+		now := h.sim.Time()
+		if v.Aligned {
+			// Anchor pushes to absolute multiples of tau on the server
+			// clock, so every monitor of an estate shares one timeline.
+			sess.nextPush = now - now%v.Tau + v.Tau
+		} else {
+			sess.nextPush = now + v.Tau
+		}
+		h.mu.Unlock()
+	case slp.ObjectCreate:
+		if sess.observer {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "observer session has no avatar"})
+			return false
+		}
+		h.mu.Lock()
+		rep, err := h.sensors.Deploy(h.sim.Time(), sensor.Spec{
+			Pos:       v.Pos,
+			Range:     v.Range,
+			Period:    v.Period,
+			Collector: v.Collector,
+		})
+		h.mu.Unlock()
+		if err != nil {
+			_ = sess.write(slp.Error{Code: slp.ErrObjectsForbidden, Message: err.Error()})
+			return false
+		}
+		_ = sess.write(slp.ObjectReply{ObjectID: rep.ID, ExpiresAt: rep.ExpiresAt})
+	case slp.Ping:
+		h.mu.Lock()
+		now := h.sim.Time()
+		h.mu.Unlock()
+		_ = sess.write(slp.Pong{Seq: v.Seq, SimTime: now})
+	case slp.Logout:
+		return true
+	default:
+		_ = sess.write(slp.Error{Code: slp.ErrBadRequest,
+			Message: fmt.Sprintf("unexpected %s", msg.Type())})
+	}
+	return false
+}
+
+// stepLocked advances the host's per-second duties after a simulation
+// step: sensor scans and due subscription pushes. Called with the lock
+// held, after any cross-region handoffs of the tick have settled, so
+// monitors never observe an avatar mid-flight.
+func (h *landHost) stepLocked(now int64) {
+	h.sensors.Step(now, h.sim)
+	for sess := range h.sessions {
+		if sess.subTau > 0 && now >= sess.nextPush {
+			sess.nextPush = now + sess.subTau
+			h.pushMapLocked(sess)
+		}
+	}
+}
+
+// pushMapLocked sends the land map to one session. Avatar sessions get
+// the coarse quantised map with seated avatars at {0,0,0} — the
+// authentic Second Life quirk, repaired downstream by monitors.
+// Observer sessions get the measurement-grade full-resolution map with
+// exact positions and the seated flag.
+func (h *landHost) pushMapLocked(sess *session) {
+	states := h.sim.States(nil)
+	now := h.sim.Time()
+	var err error
+	if sess.observer {
+		reply := slp.MapReplyFull{SimTime: now}
+		for _, st := range states {
+			reply.Entries = append(reply.Entries, slp.FullEntry{ID: st.ID, Pos: st.Pos, Seated: st.Seated})
+		}
+		err = sess.write(reply)
+	} else {
+		reply := slp.MapReply{SimTime: now}
+		for _, st := range states {
+			pos := st.Pos
+			if st.Seated {
+				pos = geom.Vec{}
+			}
+			reply.Entries = append(reply.Entries, slp.MapEntry{ID: st.ID, Pos: pos})
+		}
+		// Write outside the sim lock would be nicer, but map pushes are
+		// small and sessions buffered; keep ordering simple and correct.
+		err = sess.write(reply)
+	}
+	if err != nil {
+		// A session whose pushes cannot be delivered — wedged transport,
+		// or a map that no longer marshals — must not silently starve its
+		// monitor or stall the clock on every tick: close the connection
+		// so the reader goroutine drops the session loudly.
+		sess.conn.Close()
+	}
+}
+
+// relayChat forwards avatar chat to sessions whose avatar is in range.
+// Called from Sim.Step with the lock held.
+func (h *landHost) relayChat(m world.ChatMessage) {
+	states := h.sim.States(nil)
+	pos := map[trace.AvatarID]geom.Vec{}
+	for _, st := range states {
+		pos[st.ID] = st.Pos
+	}
+	for sess := range h.sessions {
+		p, ok := pos[sess.avatarID]
+		if !ok || sess.avatarID == m.From {
+			continue
+		}
+		if p.DistXY(m.Pos) <= ChatRange {
+			_ = sess.write(slp.ChatEvent{From: m.From, Pos: m.Pos, Text: m.Text})
+		}
+	}
+}
+
+func (sess *session) write(m slp.Message) error {
+	sess.wmu.Lock()
+	defer sess.wmu.Unlock()
+	_ = sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := slp.WriteMessage(sess.bw, m); err != nil {
+		return err
+	}
+	return sess.bw.Flush()
+}

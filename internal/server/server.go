@@ -1,24 +1,23 @@
-// Package server hosts a simulated land over the slp wire protocol: it is
-// the stand-in for the Second Life region server the paper's monitors
-// connected to. It advances the world simulation in real time under a
-// configurable time warp, admits external avatars (crawlers), relays
-// local chat, answers coarse map requests, pushes map subscriptions, and
-// enforces the land's object-deployment policy for sensors.
+// Package server hosts simulated lands over the slp wire protocol: it is
+// the stand-in for the Second Life region servers the paper's monitors
+// connected to. A Server hosts one land; an EstateServer hosts a whole
+// multi-region grid on a shared warped clock, hands border-crossing
+// avatars between its region servers over the network, and exposes a
+// directory endpoint for grid discovery. Servers advance the world
+// simulation in real time under a configurable time warp, admit external
+// avatars (crawlers) and measurement-grade observers, relay local chat,
+// answer coarse and full-resolution map requests, push map
+// subscriptions, and enforce each land's object-deployment policy for
+// sensors.
 package server
 
 import (
-	"bufio"
 	"context"
 	"errors"
-	"fmt"
-	"net"
 	"sync"
 	"time"
 
-	"slmob/internal/geom"
 	"slmob/internal/sensor"
-	"slmob/internal/slp"
-	"slmob/internal/trace"
 	"slmob/internal/world"
 )
 
@@ -44,29 +43,15 @@ type Config struct {
 	Password string
 }
 
-// Server is a running region server.
+// Server is a running single-land region server.
 type Server struct {
 	cfg Config
-	ln  net.Listener
 
-	mu       sync.Mutex
-	sim      *world.Sim
-	sensors  *sensor.Engine
-	sessions map[*session]struct{}
-	closed   bool
+	mu     sync.Mutex
+	closed bool
+	host   *landHost
 
 	wg sync.WaitGroup
-}
-
-// session is one connected client.
-type session struct {
-	conn     net.Conn
-	bw       *bufio.Writer
-	wmu      sync.Mutex
-	avatarID trace.AvatarID
-	// subTau, when non-zero, requests a map push every subTau sim seconds.
-	subTau   int64
-	nextPush int64
 }
 
 // New builds the server and binds its listener.
@@ -77,46 +62,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 10 * time.Millisecond
 	}
-	sim, err := world.NewSim(cfg.Scenario)
+	s := &Server{cfg: cfg}
+	host, err := newLandHost(&s.mu, &s.closed, cfg.Scenario, cfg.Addr, cfg.Warp, cfg.Password)
 	if err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
-	s := &Server{
-		cfg:      cfg,
-		ln:       ln,
-		sim:      sim,
-		sensors:  sensor.NewEngine(cfg.Scenario.Land),
-		sessions: make(map[*session]struct{}),
-	}
-	sim.SetChatHook(s.relayChat)
+	s.host = host
 	return s, nil
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.host.addr() }
 
 // SimTime returns the current simulation time.
 func (s *Server) SimTime() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.sim.Time()
+	return s.host.sim.Time()
 }
 
 // Sensors exposes the sensor engine (for deployment bookkeeping in tests
 // and tools).
-func (s *Server) Sensors() *sensor.Engine { return s.sensors }
+func (s *Server) Sensors() *sensor.Engine { return s.host.sensors }
 
 // Run serves until the context is cancelled or the duration of the hosted
 // scenario elapses in sim time. It always returns a non-nil reason.
 func (s *Server) Run(ctx context.Context) error {
-	defer s.ln.Close()
+	defer s.host.ln.Close()
 
 	acceptErr := make(chan error, 1)
-	go func() { acceptErr <- s.acceptLoop() }()
+	go func() { acceptErr <- s.host.acceptLoop(&s.wg) }()
 
 	ticker := time.NewTicker(s.cfg.TickEvery)
 	defer ticker.Stop()
@@ -146,15 +121,9 @@ func (s *Server) advance(steps int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := 0; i < steps; i++ {
-		s.sim.Step()
-		now := s.sim.Time()
-		s.sensors.Step(now, s.sim)
-		for sess := range s.sessions {
-			if sess.subTau > 0 && now >= sess.nextPush {
-				sess.nextPush = now + sess.subTau
-				s.pushMapLocked(sess)
-			}
-		}
+		s.host.sim.Step()
+		now := s.host.sim.Time()
+		s.host.stepLocked(now)
 		if now >= s.cfg.Scenario.Duration {
 			return true
 		}
@@ -162,208 +131,10 @@ func (s *Server) advance(steps int) bool {
 	return false
 }
 
-func (s *Server) acceptLoop() error {
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("server: accept: %w", err)
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			s.serveConn(conn)
-		}()
-	}
-}
-
 func (s *Server) shutdown() {
 	s.mu.Lock()
 	s.closed = true
-	for sess := range s.sessions {
-		sess.conn.Close()
-	}
+	s.host.shutdownLocked()
 	s.mu.Unlock()
 	s.wg.Wait()
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	sess := &session{conn: conn, bw: bufio.NewWriter(conn)}
-
-	// Handshake.
-	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-	msg, err := slp.ReadMessage(conn)
-	if err != nil {
-		return
-	}
-	hello, ok := msg.(slp.Hello)
-	if !ok {
-		_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "expected hello"})
-		return
-	}
-	if hello.Version != slp.Version {
-		_ = sess.write(slp.Error{Code: slp.ErrBadVersion, Message: "unsupported protocol version"})
-		return
-	}
-	if s.cfg.Password != "" && hello.Password != s.cfg.Password {
-		_ = sess.write(slp.Error{Code: slp.ErrBadCredentials, Message: "bad credentials"})
-		return
-	}
-	_ = conn.SetReadDeadline(time.Time{})
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	land := s.cfg.Scenario.Land
-	spawn := land.Spawns[0]
-	id, err := s.sim.AddExternal(spawn)
-	if err != nil {
-		s.mu.Unlock()
-		_ = sess.write(slp.Error{Code: slp.ErrLandFull, Message: err.Error()})
-		return
-	}
-	sess.avatarID = id
-	s.sessions[sess] = struct{}{}
-	welcome := slp.Welcome{
-		AvatarID: uint64(id),
-		Land:     land.Name,
-		Size:     land.Size,
-		SimTime:  s.sim.Time(),
-		Warp:     s.cfg.Warp,
-		Spawn:    spawn,
-	}
-	s.mu.Unlock()
-
-	if err := sess.write(welcome); err != nil {
-		s.dropSession(sess)
-		return
-	}
-	defer s.dropSession(sess)
-
-	for {
-		msg, err := slp.ReadMessage(conn)
-		if err != nil {
-			return
-		}
-		if done := s.handle(sess, msg); done {
-			return
-		}
-	}
-}
-
-func (s *Server) dropSession(sess *session) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[sess]; ok {
-		delete(s.sessions, sess)
-		s.sim.RemoveExternal(sess.avatarID)
-	}
-}
-
-// handle processes one client message; it reports whether the session is
-// finished.
-func (s *Server) handle(sess *session, msg slp.Message) bool {
-	switch v := msg.(type) {
-	case slp.Move:
-		s.mu.Lock()
-		err := s.sim.MoveExternal(sess.avatarID, v.Pos)
-		s.mu.Unlock()
-		if err != nil {
-			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: err.Error()})
-		}
-	case slp.Chat:
-		s.mu.Lock()
-		err := s.sim.ExternalChat(sess.avatarID, v.Text)
-		s.mu.Unlock()
-		if err != nil {
-			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: err.Error()})
-		}
-	case slp.MapRequest:
-		s.mu.Lock()
-		s.pushMapLocked(sess)
-		s.mu.Unlock()
-	case slp.Subscribe:
-		if v.Tau <= 0 {
-			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "tau must be positive"})
-			return false
-		}
-		s.mu.Lock()
-		sess.subTau = v.Tau
-		sess.nextPush = s.sim.Time() + v.Tau
-		s.mu.Unlock()
-	case slp.ObjectCreate:
-		s.mu.Lock()
-		rep, err := s.sensors.Deploy(s.sim.Time(), sensor.Spec{
-			Pos:       v.Pos,
-			Range:     v.Range,
-			Period:    v.Period,
-			Collector: v.Collector,
-		})
-		s.mu.Unlock()
-		if err != nil {
-			_ = sess.write(slp.Error{Code: slp.ErrObjectsForbidden, Message: err.Error()})
-			return false
-		}
-		_ = sess.write(slp.ObjectReply{ObjectID: rep.ID, ExpiresAt: rep.ExpiresAt})
-	case slp.Ping:
-		s.mu.Lock()
-		now := s.sim.Time()
-		s.mu.Unlock()
-		_ = sess.write(slp.Pong{Seq: v.Seq, SimTime: now})
-	case slp.Logout:
-		return true
-	default:
-		_ = sess.write(slp.Error{Code: slp.ErrBadRequest,
-			Message: fmt.Sprintf("unexpected %s", msg.Type())})
-	}
-	return false
-}
-
-// pushMapLocked sends the coarse map to one session. Seated avatars are
-// reported at {0,0,0}: the protocol carries the authentic Second Life
-// quirk, and monitors must repair it downstream.
-func (s *Server) pushMapLocked(sess *session) {
-	states := s.sim.States(nil)
-	reply := slp.MapReply{SimTime: s.sim.Time()}
-	for _, st := range states {
-		pos := st.Pos
-		if st.Seated {
-			pos = geom.Vec{}
-		}
-		reply.Entries = append(reply.Entries, slp.MapEntry{ID: st.ID, Pos: pos})
-	}
-	// Write outside the sim lock would be nicer, but map pushes are small
-	// and sessions buffered; keep ordering simple and correct.
-	_ = sess.write(reply)
-}
-
-// relayChat forwards avatar chat to sessions whose avatar is in range.
-// Called from Sim.Step with s.mu held.
-func (s *Server) relayChat(m world.ChatMessage) {
-	states := s.sim.States(nil)
-	pos := map[trace.AvatarID]geom.Vec{}
-	for _, st := range states {
-		pos[st.ID] = st.Pos
-	}
-	for sess := range s.sessions {
-		p, ok := pos[sess.avatarID]
-		if !ok || sess.avatarID == m.From {
-			continue
-		}
-		if p.DistXY(m.Pos) <= ChatRange {
-			_ = sess.write(slp.ChatEvent{From: m.From, Pos: m.Pos, Text: m.Text})
-		}
-	}
-}
-
-func (sess *session) write(m slp.Message) error {
-	sess.wmu.Lock()
-	defer sess.wmu.Unlock()
-	_ = sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if err := slp.WriteMessage(sess.bw, m); err != nil {
-		return err
-	}
-	return sess.bw.Flush()
 }

@@ -128,7 +128,7 @@ func TestSubscriptionDeliversPeriodicSnapshots(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Subscribe(10); err != nil {
+	if err := c.Subscribe(10, false); err != nil {
 		t.Fatal(err)
 	}
 	var times []int64

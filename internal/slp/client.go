@@ -24,33 +24,46 @@ type Client struct {
 
 	welcome Welcome
 
-	maps  chan MapReply
-	chats chan ChatEvent
-	pongs chan Pong
-	objs  chan ObjectReply
+	maps     chan MapReply
+	fullMaps chan MapReplyFull
+	chats    chan ChatEvent
+	pongs    chan Pong
+	objs     chan ObjectReply
 
 	done    chan struct{}
 	errOnce sync.Once
 	err     error
 }
 
-// Dial connects, logs in, and starts the read loop. The returned client
-// must be closed with Close.
+// Dial connects, logs in as an avatar, and starts the read loop. The
+// returned client must be closed with Close.
 func Dial(addr, name, password string, timeout time.Duration) (*Client, error) {
+	return dial(addr, name, password, false, timeout)
+}
+
+// DialObserver connects in observer mode: the server admits no avatar
+// for the session and serves full-resolution MapReplyFull snapshots (see
+// Hello.Observer). Estate monitors use it for measurement-grade crawls.
+func DialObserver(addr, name, password string, timeout time.Duration) (*Client, error) {
+	return dial(addr, name, password, true, timeout)
+}
+
+func dial(addr, name, password string, observer bool, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
-		conn:  conn,
-		bw:    bufio.NewWriter(conn),
-		maps:  make(chan MapReply, 64),
-		chats: make(chan ChatEvent, 64),
-		pongs: make(chan Pong, 8),
-		objs:  make(chan ObjectReply, 8),
-		done:  make(chan struct{}),
+		conn:     conn,
+		bw:       bufio.NewWriter(conn),
+		maps:     make(chan MapReply, 64),
+		fullMaps: make(chan MapReplyFull, 64),
+		chats:    make(chan ChatEvent, 64),
+		pongs:    make(chan Pong, 8),
+		objs:     make(chan ObjectReply, 8),
+		done:     make(chan struct{}),
 	}
-	if err := c.send(Hello{Version: Version, Name: name, Password: password}); err != nil {
+	if err := c.send(Hello{Version: Version, Name: name, Password: password, Observer: observer}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -82,6 +95,10 @@ func (c *Client) Welcome() Welcome { return c.welcome }
 // subscription pushes). It is closed when the connection dies.
 func (c *Client) Maps() <-chan MapReply { return c.maps }
 
+// FullMaps returns the channel of full-resolution map snapshots served
+// to observer sessions. It is closed when the connection dies.
+func (c *Client) FullMaps() <-chan MapReplyFull { return c.fullMaps }
+
 // Chats returns the channel of chat events heard near the avatar.
 func (c *Client) Chats() <-chan ChatEvent { return c.chats }
 
@@ -100,6 +117,7 @@ func (c *Client) fail(err error) {
 		c.err = err
 		close(c.done)
 		close(c.maps)
+		close(c.fullMaps)
 		close(c.chats)
 		c.conn.Close()
 	})
@@ -117,6 +135,11 @@ func (c *Client) readLoop() {
 			select {
 			case c.maps <- v:
 			default: // drop if the consumer lags; the next push supersedes
+			}
+		case MapReplyFull:
+			select {
+			case c.fullMaps <- v:
+			default:
 			}
 		case ChatEvent:
 			select {
@@ -166,9 +189,11 @@ func (c *Client) RequestMap() error {
 	return c.send(MapRequest{})
 }
 
-// Subscribe asks for a map push every tau simulated seconds.
-func (c *Client) Subscribe(tau int64) error {
-	return c.send(Subscribe{Tau: tau})
+// Subscribe asks for a map push every tau simulated seconds. Aligned
+// anchors the pushes to absolute multiples of tau on the server clock,
+// which estate monitors use to share one timeline across regions.
+func (c *Client) Subscribe(tau int64, aligned bool) error {
+	return c.send(Subscribe{Tau: tau, Aligned: aligned})
 }
 
 // CreateObject deploys a sensor object and waits for the acknowledgement.
@@ -206,4 +231,56 @@ func (c *Client) Close() error {
 	_ = c.send(Logout{})
 	c.fail(fmt.Errorf("slp: client closed"))
 	return nil
+}
+
+// directoryCall dials an estate directory endpoint, performs one
+// request/reply exchange, and closes the connection.
+func directoryCall(addr string, req Message, timeout time.Duration) (Message, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := WriteMessage(conn, req); err != nil {
+		return nil, err
+	}
+	reply, err := ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("slp: directory read: %w", err)
+	}
+	if e, ok := reply.(Error); ok {
+		return nil, fmt.Errorf("slp: directory refused (%d): %s", e.Code, e.Message)
+	}
+	return reply, nil
+}
+
+// FetchDirectory retrieves an estate's grid description from its
+// directory endpoint: region names, addresses, placements, and the state
+// of the shared clock.
+func FetchDirectory(addr string, timeout time.Duration) (Directory, error) {
+	reply, err := directoryCall(addr, DirectoryRequest{}, timeout)
+	if err != nil {
+		return Directory{}, err
+	}
+	dir, ok := reply.(Directory)
+	if !ok {
+		return Directory{}, fmt.Errorf("slp: unexpected directory reply %s", reply.Type())
+	}
+	return dir, nil
+}
+
+// StartEstateClock releases a held estate clock via the directory
+// endpoint and returns the shared clock value (idempotent: starting a
+// running clock is a no-op).
+func StartEstateClock(addr string, timeout time.Duration) (int64, error) {
+	reply, err := directoryCall(addr, ClockStart{}, timeout)
+	if err != nil {
+		return 0, err
+	}
+	started, ok := reply.(ClockStarted)
+	if !ok {
+		return 0, fmt.Errorf("slp: unexpected clock-start reply %s", reply.Type())
+	}
+	return started.SimTime, nil
 }

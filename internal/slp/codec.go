@@ -24,6 +24,32 @@ func (e *encoder) u32(v uint32)  { e.buf = binary.BigEndian.AppendUint32(e.buf, 
 func (e *encoder) u64(v uint64)  { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
 func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
 func (e *encoder) f32(v float64) { e.u32(math.Float32bits(float32(v))) }
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// vec64 packs a position at full float64 resolution (handoffs and
+// measurement-grade map entries must not lose precision).
+func (e *encoder) vec64(v geom.Vec) {
+	e.f64(v.X)
+	e.f64(v.Y)
+	e.f64(v.Z)
+}
+
+func (e *encoder) bytes(b []byte) error {
+	if len(b) > 65535 {
+		return fmt.Errorf("slp: byte field too long (%d bytes)", len(b))
+	}
+	e.u16(uint16(len(b)))
+	e.buf = append(e.buf, b...)
+	return nil
+}
 func (e *encoder) vec(v geom.Vec) {
 	e.f32(v.X)
 	e.f32(v.Y)
@@ -93,8 +119,26 @@ func (d *decoder) u64() uint64 {
 
 func (d *decoder) i64() int64   { return int64(d.u64()) }
 func (d *decoder) f32() float64 { return float64(math.Float32frombits(d.u32())) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) bool() bool   { return d.u8() != 0 }
 func (d *decoder) vec() geom.Vec {
 	return geom.V(d.f32(), d.f32(), d.f32())
+}
+
+func (d *decoder) vec64() geom.Vec {
+	return geom.V(d.f64(), d.f64(), d.f64())
+}
+
+func (d *decoder) bytes() []byte {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:d.off+n])
+	d.off += n
+	return b
 }
 
 func (d *decoder) str() string {
@@ -137,6 +181,25 @@ func quantizeEntry(e *encoder, id trace.AvatarID, pos geom.Vec, size float64) {
 	e.u8(clampByte(pos.Z / 4))
 }
 
+// maxDirRegions bounds a directory frame's region count. The hard limit
+// is really MaxPayload — Marshal rejects a directory whose encoded
+// regions overflow the frame, and the estate server validates its own
+// directory at construction — this count just caps what a decoder will
+// allocate for.
+const maxDirRegions = 1024
+
+// DecodeError marks a protocol violation — a bad frame length or an
+// undecodable payload — as distinct from a transport failure. Servers
+// answer it with a typed Error{ErrMalformed} reply before closing the
+// connection instead of silently dropping it.
+type DecodeError struct{ Err error }
+
+// Error implements error.
+func (e *DecodeError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // Marshal encodes a message payload (type byte + body).
 func Marshal(m Message) ([]byte, error) {
 	e := &encoder{buf: make([]byte, 0, 64)}
@@ -150,6 +213,7 @@ func Marshal(m Message) ([]byte, error) {
 		if err := e.str(v.Password); err != nil {
 			return nil, err
 		}
+		e.bool(v.Observer)
 	case Welcome:
 		e.u64(v.AvatarID)
 		if err := e.str(v.Land); err != nil {
@@ -191,6 +255,7 @@ func Marshal(m Message) ([]byte, error) {
 		}
 	case Subscribe:
 		e.i64(v.Tau)
+		e.bool(v.Aligned)
 	case ObjectCreate:
 		e.u8(byte(v.Kind))
 		e.vec(v.Pos)
@@ -208,6 +273,61 @@ func Marshal(m Message) ([]byte, error) {
 		e.u32(v.Seq)
 		e.i64(v.SimTime)
 	case Logout:
+	case MapReplyFull:
+		e.i64(v.SimTime)
+		if len(v.Entries) > MaxFullEntries {
+			return nil, fmt.Errorf("slp: full map reply too large (%d entries)", len(v.Entries))
+		}
+		e.u16(uint16(len(v.Entries)))
+		for _, ent := range v.Entries {
+			e.u64(uint64(ent.ID))
+			e.vec64(ent.Pos)
+			e.bool(ent.Seated)
+		}
+	case PeerHello:
+		e.u8(v.Version)
+		e.u32(v.Region)
+		if err := e.str(v.Password); err != nil {
+			return nil, err
+		}
+	case Transfer:
+		e.u32(v.From)
+		e.u32(v.To)
+		e.bool(v.Teleport)
+		if err := e.bytes(v.Avatar); err != nil {
+			return nil, err
+		}
+	case TransferAck:
+		e.bool(v.Accepted)
+	case DirectoryRequest:
+	case Directory:
+		if err := e.str(v.Estate); err != nil {
+			return nil, err
+		}
+		e.u16(v.Rows)
+		e.u16(v.Cols)
+		e.i64(v.SimTime)
+		e.f64(v.Warp)
+		e.i64(v.Duration)
+		e.bool(v.Held)
+		if len(v.Regions) > maxDirRegions {
+			return nil, fmt.Errorf("slp: directory too large (%d regions)", len(v.Regions))
+		}
+		e.u16(uint16(len(v.Regions)))
+		for _, r := range v.Regions {
+			if err := e.str(r.Name); err != nil {
+				return nil, err
+			}
+			if err := e.str(r.Addr); err != nil {
+				return nil, err
+			}
+			e.f64(r.Origin.X)
+			e.f64(r.Origin.Y)
+			e.f64(r.Size)
+		}
+	case ClockStart:
+	case ClockStarted:
+		e.i64(v.SimTime)
 	default:
 		return nil, fmt.Errorf("slp: cannot marshal %T", m)
 	}
@@ -217,10 +337,14 @@ func Marshal(m Message) ([]byte, error) {
 	return e.buf, nil
 }
 
-// Unmarshal decodes a payload produced by Marshal.
+// Unmarshal decodes a payload produced by Marshal. Every decoding
+// failure is reported as a *DecodeError.
 func Unmarshal(payload []byte) (Message, error) {
 	if len(payload) == 0 {
-		return nil, fmt.Errorf("slp: empty payload")
+		return nil, &DecodeError{fmt.Errorf("slp: empty payload")}
+	}
+	if len(payload) > MaxPayload {
+		return nil, &DecodeError{fmt.Errorf("slp: payload %d exceeds max %d", len(payload), MaxPayload)}
 	}
 	d := &decoder{buf: payload, off: 1}
 	var m Message
@@ -229,6 +353,7 @@ func Unmarshal(payload []byte) (Message, error) {
 		v := Hello{Version: d.u8()}
 		v.Name = d.str()
 		v.Password = d.str()
+		v.Observer = d.bool()
 		m = v
 	case TypeWelcome:
 		v := Welcome{AvatarID: d.u64()}
@@ -245,7 +370,11 @@ func Unmarshal(payload []byte) (Message, error) {
 	case TypeMove:
 		m = Move{Pos: d.vec()}
 	case TypeChat:
-		m = Chat{Text: d.str()}
+		v := Chat{Text: d.str()}
+		if d.err == nil && len(v.Text) > 255 {
+			return nil, &DecodeError{fmt.Errorf("slp: chat text too long (%d bytes)", len(v.Text))}
+		}
+		m = v
 	case TypeChatEvent:
 		v := ChatEvent{From: trace.AvatarID(d.u64())}
 		v.Pos = d.vec()
@@ -257,7 +386,7 @@ func Unmarshal(payload []byte) (Message, error) {
 		v := MapReply{SimTime: d.i64()}
 		n := int(d.u16())
 		if d.err == nil && n > 1000 {
-			return nil, fmt.Errorf("slp: map reply claims %d entries", n)
+			return nil, &DecodeError{fmt.Errorf("slp: map reply claims %d entries", n)}
 		}
 		for i := 0; i < n && d.err == nil; i++ {
 			id := trace.AvatarID(d.u64())
@@ -268,7 +397,9 @@ func Unmarshal(payload []byte) (Message, error) {
 		}
 		m = v
 	case TypeSubscribe:
-		m = Subscribe{Tau: d.i64()}
+		v := Subscribe{Tau: d.i64()}
+		v.Aligned = d.bool()
+		m = v
 	case TypeObjectCreate:
 		v := ObjectCreate{Kind: ObjectKind(d.u8())}
 		v.Pos = d.vec()
@@ -284,11 +415,62 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = Pong{Seq: d.u32(), SimTime: d.i64()}
 	case TypeLogout:
 		m = Logout{}
+	case TypeMapReplyFull:
+		v := MapReplyFull{SimTime: d.i64()}
+		n := int(d.u16())
+		if d.err == nil && n > MaxFullEntries {
+			return nil, &DecodeError{fmt.Errorf("slp: full map reply claims %d entries", n)}
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			ent := FullEntry{ID: trace.AvatarID(d.u64())}
+			ent.Pos = d.vec64()
+			ent.Seated = d.bool()
+			v.Entries = append(v.Entries, ent)
+		}
+		m = v
+	case TypePeerHello:
+		v := PeerHello{Version: d.u8(), Region: d.u32()}
+		v.Password = d.str()
+		m = v
+	case TypeTransfer:
+		v := Transfer{From: d.u32(), To: d.u32()}
+		v.Teleport = d.bool()
+		v.Avatar = d.bytes()
+		m = v
+	case TypeTransferAck:
+		m = TransferAck{Accepted: d.bool()}
+	case TypeDirectoryRequest:
+		m = DirectoryRequest{}
+	case TypeDirectory:
+		v := Directory{Estate: d.str()}
+		v.Rows = d.u16()
+		v.Cols = d.u16()
+		v.SimTime = d.i64()
+		v.Warp = d.f64()
+		v.Duration = d.i64()
+		v.Held = d.bool()
+		n := int(d.u16())
+		if d.err == nil && n > maxDirRegions {
+			return nil, &DecodeError{fmt.Errorf("slp: directory claims %d regions", n)}
+		}
+		for i := 0; i < n && d.err == nil; i++ {
+			r := DirRegion{Name: d.str()}
+			r.Addr = d.str()
+			r.Origin.X = d.f64()
+			r.Origin.Y = d.f64()
+			r.Size = d.f64()
+			v.Regions = append(v.Regions, r)
+		}
+		m = v
+	case TypeClockStart:
+		m = ClockStart{}
+	case TypeClockStarted:
+		m = ClockStarted{SimTime: d.i64()}
 	default:
-		return nil, fmt.Errorf("slp: unknown message type %d", payload[0])
+		return nil, &DecodeError{fmt.Errorf("slp: unknown message type %d", payload[0])}
 	}
 	if err := d.finish(); err != nil {
-		return nil, err
+		return nil, &DecodeError{err}
 	}
 	return m, nil
 }
@@ -316,7 +498,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	}
 	n := int(binary.BigEndian.Uint16(hdr[:]))
 	if n == 0 || n > MaxPayload {
-		return nil, fmt.Errorf("slp: bad frame length %d", n)
+		return nil, &DecodeError{fmt.Errorf("slp: bad frame length %d", n)}
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -38,12 +38,49 @@ func TestRoundTripAllTypes(t *testing.T) {
 		Ping{Seq: 77},
 		Pong{Seq: 77, SimTime: 999},
 		Logout{},
+		MapReplyFull{SimTime: 60, Entries: []FullEntry{{ID: 9, Pos: geom.V(1.5, 2.25, 0.5), Seated: true}}},
+		PeerHello{Version: Version, Region: 2, Password: "hunter2"},
+		Transfer{From: 0, To: 1, Teleport: true, Avatar: []byte{9, 8, 7}},
+		TransferAck{Accepted: true},
+		DirectoryRequest{},
+		Directory{Estate: "Paper Archipelago", Rows: 1, Cols: 3, SimTime: 7, Warp: 600, Duration: 86400, Held: true,
+			Regions: []DirRegion{{Name: "Apfel Land", Addr: "127.0.0.1:7600", Origin: geom.V2(512, 0), Size: 256}}},
+		ClockStart{},
+		ClockStarted{SimTime: 11},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
 		if got.Type() != m.Type() {
 			t.Errorf("%T: type %v != %v", m, got.Type(), m.Type())
 		}
+	}
+}
+
+// TestRoundTripEstateFidelity pins the estate facility's field fidelity:
+// observer logins, aligned subscriptions, full-resolution entries, and
+// float64 directory placements survive the wire exactly.
+func TestRoundTripEstateFidelity(t *testing.T) {
+	h := roundTrip(t, Hello{Version: Version, Name: "mon", Observer: true}).(Hello)
+	if !h.Observer {
+		t.Error("observer flag lost")
+	}
+	s := roundTrip(t, Subscribe{Tau: 10, Aligned: true}).(Subscribe)
+	if s.Tau != 10 || !s.Aligned {
+		t.Errorf("subscribe = %+v", s)
+	}
+	fe := FullEntry{ID: 1<<40 | 3, Pos: geom.V(12.062500000000004, 200.125, 1.75), Seated: true}
+	mr := roundTrip(t, MapReplyFull{SimTime: 30, Entries: []FullEntry{fe}}).(MapReplyFull)
+	if mr.SimTime != 30 || len(mr.Entries) != 1 || mr.Entries[0] != fe {
+		t.Errorf("full map reply = %+v", mr)
+	}
+	tr := roundTrip(t, Transfer{From: 3, To: 4, Teleport: true, Avatar: []byte{1, 2, 3}}).(Transfer)
+	if tr.From != 3 || tr.To != 4 || !tr.Teleport || !bytes.Equal(tr.Avatar, []byte{1, 2, 3}) {
+		t.Errorf("transfer = %+v", tr)
+	}
+	d := roundTrip(t, Directory{Estate: "E", Rows: 4, Cols: 4, SimTime: 5, Warp: 1200.5, Duration: 100, Held: true,
+		Regions: []DirRegion{{Name: "R", Addr: "a:1", Origin: geom.V2(768, 256), Size: 256}}}).(Directory)
+	if d.Warp != 1200.5 || !d.Held || d.Regions[0].Origin != geom.V2(768, 256) || d.Regions[0].Size != 256 {
+		t.Errorf("directory = %+v", d)
 	}
 }
 

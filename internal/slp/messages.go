@@ -18,11 +18,15 @@ import (
 	"slmob/internal/trace"
 )
 
-// Version is the protocol version carried in Hello.
-const Version = 1
+// Version is the protocol version carried in Hello and PeerHello.
+// Version 2 added the estate facility: observer logins, full-resolution
+// map replies, the directory/clock endpoints, and inter-server avatar
+// transfers.
+const Version = 2
 
-// MaxPayload bounds a frame's payload size.
-const MaxPayload = 16 * 1024
+// MaxPayload bounds a frame's payload size (the length header is 16-bit,
+// so it must stay below 65536).
+const MaxPayload = 32 * 1024
 
 // MsgType identifies a message.
 type MsgType byte
@@ -45,13 +49,23 @@ const (
 	TypePing
 	TypePong
 	TypeLogout
+	TypeMapReplyFull
+	TypePeerHello
+	TypeTransfer
+	TypeTransferAck
+	TypeDirectoryRequest
+	TypeDirectory
+	TypeClockStart
+	TypeClockStarted
 )
 
 // String returns the message type name.
 func (t MsgType) String() string {
 	names := [...]string{"invalid", "hello", "welcome", "error", "move", "chat",
 		"chat-event", "map-request", "map-reply", "subscribe", "object-create",
-		"object-reply", "ping", "pong", "logout"}
+		"object-reply", "ping", "pong", "logout", "map-reply-full", "peer-hello",
+		"transfer", "transfer-ack", "directory-request", "directory",
+		"clock-start", "clock-started"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -71,6 +85,12 @@ type Hello struct {
 	Version  byte
 	Name     string
 	Password string
+	// Observer requests a measurement-grade session: the server admits no
+	// avatar for it (nothing to perturb, no capacity slot consumed) and
+	// answers its map traffic with full-resolution MapReplyFull frames
+	// including the seated flag. Estate monitors use it; a classic crawler
+	// leaves it unset and appears in-world as an avatar, as in the paper.
+	Observer bool
 }
 
 // Type implements Message.
@@ -106,6 +126,13 @@ const (
 	ErrBadCredentials
 	ErrObjectsForbidden
 	ErrBadRequest
+	// ErrMalformed reports an undecodable frame: instead of silently
+	// dropping the connection, the server names the protocol violation
+	// before closing.
+	ErrMalformed
+	// ErrNotEstate reports an estate-only request (directory, clock,
+	// transfer) sent to a host that is not part of an estate.
+	ErrNotEstate
 )
 
 // Error reports a request failure.
@@ -170,6 +197,11 @@ func (MapReply) Type() MsgType { return TypeMapReply }
 // replacing hand-rolled polling under time warp.
 type Subscribe struct {
 	Tau int64
+	// Aligned anchors pushes to absolute multiples of Tau on the server's
+	// simulation clock rather than to the subscription instant. Estate
+	// monitors subscribe aligned so every region's snapshots share one
+	// timeline.
+	Aligned bool
 }
 
 // Type implements Message.
@@ -232,3 +264,121 @@ type Logout struct{}
 
 // Type implements Message.
 func (Logout) Type() MsgType { return TypeLogout }
+
+// FullEntry is one avatar on the full-resolution map: float64 position
+// and the seated flag, with none of the CoarseLocationUpdate quantisation.
+type FullEntry struct {
+	ID     trace.AvatarID
+	Pos    geom.Vec
+	Seated bool
+}
+
+// MaxFullEntries bounds a MapReplyFull frame (each entry is 33 bytes and
+// the frame must fit MaxPayload).
+const MaxFullEntries = 900
+
+// MapReplyFull is the measurement-grade land snapshot served to observer
+// sessions: exact positions plus the seated state, so an estate monitor
+// reproduces the in-process trace bit for bit. Regular avatars keep
+// receiving the quantised MapReply of the 2008 service.
+type MapReplyFull struct {
+	SimTime int64
+	Entries []FullEntry
+}
+
+// Type implements Message.
+func (MapReplyFull) Type() MsgType { return TypeMapReplyFull }
+
+// PeerHello opens an inter-server link: region servers of one estate
+// authenticate to each other with it before exchanging avatar transfers.
+type PeerHello struct {
+	Version byte
+	// Region is the dialling server's region index.
+	Region uint32
+	// Password is the estate's shared secret (the login password).
+	Password string
+}
+
+// Type implements Message.
+func (PeerHello) Type() MsgType { return TypePeerHello }
+
+// Transfer hands a border-crossing avatar to a neighbouring region
+// server: identity, re-based position, and behaviour state travel as an
+// opaque world capsule, so the destination resumes the avatar exactly
+// where the source left it.
+type Transfer struct {
+	// From and To are estate region indices.
+	From, To uint32
+	// Teleport marks a point-of-interest teleport rather than a walked
+	// border crossing.
+	Teleport bool
+	// Avatar is the encoded avatar capsule (world package format).
+	Avatar []byte
+}
+
+// Type implements Message.
+func (Transfer) Type() MsgType { return TypeTransfer }
+
+// TransferAck answers a Transfer. A refused handoff (destination at its
+// avatar cap) is a normal protocol outcome, not an error: the source
+// region turns the avatar back.
+type TransferAck struct {
+	Accepted bool
+}
+
+// Type implements Message.
+func (TransferAck) Type() MsgType { return TypeTransferAck }
+
+// DirectoryRequest asks an estate directory endpoint for the grid
+// description.
+type DirectoryRequest struct{}
+
+// Type implements Message.
+func (DirectoryRequest) Type() MsgType { return TypeDirectoryRequest }
+
+// DirRegion describes one region of a served estate: where to connect
+// and where the region sits in estate-global coordinates.
+type DirRegion struct {
+	Name string
+	// Addr is the region server's TCP address.
+	Addr string
+	// Origin is the region's offset in estate coordinates (metres).
+	Origin geom.Vec
+	// Size is the region's edge length in metres.
+	Size float64
+}
+
+// Directory describes a served estate: the grid shape, the shared clock,
+// and one entry per region. Clients discover the grid here, dial each
+// region, and align their monitoring on the shared clock.
+type Directory struct {
+	Estate     string
+	Rows, Cols uint16
+	// SimTime is the shared clock at reply time; Warp its rate.
+	SimTime int64
+	Warp    float64
+	// Duration is the estate's scheduled measurement length in simulated
+	// seconds.
+	Duration int64
+	// Held reports that the shared clock has not started yet: the estate
+	// waits for a ClockStart, so monitors can connect before tick one.
+	Held    bool
+	Regions []DirRegion
+}
+
+// Type implements Message.
+func (Directory) Type() MsgType { return TypeDirectory }
+
+// ClockStart releases a held estate clock (idempotent).
+type ClockStart struct{}
+
+// Type implements Message.
+func (ClockStart) Type() MsgType { return TypeClockStart }
+
+// ClockStarted acknowledges a ClockStart with the shared clock value.
+type ClockStarted struct {
+	SimTime int64
+}
+
+// Type implements Message.
+func (ClockStarted) Type() MsgType { return TypeClockStarted }

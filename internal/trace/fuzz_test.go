@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slmob/internal/geom"
+)
+
+// fuzzSeedTrace is a small two-region-worth trace used to seed both
+// codecs' corpora.
+func fuzzSeedTrace() *Trace {
+	tr := New("Fuzz Land", 10)
+	tr.Meta["monitor"] = "in-process"
+	tr.Meta["region"] = "Fuzz Land"
+	tr.Meta["origin"] = "256,0"
+	tr.Meta["size"] = "256"
+	for t := int64(10); t <= 40; t += 10 {
+		snap := Snapshot{T: t}
+		if t != 30 { // keep one empty snapshot in the corpus
+			snap.Samples = []Sample{
+				{ID: 1, Pos: geom.V(10.5, 20.25, 0)},
+				{ID: 1<<40 | 2, Pos: geom.V(100, 200, 4), Seated: t == 20},
+			}
+		}
+		tr.Snapshots = append(tr.Snapshots, snap)
+	}
+	return tr
+}
+
+func fuzzSeedBytes(f *testing.F, csvMode bool) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	var err error
+	if csvMode {
+		err = fuzzSeedTrace().WriteCSV(&buf)
+	} else {
+		err = fuzzSeedTrace().WriteBinary(&buf)
+	}
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// drainStream consumes a snapshot source defensively: decoding untrusted
+// bytes must yield snapshots or an error, never a panic or a runaway.
+func drainStream(t *testing.T, src Source) {
+	ctx := context.Background()
+	for n := 0; n < 1<<16; n++ {
+		if _, err := src.Next(ctx); err != nil {
+			return // io.EOF or a decode error both end the stream
+		}
+	}
+	t.Fatal("stream did not terminate")
+}
+
+// FuzzOpenStream feeds arbitrary bytes to the trace file parsers —
+// binary and CSV, selected by extension exactly like production — which
+// currently guard against truncation, bogus counts, and malformed
+// headers; the fuzzer hunts for the cases the guards miss.
+func FuzzOpenStream(f *testing.F) {
+	f.Add(false, fuzzSeedBytes(f, false))
+	f.Add(true, fuzzSeedBytes(f, true))
+	f.Add(false, []byte("SLTR\x01"))
+	f.Add(false, []byte("SLTR\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add(true, []byte("# land=x\n# tau=nonsense\n"))
+	f.Add(true, []byte("# meta origin=1\nt,id,x,y,z,seated\n5,1,a,b,c,0\n"))
+	f.Fuzz(func(t *testing.T, csvMode bool, data []byte) {
+		name := "fuzz.sltr"
+		if csvMode {
+			name = "fuzz.csv"
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fs, err := OpenStream(path)
+		if err != nil {
+			return
+		}
+		defer fs.Close()
+		if _, err := fs.Info().Size(); err != nil {
+			_ = err // malformed size metadata is a legal outcome
+		}
+		drainStream(t, fs)
+	})
+}
+
+// FuzzOpenEstateStream zips two fuzzed region files through the estate
+// stream: per-file decoding plus the cross-region timeline checks.
+func FuzzOpenEstateStream(f *testing.F) {
+	bin := fuzzSeedBytes(f, false)
+	csv := fuzzSeedBytes(f, true)
+	f.Add(bin, bin)
+	f.Add(csv, bin)
+	f.Add(csv, []byte("# land=y\nt,id,x,y,z,seated\n10,1,1,1,0,0\n")) // shorter timeline
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		dir := t.TempDir()
+		pa := filepath.Join(dir, "a.sltr")
+		pb := filepath.Join(dir, "b.csv")
+		if err := os.WriteFile(pa, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pb, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		es, err := OpenEstateStream(pa, pb)
+		if err != nil {
+			return
+		}
+		defer es.Close()
+		ctx := context.Background()
+		for n := 0; n < 1<<16; n++ {
+			if _, err := es.NextTick(ctx); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return
+			}
+		}
+		t.Fatal("estate stream did not terminate")
+	})
+}

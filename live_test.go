@@ -1,0 +1,189 @@
+package slmob
+
+// Live-service tests: the end-to-end parity acceptance gate — a served
+// estate crawled over TCP must reproduce the offline estate replay
+// exactly — plus the service lifecycle paths.
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"slmob/internal/trace"
+)
+
+// sortedCopy returns the samples as a sorted copy, because trackers emit
+// distribution samples in map-iteration order: the values are exact,
+// their order is not.
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// assertSameDistribution requires two sample sets to match exactly as
+// multisets.
+func assertSameDistribution(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d samples, want %d", what, len(got), len(want))
+		return
+	}
+	g, w := sortedCopy(got), sortedCopy(want)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Errorf("%s: sample %d = %v, want %v", what, i, g[i], w[i])
+			return
+		}
+	}
+}
+
+// assertAnalysisParity requires two analyses to agree on everything the
+// estate pipeline computes deterministically.
+func assertAnalysisParity(t *testing.T, label string, got, want *Analysis) {
+	t.Helper()
+	if got.Summary != want.Summary {
+		t.Errorf("%s: summary = %+v, want %+v", label, got.Summary, want.Summary)
+	}
+	if len(got.Contacts) != len(want.Contacts) {
+		t.Fatalf("%s: %d contact ranges, want %d", label, len(got.Contacts), len(want.Contacts))
+	}
+	for r, w := range want.Contacts {
+		g := got.Contacts[r]
+		if g == nil {
+			t.Fatalf("%s: missing contact range %v", label, r)
+		}
+		if g.Pairs != w.Pairs || g.Censored != w.Censored || g.NeverContacted != w.NeverContacted {
+			t.Errorf("%s r=%v: pairs/censored/never = %d/%d/%d, want %d/%d/%d",
+				label, r, g.Pairs, g.Censored, g.NeverContacted, w.Pairs, w.Censored, w.NeverContacted)
+		}
+		assertSameDistribution(t, label+" CT", g.CT, w.CT)
+		assertSameDistribution(t, label+" ICT", g.ICT, w.ICT)
+		assertSameDistribution(t, label+" FT", g.FT, w.FT)
+	}
+	assertSameDistribution(t, label+" travel time", got.Trips.TravelTime, want.Trips.TravelTime)
+	assertSameDistribution(t, label+" travel length", got.Trips.TravelLength, want.Trips.TravelLength)
+	assertSameDistribution(t, label+" effective travel time", got.Trips.EffectiveTravelTime, want.Trips.EffectiveTravelTime)
+	assertSameDistribution(t, label+" zones", got.Zones, want.Zones)
+}
+
+// TestAnalyzeEstateLiveMatchesOfflineReplay is the acceptance gate: a
+// live estate — server grid, per-region observer monitors over TCP,
+// cross-server handoffs, high warp — must produce exactly the analysis
+// of an offline CollectEstate replay of the identical scenario and seed,
+// including border-crossing contacts counted once in the global view.
+func TestAnalyzeEstateLiveMatchesOfflineReplay(t *testing.T) {
+	est := PaperEstate(23)
+	est.Duration = 1200
+
+	ctx := context.Background()
+
+	// Offline ground truth: materialise the per-region traces, replay
+	// them through the estate analyzer.
+	src, err := NewEstateSource(est, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := CollectEstateSource(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := trace.NewEstateReplay(nil, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := AnalyzeEstateStream(ctx, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Estate().Crossings() == 0 {
+		t.Fatal("scenario produced no border crossings; parity would be vacuous")
+	}
+
+	// Live measurement over the network.
+	live, err := AnalyzeEstateLive(ctx, est,
+		WithWarp(4000), WithTickEvery(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Estate != offline.Estate {
+		t.Errorf("estate = %q, want %q", live.Estate, offline.Estate)
+	}
+	assertAnalysisParity(t, "global", live.Global, offline.Global)
+	if len(live.Regions) != len(offline.Regions) {
+		t.Fatalf("regions = %d, want %d", len(live.Regions), len(offline.Regions))
+	}
+	for i := range offline.Regions {
+		assertAnalysisParity(t, "region "+offline.Regions[i].Land, live.Regions[i], offline.Regions[i])
+	}
+}
+
+// TestServeEstateDirectoryAndLifecycle exercises the service handle:
+// discovery through the façade, a held clock that only moves after
+// StartClock, and a clean stop.
+func TestServeEstateDirectoryAndLifecycle(t *testing.T) {
+	est := PaperEstate(5)
+	est.Duration = 3600
+	svc, err := ServeEstate(context.Background(), est,
+		WithWarp(1000), WithTickEvery(time.Millisecond), WithHeldClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	time.Sleep(50 * time.Millisecond)
+	if now := svc.SimTime(); now != 0 {
+		t.Errorf("held clock advanced to %d", now)
+	}
+
+	ec, err := CrawlEstate(svc.DirectoryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ec.Close()
+	dir := ec.Directory()
+	if dir.Estate != est.Name || int(dir.Rows)*int(dir.Cols) != 3 || len(dir.Regions) != 3 {
+		t.Fatalf("directory = %+v", dir)
+	}
+	if !dir.Held {
+		t.Error("directory does not report the held clock")
+	}
+
+	svc.StartClock()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.SimTime() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("released clock did not advance")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	// Stop is idempotent.
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("second stop: %v", err)
+	}
+}
+
+// TestServeEstateRunsToCompletion: a short estate served to the end of
+// its duration finishes cleanly and reports it on Done.
+func TestServeEstateRunsToCompletion(t *testing.T) {
+	est := PaperEstate(7)
+	est.Duration = 300
+	svc, err := ServeEstate(context.Background(), est,
+		WithWarp(5000), WithTickEvery(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-svc.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("estate did not finish")
+	}
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop after completion: %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package slmob
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"slmob/internal/core"
 	"slmob/internal/fanout"
@@ -42,6 +43,13 @@ type options struct {
 	cfg           core.Config
 	parallel      int
 	regionWorkers int
+
+	// Live-service options (ServeEstate / AnalyzeEstateLive).
+	warp          float64
+	tickEvery     time.Duration
+	serveAddr     string
+	servePassword string
+	holdClock     bool
 }
 
 func buildOptions(opts []Option) options {
@@ -113,6 +121,38 @@ func WithParallelLands(n int) Option {
 // analysis. The worker count never changes results, only wall time.
 func WithRegionWorkers(n int) Option {
 	return func(o *options) { o.regionWorkers = n }
+}
+
+// WithWarp sets a served estate's clock rate in simulated seconds per
+// wall-clock second (default 600: a full day in 144 wall seconds).
+func WithWarp(warp float64) Option {
+	return func(o *options) { o.warp = warp }
+}
+
+// WithTickEvery sets a served estate's wall-clock advance interval
+// (default 10 ms). Smaller intervals smooth the clock under very high
+// warp at the cost of scheduler churn.
+func WithTickEvery(d time.Duration) Option {
+	return func(o *options) { o.tickEvery = d }
+}
+
+// WithServeAddr pins the directory endpoint's listen address for
+// ServeEstate (default: a free loopback port).
+func WithServeAddr(addr string) Option {
+	return func(o *options) { o.serveAddr = addr }
+}
+
+// WithServePassword protects a served estate: logins, observer monitors,
+// and inter-server transfer links all authenticate with it.
+func WithServePassword(password string) Option {
+	return func(o *options) { o.servePassword = password }
+}
+
+// WithHeldClock starts a served estate with its shared clock held at
+// zero until a monitor (or an explicit StartClock) releases it, so the
+// measurement can observe the grid from its very first tick.
+func WithHeldClock() Option {
+	return func(o *options) { o.holdClock = true }
 }
 
 // WithAnalysisConfig replaces the whole analysis configuration at once,
