@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"slmob/internal/core"
-	"slmob/internal/stats"
 	"slmob/internal/world"
 )
 
@@ -42,8 +41,8 @@ func BenchmarkAblationMicroMoves(b *testing.B) {
 		base = ablate(b, nil)
 		ablated = ablate(b, func(s *world.Scenario) { s.Behavior.MicroMoveProb = 0 })
 	}
-	b.ReportMetric(stats.MustEmpirical(base.CT).Median(), "ct_median_base_s")
-	b.ReportMetric(stats.MustEmpirical(ablated.CT).Median(), "ct_median_nomicro_s")
+	b.ReportMetric(base.CT.Median(), "ct_median_base_s")
+	b.ReportMetric(ablated.CT.Median(), "ct_median_nomicro_s")
 }
 
 // BenchmarkAblationPOIGravity flattens the POI weights to uniform: the
@@ -58,8 +57,8 @@ func BenchmarkAblationPOIGravity(b *testing.B) {
 			}
 		})
 	}
-	b.ReportMetric(stats.MustEmpirical(base.CT).Median(), "ct_median_base_s")
-	b.ReportMetric(stats.MustEmpirical(ablated.CT).Median(), "ct_median_flat_s")
+	b.ReportMetric(base.CT.Median(), "ct_median_base_s")
+	b.ReportMetric(ablated.CT.Median(), "ct_median_flat_s")
 }
 
 // BenchmarkAblationHeavyTailedPauses replaces the bounded-Pareto pauses
@@ -73,8 +72,8 @@ func BenchmarkAblationHeavyTailedPauses(b *testing.B) {
 			s.Behavior.PauseMin, s.Behavior.PauseMax, s.Behavior.PauseAlpha = 30, 90, 8
 		})
 	}
-	baseP90 := stats.MustEmpirical(base.CT).Quantile(0.9)
-	ablP90 := stats.MustEmpirical(ablated.CT).Quantile(0.9)
+	baseP90 := base.CT.Quantile(0.9)
+	ablP90 := ablated.CT.Quantile(0.9)
 	b.ReportMetric(baseP90, "ct_p90_base_s")
 	b.ReportMetric(ablP90, "ct_p90_uniformpause_s")
 }

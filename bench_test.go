@@ -66,7 +66,7 @@ func shortName(land string) string {
 
 // benchContacts times contact extraction over all three lands at range r
 // and reports per-land medians from the final timed iteration.
-func benchContacts(b *testing.B, r float64, metric string, pick func(*core.ContactSet) []float64) {
+func benchContacts(b *testing.B, r float64, metric string, pick func(*core.ContactSet) *stats.Weighted) {
 	runs := dayRuns(b)
 	last := make([]*core.ContactSet, len(runs))
 	b.ResetTimer()
@@ -81,11 +81,11 @@ func benchContacts(b *testing.B, r float64, metric string, pick func(*core.Conta
 	}
 	b.StopTimer()
 	for j, run := range runs {
-		sample := pick(last[j])
-		if len(sample) == 0 {
+		dist := pick(last[j])
+		if dist.N() == 0 {
 			continue
 		}
-		b.ReportMetric(stats.MustEmpirical(sample).Median(),
+		b.ReportMetric(dist.Median(),
 			shortName(run.Trace.Land)+"_"+metric+"_median_s")
 	}
 }
@@ -110,27 +110,27 @@ func BenchmarkTableT1_TraceSummary(b *testing.B) {
 
 // Fig. 1 — temporal analysis.
 func BenchmarkFig1a_ContactTimeCCDF_r10(b *testing.B) {
-	benchContacts(b, core.BluetoothRange, "ct", func(c *core.ContactSet) []float64 { return c.CT })
+	benchContacts(b, core.BluetoothRange, "ct", func(c *core.ContactSet) *stats.Weighted { return c.CT })
 }
 
 func BenchmarkFig1b_InterContactCCDF_r10(b *testing.B) {
-	benchContacts(b, core.BluetoothRange, "ict", func(c *core.ContactSet) []float64 { return c.ICT })
+	benchContacts(b, core.BluetoothRange, "ict", func(c *core.ContactSet) *stats.Weighted { return c.ICT })
 }
 
 func BenchmarkFig1c_FirstContactCCDF_r10(b *testing.B) {
-	benchContacts(b, core.BluetoothRange, "ft", func(c *core.ContactSet) []float64 { return c.FT })
+	benchContacts(b, core.BluetoothRange, "ft", func(c *core.ContactSet) *stats.Weighted { return c.FT })
 }
 
 func BenchmarkFig1d_ContactTimeCCDF_r80(b *testing.B) {
-	benchContacts(b, core.WiFiRange, "ct", func(c *core.ContactSet) []float64 { return c.CT })
+	benchContacts(b, core.WiFiRange, "ct", func(c *core.ContactSet) *stats.Weighted { return c.CT })
 }
 
 func BenchmarkFig1e_InterContactCCDF_r80(b *testing.B) {
-	benchContacts(b, core.WiFiRange, "ict", func(c *core.ContactSet) []float64 { return c.ICT })
+	benchContacts(b, core.WiFiRange, "ict", func(c *core.ContactSet) *stats.Weighted { return c.ICT })
 }
 
 func BenchmarkFig1f_FirstContactCCDF_r80(b *testing.B) {
-	benchContacts(b, core.WiFiRange, "ft", func(c *core.ContactSet) []float64 { return c.FT })
+	benchContacts(b, core.WiFiRange, "ft", func(c *core.ContactSet) *stats.Weighted { return c.FT })
 }
 
 // benchNets times line-of-sight network analysis and reports a headline
@@ -161,7 +161,7 @@ func BenchmarkFig2a_DegreeCCDF_r10(b *testing.B) {
 
 func BenchmarkFig2b_DiameterCDF_r10(b *testing.B) {
 	benchNets(b, core.BluetoothRange, "diam_median", func(nm *core.NetMetrics) float64 {
-		return stats.MustEmpirical(nm.Diameters).Median()
+		return nm.Diameters.Median()
 	})
 }
 
@@ -177,7 +177,7 @@ func BenchmarkFig2d_DegreeCCDF_r80(b *testing.B) {
 
 func BenchmarkFig2e_DiameterCDF_r80(b *testing.B) {
 	benchNets(b, core.WiFiRange, "diam_median", func(nm *core.NetMetrics) float64 {
-		return stats.MustEmpirical(nm.Diameters).Median()
+		return nm.Diameters.Median()
 	})
 }
 
@@ -255,7 +255,7 @@ func BenchmarkX1_TailFits(b *testing.B) {
 	b.ResetTimer()
 	var cmp stats.TailComparison
 	for i := 0; i < b.N; i++ {
-		cmp, err = stats.CompareTailModels(cs.CT, float64(core.PaperTau))
+		cmp, err = stats.CompareTailModels(cs.CT.Values(), float64(core.PaperTau))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,7 +307,7 @@ func BenchmarkX3_MobilityBaselines(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			d[model.String()] = stats.KolmogorovSmirnov(paperCT.CT, cs.CT).D
+			d[model.String()] = stats.KolmogorovSmirnov(paperCT.CT.Values(), cs.CT.Values()).D
 		}
 	}
 	b.StopTimer()

@@ -89,17 +89,17 @@ func main() {
 		cs := an.Contacts[r]
 		nm := an.Nets[r]
 		fmt.Printf("-- r = %gm\n", r)
-		fmt.Printf("   contact time:       %s\n", stats.Summarize(cs.CT))
-		fmt.Printf("   inter-contact time: %s\n", stats.Summarize(cs.ICT))
+		fmt.Printf("   contact time:       %s\n", cs.CT.Summary())
+		fmt.Printf("   inter-contact time: %s\n", cs.ICT.Summary())
 		fmt.Printf("   first contact time: %s (never contacted: %d, censored contacts: %d)\n",
-			stats.Summarize(cs.FT), cs.NeverContacted, cs.Censored)
+			cs.FT.Summary(), cs.NeverContacted, cs.Censored)
 		fmt.Printf("   degree: median %.0f, P(deg=0) %.3f; diameter median %.0f (max %.0f); clustering median %.3f\n",
-			med(nm.Degrees), nm.DegreeZeroFraction(), med(nm.Diameters), nm.MaxDiameter(), med(nm.Clusterings))
-		for metric, sample := range map[string][]float64{"CT": cs.CT, "ICT": cs.ICT} {
-			if len(sample) < 50 {
+			nm.Degrees.Median(), nm.DegreeZeroFraction(), nm.Diameters.Median(), nm.MaxDiameter(), med(nm.Clusterings))
+		for metric, dist := range map[string]*stats.Weighted{"CT": cs.CT, "ICT": cs.ICT} {
+			if dist.N() < 50 {
 				continue
 			}
-			cmp, err := stats.CompareTailModels(sample, float64(info.Tau))
+			cmp, err := stats.CompareTailModels(dist.Values(), float64(info.Tau))
 			if err != nil {
 				continue
 			}
@@ -110,14 +110,8 @@ func main() {
 		}
 	}
 	fmt.Printf("-- spatial\n")
-	empty := 0
-	for _, z := range an.Zones {
-		if z == 0 {
-			empty++
-		}
-	}
 	fmt.Printf("   zone occupation (L=20m): %.1f%% cells empty, max %v users/cell\n",
-		100*float64(empty)/float64(len(an.Zones)), stats.Summarize(an.Zones).Max)
+		100*float64(an.Zones.CountOf(0))/float64(an.Zones.N()), an.Zones.Max())
 	fmt.Printf("   travel length:         %s\n", stats.Summarize(an.Trips.TravelLength))
 	fmt.Printf("   effective travel time: %s\n", stats.Summarize(an.Trips.EffectiveTravelTime))
 	fmt.Printf("   travel (login) time:   %s\n", stats.Summarize(an.Trips.TravelTime))
@@ -127,31 +121,37 @@ func main() {
 			log.Fatal(err)
 		}
 		panels := map[string]struct {
+			dist   *stats.Weighted
 			sample []float64
 			ccdf   bool
 		}{
-			"ct_r10":         {an.Contacts[10].CT, true},
-			"ict_r10":        {an.Contacts[10].ICT, true},
-			"ft_r10":         {an.Contacts[10].FT, true},
-			"ct_r80":         {an.Contacts[80].CT, true},
-			"ict_r80":        {an.Contacts[80].ICT, true},
-			"ft_r80":         {an.Contacts[80].FT, true},
-			"degree_r10":     {an.Nets[10].Degrees, true},
-			"diameter_r10":   {an.Nets[10].Diameters, false},
-			"clustering_r10": {an.Nets[10].Clusterings, false},
-			"degree_r80":     {an.Nets[80].Degrees, true},
-			"diameter_r80":   {an.Nets[80].Diameters, false},
-			"clustering_r80": {an.Nets[80].Clusterings, false},
-			"zones":          {an.Zones, false},
-			"travel_length":  {an.Trips.TravelLength, false},
-			"effective_time": {an.Trips.EffectiveTravelTime, false},
-			"travel_time":    {an.Trips.TravelTime, false},
+			"ct_r10":         {dist: an.Contacts[10].CT, ccdf: true},
+			"ict_r10":        {dist: an.Contacts[10].ICT, ccdf: true},
+			"ft_r10":         {dist: an.Contacts[10].FT, ccdf: true},
+			"ct_r80":         {dist: an.Contacts[80].CT, ccdf: true},
+			"ict_r80":        {dist: an.Contacts[80].ICT, ccdf: true},
+			"ft_r80":         {dist: an.Contacts[80].FT, ccdf: true},
+			"degree_r10":     {dist: an.Nets[10].Degrees, ccdf: true},
+			"diameter_r10":   {dist: an.Nets[10].Diameters},
+			"clustering_r10": {sample: an.Nets[10].Clusterings},
+			"degree_r80":     {dist: an.Nets[80].Degrees, ccdf: true},
+			"diameter_r80":   {dist: an.Nets[80].Diameters},
+			"clustering_r80": {sample: an.Nets[80].Clusterings},
+			"zones":          {dist: an.Zones},
+			"travel_length":  {sample: an.Trips.TravelLength},
+			"effective_time": {sample: an.Trips.EffectiveTravelTime},
+			"travel_time":    {sample: an.Trips.TravelTime},
 		}
 		for name, p := range panels {
 			fig := &core.Figure{ID: name, Title: name, XLabel: "x", YLabel: "F"}
-			if p.ccdf {
+			switch {
+			case p.dist != nil && p.ccdf:
+				fig.Series = []core.Series{core.WeightedCCDFSeries(info.Land, p.dist, false)}
+			case p.dist != nil:
+				fig.Series = []core.Series{core.WeightedCDFSeries(info.Land, p.dist)}
+			case p.ccdf:
 				fig.Series = []core.Series{core.CCDFSeries(info.Land, p.sample, false)}
-			} else {
+			default:
 				fig.Series = []core.Series{core.CDFSeries(info.Land, p.sample)}
 			}
 			f, err := os.Create(filepath.Join(*figdir, name+".csv"))
@@ -193,10 +193,10 @@ func analyzeEstate(ctx context.Context, paths []string, estate string, workers i
 	for _, r := range []float64{core.BluetoothRange, core.WiFiRange} {
 		cs := res.Global.Contacts[r]
 		fmt.Printf("-- global r = %gm (contacts correct across borders and handoffs)\n", r)
-		fmt.Printf("   contact time:       %s\n", stats.Summarize(cs.CT))
-		fmt.Printf("   inter-contact time: %s\n", stats.Summarize(cs.ICT))
+		fmt.Printf("   contact time:       %s\n", cs.CT.Summary())
+		fmt.Printf("   inter-contact time: %s\n", cs.ICT.Summary())
 		fmt.Printf("   first contact time: %s (never contacted: %d, censored contacts: %d)\n",
-			stats.Summarize(cs.FT), cs.NeverContacted, cs.Censored)
+			cs.FT.Summary(), cs.NeverContacted, cs.Censored)
 	}
 	fmt.Printf("-- per region\n")
 	for _, ra := range res.Regions {

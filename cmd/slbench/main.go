@@ -5,14 +5,19 @@
 // the panels as CSV.
 //
 // With -land it benchmarks a single region instead — the short-cycle
-// smoke configuration CI runs — and with -json it writes the wall time
-// and headline metrics as machine-readable JSON, the format of the
-// BENCH_*.json performance trajectory.
+// smoke configuration CI runs — and with -json it writes the wall time,
+// allocation rate, and headline metrics as machine-readable JSON, the
+// format of the BENCH_*.json performance trajectory. The committed
+// baseline gates both metric drift and allocation regressions in CI.
+//
+// With -cpuprofile / -memprofile it writes pprof profiles of the
+// simulation+analysis run, the how-to-profile recipe of DESIGN.md §6.
 //
 // Usage:
 //
 //	slbench -seed 1 -out figures/
 //	slbench -land apfel -duration 3600 -ascii=false -json BENCH_smoke.json
+//	slbench -land apfel -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -25,6 +30,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"slmob/internal/core"
@@ -46,19 +53,23 @@ type landMetrics struct {
 
 // benchOutput is the JSON artifact schema.
 type benchOutput struct {
-	Seed        uint64        `json:"seed"`
-	DurationSec int64         `json:"duration_sec"`
-	Tau         int64         `json:"tau_sec"`
-	WallMS      int64         `json:"wall_ms"`
-	Lands       []landMetrics `json:"lands"`
+	Seed        uint64 `json:"seed"`
+	DurationSec int64  `json:"duration_sec"`
+	Tau         int64  `json:"tau_sec"`
+	WallMS      int64  `json:"wall_ms"`
+	// AllocsPerSnapshot is the heap-allocation rate of the whole
+	// simulate+analyse run, normalised per snapshot per land — the number
+	// the CI gate watches for allocation regressions in the hot path.
+	AllocsPerSnapshot float64       `json:"allocs_per_snapshot"`
+	Lands             []landMetrics `json:"lands"`
 }
 
 func metricsOf(an *core.Analysis) landMetrics {
-	med := func(xs []float64) float64 {
-		if len(xs) == 0 {
+	med := func(w *stats.Weighted) float64 {
+		if w.N() == 0 {
 			return 0
 		}
-		return stats.Summarize(xs).Median
+		return w.Median()
 	}
 	cs := an.Contacts[core.BluetoothRange]
 	return landMetrics{
@@ -74,8 +85,9 @@ func metricsOf(an *core.Analysis) landMetrics {
 
 // compareBaseline checks the fresh metrics against a committed baseline
 // with a generous relative tolerance — the gate catches distribution
-// shifts and gross slowdowns, not machine-to-machine noise.
-func compareBaseline(fresh benchOutput, path string, tol, wallTol float64) error {
+// shifts, gross slowdowns, and allocation regressions, not
+// machine-to-machine noise.
+func compareBaseline(fresh benchOutput, path string, tol, wallTol, allocTol float64) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -120,26 +132,54 @@ func compareBaseline(fresh benchOutput, path string, tol, wallTol float64) error
 	if base.WallMS > 0 && float64(fresh.WallMS) > wallTol*float64(base.WallMS) {
 		return fmt.Errorf("wall time %d ms exceeds %gx baseline %d ms", fresh.WallMS, wallTol, base.WallMS)
 	}
+	if base.AllocsPerSnapshot > 0 && fresh.AllocsPerSnapshot > allocTol*base.AllocsPerSnapshot {
+		return fmt.Errorf("allocs/snapshot %.1f exceeds %gx baseline %.1f",
+			fresh.AllocsPerSnapshot, allocTol, base.AllocsPerSnapshot)
+	}
 	return nil
 }
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		duration = flag.Int64("duration", world.DayDuration, "measurement length in sim seconds")
-		out      = flag.String("out", "", "write figure CSVs to this directory")
-		ascii    = flag.Bool("ascii", true, "render ASCII figures")
-		land     = flag.String("land", "", "benchmark a single land (apfel, dance, isle) instead of all three")
-		jsonOut  = flag.String("json", "", "write wall time and headline metrics as JSON to this file")
-		baseline = flag.String("baseline", "", "compare the fresh metrics against this committed baseline JSON")
-		tol      = flag.Float64("tolerance", 0.5, "relative metric tolerance for -baseline")
-		wallTol  = flag.Float64("wall-tolerance", 10, "wall-time slowdown factor tolerated by -baseline")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		duration   = flag.Int64("duration", world.DayDuration, "measurement length in sim seconds")
+		out        = flag.String("out", "", "write figure CSVs to this directory")
+		ascii      = flag.Bool("ascii", true, "render ASCII figures")
+		land       = flag.String("land", "", "benchmark a single land (apfel, dance, isle) instead of all three")
+		jsonOut    = flag.String("json", "", "write wall time and headline metrics as JSON to this file")
+		baseline   = flag.String("baseline", "", "compare the fresh metrics against this committed baseline JSON")
+		tol        = flag.Float64("tolerance", 0.5, "relative metric tolerance for -baseline")
+		wallTol    = flag.Float64("wall-tolerance", 10, "wall-time slowdown factor tolerated by -baseline")
+		allocTol   = flag.Float64("alloc-tolerance", 3, "allocs/snapshot growth factor tolerated by -baseline")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// The CPU profile covers exactly the measured simulate+analyse span
+	// and is flushed as soon as it ends: a later log.Fatal (baseline
+	// regression, export error) exits without running defers, and the
+	// regressing run is precisely the one worth profiling.
+	stopCPUProfile := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	start := time.Now()
 	var runs []*experiment.LandRun
 	if *land != "" {
@@ -165,7 +205,27 @@ func main() {
 		}
 	}
 	wall := time.Since(start)
-	fmt.Printf("slbench: simulation + analysis took %s\n\n", wall.Round(time.Millisecond))
+	stopCPUProfile()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
+	snapshots := float64(len(runs)) * float64(*duration) / float64(core.PaperTau)
+	allocsPerSnap := 0.0
+	if snapshots > 0 {
+		allocsPerSnap = float64(memAfter.Mallocs-memBefore.Mallocs) / snapshots
+	}
+	fmt.Printf("slbench: simulation + analysis took %s (%.0f allocs/snapshot)\n\n",
+		wall.Round(time.Millisecond), allocsPerSnap)
 
 	for _, run := range runs {
 		fmt.Println(run.Analysis.Summary.String())
@@ -173,10 +233,11 @@ func main() {
 	fmt.Println()
 
 	bo := benchOutput{
-		Seed:        *seed,
-		DurationSec: *duration,
-		Tau:         core.PaperTau,
-		WallMS:      wall.Milliseconds(),
+		Seed:              *seed,
+		DurationSec:       *duration,
+		Tau:               core.PaperTau,
+		WallMS:            wall.Milliseconds(),
+		AllocsPerSnapshot: allocsPerSnap,
 	}
 	for _, run := range runs {
 		bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
@@ -192,7 +253,7 @@ func main() {
 		fmt.Printf("slbench: wrote metrics JSON to %s\n", *jsonOut)
 	}
 	if *baseline != "" {
-		if err := compareBaseline(bo, *baseline, *tol, *wallTol); err != nil {
+		if err := compareBaseline(bo, *baseline, *tol, *wallTol, *allocTol); err != nil {
 			log.Fatalf("slbench: baseline regression: %v", err)
 		}
 		fmt.Printf("slbench: metrics within tolerance of baseline %s\n", *baseline)

@@ -44,12 +44,12 @@ func TestRunEstateSingleRegionParity(t *testing.T) {
 		}
 		if got.Pairs != want.Pairs || got.Censored != want.Censored ||
 			got.NeverContacted != want.NeverContacted ||
-			len(got.CT) != len(want.CT) || len(got.ICT) != len(want.ICT) || len(got.FT) != len(want.FT) {
+			got.CT.N() != want.CT.N() || got.ICT.N() != want.ICT.N() || got.FT.N() != want.FT.N() {
 			t.Errorf("global contacts r=%v = %+v, want %+v", r, got, want)
 		}
 	}
-	if len(g.Zones) != len(single.Zones) {
-		t.Errorf("global zones = %d samples, want %d", len(g.Zones), len(single.Zones))
+	if g.Zones.N() != single.Zones.N() {
+		t.Errorf("global zones = %d samples, want %d", g.Zones.N(), single.Zones.N())
 	}
 	if len(g.Trips.TravelTime) != len(single.Trips.TravelTime) {
 		t.Errorf("global trips = %d, want %d", len(g.Trips.TravelTime), len(single.Trips.TravelTime))
@@ -86,7 +86,7 @@ func TestRunEstateMultiRegion(t *testing.T) {
 		t.Errorf("global unique %d not below regional sum %d: no avatar visited two regions?",
 			g.Unique, sumUnique)
 	}
-	if len(res.Global.Contacts[BluetoothRange].CT) == 0 {
+	if res.Global.Contacts[BluetoothRange].CT.N() == 0 {
 		t.Error("global contact distribution is empty")
 	}
 }
@@ -181,7 +181,7 @@ func TestOptionValidation(t *testing.T) {
 	// A zero zone size is not an error: it selects the paper default.
 	if an, err := Run(ctx, scn, WithZoneSize(0)); err != nil {
 		t.Errorf("Run rejected the zero zone-size default: %v", err)
-	} else if len(an.Zones) == 0 {
+	} else if an.Zones.N() == 0 {
 		t.Error("default zone size produced no zone samples")
 	}
 

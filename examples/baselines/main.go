@@ -40,7 +40,7 @@ func main() {
 		}
 		rows = append(rows, row{
 			name: name,
-			ct:   an.Contacts[slmob.BluetoothRange].CT,
+			ct:   an.Contacts[slmob.BluetoothRange].CT.Values(),
 			deg0: an.Nets[slmob.BluetoothRange].DegreeZeroFraction(),
 		})
 	}

@@ -61,5 +61,5 @@ func main() {
 
 	cs := an.Contacts[slmob.BluetoothRange]
 	fmt.Printf("from the wire (1 m coarse map): median CT %.0fs, ICT %.0fs over %d pairs\n",
-		slmob.Median(cs.CT), slmob.Median(cs.ICT), cs.Pairs)
+		cs.CT.Median(), cs.ICT.Median(), cs.Pairs)
 }

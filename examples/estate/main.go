@@ -45,7 +45,7 @@ func main() {
 	fmt.Printf("global: %s\n", res.Global.Summary)
 	cs := res.Global.Contacts[slmob.BluetoothRange]
 	fmt.Printf("global r=10m contacts: %d pairs, median CT %.0fs, median ICT %.0fs\n",
-		cs.Pairs, slmob.Median(cs.CT), slmob.Median(cs.ICT))
+		cs.Pairs, cs.CT.Median(), cs.ICT.Median())
 	fmt.Printf("global travel length p90: %.0f m (sessions continue across handoffs)\n\n",
 		slmob.Quantile(res.Global.Trips.TravelLength, 0.9))
 
@@ -53,6 +53,6 @@ func main() {
 		rcs := ra.Contacts[slmob.BluetoothRange]
 		fmt.Printf("region %-14s %4d unique, %5.1f concurrent; median CT %.0fs, P(deg=0) %.2f\n",
 			ra.Land+":", ra.Summary.Unique, ra.Summary.MeanConcurrent,
-			slmob.Median(rcs.CT), ra.Nets[slmob.BluetoothRange].DegreeZeroFraction())
+			rcs.CT.Median(), ra.Nets[slmob.BluetoothRange].DegreeZeroFraction())
 	}
 }

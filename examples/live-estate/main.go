@@ -41,7 +41,7 @@ func main() {
 		live.Estate, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  global: %s\n", live.Global.Summary)
 	cs := live.Global.Contacts[slmob.BluetoothRange]
-	fmt.Printf("  global r=10m: %d pairs, median CT %.0fs\n\n", cs.Pairs, slmob.Median(cs.CT))
+	fmt.Printf("  global r=10m: %d pairs, median CT %.0fs\n\n", cs.Pairs, cs.CT.Median())
 
 	// The individual pieces compose too — serve now, crawl any time
 	// later, possibly from another process:
@@ -61,10 +61,10 @@ func main() {
 	}
 	ocs := offline.Global.Contacts[slmob.BluetoothRange]
 	fmt.Printf("offline replay: %s\n", offline.Global.Summary)
-	fmt.Printf("  global r=10m: %d pairs, median CT %.0fs\n\n", ocs.Pairs, slmob.Median(ocs.CT))
+	fmt.Printf("  global r=10m: %d pairs, median CT %.0fs\n\n", ocs.Pairs, ocs.CT.Median())
 
 	if live.Global.Summary == offline.Global.Summary &&
-		cs.Pairs == ocs.Pairs && len(cs.CT) == len(ocs.CT) {
+		cs.Pairs == ocs.Pairs && cs.CT.N() == ocs.CT.N() {
 		fmt.Println("live == offline: the networked estate reproduces the simulation exactly")
 	} else {
 		fmt.Println("MISMATCH: live and offline measurements diverged")

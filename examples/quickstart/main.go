@@ -31,7 +31,7 @@ func main() {
 	for _, r := range []float64{slmob.BluetoothRange, slmob.WiFiRange} {
 		cs := an.Contacts[r]
 		fmt.Printf("r=%2.0fm: median CT %.0fs, ICT %.0fs, FT %.0fs; P(deg=0) %.2f\n",
-			r, slmob.Median(cs.CT), slmob.Median(cs.ICT), slmob.Median(cs.FT),
+			r, cs.CT.Median(), cs.ICT.Median(), cs.FT.Median(),
 			an.Nets[r].DegreeZeroFraction())
 	}
 	fmt.Printf("travel length p90: %.0f m; longest session: %.0f s\n",

@@ -72,8 +72,8 @@ func main() {
 	}
 	fmt.Printf("sensors see: %s\n", sAn.Summary)
 	fmt.Printf("crawler/ground truth: %s\n", gAn.Summary)
-	sCT := sAn.Contacts[slmob.BluetoothRange].CT
-	gCT := gAn.Contacts[slmob.BluetoothRange].CT
+	sCT := sAn.Contacts[slmob.BluetoothRange].CT.Values()
+	gCT := gAn.Contacts[slmob.BluetoothRange].CT.Values()
 	if len(sCT) > 0 && len(gCT) > 0 {
 		ks := stats.KolmogorovSmirnov(sCT, gCT)
 		fmt.Printf("CT (r=10m) medians: sensors %.0fs vs ground truth %.0fs (KS D=%.3f)\n",

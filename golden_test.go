@@ -86,16 +86,16 @@ func digestAnalysis(an *Analysis) goldenAnalysis {
 		TravelTime:     digest(an.Trips.TravelTime),
 		TravelLength:   digest(an.Trips.TravelLength),
 		EffectiveTime:  digest(an.Trips.EffectiveTravelTime),
-		Zones:          digest(an.Zones),
+		Zones:          digest(an.Zones.Values()),
 	}
 	for r, cs := range an.Contacts {
 		g.Contacts[fmt.Sprintf("%g", r)] = goldenContacts{
 			Pairs:          cs.Pairs,
 			Censored:       cs.Censored,
 			NeverContacted: cs.NeverContacted,
-			CT:             digest(cs.CT),
-			ICT:            digest(cs.ICT),
-			FT:             digest(cs.FT),
+			CT:             digest(cs.CT.Values()),
+			ICT:            digest(cs.ICT.Values()),
+			FT:             digest(cs.FT.Values()),
 		}
 	}
 	return g

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
 
@@ -36,6 +37,13 @@ type Config struct {
 	// analysis. Enable for wire-protocol traces (crawler, sensors), which
 	// cannot observe the seated state directly.
 	TreatZeroAsSeated bool
+	// RangeWorkers bounds how many communication ranges a streaming
+	// Analyzer advances concurrently per snapshot; 0 or 1 selects
+	// sequential per-range processing. The worker count never changes
+	// results, only wall time. In an estate analysis it composes with the
+	// per-region workers: every regional analyzer fans its ranges out the
+	// same way.
+	RangeWorkers int
 }
 
 // withDefaults fills zero fields with the paper's parameters. The trace's
@@ -68,8 +76,10 @@ type Analysis struct {
 	Contacts map[float64]*ContactSet
 	// Nets maps range -> line-of-sight network metrics (Fig. 2).
 	Nets map[float64]*NetMetrics
-	// Zones holds per-(cell, snapshot) occupancies (Fig. 3).
-	Zones []float64
+	// Zones holds the distribution of per-(cell, snapshot) occupancies
+	// (Fig. 3) as a weighted accumulator: a day of 20 m cells is millions
+	// of observations but only a handful of distinct counts.
+	Zones *stats.Weighted
 	// Trips holds the per-session trip metrics (Fig. 4).
 	Trips *TripStats
 }
@@ -113,7 +123,7 @@ func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	a.Zones = zones
+	a.Zones = stats.WeightedOf(zones...)
 	a.Trips = Trips(tr, cfg.MoveEps, cfg.SessionGap)
 	return a, nil
 }

@@ -5,23 +5,27 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"slmob/internal/geom"
 	"slmob/internal/graph"
+	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
 
 // Analyzer is the incremental counterpart of Analyze: it consumes a
 // snapshot stream one observation at a time and produces the same
 // Analysis without ever holding the full trace. Per-snapshot state is
-// O(avatars + contact pairs); only the result distributions themselves
-// accumulate. Feed it with Observe (or drive it from a trace.Source with
-// Consume), then call Finish exactly once.
+// O(avatars + contact pairs); result distributions for integer-valued
+// metrics are weighted accumulators, so even they stay O(distinct
+// values). At steady state — once every scratch buffer, pair slot, and
+// distinct metric value has been seen — Observe performs zero heap
+// allocations per snapshot.
 //
-// The distributions of the resulting Analysis hold the same samples as
-// the batch path but not necessarily in the same order: both paths emit
-// contact samples in Go map-iteration order. Compare them as multisets
-// (see the parity tests).
+// With cfg.RangeWorkers > 1 the independent per-range passes (proximity
+// graph, contact tracking, line-of-sight metrics) of each snapshot fan
+// out across persistent worker goroutines; the worker count never
+// changes results, only wall time.
 type Analyzer struct {
 	land     string
 	tau      int64
@@ -44,22 +48,26 @@ type Analyzer struct {
 	// Zone occupation.
 	zoneN      int
 	zoneCounts []int
-	zones      []float64
+	zones      *stats.Weighted
 
 	// Trip sessionisation.
 	trips *tripTracker
 
 	// Per-snapshot scratch, reused across Observe calls.
-	ids       []trace.AvatarID
-	positions []geom.Vec
-	dup       map[trace.AvatarID]struct{}
+	sc  snapScratch
+	dup map[trace.AvatarID]struct{}
+
+	// Range fanout, started lazily on the first parallel Observe.
+	fan *rangeFan
 }
 
 // rangeState pairs one communication range's contact state machine with
-// its line-of-sight accumulators.
+// its line-of-sight accumulators and its dedicated graph workspace.
 type rangeState struct {
+	r  float64
 	ct *contactTracker
 	nm *NetMetrics
+	ws *graph.Workspace
 }
 
 // sessionState is one avatar's open presence on the land.
@@ -108,13 +116,16 @@ func NewAnalyzer(land string, tau int64, cfg Config) (*Analyzer, error) {
 		firstSeenT: make(map[trace.AvatarID]int64),
 		zoneN:      n,
 		zoneCounts: make([]int, n*n),
+		zones:      stats.NewWeighted(),
 		trips:      newTripTracker(cfg.MoveEps, cfg.SessionGap),
 		dup:        make(map[trace.AvatarID]struct{}),
 	}
 	for _, r := range cfg.Ranges {
 		a.ranges = append(a.ranges, &rangeState{
+			r:  r,
 			ct: newContactTracker(r, tau),
-			nm: &NetMetrics{Range: r},
+			nm: newNetMetrics(r),
+			ws: graph.NewWorkspace(),
 		})
 	}
 	return a, nil
@@ -155,21 +166,14 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 	}
 
 	// Live (non-seated) avatars of this snapshot, plus first appearances.
-	a.ids = a.ids[:0]
-	a.positions = a.positions[:0]
-	for _, s := range snap.Samples {
-		if _, ok := a.firstSeenT[s.ID]; !ok {
-			a.firstSeenT[s.ID] = snap.T
-		}
-		if a.seated(s) {
-			continue
-		}
-		a.ids = append(a.ids, s.ID)
-		a.positions = append(a.positions, s.Pos)
-	}
+	a.sc.fill(snap, a.firstSeenT, a.cfg.TreatZeroAsSeated)
 
-	for i, r := range a.cfg.Ranges {
-		a.observeRange(a.ranges[i], r, snap.T)
+	if a.cfg.RangeWorkers > 1 && len(a.ranges) > 1 {
+		a.fanObserve(snap.T)
+	} else {
+		for _, rs := range a.ranges {
+			a.observeRange(rs, snap.T)
+		}
 	}
 	a.observeZones()
 	for _, s := range snap.Samples {
@@ -179,28 +183,26 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 }
 
 // observeRange advances one range's contact state machine and appends its
-// line-of-sight metrics, sharing a single proximity graph between both.
-func (a *Analyzer) observeRange(rs *rangeState, r float64, t int64) {
-	g := graph.FromPositions(a.positions, r)
-	rs.ct.observe(a.ids, g, t, t == a.firstT)
+// line-of-sight metrics, sharing a single workspace-built proximity graph
+// between both.
+func (a *Analyzer) observeRange(rs *rangeState, t int64) {
+	g := rs.ws.FromPositions(a.sc.positions, rs.r)
+	rs.ct.observe(a.sc.ids, g, t, t == a.firstT)
 
 	// Line-of-sight metrics; snapshots without users are skipped.
-	if len(a.positions) == 0 {
+	if len(a.sc.positions) == 0 {
 		return
 	}
-	for u := 0; u < g.N(); u++ {
-		rs.nm.Degrees = append(rs.nm.Degrees, float64(g.Degree(u)))
-	}
-	rs.nm.Diameters = append(rs.nm.Diameters, float64(g.Diameter()))
-	rs.nm.Clusterings = append(rs.nm.Clusterings, g.MeanClustering())
+	rs.nm.observe(rs.ws)
 }
 
-// observeZones appends one occupancy count per cell for this snapshot.
+// observeZones folds one occupancy count per cell for this snapshot into
+// the weighted zone distribution.
 func (a *Analyzer) observeZones() {
 	for i := range a.zoneCounts {
 		a.zoneCounts[i] = 0
 	}
-	for _, p := range a.positions {
+	for _, p := range a.sc.positions {
 		cx := int(p.X / a.cfg.ZoneSize)
 		cy := int(p.Y / a.cfg.ZoneSize)
 		if cx < 0 || cy < 0 || cx >= a.zoneN || cy >= a.zoneN {
@@ -208,9 +210,78 @@ func (a *Analyzer) observeZones() {
 		}
 		a.zoneCounts[cy*a.zoneN+cx]++
 	}
+	// Most cells of a land are empty most of the time; batch the zero
+	// cells into one weighted insert and add the occupied ones singly.
+	zeros := int64(0)
 	for _, c := range a.zoneCounts {
-		a.zones = append(a.zones, float64(c))
+		if c == 0 {
+			zeros++
+			continue
+		}
+		a.zones.Add(float64(c))
 	}
+	a.zones.AddN(0, zeros)
+}
+
+// rangeFan runs one persistent worker goroutine per configured range
+// worker; worker w owns ranges w, w+workers, w+2·workers, ... so every
+// range's state machine stays single-goroutine. Observe signals a
+// snapshot and waits for all workers — a per-snapshot barrier that keeps
+// the analyzer's synchronous, order-dependent contract while spending
+// multiple cores per snapshot. Signalling allocates nothing.
+type rangeFan struct {
+	start  []chan int64
+	snapWG sync.WaitGroup
+	wg     sync.WaitGroup
+}
+
+// fanObserve dispatches the current snapshot to the range workers and
+// blocks until every range has absorbed it.
+func (a *Analyzer) fanObserve(t int64) {
+	if a.fan == nil {
+		a.startFan()
+	}
+	f := a.fan
+	f.snapWG.Add(len(f.start))
+	for _, ch := range f.start {
+		ch <- t
+	}
+	f.snapWG.Wait()
+}
+
+func (a *Analyzer) startFan() {
+	workers := a.cfg.RangeWorkers
+	if workers > len(a.ranges) {
+		workers = len(a.ranges)
+	}
+	f := &rangeFan{start: make([]chan int64, workers)}
+	a.fan = f
+	for w := range f.start {
+		ch := make(chan int64)
+		f.start[w] = ch
+		f.wg.Add(1)
+		go func(w int) {
+			defer f.wg.Done()
+			for t := range ch {
+				for i := w; i < len(a.ranges); i += workers {
+					a.observeRange(a.ranges[i], t)
+				}
+				f.snapWG.Done()
+			}
+		}(w)
+	}
+}
+
+// stopFan winds down the range workers; safe to call when none run.
+func (a *Analyzer) stopFan() {
+	if a.fan == nil {
+		return
+	}
+	for _, ch := range a.fan.start {
+		close(ch)
+	}
+	a.fan.wg.Wait()
+	a.fan = nil
 }
 
 // Finish closes censored contacts and open sessions and returns the
@@ -220,6 +291,7 @@ func (a *Analyzer) Finish() (*Analysis, error) {
 		return nil, fmt.Errorf("core: Finish called twice")
 	}
 	a.finished = true
+	a.stopFan()
 
 	an := &Analysis{
 		Land: a.land,
@@ -240,10 +312,9 @@ func (a *Analyzer) Finish() (*Analysis, error) {
 		an.Summary.MeanConcurrent = float64(a.totalSamples) / float64(a.snapshots)
 	}
 
-	for i, r := range a.cfg.Ranges {
-		rs := a.ranges[i]
-		an.Contacts[r] = rs.ct.finish(a.firstSeenT)
-		an.Nets[r] = rs.nm
+	for _, rs := range a.ranges {
+		an.Contacts[rs.r] = rs.ct.finish(a.firstSeenT)
+		an.Nets[rs.r] = rs.nm
 	}
 	an.Trips = a.trips.finish()
 	return an, nil
@@ -253,6 +324,7 @@ func (a *Analyzer) Finish() (*Analysis, error) {
 // one-call streaming pipeline. It stops on the first error; a cancelled
 // context surfaces as ctx.Err() from the source.
 func (a *Analyzer) Consume(ctx context.Context, src trace.Source) (*Analysis, error) {
+	defer a.stopFan()
 	for {
 		snap, err := src.Next(ctx)
 		if err == io.EOF {

@@ -16,6 +16,12 @@
 // consumer would — not from simulator ground truth — so the pipeline works
 // identically on traces produced by the in-process collector, the network
 // crawler, or the sensor architecture.
+//
+// The integer-valued result distributions (contact metrics, degrees,
+// diameters, zone occupancy) are held as weighted frequency accumulators
+// (stats.Weighted): memory is O(distinct values) rather than O(samples),
+// and every ECDF, quantile, and figure they yield is bit-identical to the
+// expanded multiset's.
 package core
 
 import (
@@ -23,6 +29,7 @@ import (
 
 	"slmob/internal/geom"
 	"slmob/internal/graph"
+	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
 
@@ -38,23 +45,6 @@ func makePair(a, b trace.AvatarID) pairKey {
 	return pairKey{A: a, B: b}
 }
 
-// pairState tracks an ongoing or past contact between one pair.
-type pairState struct {
-	// inContact marks a contact in progress as of the previous snapshot.
-	inContact bool
-	// start is the first snapshot time of the ongoing contact.
-	start int64
-	// lastSeen is the latest snapshot time at which the pair was in range.
-	lastSeen int64
-	// leftCensored marks a contact already in progress at the first trace
-	// snapshot, whose true start is unknown.
-	leftCensored bool
-	// lastEnd is the end time of the pair's previous completed contact,
-	// used to emit inter-contact times; valid when hasPrev.
-	lastEnd int64
-	hasPrev bool
-}
-
 // ContactSet is the result of contact extraction at one communication
 // range, following the methodology of Chaintreau et al. that the paper
 // adopts: censored intervals are counted but excluded from the
@@ -64,13 +54,14 @@ type ContactSet struct {
 	Range float64
 	// Tau is the trace's sampling period.
 	Tau int64
-	// CT holds completed contact durations in seconds.
-	CT []float64
-	// ICT holds inter-contact gaps in seconds.
-	ICT []float64
-	// FT holds per-user first-contact waiting times in seconds (the wait
-	// from a user's first appearance to their first neighbour ever).
-	FT []float64
+	// CT holds the distribution of completed contact durations in seconds.
+	CT *stats.Weighted
+	// ICT holds the distribution of inter-contact gaps in seconds.
+	ICT *stats.Weighted
+	// FT holds the distribution of per-user first-contact waiting times in
+	// seconds (the wait from a user's first appearance to their first
+	// neighbour ever).
+	FT *stats.Weighted
 	// Censored counts contact intervals dropped because they were in
 	// progress at a trace boundary.
 	Censored int
@@ -78,6 +69,18 @@ type ContactSet struct {
 	NeverContacted int
 	// Pairs counts distinct pairs that had at least one contact.
 	Pairs int
+}
+
+// newContactSet returns an empty ContactSet with initialised
+// distributions.
+func newContactSet(r float64, tau int64) *ContactSet {
+	return &ContactSet{
+		Range: r,
+		Tau:   tau,
+		CT:    stats.NewWeighted(),
+		ICT:   stats.NewWeighted(),
+		FT:    stats.NewWeighted(),
+	}
 }
 
 // ExtractContacts computes the ContactSet of a trace at range r. Seated
@@ -89,6 +92,10 @@ type ContactSet struct {
 // seen on snapshots [s, e] has duration e - s + tau. The inter-contact
 // time between a contact ending at e and the next starting at s' is
 // s' - e.
+//
+// The batch path drives exactly the streaming contactTracker over a
+// workspace-built proximity graph per snapshot, so batch and streaming
+// results agree by construction.
 func ExtractContacts(tr *trace.Trace, r float64) (*ContactSet, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("core: non-positive range %v", r)
@@ -96,106 +103,45 @@ func ExtractContacts(tr *trace.Trace, r float64) (*ContactSet, error) {
 	if tr.Tau <= 0 {
 		return nil, fmt.Errorf("core: trace has non-positive tau")
 	}
-	cs := &ContactSet{Range: r, Tau: tr.Tau}
-	pairs := make(map[pairKey]*pairState)
+	ct := newContactTracker(r, tr.Tau)
+	ws := graph.NewWorkspace()
 	firstSeen := make(map[trace.AvatarID]int64)
-	firstContact := make(map[trace.AvatarID]int64)
-
-	inContactNow := make(map[pairKey]struct{})
 	var firstSnapT int64
 	if len(tr.Snapshots) > 0 {
 		firstSnapT = tr.Snapshots[0].T
 	}
-
-	// closeContact finalises an ongoing contact that ended at st.lastSeen.
-	closeContact := func(st *pairState) {
-		if st.leftCensored {
-			cs.Censored++
-		} else {
-			cs.CT = append(cs.CT, float64(st.lastSeen-st.start+tr.Tau))
-		}
-		st.lastEnd = st.lastSeen
-		st.hasPrev = true
-		st.inContact = false
-		st.leftCensored = false
-	}
-
-	var positions []geom.Vec
-	var ids []trace.AvatarID
+	var sc snapScratch
 	for _, snap := range tr.Snapshots {
-		// Collect live positions and note first appearances.
-		positions = positions[:0]
-		ids = ids[:0]
-		for _, s := range snap.Samples {
+		sc.fill(snap, firstSeen, false)
+		g := ws.FromPositions(sc.positions, r)
+		ct.observe(sc.ids, g, snap.T, snap.T == firstSnapT)
+	}
+	return ct.finish(firstSeen), nil
+}
+
+// snapScratch collects one snapshot's live (non-seated) avatars into
+// reusable id/position buffers, recording first appearances on the way.
+type snapScratch struct {
+	ids       []trace.AvatarID
+	positions []geom.Vec
+}
+
+// fill resets the scratch to the snapshot's live avatars. zeroSeated
+// additionally treats exact-origin positions as seated (the streaming
+// equivalent of NormalizeSeated).
+func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]int64, zeroSeated bool) {
+	sc.ids = sc.ids[:0]
+	sc.positions = sc.positions[:0]
+	for _, s := range snap.Samples {
+		if firstSeen != nil {
 			if _, ok := firstSeen[s.ID]; !ok {
 				firstSeen[s.ID] = snap.T
 			}
-			if s.Seated {
-				continue
-			}
-			positions = append(positions, s.Pos)
-			ids = append(ids, s.ID)
 		}
-
-		// Pairs in range this snapshot.
-		g := graph.FromPositions(positions, r)
-		clear(inContactNow)
-		for i := range ids {
-			deg := g.Degree(i)
-			if deg > 0 {
-				if _, ok := firstContact[ids[i]]; !ok {
-					firstContact[ids[i]] = snap.T
-				}
-			}
-			for _, j := range g.Neighbors(i) {
-				if int(j) > i {
-					inContactNow[makePair(ids[i], ids[int(j)])] = struct{}{}
-				}
-			}
+		if s.Seated || (zeroSeated && s.Pos.IsZero()) {
+			continue
 		}
-
-		// Transitions: starts and continuations.
-		for pk := range inContactNow {
-			st := pairs[pk]
-			if st == nil {
-				st = &pairState{}
-				pairs[pk] = st
-				cs.Pairs++
-			}
-			if !st.inContact {
-				st.inContact = true
-				st.start = snap.T
-				st.leftCensored = snap.T == firstSnapT
-				if st.hasPrev {
-					cs.ICT = append(cs.ICT, float64(snap.T-st.lastEnd))
-				}
-			}
-			st.lastSeen = snap.T
-		}
-		// Transitions: ends (in contact before, not now).
-		for pk, st := range pairs {
-			if st.inContact {
-				if _, ok := inContactNow[pk]; !ok {
-					closeContact(st)
-				}
-			}
-		}
+		sc.ids = append(sc.ids, s.ID)
+		sc.positions = append(sc.positions, s.Pos)
 	}
-
-	// Contacts still open at the end of the trace are right-censored.
-	for _, st := range pairs {
-		if st.inContact {
-			cs.Censored++
-		}
-	}
-
-	// First-contact times.
-	for id, t0 := range firstSeen {
-		if tc, ok := firstContact[id]; ok {
-			cs.FT = append(cs.FT, float64(tc-t0))
-		} else {
-			cs.NeverContacted++
-		}
-	}
-	return cs, nil
 }

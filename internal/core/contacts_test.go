@@ -43,12 +43,12 @@ func TestExtractContactsSimpleContact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cs.CT) != 1 {
-		t.Fatalf("CT = %v, want one contact", cs.CT)
+	if cs.CT.N() != 1 {
+		t.Fatalf("CT = %v, want one contact", cs.CT.Values())
 	}
 	// Seen at t=20 and t=30: duration (30-20)+tau = 20.
-	if cs.CT[0] != 20 {
-		t.Errorf("CT = %v, want 20", cs.CT[0])
+	if cs.CT.Min() != 20 {
+		t.Errorf("CT = %v, want 20", cs.CT.Min())
 	}
 	if cs.Censored != 0 {
 		t.Errorf("censored = %d", cs.Censored)
@@ -70,8 +70,8 @@ func TestExtractContactsSingleSnapshotContact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cs.CT) != 1 || cs.CT[0] != 10 {
-		t.Errorf("CT = %v, want [10]", cs.CT)
+	if cs.CT.N() != 1 || cs.CT.Min() != 10 {
+		t.Errorf("CT = %v, want [10]", cs.CT.Values())
 	}
 }
 
@@ -89,15 +89,15 @@ func TestExtractContactsInterContactTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cs.ICT) != 1 || cs.ICT[0] != 30 {
-		t.Errorf("ICT = %v, want [30]", cs.ICT)
+	if cs.ICT.N() != 1 || cs.ICT.Min() != 30 {
+		t.Errorf("ICT = %v, want [30]", cs.ICT.Values())
 	}
 	// Second contact still open at trace end: right-censored.
 	if cs.Censored != 1 {
 		t.Errorf("censored = %d, want 1", cs.Censored)
 	}
-	if len(cs.CT) != 1 {
-		t.Errorf("CT = %v, want one completed contact", cs.CT)
+	if cs.CT.N() != 1 {
+		t.Errorf("CT = %v, want one completed contact", cs.CT.Values())
 	}
 }
 
@@ -113,8 +113,8 @@ func TestExtractContactsLeftCensoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cs.CT) != 0 {
-		t.Errorf("CT = %v, want none (left-censored)", cs.CT)
+	if cs.CT.N() != 0 {
+		t.Errorf("CT = %v, want none (left-censored)", cs.CT.Values())
 	}
 	if cs.Censored != 1 {
 		t.Errorf("censored = %d, want 1", cs.Censored)
@@ -136,10 +136,10 @@ func TestExtractContactsFirstContactTime(t *testing.T) {
 	}
 	// Users 1 and 2 first appeared at t=10 and first contacted at t=30:
 	// FT=20 each. User 3 never contacted.
-	if len(cs.FT) != 2 {
-		t.Fatalf("FT = %v, want two samples", cs.FT)
+	if cs.FT.N() != 2 {
+		t.Fatalf("FT = %v, want two samples", cs.FT.Values())
 	}
-	for _, ft := range cs.FT {
+	for _, ft := range cs.FT.Values() {
 		if ft != 20 {
 			t.Errorf("FT = %v, want 20", ft)
 		}
@@ -159,10 +159,11 @@ func TestExtractContactsFTZeroAtLogin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sort.Float64s(cs.FT)
 	// User 2's FT is 0 (first seen in contact); user 1 waited 10 s.
-	if len(cs.FT) != 2 || cs.FT[0] != 0 || cs.FT[1] != 10 {
-		t.Errorf("FT = %v, want [0 10]", cs.FT)
+	// Values() is sorted ascending.
+	ft := cs.FT.Values()
+	if len(ft) != 2 || ft[0] != 0 || ft[1] != 10 {
+		t.Errorf("FT = %v, want [0 10]", ft)
 	}
 }
 
@@ -181,7 +182,7 @@ func TestExtractContactsSeatedExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cs.Pairs != 0 || len(cs.CT) != 0 {
+	if cs.Pairs != 0 || cs.CT.N() != 0 {
 		t.Errorf("seated avatar created contacts: %+v", cs)
 	}
 }
@@ -231,12 +232,12 @@ func TestLoSMetricsDegreesAndDiameter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sort.Float64s(nm.Degrees)
-	if len(nm.Degrees) != 3 || nm.Degrees[0] != 1 || nm.Degrees[1] != 1 || nm.Degrees[2] != 2 {
-		t.Errorf("degrees = %v", nm.Degrees)
+	deg := nm.Degrees.Values() // sorted ascending
+	if len(deg) != 3 || deg[0] != 1 || deg[1] != 1 || deg[2] != 2 {
+		t.Errorf("degrees = %v", deg)
 	}
-	if len(nm.Diameters) != 1 || nm.Diameters[0] != 2 {
-		t.Errorf("diameters = %v", nm.Diameters)
+	if nm.Diameters.N() != 1 || nm.Diameters.Min() != 2 {
+		t.Errorf("diameters = %v", nm.Diameters.Values())
 	}
 	if nm.Clusterings[0] != 0 {
 		t.Errorf("clustering = %v", nm.Clusterings)
@@ -257,8 +258,8 @@ func TestLoSMetricsSkipsEmptySnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(nm.Diameters) != 1 {
-		t.Errorf("diameters = %v, want one entry", nm.Diameters)
+	if nm.Diameters.N() != 1 {
+		t.Errorf("diameters = %v, want one entry", nm.Diameters.Values())
 	}
 	if nm.DegreeZeroFraction() != 1 {
 		t.Errorf("deg-zero = %v", nm.DegreeZeroFraction())
@@ -351,7 +352,7 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 	if an.Summary.Unique != 2 {
 		t.Errorf("unique = %d", an.Summary.Unique)
 	}
-	if len(an.Zones) == 0 || an.Trips == nil {
+	if an.Zones.N() == 0 || an.Trips == nil {
 		t.Error("missing zones or trips")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"slmob/internal/fanout"
 	"slmob/internal/geom"
 	"slmob/internal/graph"
+	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
 
@@ -222,6 +223,17 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 		return nil, fmt.Errorf("core: estate Consume called twice")
 	}
 	ea.consumed = true
+	// Error and cancellation exits below return before finish(), so the
+	// regional analyzers' Finish never runs; wind their range-fan workers
+	// down here or they would leak for the life of the process. By the
+	// time any return executes, closeAll+<-done has drained every stage,
+	// so no regional Observe is in flight. stopFan is idempotent — the
+	// success path has already stopped the fans via Finish.
+	defer func() {
+		for _, a := range ea.regional {
+			a.stopFan()
+		}
+	}()
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -247,16 +259,19 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 		_, err := fanout.Run(wctx, jobs, jobs,
 			func(ctx context.Context, j int) (struct{}, error) {
 				if j >= ea.workers {
-					// Global contact-tracker stage for one range.
+					// Global contact-tracker stage for one range, with its
+					// own reusable graph workspace (stages run concurrently,
+					// so workspaces cannot be shared).
 					ct := ea.contacts[j-ea.workers]
 					r := ea.cfg.Ranges[j-ea.workers]
+					ws := graph.NewWorkspace()
 					for {
 						select {
 						case gt, ok := <-globalChans[j-ea.workers]:
 							if !ok {
 								return struct{}{}, nil
 							}
-							ct.observe(gt.ids, graph.FromPositions(gt.pos, r), gt.t, gt.first)
+							ct.observe(gt.ids, ws.FromPositions(gt.pos, r), gt.t, gt.first)
 						case <-ctx.Done():
 							return struct{}{}, ctx.Err()
 						}
@@ -372,8 +387,9 @@ func (ea *EstateAnalyzer) finish() (*EstateAnalysis, error) {
 	for i, r := range ea.cfg.Ranges {
 		global.Contacts[r] = ea.contacts[i].finish(ea.firstSeen)
 	}
+	global.Zones = stats.NewWeighted()
 	for _, ra := range res.Regions {
-		global.Zones = append(global.Zones, ra.Zones...)
+		global.Zones.MergeFrom(ra.Zones)
 	}
 	global.Trips = ea.trips.finish()
 	res.Global = global

@@ -85,15 +85,15 @@ func TestBorderContactSpansHandoff(t *testing.T) {
 	if g.Pairs != 1 || g.Censored != 0 {
 		t.Fatalf("global pairs/censored = %d/%d, want 1/0", g.Pairs, g.Censored)
 	}
-	if len(g.CT) != 1 || g.CT[0] != 40 {
-		t.Fatalf("global CT = %v, want one contact of 40 s (t=20..50 + tau)", g.CT)
+	if g.CT.N() != 1 || g.CT.Min() != 40 {
+		t.Fatalf("global CT = %v, want one contact of 40 s (t=20..50 + tau)", g.CT.Values())
 	}
 	// The per-region east analyzer only sees the post-handoff tail.
 	east := res.Regions[1].Contacts[10]
-	if len(east.CT) != 1 || east.CT[0] != 30 {
-		t.Fatalf("east region CT = %v, want the split 30 s tail", east.CT)
+	if east.CT.N() != 1 || east.CT.Min() != 30 {
+		t.Fatalf("east region CT = %v, want the split 30 s tail", east.CT.Values())
 	}
-	if west := res.Regions[0].Contacts[10]; len(west.CT) != 0 || west.Pairs != 0 {
+	if west := res.Regions[0].Contacts[10]; west.CT.N() != 0 || west.Pairs != 0 {
 		t.Fatalf("west region saw a contact: %+v", west)
 	}
 	// The global session of avatar 1 spans the handoff: one trip, not two.
@@ -183,7 +183,7 @@ func TestEstateWorkerInvariance(t *testing.T) {
 	for _, d := range DiffAnalyses(par.Global, seq.Global) {
 		t.Errorf("global: %s", d)
 	}
-	if par.Global.Summary.Unique == 0 || len(par.Global.Contacts[BluetoothRange].CT) == 0 {
+	if par.Global.Summary.Unique == 0 || par.Global.Contacts[BluetoothRange].CT.N() == 0 {
 		t.Fatal("global analysis is empty")
 	}
 }

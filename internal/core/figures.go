@@ -53,6 +53,27 @@ func CDFSeries(name string, sample []float64) Series {
 	return Series{Name: name, Curve: stats.MustEmpirical(sample).CDFCurve()}
 }
 
+// WeightedCCDFSeries builds a CCDF curve from a weighted distribution,
+// dropping non-positive values when destined for a log axis — exactly the
+// curve CCDFSeries builds from the expanded sample.
+func WeightedCCDFSeries(name string, w *stats.Weighted, logX bool) Series {
+	if logX {
+		w = w.Positive()
+	}
+	if w.N() == 0 {
+		return Series{Name: name}
+	}
+	return Series{Name: name, Curve: w.CCDFCurve()}
+}
+
+// WeightedCDFSeries builds a CDF curve from a weighted distribution.
+func WeightedCDFSeries(name string, w *stats.Weighted) Series {
+	if w.N() == 0 {
+		return Series{Name: name}
+	}
+	return Series{Name: name, Curve: w.CDFCurve()}
+}
+
 // WriteCSV exports the figure as long-format CSV: series,x,y.
 func (f *Figure) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# %s: %s\nseries,x,y\n", f.ID, f.Title); err != nil {

@@ -3,26 +3,47 @@ package core
 import (
 	"fmt"
 
-	"slmob/internal/geom"
 	"slmob/internal/graph"
+	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
 
 // NetMetrics aggregates the line-of-sight network properties of §3.2 over
-// the whole measurement period, as the paper's Fig. 2 does.
+// the whole measurement period, as the paper's Fig. 2 does. Degrees and
+// diameters are integer-valued, so they are held as weighted frequency
+// accumulators; clustering coefficients are real-valued and stay a plain
+// sample slice.
 type NetMetrics struct {
 	// Range is the communication range r in metres.
 	Range float64
-	// Degrees holds one node-degree sample per (user, snapshot), the
-	// population behind the aggregated degree CCDF (Fig. 2a/2d).
-	Degrees []float64
-	// Diameters holds, per snapshot, the longest shortest path of the
-	// largest connected component (Fig. 2b/2e). Snapshots without users
-	// are skipped.
-	Diameters []float64
+	// Degrees holds the node-degree distribution over every
+	// (user, snapshot) pair, the population behind the aggregated degree
+	// CCDF (Fig. 2a/2d).
+	Degrees *stats.Weighted
+	// Diameters holds the per-snapshot distribution of the longest
+	// shortest path of the largest connected component (Fig. 2b/2e).
+	// Snapshots without users are skipped.
+	Diameters *stats.Weighted
 	// Clusterings holds, per snapshot, the mean Watts–Strogatz clustering
-	// coefficient over all users (Fig. 2c/2f).
+	// coefficient over all users (Fig. 2c/2f), in snapshot order.
 	Clusterings []float64
+}
+
+// newNetMetrics returns an empty NetMetrics with initialised
+// distributions.
+func newNetMetrics(r float64) *NetMetrics {
+	return &NetMetrics{Range: r, Degrees: stats.NewWeighted(), Diameters: stats.NewWeighted()}
+}
+
+// observe folds the workspace's current snapshot graph into the
+// metrics. Snapshots without users must be skipped by the caller.
+func (nm *NetMetrics) observe(ws *graph.Workspace) {
+	g := ws.Graph()
+	for u := 0; u < g.N(); u++ {
+		nm.Degrees.Add(float64(g.Degree(u)))
+	}
+	nm.Diameters.Add(float64(ws.Diameter()))
+	nm.Clusterings = append(nm.Clusterings, ws.MeanClustering())
 }
 
 // LoSMetrics computes the per-snapshot line-of-sight network metrics of a
@@ -32,24 +53,16 @@ func LoSMetrics(tr *trace.Trace, r float64) (*NetMetrics, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("core: non-positive range %v", r)
 	}
-	nm := &NetMetrics{Range: r}
-	var positions []geom.Vec
+	nm := newNetMetrics(r)
+	ws := graph.NewWorkspace()
+	var sc snapScratch
 	for _, snap := range tr.Snapshots {
-		positions = positions[:0]
-		for _, s := range snap.Samples {
-			if !s.Seated {
-				positions = append(positions, s.Pos)
-			}
-		}
-		if len(positions) == 0 {
+		sc.fill(snap, nil, false)
+		if len(sc.positions) == 0 {
 			continue
 		}
-		g := graph.FromPositions(positions, r)
-		for u := 0; u < g.N(); u++ {
-			nm.Degrees = append(nm.Degrees, float64(g.Degree(u)))
-		}
-		nm.Diameters = append(nm.Diameters, float64(g.Diameter()))
-		nm.Clusterings = append(nm.Clusterings, g.MeanClustering())
+		ws.FromPositions(sc.positions, r)
+		nm.observe(ws)
 	}
 	return nm, nil
 }
@@ -58,25 +71,16 @@ func LoSMetrics(tr *trace.Trace, r float64) (*NetMetrics, error) {
 // no neighbour — the paper's headline observation for Fig. 2a ("for Apfel
 // Land ... 60% of users have no neighbors").
 func (nm *NetMetrics) DegreeZeroFraction() float64 {
-	if len(nm.Degrees) == 0 {
+	if nm.Degrees.N() == 0 {
 		return 0
 	}
-	zero := 0
-	for _, d := range nm.Degrees {
-		if d == 0 {
-			zero++
-		}
-	}
-	return float64(zero) / float64(len(nm.Degrees))
+	return float64(nm.Degrees.CountOf(0)) / float64(nm.Degrees.N())
 }
 
 // MaxDiameter returns the largest per-snapshot diameter observed.
 func (nm *NetMetrics) MaxDiameter() float64 {
-	max := 0.0
-	for _, d := range nm.Diameters {
-		if d > max {
-			max = d
-		}
+	if nm.Diameters.N() == 0 {
+		return 0
 	}
-	return max
+	return nm.Diameters.Max()
 }

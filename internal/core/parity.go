@@ -3,20 +3,34 @@ package core
 import (
 	"fmt"
 	"reflect"
-	"sort"
+
+	"slmob/internal/stats"
 )
 
 // DiffAnalyses compares two Analysis values under the streaming/batch
-// parity contract: the contact distributions (CT, ICT, FT), whose
-// emission order is Go map-iteration order on both paths, are compared
-// as multisets; everything else must match exactly. It returns one line
-// per difference, empty when the analyses are equivalent — the parity
-// tests assert on it, and tooling can use it to validate a migrated
-// pipeline against a reference run.
+// parity contract. The weighted distributions (CT, ICT, FT, degrees,
+// diameters, zones) are canonical multisets, so they compare exactly;
+// clustering coefficients and trips are emitted in snapshot/login order
+// on both paths and must match exactly too. It returns one line per
+// difference, empty when the analyses are equivalent — the parity tests
+// assert on it, and tooling can use it to validate a migrated pipeline
+// against a reference run.
 func DiffAnalyses(got, want *Analysis) []string {
 	var diffs []string
 	addf := func(format string, args ...any) {
 		diffs = append(diffs, fmt.Sprintf(format, args...))
+	}
+	sameDist := func(what string, g, w *stats.Weighted) {
+		if !g.Equal(w) {
+			gn, wn := 0, 0
+			if g != nil {
+				gn = g.N()
+			}
+			if w != nil {
+				wn = w.N()
+			}
+			addf("%s multiset differs (%d vs %d samples)", what, gn, wn)
+		}
 	}
 	if got.Land != want.Land {
 		addf("Land = %q, want %q", got.Land, want.Land)
@@ -40,15 +54,9 @@ func DiffAnalyses(got, want *Analysis) []string {
 			addf("r=%v: counters censored/never/pairs = %d/%d/%d, want %d/%d/%d",
 				r, g.Censored, g.NeverContacted, g.Pairs, w.Censored, w.NeverContacted, w.Pairs)
 		}
-		for name, pair := range map[string][2][]float64{
-			"CT":  {g.CT, w.CT},
-			"ICT": {g.ICT, w.ICT},
-			"FT":  {g.FT, w.FT},
-		} {
-			if !reflect.DeepEqual(sortedCopy(pair[0]), sortedCopy(pair[1])) {
-				addf("r=%v: %s multiset differs (%d vs %d samples)", r, name, len(pair[0]), len(pair[1]))
-			}
-		}
+		sameDist(fmt.Sprintf("r=%v: CT", r), g.CT, w.CT)
+		sameDist(fmt.Sprintf("r=%v: ICT", r), g.ICT, w.ICT)
+		sameDist(fmt.Sprintf("r=%v: FT", r), g.FT, w.FT)
 	}
 	if len(got.Nets) != len(want.Nets) {
 		addf("net ranges = %d, want %d", len(got.Nets), len(want.Nets))
@@ -59,28 +67,16 @@ func DiffAnalyses(got, want *Analysis) []string {
 			addf("missing net range %v", r)
 			continue
 		}
-		// LoS metrics are emitted in snapshot order on both paths: exact.
-		if !reflect.DeepEqual(g.Degrees, w.Degrees) {
-			addf("r=%v: Degrees differ (%d vs %d samples)", r, len(g.Degrees), len(w.Degrees))
-		}
-		if !reflect.DeepEqual(g.Diameters, w.Diameters) {
-			addf("r=%v: Diameters differ", r)
-		}
+		sameDist(fmt.Sprintf("r=%v: Degrees", r), g.Degrees, w.Degrees)
+		sameDist(fmt.Sprintf("r=%v: Diameters", r), g.Diameters, w.Diameters)
+		// Clusterings are emitted in snapshot order on both paths: exact.
 		if !reflect.DeepEqual(g.Clusterings, w.Clusterings) {
 			addf("r=%v: Clusterings differ", r)
 		}
 	}
-	if !reflect.DeepEqual(got.Zones, want.Zones) {
-		addf("Zones differ (%d vs %d samples)", len(got.Zones), len(want.Zones))
-	}
+	sameDist("Zones", got.Zones, want.Zones)
 	if !reflect.DeepEqual(got.Trips, want.Trips) {
 		addf("Trips differ: got %+v, want %+v", got.Trips, want.Trips)
 	}
 	return diffs
-}
-
-func sortedCopy(xs []float64) []float64 {
-	out := append([]float64(nil), xs...)
-	sort.Float64s(out)
-	return out
 }

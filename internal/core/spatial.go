@@ -19,7 +19,11 @@ func ZoneOccupation(tr *trace.Trace, landSize, cellSize float64) ([]float64, err
 	n := int(math.Ceil(landSize / cellSize))
 	cells := n * n
 	counts := make([]int, cells)
-	var out []float64
+	// One sample per (cell, snapshot): size the output up front instead of
+	// re-growing a multi-megabyte slice doubling by doubling, and reuse
+	// the single counts buffer across snapshots (matching the streaming
+	// zone accumulator's behaviour).
+	out := make([]float64, 0, len(tr.Snapshots)*cells)
 	for _, snap := range tr.Snapshots {
 		for i := range counts {
 			counts[i] = 0

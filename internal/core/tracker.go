@@ -8,32 +8,140 @@ import (
 	"slmob/internal/trace"
 )
 
+// pairState tracks an ongoing or past contact between one pair. States
+// live inline in the pair table's slots — no per-pair pointer is ever
+// allocated.
+type pairState struct {
+	// start is the first snapshot time of the ongoing contact.
+	start int64
+	// lastSeen is the latest snapshot time at which the pair was in range.
+	lastSeen int64
+	// lastEnd is the end time of the pair's previous completed contact,
+	// used to emit inter-contact times; valid when hasPrev.
+	lastEnd int64
+	// seenGen is the tracker generation (snapshot ordinal) at which the
+	// pair was last observed in range — the allocation-free replacement
+	// for the old per-snapshot "in contact now" set.
+	seenGen uint64
+	// inContact marks a contact in progress as of the previous snapshot.
+	inContact bool
+	// leftCensored marks a contact already in progress at the first trace
+	// snapshot, whose true start is unknown.
+	leftCensored bool
+	hasPrev      bool
+}
+
+// pairSlot is one open-addressing slot: a key plus its inline state.
+type pairSlot struct {
+	key  pairKey
+	used bool
+	st   pairState
+}
+
+// pairTable is an open-addressed hash table over avatar pairs with
+// linear probing. Pairs are only ever inserted (a pair's history feeds
+// inter-contact times for the rest of the stream), so there is no
+// tombstone machinery. Lookups and steady-state insertions allocate
+// nothing; growth doubles the slot array at 3/4 load.
+type pairTable struct {
+	slots   []pairSlot
+	mask    uint64
+	n       int
+	rehashd bool // set when a grow relocated slots since last checked
+}
+
+const pairTableMinSize = 64
+
+func newPairTable() *pairTable {
+	return &pairTable{slots: make([]pairSlot, pairTableMinSize), mask: pairTableMinSize - 1}
+}
+
+// hash mixes both avatar IDs with a splitmix64-style finaliser.
+func (pt *pairTable) hash(k pairKey) uint64 {
+	h := uint64(k.A)*0x9e3779b97f4a7c15 ^ uint64(k.B)
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// lookupOrInsert returns the slot index of k, inserting a fresh state if
+// the pair is new. isNew reports the insertion. A grow may relocate every
+// slot; callers holding slot indices across insertions must check
+// rehashed().
+func (pt *pairTable) lookupOrInsert(k pairKey) (idx int, isNew bool) {
+	if pt.n*4 >= len(pt.slots)*3 {
+		pt.grow()
+	}
+	i := pt.hash(k) & pt.mask
+	for {
+		s := &pt.slots[i]
+		if !s.used {
+			s.used = true
+			s.key = k
+			s.st = pairState{}
+			pt.n++
+			return int(i), true
+		}
+		if s.key == k {
+			return int(i), false
+		}
+		i = (i + 1) & pt.mask
+	}
+}
+
+func (pt *pairTable) grow() {
+	old := pt.slots
+	pt.slots = make([]pairSlot, len(old)*2)
+	pt.mask = uint64(len(pt.slots) - 1)
+	for i := range old {
+		if !old[i].used {
+			continue
+		}
+		j := pt.hash(old[i].key) & pt.mask
+		for pt.slots[j].used {
+			j = (j + 1) & pt.mask
+		}
+		pt.slots[j] = old[i]
+	}
+	pt.rehashd = true
+}
+
+// rehashed reports (and clears) whether a grow has relocated slots since
+// the previous check.
+func (pt *pairTable) rehashed() bool {
+	r := pt.rehashd
+	pt.rehashd = false
+	return r
+}
+
 // contactTracker is the per-range contact state machine shared by the
-// single-land Analyzer and the estate-global analysis: it folds one
-// proximity graph per snapshot into running CT/ICT/FT distributions.
-// Feeding it with observe per snapshot and calling finish once yields
-// exactly the ContactSet the batch ExtractContacts computes.
+// single-land Analyzer, the batch ExtractContacts, and the estate-global
+// analysis: it folds one proximity graph per snapshot into running
+// CT/ICT/FT distributions. The hot path is allocation-free at steady
+// state: pair states live inline in an open-addressed table, the old
+// per-snapshot "in contact now" map is replaced by generation stamps,
+// and end detection walks a compact active list (O(active), not O(pairs
+// ever seen)).
 type contactTracker struct {
 	tau int64
-	// pairs holds every pair ever observed in contact (their lastEnd
-	// feeds inter-contact times); active holds only the subset currently
-	// in contact, so per-snapshot end detection is O(active), not
-	// O(pairs ever seen).
-	pairs        map[pairKey]*pairState
-	active       map[pairKey]*pairState
+	// gen is the snapshot ordinal; a pair with seenGen == gen is in
+	// contact in the current snapshot.
+	gen          uint64
+	table        *pairTable
+	active       []int32 // slot indices of pairs currently in contact
 	firstContact map[trace.AvatarID]int64
-	inContactNow map[pairKey]struct{}
 	cs           *ContactSet
 }
 
 func newContactTracker(r float64, tau int64) *contactTracker {
 	return &contactTracker{
 		tau:          tau,
-		pairs:        make(map[pairKey]*pairState),
-		active:       make(map[pairKey]*pairState),
+		table:        newPairTable(),
 		firstContact: make(map[trace.AvatarID]int64),
-		inContactNow: make(map[pairKey]struct{}),
-		cs:           &ContactSet{Range: r, Tau: tau},
+		cs:           newContactSet(r, tau),
 	}
 }
 
@@ -41,8 +149,9 @@ func newContactTracker(r float64, tau int64) *contactTracker {
 // avatars ids at snapshot time t. first marks the stream's first
 // snapshot, whose ongoing contacts are left-censored.
 func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, first bool) {
-	// Pairs in range this snapshot, and first contacts.
-	clear(c.inContactNow)
+	c.gen++
+	// Starts and continuations: every pair in range this snapshot gets
+	// the current generation stamp.
 	for i := range ids {
 		if g.Degree(i) > 0 {
 			if _, ok := c.firstContact[ids[i]]; !ok {
@@ -50,45 +159,58 @@ func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, 
 			}
 		}
 		for _, j := range g.Neighbors(i) {
-			if int(j) > i {
-				c.inContactNow[makePair(ids[i], ids[int(j)])] = struct{}{}
+			if int(j) <= i {
+				continue
+			}
+			idx, isNew := c.table.lookupOrInsert(makePair(ids[i], ids[int(j)]))
+			if isNew {
+				c.cs.Pairs++
+			}
+			st := &c.table.slots[idx].st
+			st.seenGen = c.gen
+			if !st.inContact {
+				st.inContact = true
+				st.start = t
+				st.leftCensored = first
+				if st.hasPrev {
+					c.cs.ICT.Add(float64(t - st.lastEnd))
+				}
+				c.active = append(c.active, int32(idx))
+			}
+			st.lastSeen = t
+		}
+	}
+	// A table grow relocates slots; refresh the active list's indices
+	// before walking it. Order within the list is irrelevant — ends only
+	// feed the weighted distributions and counters.
+	if c.table.rehashed() {
+		c.active = c.active[:0]
+		for i := range c.table.slots {
+			s := &c.table.slots[i]
+			if s.used && s.st.inContact {
+				c.active = append(c.active, int32(i))
 			}
 		}
 	}
-
-	// Transitions: starts and continuations.
-	for pk := range c.inContactNow {
-		st := c.pairs[pk]
-		if st == nil {
-			st = &pairState{}
-			c.pairs[pk] = st
-			c.cs.Pairs++
+	// Ends: active pairs not stamped this snapshot.
+	for k := 0; k < len(c.active); {
+		st := &c.table.slots[c.active[k]].st
+		if st.seenGen == c.gen {
+			k++
+			continue
 		}
-		if !st.inContact {
-			st.inContact = true
-			st.start = t
-			st.leftCensored = first
-			if st.hasPrev {
-				c.cs.ICT = append(c.cs.ICT, float64(t-st.lastEnd))
-			}
-			c.active[pk] = st
+		if st.leftCensored {
+			c.cs.Censored++
+		} else {
+			c.cs.CT.Add(float64(st.lastSeen - st.start + c.tau))
 		}
-		st.lastSeen = t
-	}
-	// Transitions: ends (in contact before, not now).
-	for pk, st := range c.active {
-		if _, ok := c.inContactNow[pk]; !ok {
-			if st.leftCensored {
-				c.cs.Censored++
-			} else {
-				c.cs.CT = append(c.cs.CT, float64(st.lastSeen-st.start+c.tau))
-			}
-			st.lastEnd = st.lastSeen
-			st.hasPrev = true
-			st.inContact = false
-			st.leftCensored = false
-			delete(c.active, pk)
-		}
+		st.lastEnd = st.lastSeen
+		st.hasPrev = true
+		st.inContact = false
+		st.leftCensored = false
+		last := len(c.active) - 1
+		c.active[k] = c.active[last]
+		c.active = c.active[:last]
 	}
 }
 
@@ -99,7 +221,7 @@ func (c *contactTracker) finish(firstSeen map[trace.AvatarID]int64) *ContactSet 
 	c.cs.Censored += len(c.active)
 	for id, t0 := range firstSeen {
 		if tc, ok := c.firstContact[id]; ok {
-			c.cs.FT = append(c.cs.FT, float64(tc-t0))
+			c.cs.FT.Add(float64(tc - t0))
 		} else {
 			c.cs.NeverContacted++
 		}
@@ -132,7 +254,7 @@ func (tt *tripTracker) observe(id trace.AvatarID, pos geom.Vec, seated bool, t i
 	ss := tt.open[id]
 	if ss != nil && t-ss.last > tt.gap {
 		tt.closeSession(id, ss)
-		ss = nil
+		*ss = sessionState{login: t}
 	}
 	if ss == nil {
 		ss = &sessionState{login: t}

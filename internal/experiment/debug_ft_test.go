@@ -27,7 +27,7 @@ func TestDebugApfelFT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ft := append([]float64(nil), cs.FT...)
+	ft := cs.FT.Values()
 	sort.Float64s(ft)
 	fmt.Printf("FT n=%d never=%d\n", len(ft), cs.NeverContacted)
 	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {

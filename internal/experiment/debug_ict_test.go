@@ -27,7 +27,7 @@ func TestDebugDanceICT(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ict := append([]float64(nil), cs.ICT...)
+		ict := cs.ICT.Values()
 		sort.Float64s(ict)
 		fmt.Printf("r=%g: ICT n=%d\n", r, len(ict))
 		if len(ict) == 0 {

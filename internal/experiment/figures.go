@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"slmob/internal/core"
+	"slmob/internal/stats"
 )
 
 // Figures renders every panel of the paper's evaluation — Fig. 1(a-f),
@@ -16,10 +17,19 @@ func Figures(runs []*LandRun) ([]*core.Figure, error) {
 	rb, rw := core.BluetoothRange, core.WiFiRange
 	var figs []*core.Figure
 
-	ccdf := func(id, title, xlabel string, sample func(*LandRun) []float64, logX bool) *core.Figure {
+	// Weighted metrics plot straight from their frequency accumulators;
+	// the curves are bit-identical to the expanded samples'.
+	wccdf := func(id, title, xlabel string, dist func(*LandRun) *stats.Weighted, logX bool) *core.Figure {
 		f := &core.Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "1-F(x)", LogX: logX}
 		for _, run := range runs {
-			f.Series = append(f.Series, core.CCDFSeries(run.Trace.Land, sample(run), logX))
+			f.Series = append(f.Series, core.WeightedCCDFSeries(run.Trace.Land, dist(run), logX))
+		}
+		return f
+	}
+	wcdf := func(id, title, xlabel string, dist func(*LandRun) *stats.Weighted) *core.Figure {
+		f := &core.Figure{ID: id, Title: title, XLabel: xlabel, YLabel: "F(x)"}
+		for _, run := range runs {
+			f.Series = append(f.Series, core.WeightedCDFSeries(run.Trace.Land, dist(run)))
 		}
 		return f
 	}
@@ -33,40 +43,40 @@ func Figures(runs []*LandRun) ([]*core.Figure, error) {
 
 	// Fig. 1 — temporal analysis (CCDFs on log time axes).
 	figs = append(figs,
-		ccdf("fig1a", "Contact Time CCDF, r=10m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].CT }, true),
-		ccdf("fig1b", "Inter-Contact Time CCDF, r=10m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].ICT }, true),
-		ccdf("fig1c", "First Contact Time CCDF, r=10m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rb].FT }, true),
-		ccdf("fig1d", "Contact Time CCDF, r=80m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].CT }, true),
-		ccdf("fig1e", "Inter-Contact Time CCDF, r=80m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].ICT }, true),
-		ccdf("fig1f", "First Contact Time CCDF, r=80m", "Time (s)",
-			func(r *LandRun) []float64 { return r.Analysis.Contacts[rw].FT }, true),
+		wccdf("fig1a", "Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rb].CT }, true),
+		wccdf("fig1b", "Inter-Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rb].ICT }, true),
+		wccdf("fig1c", "First Contact Time CCDF, r=10m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rb].FT }, true),
+		wccdf("fig1d", "Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rw].CT }, true),
+		wccdf("fig1e", "Inter-Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rw].ICT }, true),
+		wccdf("fig1f", "First Contact Time CCDF, r=80m", "Time (s)",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Contacts[rw].FT }, true),
 	)
 
 	// Fig. 2 — line-of-sight network properties.
 	figs = append(figs,
-		ccdf("fig2a", "Node Degree CCDF, r=10m", "Degree",
-			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Degrees }, false),
-		cdf("fig2b", "Network Diameter CDF, r=10m", "Diameter",
-			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Diameters }),
+		wccdf("fig2a", "Node Degree CCDF, r=10m", "Degree",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Nets[rb].Degrees }, false),
+		wcdf("fig2b", "Network Diameter CDF, r=10m", "Diameter",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Nets[rb].Diameters }),
 		cdf("fig2c", "Clustering Coefficient CDF, r=10m", "Coefficient",
 			func(r *LandRun) []float64 { return r.Analysis.Nets[rb].Clusterings }),
-		ccdf("fig2d", "Node Degree CCDF, r=80m", "Degree",
-			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Degrees }, false),
-		cdf("fig2e", "Network Diameter CDF, r=80m", "Diameter",
-			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Diameters }),
+		wccdf("fig2d", "Node Degree CCDF, r=80m", "Degree",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Nets[rw].Degrees }, false),
+		wcdf("fig2e", "Network Diameter CDF, r=80m", "Diameter",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Nets[rw].Diameters }),
 		cdf("fig2f", "Clustering Coefficient CDF, r=80m", "Coefficient",
 			func(r *LandRun) []float64 { return r.Analysis.Nets[rw].Clusterings }),
 	)
 
 	// Fig. 3 — spatial distribution of users.
 	figs = append(figs,
-		cdf("fig3", "Zone Occupation CDF, L=20m", "Number of users per cell",
-			func(r *LandRun) []float64 { return r.Analysis.Zones }),
+		wcdf("fig3", "Zone Occupation CDF, L=20m", "Number of users per cell",
+			func(r *LandRun) *stats.Weighted { return r.Analysis.Zones }),
 	)
 
 	// Fig. 4 — trip analysis.

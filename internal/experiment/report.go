@@ -110,6 +110,15 @@ func median(xs []float64) float64 {
 	return stats.MustEmpirical(xs).Median()
 }
 
+// medianW is median for weighted distributions; the two agree exactly on
+// the same multiset.
+func medianW(w *stats.Weighted) float64 {
+	if w.N() == 0 {
+		return math.NaN()
+	}
+	return w.Median()
+}
+
 func quantile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
@@ -190,35 +199,35 @@ func BuildReport(runs []*LandRun) (*Report, error) {
 		c10 := run.Analysis.Contacts[rb]
 		c80 := run.Analysis.Contacts[rw]
 		rep.Rows = append(rep.Rows,
-			factorRow("F1a", name, "CT median r=10", tg.ctMedianR10, median(c10.CT), 2.0, "s"),
-			factorRow("F1d", name, "CT median r=80", tg.ctMedianR80, median(c80.CT), 2.0, "s"),
-			factorRow("F1b", name, "ICT median r=10", tg.ictMedian, median(c10.ICT), 2.5, "s"),
-			factorRow("F1e", name, "ICT median r=80", tg.ictMedian, median(c80.ICT), 2.5, "s"),
+			factorRow("F1a", name, "CT median r=10", tg.ctMedianR10, medianW(c10.CT), 2.0, "s"),
+			factorRow("F1d", name, "CT median r=80", tg.ctMedianR80, medianW(c80.CT), 2.0, "s"),
+			factorRow("F1b", name, "ICT median r=10", tg.ictMedian, medianW(c10.ICT), 2.5, "s"),
+			factorRow("F1e", name, "ICT median r=80", tg.ictMedian, medianW(c80.ICT), 2.5, "s"),
 		)
 		if tg.ftR10IsBound {
 			rep.Rows = append(rep.Rows,
-				boundRow("F1c", name, "FT median r=10", tg.ftMedianR10, median(c10.FT), true, "s"))
+				boundRow("F1c", name, "FT median r=10", tg.ftMedianR10, medianW(c10.FT), true, "s"))
 		} else {
 			rep.Rows = append(rep.Rows,
-				factorRow("F1c", name, "FT median r=10", tg.ftMedianR10, median(c10.FT), 2.5, "s"))
+				factorRow("F1c", name, "FT median r=10", tg.ftMedianR10, medianW(c10.FT), 2.5, "s"))
 		}
 		if tg.ftR80IsBound {
 			rep.Rows = append(rep.Rows,
-				boundRow("F1f", name, "FT median r=80", tg.ftMedianR80, median(c80.FT), true, "s"))
+				boundRow("F1f", name, "FT median r=80", tg.ftMedianR80, medianW(c80.FT), true, "s"))
 		} else {
 			// FT at r=80 sits at the τ=10 s sampling floor, where a
 			// multiplicative tolerance degenerates; allow 3x.
 			rep.Rows = append(rep.Rows,
-				factorRow("F1f", name, "FT median r=80", tg.ftMedianR80, median(c80.FT), 3.0, "s"))
+				factorRow("F1f", name, "FT median r=80", tg.ftMedianR80, medianW(c80.FT), 3.0, "s"))
 		}
 	}
 	// The paper's headline FT observation is the cross-land gap: "in
 	// Apfel Land users have to wait for a long time before meeting their
 	// first neighbor" versus seconds on the other two lands.
 	for _, r := range []float64{rb, rw} {
-		apfelFT := median(byLand["Apfel Land"].Analysis.Contacts[r].FT)
-		danceFT := median(byLand["Dance Island"].Analysis.Contacts[r].FT)
-		isleFT := median(byLand["Isle of View"].Analysis.Contacts[r].FT)
+		apfelFT := medianW(byLand["Apfel Land"].Analysis.Contacts[r].FT)
+		danceFT := medianW(byLand["Dance Island"].Analysis.Contacts[r].FT)
+		isleFT := medianW(byLand["Isle of View"].Analysis.Contacts[r].FT)
 		rep.Rows = append(rep.Rows, qualRow("F1c",
 			fmt.Sprintf("FT Apfel >> Dance, Isle (r=%g)", r),
 			apfelFT >= 2*danceFT+10 && apfelFT >= 2*isleFT+10,
@@ -226,10 +235,10 @@ func BuildReport(runs []*LandRun) (*Report, error) {
 	}
 	// F1 orderings: CT ordering across lands, CT grows with r.
 	ctOrder := func(r float64) bool {
-		return median(byLand["Apfel Land"].Analysis.Contacts[r].CT) <
-			median(byLand["Isle of View"].Analysis.Contacts[r].CT) &&
-			median(byLand["Isle of View"].Analysis.Contacts[r].CT) <
-				median(byLand["Dance Island"].Analysis.Contacts[r].CT)
+		return medianW(byLand["Apfel Land"].Analysis.Contacts[r].CT) <
+			medianW(byLand["Isle of View"].Analysis.Contacts[r].CT) &&
+			medianW(byLand["Isle of View"].Analysis.Contacts[r].CT) <
+				medianW(byLand["Dance Island"].Analysis.Contacts[r].CT)
 	}
 	rep.Rows = append(rep.Rows,
 		qualRow("F1a", "CT ordering Apfel<Isle<Dance (r=10)", ctOrder(rb), "paper §4"),
@@ -237,7 +246,7 @@ func BuildReport(runs []*LandRun) (*Report, error) {
 	)
 	for _, name := range LandNames {
 		run := byLand[name]
-		grow := median(run.Analysis.Contacts[rw].CT) > median(run.Analysis.Contacts[rb].CT)
+		grow := medianW(run.Analysis.Contacts[rw].CT) > medianW(run.Analysis.Contacts[rb].CT)
 		rep.Rows = append(rep.Rows,
 			qualRow("F1d", "CT grows with r ("+name+")", grow, "larger transfer opportunities"))
 	}
@@ -281,24 +290,18 @@ func BuildReport(runs []*LandRun) (*Report, error) {
 		an := byLand[name].Analysis
 		rep.Rows = append(rep.Rows, qualRow("F2e",
 			"diameter shrinks at r=80 ("+name+")",
-			median(an.Nets[rw].Diameters) <= median(an.Nets[rb].Diameters),
+			medianW(an.Nets[rw].Diameters) <= medianW(an.Nets[rb].Diameters),
 			"denser graphs have shorter paths"))
 	}
 
 	// F3 — zone occupation.
 	for _, name := range LandNames {
 		an := byLand[name].Analysis
-		empty := 0
 		maxOcc := 0.0
-		for _, c := range an.Zones {
-			if c == 0 {
-				empty++
-			}
-			if c > maxOcc {
-				maxOcc = c
-			}
+		if an.Zones.N() > 0 {
+			maxOcc = an.Zones.Max()
 		}
-		emptyFrac := float64(empty) / float64(len(an.Zones))
+		emptyFrac := float64(an.Zones.CountOf(0)) / float64(an.Zones.N())
 		rep.Rows = append(rep.Rows,
 			boundRow("F3", name, "empty 20m-cell fraction", 0.80, emptyFrac, false, "frac"))
 		if name == "Dance Island" {
@@ -351,11 +354,12 @@ func BuildReport(runs []*LandRun) (*Report, error) {
 	// power law (whose unbounded tail the cut-off truncates).
 	for _, name := range LandNames {
 		c10 := byLand[name].Analysis.Contacts[rb]
-		for metric, sample := range map[string][]float64{"CT": c10.CT, "ICT": c10.ICT} {
-			if len(sample) < 100 {
+		for metric, dist := range map[string]*stats.Weighted{"CT": c10.CT, "ICT": c10.ICT} {
+			if dist.N() < 100 {
 				continue
 			}
-			cmp, err := stats.CompareTailModels(sample, float64(core.PaperTau))
+			// The MLE tail fits consume raw samples; materialise once.
+			cmp, err := stats.CompareTailModels(dist.Values(), float64(core.PaperTau))
 			if err != nil {
 				return nil, err
 			}

@@ -10,6 +10,11 @@ package geom
 type Grid struct {
 	cell    float64
 	buckets map[cellKey][]gridEntry
+	// occupied lists the cells holding points since the last Reset, so
+	// Reset truncates exactly those buckets instead of sweeping every
+	// bucket the grid has ever materialised — the difference between
+	// O(points) and O(lifetime footprint) per snapshot on a pooled grid.
+	occupied []cellKey
 }
 
 type cellKey struct{ cx, cy int32 }
@@ -33,15 +38,20 @@ func (g *Grid) CellSize() float64 { return g.cell }
 
 // Reset removes all points while retaining bucket capacity.
 func (g *Grid) Reset() {
-	for k, b := range g.buckets {
-		g.buckets[k] = b[:0]
+	for _, k := range g.occupied {
+		g.buckets[k] = g.buckets[k][:0]
 	}
+	g.occupied = g.occupied[:0]
 }
 
 // Insert adds a point with an opaque identifier.
 func (g *Grid) Insert(id int64, p Vec) {
 	k := g.key(p)
-	g.buckets[k] = append(g.buckets[k], gridEntry{id: id, pos: p})
+	b := g.buckets[k]
+	if len(b) == 0 {
+		g.occupied = append(g.occupied, k)
+	}
+	g.buckets[k] = append(b, gridEntry{id: id, pos: p})
 }
 
 // Len returns the number of stored points.

@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"slmob/internal/geom"
+)
+
+// Workspace owns every buffer the snapshot-rate graph pipeline needs —
+// the spatial grid, a flat CSR-style adjacency arena, and the BFS
+// distance/queue/component scratch — so that building a proximity graph
+// and computing its diameter and clustering performs zero heap
+// allocations per snapshot once the buffers have warmed up to the
+// population size. One Workspace serves one goroutine and one
+// communication range at a time; it is not safe for concurrent use.
+//
+// The *Graph returned by FromPositions aliases the workspace's arena and
+// is valid only until the next FromPositions call.
+type Workspace struct {
+	grid     *geom.Grid
+	gridCell float64
+
+	pairs []int32   // flat (u, v) pair list, two entries per edge
+	off   []int32   // CSR offsets, n+1 entries
+	cur   []int32   // fill cursors during CSR construction
+	arena []int32   // flat neighbour storage
+	adj   [][]int32 // per-vertex views into arena
+	g     Graph     // the reusable graph header handed back to callers
+
+	// BFS / component scratch for Diameter.
+	dist  []int32
+	queue []int32
+	seen  []bool
+	comp  []int32 // current component under construction
+	best  []int32 // largest component seen so far
+}
+
+// NewWorkspace returns an empty workspace. Buffers grow on demand and are
+// retained across calls.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// growInt32 returns buf resized to n, reallocating only when capacity is
+// insufficient.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n, n+n/2+8)
+	}
+	return buf[:n]
+}
+
+// FromPositions builds the line-of-sight proximity graph over the given
+// positions at range r into the workspace's reusable storage. It produces
+// exactly the graph the package-level FromPositions builds — identical
+// adjacency lists in identical order — without the per-snapshot
+// allocations. The returned graph is invalidated by the next call.
+func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
+	n := len(ps)
+	if cap(ws.adj) < n {
+		ws.adj = make([][]int32, n, n+n/2+8)
+	}
+	ws.adj = ws.adj[:n]
+	ws.g = Graph{adj: ws.adj}
+	if r <= 0 || n < 2 {
+		for i := range ws.adj {
+			ws.adj[i] = nil
+		}
+		return &ws.g
+	}
+
+	// The pooled grid is keyed to the query radius; a workspace is
+	// typically dedicated to one communication range, so this rebuilds
+	// only when the range actually changes.
+	if ws.grid == nil || ws.gridCell != r {
+		ws.grid = geom.NewGrid(r)
+		ws.gridCell = r
+	} else {
+		ws.grid.Reset()
+	}
+	for i, p := range ps {
+		ws.grid.Insert(int64(i), p)
+	}
+
+	// Pass 1: collect each unordered pair once, from its lower endpoint,
+	// in the same order the incremental builder emits edges.
+	ws.pairs = ws.pairs[:0]
+	for i, p := range ps {
+		ws.grid.VisitWithin(p, r, func(id int64, _ geom.Vec) bool {
+			if j := int32(id); int(j) > i {
+				ws.pairs = append(ws.pairs, int32(i), j)
+			}
+			return true
+		})
+	}
+
+	// Pass 2: counting sort into the CSR arena. cur doubles as the degree
+	// accumulator before the prefix sum turns it into fill cursors.
+	ws.off = growInt32(ws.off, n+1)
+	ws.cur = growInt32(ws.cur, n)
+	for i := range ws.cur {
+		ws.cur[i] = 0
+	}
+	for _, v := range ws.pairs {
+		ws.cur[v]++
+	}
+	ws.off[0] = 0
+	for i := 0; i < n; i++ {
+		ws.off[i+1] = ws.off[i] + ws.cur[i]
+		ws.cur[i] = ws.off[i]
+	}
+	ws.arena = growInt32(ws.arena, len(ws.pairs))
+	for k := 0; k < len(ws.pairs); k += 2 {
+		u, v := ws.pairs[k], ws.pairs[k+1]
+		ws.arena[ws.cur[u]] = v
+		ws.cur[u]++
+		ws.arena[ws.cur[v]] = u
+		ws.cur[v]++
+	}
+	for i := 0; i < n; i++ {
+		ws.adj[i] = ws.arena[ws.off[i]:ws.off[i+1]:ws.off[i+1]]
+	}
+	ws.g.m = len(ws.pairs) / 2
+	return &ws.g
+}
+
+// Diameter computes the longest shortest path within the largest
+// connected component of the workspace's current graph — the same value
+// Graph.Diameter returns — using the shared BFS buffers instead of
+// per-call allocations.
+func (ws *Workspace) Diameter() int {
+	g := &ws.g
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	ws.dist = growInt32(ws.dist, n)
+	ws.queue = growInt32(ws.queue, n)[:0]
+	if cap(ws.seen) < n {
+		ws.seen = make([]bool, n, n+n/2+8)
+	}
+	ws.seen = ws.seen[:n]
+	for i := range ws.seen {
+		ws.seen[i] = false
+	}
+
+	// Largest component, ties broken by first-seen order like
+	// Graph.LargestComponent.
+	ws.best = ws.best[:0]
+	for s := 0; s < n; s++ {
+		if ws.seen[s] {
+			continue
+		}
+		ws.comp = ws.comp[:0]
+		ws.queue = ws.queue[:0]
+		ws.queue = append(ws.queue, int32(s))
+		ws.seen[s] = true
+		for qi := 0; qi < len(ws.queue); qi++ {
+			u := ws.queue[qi]
+			ws.comp = append(ws.comp, u)
+			for _, v := range g.adj[u] {
+				if !ws.seen[v] {
+					ws.seen[v] = true
+					ws.queue = append(ws.queue, v)
+				}
+			}
+		}
+		if len(ws.comp) > len(ws.best) {
+			ws.best, ws.comp = ws.comp, ws.best
+		}
+	}
+	if len(ws.best) < 2 {
+		return 0
+	}
+
+	diam := int32(0)
+	for _, src := range ws.best {
+		for i := range ws.dist {
+			ws.dist[i] = -1
+		}
+		ws.dist[src] = 0
+		ws.queue = ws.queue[:0]
+		ws.queue = append(ws.queue, src)
+		for qi := 0; qi < len(ws.queue); qi++ {
+			u := ws.queue[qi]
+			du := ws.dist[u]
+			for _, v := range g.adj[u] {
+				if ws.dist[v] < 0 {
+					ws.dist[v] = du + 1
+					ws.queue = append(ws.queue, v)
+					if du+1 > diam {
+						diam = du + 1
+					}
+				}
+			}
+		}
+	}
+	return int(diam)
+}
+
+// Graph returns the workspace's current graph — the value the latest
+// FromPositions built. It is invalidated by the next FromPositions call.
+func (ws *Workspace) Graph() *Graph { return &ws.g }
+
+// MeanClustering returns the mean Watts–Strogatz clustering coefficient
+// of the workspace's current graph. Graph.MeanClustering is already
+// allocation-free; this is a convenience so callers can stay on the
+// workspace API.
+func (ws *Workspace) MeanClustering() float64 { return ws.g.MeanClustering() }

@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Weighted is a weighted empirical distribution: a multiset of sample
+// values stored as value → multiplicity instead of one float64 per
+// observation. For the analysis pipeline's integer-valued metrics —
+// contact/inter-contact/first-contact times (all τ-multiples), node
+// degrees, network diameters, zone occupancy counts — the number of
+// distinct values is tiny compared to the number of observations, so the
+// accumulator collapses memory from O(samples) to O(distinct values)
+// while producing bit-identical ECDFs, quantiles, and figure curves:
+// every query answers exactly what an Empirical over the expanded
+// multiset would answer.
+//
+// Adding an already-seen value performs no heap allocation, which is what
+// keeps the steady-state streaming analyzer allocation-free. The zero
+// value is unusable; construct with NewWeighted or WeightedOf.
+type Weighted struct {
+	counts map[float64]int64
+	n      int64
+
+	// Sorted-view cache, rebuilt lazily: sorted distinct values and the
+	// cumulative multiplicity at or below each.
+	sorted []float64
+	cum    []int64
+	dirty  bool
+}
+
+// NewWeighted returns an empty weighted distribution.
+func NewWeighted() *Weighted {
+	return &Weighted{counts: make(map[float64]int64)}
+}
+
+// WeightedOf builds a weighted distribution holding the given sample as a
+// multiset.
+func WeightedOf(xs ...float64) *Weighted {
+	w := NewWeighted()
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w
+}
+
+// Add records one observation of v. NaN panics: the same values an
+// Empirical would reject must never enter the accumulator.
+func (w *Weighted) Add(v float64) { w.AddN(v, 1) }
+
+// AddN records n observations of v; n <= 0 is a no-op.
+func (w *Weighted) AddN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	if math.IsNaN(v) {
+		panic("stats: NaN added to weighted distribution")
+	}
+	w.counts[v] += n
+	w.n += n
+	w.dirty = true
+}
+
+// MergeFrom folds every observation of o into w.
+func (w *Weighted) MergeFrom(o *Weighted) {
+	if o == nil {
+		return
+	}
+	for v, c := range o.counts {
+		w.AddN(v, c)
+	}
+}
+
+// Clone returns an independent copy.
+func (w *Weighted) Clone() *Weighted {
+	c := NewWeighted()
+	c.MergeFrom(w)
+	return c
+}
+
+// N returns the number of recorded observations.
+func (w *Weighted) N() int { return int(w.n) }
+
+// Distinct returns the number of distinct values — the accumulator's
+// actual memory footprint.
+func (w *Weighted) Distinct() int { return len(w.counts) }
+
+// CountOf returns the multiplicity of v.
+func (w *Weighted) CountOf(v float64) int64 { return w.counts[v] }
+
+// refresh rebuilds the sorted view.
+func (w *Weighted) refresh() {
+	if !w.dirty && w.sorted != nil {
+		return
+	}
+	w.sorted = w.sorted[:0]
+	for v := range w.counts {
+		w.sorted = append(w.sorted, v)
+	}
+	sort.Float64s(w.sorted)
+	w.cum = w.cum[:0]
+	run := int64(0)
+	for _, v := range w.sorted {
+		run += w.counts[v]
+		w.cum = append(w.cum, run)
+	}
+	w.dirty = false
+}
+
+// Min returns the smallest recorded value, NaN when empty.
+func (w *Weighted) Min() float64 {
+	w.refresh()
+	if len(w.sorted) == 0 {
+		return math.NaN()
+	}
+	return w.sorted[0]
+}
+
+// Max returns the largest recorded value, NaN when empty.
+func (w *Weighted) Max() float64 {
+	w.refresh()
+	if len(w.sorted) == 0 {
+		return math.NaN()
+	}
+	return w.sorted[len(w.sorted)-1]
+}
+
+// Sum returns the multiset sum Σ v·count(v), accumulated in ascending
+// value order. For integer-valued metrics below 2^53 this is exact and
+// equal to summing the expanded sample.
+func (w *Weighted) Sum() float64 {
+	w.refresh()
+	sum := 0.0
+	for _, v := range w.sorted {
+		sum += v * float64(w.counts[v])
+	}
+	return sum
+}
+
+// Mean returns the sample mean, NaN when empty.
+func (w *Weighted) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.Sum() / float64(w.n)
+}
+
+// Quantile returns the p-quantile under the nearest-rank definition used
+// by Empirical.Quantile: for the same multiset the two agree exactly.
+// An empty distribution yields NaN.
+func (w *Weighted) Quantile(p float64) float64 {
+	w.refresh()
+	if len(w.sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return w.sorted[0]
+	}
+	if p >= 1 {
+		return w.sorted[len(w.sorted)-1]
+	}
+	idx := int64(math.Ceil(p*float64(w.n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= w.n {
+		idx = w.n - 1
+	}
+	// First distinct value whose cumulative multiplicity covers rank idx.
+	i := sort.Search(len(w.cum), func(i int) bool { return w.cum[i] > idx })
+	return w.sorted[i]
+}
+
+// Median returns the 0.5-quantile.
+func (w *Weighted) Median() float64 { return w.Quantile(0.5) }
+
+// CDF returns P(X <= x).
+func (w *Weighted) CDF(x float64) float64 {
+	w.refresh()
+	if w.n == 0 {
+		return 0
+	}
+	// First distinct value > x.
+	i := sort.SearchFloat64s(w.sorted, math.Nextafter(x, math.Inf(1)))
+	if i == 0 {
+		return 0
+	}
+	return float64(w.cum[i-1]) / float64(w.n)
+}
+
+// CCDF returns P(X > x).
+func (w *Weighted) CCDF(x float64) float64 { return 1 - w.CDF(x) }
+
+// CDFCurve returns the full step curve of the CDF, one point per distinct
+// value — exactly the curve Empirical.CDFCurve produces for the expanded
+// multiset.
+func (w *Weighted) CDFCurve() Curve {
+	return w.curve(func(cum int64) float64 { return float64(cum) / float64(w.n) })
+}
+
+// CCDFCurve returns the full step curve of the CCDF, one point per
+// distinct value.
+func (w *Weighted) CCDFCurve() Curve {
+	return w.curve(func(cum int64) float64 { return 1 - float64(cum)/float64(w.n) })
+}
+
+func (w *Weighted) curve(y func(cum int64) float64) Curve {
+	w.refresh()
+	if w.n == 0 {
+		return nil
+	}
+	c := make(Curve, 0, len(w.sorted))
+	for i, v := range w.sorted {
+		c = append(c, Point{X: v, Y: y(w.cum[i])})
+	}
+	return c
+}
+
+// Positive returns a copy holding only the strictly positive values —
+// the filtering CCDFSeries applies before a log-axis plot.
+func (w *Weighted) Positive() *Weighted {
+	out := NewWeighted()
+	for v, c := range w.counts {
+		if v > 0 {
+			out.AddN(v, c)
+		}
+	}
+	return out
+}
+
+// Values materialises the full multiset as an ascending []float64 — the
+// bridge to consumers that still need raw samples (tail fits, KS tests,
+// digests). It allocates O(N); keep it off hot paths.
+func (w *Weighted) Values() []float64 {
+	w.refresh()
+	out := make([]float64, 0, w.n)
+	for _, v := range w.sorted {
+		for c := w.counts[v]; c > 0; c-- {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two weighted distributions hold the same
+// multiset.
+func (w *Weighted) Equal(o *Weighted) bool {
+	if w == nil || o == nil {
+		return w == o
+	}
+	if w.n != o.n || len(w.counts) != len(o.counts) {
+		return false
+	}
+	for v, c := range w.counts {
+		if o.counts[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary condenses the distribution like Summarize does for a raw
+// sample; it returns the zero Summary when empty. Std matches
+// Empirical.Std to floating-point rounding (exactly, for integer-valued
+// data).
+func (w *Weighted) Summary() Summary {
+	if w.n == 0 {
+		return Summary{}
+	}
+	m := w.Mean()
+	w.refresh()
+	varSum := 0.0
+	for _, v := range w.sorted {
+		d := v - m
+		varSum += d * d * float64(w.counts[v])
+	}
+	std := 0.0
+	if w.n > 1 {
+		std = math.Sqrt(varSum / float64(w.n-1))
+	}
+	return Summary{
+		N:      int(w.n),
+		Mean:   m,
+		Std:    std,
+		Min:    w.Min(),
+		P10:    w.Quantile(0.10),
+		Median: w.Median(),
+		P90:    w.Quantile(0.90),
+		P98:    w.Quantile(0.98),
+		Max:    w.Max(),
+	}
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// weightedSample is an integer-valued sample with heavy repetition, the
+// shape the analysis pipeline's weighted metrics have (τ-multiples,
+// degrees, zone counts).
+func weightedSample() []float64 {
+	// Small deterministic LCG so the test needs no seed plumbing.
+	state := uint64(12345)
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	xs := make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		xs = append(xs, float64(10*(next()%40)))
+	}
+	return xs
+}
+
+// TestWeightedMatchesEmpirical is the weighted-vs-slice ECDF equivalence
+// gate: every query a Weighted answers must be bit-identical to the same
+// query on an Empirical over the expanded sample.
+func TestWeightedMatchesEmpirical(t *testing.T) {
+	xs := weightedSample()
+	w := WeightedOf(xs...)
+	e := MustEmpirical(xs)
+
+	if w.N() != e.N() {
+		t.Fatalf("N = %d, want %d", w.N(), e.N())
+	}
+	if w.Min() != e.Min() || w.Max() != e.Max() {
+		t.Errorf("min/max = %v/%v, want %v/%v", w.Min(), w.Max(), e.Min(), e.Max())
+	}
+	if w.Mean() != e.Mean() {
+		t.Errorf("mean = %v, want %v", w.Mean(), e.Mean())
+	}
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		if got, want := w.Quantile(p), e.Quantile(p); got != want {
+			t.Fatalf("quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	for x := -10.0; x <= 410; x += 1.0 {
+		if got, want := w.CDF(x), e.CDF(x); got != want {
+			t.Fatalf("CDF(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := w.CCDF(x), e.CCDF(x); got != want {
+			t.Fatalf("CCDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if !reflect.DeepEqual(w.CDFCurve(), e.CDFCurve()) {
+		t.Error("CDF curves differ")
+	}
+	if !reflect.DeepEqual(w.CCDFCurve(), e.CCDFCurve()) {
+		t.Error("CCDF curves differ")
+	}
+
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if !reflect.DeepEqual(w.Values(), sorted) {
+		t.Error("Values() is not the sorted expanded multiset")
+	}
+
+	ws, es := w.Summary(), Summarize(xs)
+	if ws.N != es.N || ws.Mean != es.Mean || ws.Min != es.Min || ws.Max != es.Max ||
+		ws.P10 != es.P10 || ws.Median != es.Median || ws.P90 != es.P90 || ws.P98 != es.P98 {
+		t.Errorf("summary = %+v, want %+v", ws, es)
+	}
+	if math.Abs(ws.Std-es.Std) > 1e-12*es.Std {
+		t.Errorf("std = %v, want %v", ws.Std, es.Std)
+	}
+}
+
+func TestWeightedCompressesDistinctValues(t *testing.T) {
+	w := NewWeighted()
+	for i := 0; i < 100000; i++ {
+		w.Add(float64(i % 7))
+	}
+	if w.N() != 100000 || w.Distinct() != 7 {
+		t.Errorf("n/distinct = %d/%d, want 100000/7", w.N(), w.Distinct())
+	}
+	if w.CountOf(3) != 100000/7+1 {
+		t.Errorf("CountOf(3) = %d", w.CountOf(3))
+	}
+}
+
+func TestWeightedMergeAndEqual(t *testing.T) {
+	a := WeightedOf(1, 2, 2, 3)
+	b := WeightedOf(2, 3, 3)
+	m := a.Clone()
+	m.MergeFrom(b)
+	want := WeightedOf(1, 2, 2, 2, 3, 3, 3)
+	if !m.Equal(want) {
+		t.Errorf("merge = %v, want %v", m.Values(), want.Values())
+	}
+	if a.Equal(b) {
+		t.Error("distinct multisets compare equal")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not equal to original")
+	}
+	// Same distinct values, different multiplicities.
+	if WeightedOf(1, 1, 2).Equal(WeightedOf(1, 2, 2)) {
+		t.Error("multiplicity ignored")
+	}
+}
+
+func TestWeightedPositive(t *testing.T) {
+	w := WeightedOf(-5, 0, 0, 10, 10, 20)
+	p := w.Positive()
+	if p.N() != 3 || p.Min() != 10 || p.Max() != 20 {
+		t.Errorf("positive = %v", p.Values())
+	}
+	// Filtering then building the curve matches filtering the raw sample.
+	e := MustEmpirical([]float64{10, 10, 20})
+	if !reflect.DeepEqual(p.CCDFCurve(), e.CCDFCurve()) {
+		t.Error("positive CCDF curve differs from filtered Empirical")
+	}
+}
+
+func TestWeightedEmpty(t *testing.T) {
+	w := NewWeighted()
+	if w.N() != 0 || w.Distinct() != 0 {
+		t.Errorf("empty n/distinct = %d/%d", w.N(), w.Distinct())
+	}
+	if got := w.CDFCurve(); got != nil {
+		t.Errorf("empty curve = %v", got)
+	}
+	if s := w.Summary(); s != (Summary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if !math.IsNaN(w.Mean()) {
+		t.Errorf("empty mean = %v", w.Mean())
+	}
+}
+
+func TestWeightedAddZeroAllocSteadyState(t *testing.T) {
+	w := NewWeighted()
+	for i := 0; i < 64; i++ {
+		w.Add(float64(i))
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		w.Add(float64(1000 % 64))
+		w.AddN(13, 3)
+	}); avg != 0 {
+		t.Errorf("steady-state Add allocates %v per run", avg)
+	}
+}

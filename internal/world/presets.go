@@ -285,6 +285,40 @@ func MainlandEstate(seed uint64) EstateConfig {
 	}
 }
 
+// CityEstate is the 8×8 city-scale stress preset: sixty-four regions
+// cycling through the three paper-land templates — roughly 2,400
+// concurrent avatars and ~150k unique visitors over a full day — with
+// brisk border-crossing and teleport traffic. This is the workload the
+// allocation-free analysis core and its parallel region/range workers
+// are sized for; BenchmarkP4CityEstate drives a simulated hour of it.
+func CityEstate(seed uint64) EstateConfig {
+	const n = 8
+	regions := make([]Scenario, 0, n*n)
+	for i := 0; i < n*n; i++ {
+		var scn Scenario
+		switch i % 3 {
+		case 0:
+			scn = ApfelLand(seed + uint64(i))
+		case 1:
+			scn = DanceIsland(seed + uint64(i))
+		default:
+			scn = IsleOfView(seed + uint64(i))
+		}
+		scn.Land.Name = fmt.Sprintf("City (%d,%d)", i/n, i%n)
+		regions = append(regions, scn)
+	}
+	return EstateConfig{
+		Name:         "City",
+		Rows:         n,
+		Cols:         n,
+		Regions:      regions,
+		CrossProb:    0.002,
+		TeleportProb: 0.0005,
+		Seed:         seed,
+		Duration:     DayDuration,
+	}
+}
+
 // BaselineScenario builds a synthetic-mobility comparison scenario on a
 // generic land, population-matched to Dance Island so contact statistics
 // are directly comparable between the POI-gravity model and the classical

@@ -58,14 +58,14 @@ func assertAnalysisParity(t *testing.T, label string, got, want *Analysis) {
 			t.Errorf("%s r=%v: pairs/censored/never = %d/%d/%d, want %d/%d/%d",
 				label, r, g.Pairs, g.Censored, g.NeverContacted, w.Pairs, w.Censored, w.NeverContacted)
 		}
-		assertSameDistribution(t, label+" CT", g.CT, w.CT)
-		assertSameDistribution(t, label+" ICT", g.ICT, w.ICT)
-		assertSameDistribution(t, label+" FT", g.FT, w.FT)
+		assertSameDistribution(t, label+" CT", g.CT.Values(), w.CT.Values())
+		assertSameDistribution(t, label+" ICT", g.ICT.Values(), w.ICT.Values())
+		assertSameDistribution(t, label+" FT", g.FT.Values(), w.FT.Values())
 	}
 	assertSameDistribution(t, label+" travel time", got.Trips.TravelTime, want.Trips.TravelTime)
 	assertSameDistribution(t, label+" travel length", got.Trips.TravelLength, want.Trips.TravelLength)
 	assertSameDistribution(t, label+" effective travel time", got.Trips.EffectiveTravelTime, want.Trips.EffectiveTravelTime)
-	assertSameDistribution(t, label+" zones", got.Zones, want.Zones)
+	assertSameDistribution(t, label+" zones", got.Zones.Values(), want.Zones.Values())
 }
 
 // TestAnalyzeEstateLiveMatchesOfflineReplay is the acceptance gate: a

@@ -1,0 +1,167 @@
+package slmob
+
+// P4 — the allocation-free, multicore analysis core at city scale.
+// These benchmarks prove the tentpole end-to-end: the steady-state
+// streaming pipeline allocates ~nothing per snapshot (see
+// BenchmarkPipelineStreaming24hApfel's allocs/op), the per-range fanout
+// turns extra cores into wall-clock speedup on a single land, and the
+// 8×8 CityEstate preset — thousands of concurrent avatars — completes a
+// simulated hour with region+range workers composing.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"slmob/internal/core"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// City fixture: one simulated hour of the 8×8 city preset, materialised
+// once per process so every worker configuration replays the identical
+// stream.
+var (
+	cityOnce   sync.Once
+	cityInfos  []trace.Info
+	cityTraces []*trace.Trace
+	cityErr    error
+)
+
+func cityHourTraces(b *testing.B) ([]trace.Info, []*trace.Trace) {
+	b.Helper()
+	cityOnce.Do(func() {
+		est := world.CityEstate(benchSeed)
+		est.Duration = 3600
+		src, err := world.NewEstateSource(est, core.PaperTau)
+		if err != nil {
+			cityErr = err
+			return
+		}
+		cityInfos = src.Regions()
+		cityTraces, cityErr = trace.CollectEstate(context.Background(), src)
+	})
+	if cityErr != nil {
+		b.Fatal(cityErr)
+	}
+	return cityInfos, cityTraces
+}
+
+// BenchmarkP4CityEstate replays the city hour through the sharded
+// analyzer at several worker configurations. Results are identical
+// across configurations (pinned by the worker-invariance tests); the
+// worker counts are pure wall-clock leverage.
+func BenchmarkP4CityEstate(b *testing.B) {
+	type fanCfg struct {
+		regionWorkers int
+		rangeWorkers  int
+	}
+	// Sequential floor, the machine's full width, and full width with the
+	// per-range fanout composed on top. On a single-core runner the list
+	// collapses to distinct configs that still pin correctness; the
+	// speedup shows on multi-core hardware.
+	wide := runtime.GOMAXPROCS(0)
+	if wide < 4 {
+		wide = 4
+	}
+	configs := []fanCfg{{1, 1}, {wide, 1}, {wide, 2}}
+	for _, cfg := range configs {
+		name := fmt.Sprintf("regionWorkers=%d/rangeWorkers=%d", cfg.regionWorkers, cfg.rangeWorkers)
+		b.Run(name, func(b *testing.B) {
+			infos, trs := cityHourTraces(b)
+			metas, err := core.RegionMetasFromInfos(infos)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *core.EstateAnalysis
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				replay, err := trace.NewEstateReplay(infos, trs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ea, err := core.NewEstateAnalyzer("City", metas, core.PaperTau,
+					core.Config{RangeWorkers: cfg.rangeWorkers}, cfg.regionWorkers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, err = ea.Consume(context.Background(), replay)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Global.Summary.Unique), "unique")
+			b.ReportMetric(last.Global.Summary.MeanConcurrent, "concurrent")
+			b.ReportMetric(float64(last.Global.Contacts[core.BluetoothRange].Pairs), "global_pairs_r10")
+		})
+	}
+}
+
+// BenchmarkP4RangeFanout isolates WithRangeWorkers on one land: the
+// cached 24 h Apfel trace analysed at five communication ranges,
+// sequentially versus fanned out.
+func BenchmarkP4RangeFanout(b *testing.B) {
+	ranges := []float64{5, 10, 20, 40, 80}
+	for _, workers := range []int{1, len(ranges)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tr := landTrace(b, "Apfel Land")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := core.NewAnalyzer(tr.Land, tr.Tau,
+					core.Config{Ranges: ranges, RangeWorkers: workers, LandSize: 256})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Consume(context.Background(), tr.Source()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWithRangeWorkersFacadeInvariance pins the façade option: a run
+// with fanned ranges equals the sequential run exactly.
+func TestWithRangeWorkersFacadeInvariance(t *testing.T) {
+	scn := DanceIsland(29)
+	scn.Duration = 900
+	sequential, err := Run(context.Background(), scn, WithRanges(10, 40, 80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := Run(context.Background(), scn, WithRanges(10, 40, 80), WithRangeWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range core.DiffAnalyses(fanned, sequential) {
+		t.Error(d)
+	}
+}
+
+// TestCityEstatePresetValid keeps the stress preset wired: 64 regions,
+// valid grid, analysable end-to-end on a short horizon.
+func TestCityEstatePresetValid(t *testing.T) {
+	est := world.CityEstate(3)
+	if est.Rows != 8 || est.Cols != 8 || len(est.Regions) != 64 {
+		t.Fatalf("city grid = %dx%d with %d regions", est.Rows, est.Cols, len(est.Regions))
+	}
+	if testing.Short() {
+		t.Skip("city smoke run skipped in -short mode")
+	}
+	est.Duration = 60
+	res, err := RunEstate(context.Background(), est, WithRangeWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regions) != 64 {
+		t.Fatalf("regions analysed = %d", len(res.Regions))
+	}
+	if res.Global.Summary.MeanConcurrent < 500 {
+		t.Errorf("city concurrency = %.0f, want a city-scale population", res.Global.Summary.MeanConcurrent)
+	}
+}

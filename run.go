@@ -123,6 +123,16 @@ func WithRegionWorkers(n int) Option {
 	return func(o *options) { o.regionWorkers = n }
 }
 
+// WithRangeWorkers fans each snapshot's independent communication-range
+// passes (proximity graph, contact tracking, line-of-sight metrics) out
+// across n persistent workers inside every analyzer. The default (0 or
+// 1) processes ranges sequentially. In an estate run this composes with
+// WithRegionWorkers: every regional analyzer fans its ranges out the
+// same way. The worker count never changes results, only wall time.
+func WithRangeWorkers(n int) Option {
+	return func(o *options) { o.cfg.RangeWorkers = n }
+}
+
 // WithWarp sets a served estate's clock rate in simulated seconds per
 // wall-clock second (default 600: a full day in 144 wall seconds).
 func WithWarp(warp float64) Option {

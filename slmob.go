@@ -15,7 +15,7 @@
 //	scn := slmob.ApfelLand(42)
 //	scn.Duration = 6 * 3600
 //	an, err := slmob.Run(ctx, scn, slmob.WithTau(10), slmob.WithRanges(10, 80))
-//	fmt.Println(an.Summary, slmob.Median(an.Contacts[slmob.BluetoothRange].CT))
+//	fmt.Println(an.Summary, an.Contacts[slmob.BluetoothRange].CT.Median())
 //
 // Any other source analyses the same way:
 //
@@ -80,8 +80,13 @@ type (
 	Analysis = core.Analysis
 	// AnalysisConfig tunes the analysis pipeline.
 	AnalysisConfig = core.Config
-	// ContactSet holds CT/ICT/FT samples for one range.
+	// ContactSet holds CT/ICT/FT distributions for one range.
 	ContactSet = core.ContactSet
+	// Dist is a weighted empirical distribution — the representation of
+	// every integer-valued metric (contact times, degrees, diameters,
+	// zone occupancy). It answers Median/Quantile/CDF/CCDF queries
+	// directly and Values() materialises the raw sample when needed.
+	Dist = stats.Weighted
 	// Figure is plot-ready data for one paper panel.
 	Figure = core.Figure
 	// LandRun bundles scenario, trace and analysis for one land.
@@ -108,6 +113,9 @@ var (
 	PaperEstate = world.PaperEstate
 	// MainlandEstate is the 4×4 sharding stress preset.
 	MainlandEstate = world.MainlandEstate
+	// CityEstate is the 8×8 city-scale stress preset (~2,400 concurrent
+	// avatars) that the P4 benchmarks drive.
+	CityEstate = world.CityEstate
 	// SingleRegionEstate wraps one scenario as a 1×1 estate, which
 	// reproduces the single-land pipeline exactly.
 	SingleRegionEstate = world.SingleRegionEstate
