@@ -1,0 +1,237 @@
+package slmob
+
+// Checkpoint/resume at the façade: one file captures the whole pipeline
+// — the analyzer (windowed or not) and, when the source supports it, the
+// producer's own state (the in-process simulation serialises every
+// avatar with its rng stream, so a resumed run does not re-simulate the
+// prefix). A run killed at any point between checkpoints resumes with
+// WithResumeFrom and finishes with a digest identical to an
+// uninterrupted run — pinned by the golden checkpoint gate.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"slmob/internal/core"
+	"slmob/internal/snap"
+	"slmob/internal/trace"
+)
+
+// runCheckpointVersion guards the combined run-checkpoint layout.
+const runCheckpointVersion = 1
+
+// ckptAnalyzer is the slice of the analyzer API the checkpoint hook
+// needs; both *core.Analyzer and *core.WindowedAnalyzer satisfy it.
+type ckptAnalyzer interface {
+	ResumePoint() int64
+	Checkpoint() ([]byte, error)
+}
+
+// encodeRunCheckpoint builds the combined blob.
+func encodeRunCheckpoint(a ckptAnalyzer, src SnapshotSource) ([]byte, error) {
+	blob, err := a.Checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	var srcState []byte
+	if st, ok := src.(trace.Stateful); ok {
+		srcState, err = st.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("slmob: checkpoint source state: %w", err)
+		}
+	}
+	_, windowed := a.(*core.WindowedAnalyzer)
+	w := snap.NewWriter(core.KindRun)
+	w.Uvarint(runCheckpointVersion)
+	w.Bool(windowed)
+	w.Bytes(blob)
+	w.Bool(srcState != nil)
+	w.Bytes(srcState)
+	return w.Finish(), nil
+}
+
+// Checkpoint writes a combined run checkpoint of a manually driven
+// pipeline: the analyzer's full state plus the source's, when the
+// source implements state capture. Use WithCheckpointEvery for the
+// periodic, atomic variant inside Run/AnalyzeStream.
+func Checkpoint(w io.Writer, a *Analyzer, src SnapshotSource) error {
+	blob, err := encodeRunCheckpoint(a, src)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// CheckpointWindowed is Checkpoint for a windowed pipeline.
+func CheckpointWindowed(w io.Writer, wa *WindowedAnalyzer, src SnapshotSource) error {
+	blob, err := encodeRunCheckpoint(wa, src)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(blob)
+	return err
+}
+
+// decodeRunCheckpoint splits a combined blob.
+func decodeRunCheckpoint(data []byte) (analyzerBlob []byte, windowed bool, srcState []byte, err error) {
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	if r.Kind() != core.KindRun {
+		return nil, false, nil, &snap.Error{Kind: snap.KindMalformed,
+			Msg: fmt.Sprintf("payload kind %d is not a run checkpoint", r.Kind())}
+	}
+	if v := r.Uvarint(); r.Err() == nil && v != runCheckpointVersion {
+		return nil, false, nil, &snap.Error{Kind: snap.KindVersion,
+			Msg: fmt.Sprintf("run checkpoint version %d, want %d", v, runCheckpointVersion)}
+	}
+	windowed = r.Bool()
+	analyzerBlob = r.Bytes()
+	hasSrc := r.Bool()
+	srcState = r.Bytes()
+	if err := r.Err(); err != nil {
+		return nil, false, nil, err
+	}
+	if !hasSrc {
+		srcState = nil
+	}
+	return analyzerBlob, windowed, srcState, nil
+}
+
+// loadRunCheckpoint reads and splits a checkpoint file.
+func loadRunCheckpoint(path string) (analyzerBlob []byte, windowed bool, srcState []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return decodeRunCheckpoint(data)
+}
+
+// restoreSource applies checkpointed source state when both sides
+// support it; a stateless source is resumed by replay-and-skip instead.
+func restoreSource(src SnapshotSource, srcState []byte) error {
+	if srcState == nil {
+		return nil
+	}
+	st, ok := src.(trace.Stateful)
+	if !ok {
+		// The checkpoint carries producer state but this source cannot
+		// absorb it; replay-and-skip still resumes correctly.
+		return nil
+	}
+	return st.RestoreState(srcState)
+}
+
+// writeCheckpointFile writes the blob atomically and durably: the data
+// is fsynced before the rename, so neither a kill mid-write nor a power
+// failure shortly after can leave a truncated file in place of the
+// previous good checkpoint.
+func writeCheckpointFile(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// checkpointHook returns the between-snapshots callback ConsumeWith
+// invokes: every o.ckptEvery simulated seconds it writes a combined
+// checkpoint, atomically, while both the analyzer and the source are
+// quiescent.
+func checkpointHook(a ckptAnalyzer, src SnapshotSource, o options) func(t int64) error {
+	every := o.ckptEvery
+	if every <= 0 {
+		every = o.tau
+		if every <= 0 {
+			every = PaperTau
+		}
+	}
+	next := (a.ResumePoint()/every + 1) * every
+	return func(t int64) error {
+		if t < next {
+			return nil
+		}
+		blob, err := encodeRunCheckpoint(a, src)
+		if err != nil {
+			return err
+		}
+		if err := writeCheckpointFile(o.ckptPath, blob); err != nil {
+			return err
+		}
+		next = (t/every + 1) * every
+		return nil
+	}
+}
+
+// runAnalyzer drives a plain analyzer under the run options: the core
+// drain loop (which owns worker shutdown on every exit path), with the
+// periodic-checkpoint hook armed when requested.
+func runAnalyzer(ctx context.Context, a *core.Analyzer, src SnapshotSource, o options) (*Analysis, error) {
+	if o.ckptPath == "" {
+		return a.Consume(ctx, src)
+	}
+	return a.ConsumeWith(ctx, src, checkpointHook(a, src, o))
+}
+
+// runWindowedAnalyzer is runAnalyzer for the windowed pipeline.
+func runWindowedAnalyzer(ctx context.Context, wa *core.WindowedAnalyzer, src SnapshotSource, o options) (*WindowSeries, error) {
+	if o.ckptPath == "" {
+		return wa.Consume(ctx, src)
+	}
+	return wa.ConsumeWith(ctx, src, checkpointHook(wa, src, o))
+}
+
+// resumeAnalyzer loads a plain-analyzer checkpoint and applies the
+// source state.
+func resumeAnalyzer(o options, src SnapshotSource) (*core.Analyzer, error) {
+	blob, windowed, srcState, err := loadRunCheckpoint(o.resume)
+	if err != nil {
+		return nil, err
+	}
+	if windowed {
+		return nil, fmt.Errorf("slmob: %s is a windowed checkpoint; resume it with RunWindows/AnalyzeWindows", o.resume)
+	}
+	a, err := core.RestoreAnalyzer(blob)
+	if err != nil {
+		return nil, err
+	}
+	if err := restoreSource(src, srcState); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// resumeWindowedAnalyzer is resumeAnalyzer for windowed checkpoints.
+func resumeWindowedAnalyzer(o options, src SnapshotSource) (*core.WindowedAnalyzer, error) {
+	blob, windowed, srcState, err := loadRunCheckpoint(o.resume)
+	if err != nil {
+		return nil, err
+	}
+	if !windowed {
+		return nil, fmt.Errorf("slmob: %s is not a windowed checkpoint; resume it with Run/AnalyzeStream", o.resume)
+	}
+	wa, err := core.RestoreWindowedAnalyzer(blob)
+	if err != nil {
+		return nil, err
+	}
+	if err := restoreSource(src, srcState); err != nil {
+		return nil, err
+	}
+	return wa, nil
+}

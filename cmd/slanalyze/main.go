@@ -14,14 +14,29 @@
 // summary — whose contacts stay correct across region borders and
 // handoffs — is printed alongside each region's.
 //
+// With -window N the trace is additionally sliced into N-second
+// absolute-aligned windows (N=3600: hourly, clock-aligned): the
+// per-window series is emitted as JSON and the whole-trace report below
+// it is computed by merging the windows — bit-identical to the
+// single-pass analysis, by the accumulator merge invariant.
+//
+// With -checkpoint the analysis state is snapshotted to a file every
+// -checkpoint-every simulated seconds (atomically); a killed run picks
+// up from the file with -resume and finishes with the same result as an
+// uninterrupted one, skipping the already-analysed prefix of the trace.
+//
 // Usage:
 //
 //	slanalyze -in dance.sltr -figdir figures/
+//	slanalyze -in dance.sltr -window 3600 > diurnal.json
+//	slanalyze -in big.sltr -checkpoint big.ckpt   # kill it mid-way...
+//	slanalyze -in big.sltr -resume big.ckpt       # ...and finish the job
 //	slanalyze -workers 4 region0.sltr region1.sltr region2.sltr
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,11 +52,16 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input trace file (.csv or binary)")
-		figdir  = flag.String("figdir", "", "write per-metric CSV curves to this directory")
-		zeroOK  = flag.Bool("repair-seated", true, "treat {0,0,0} positions as seated (the SL quirk)")
-		estate  = flag.String("estate", "", "label for the estate-global results in multi-file mode")
-		workers = flag.Int("workers", 0, "regions analysed concurrently in multi-file mode (0: GOMAXPROCS)")
+		in        = flag.String("in", "", "input trace file (.csv or binary)")
+		figdir    = flag.String("figdir", "", "write per-metric CSV curves to this directory")
+		zeroOK    = flag.Bool("repair-seated", true, "treat {0,0,0} positions as seated (the SL quirk)")
+		estate    = flag.String("estate", "", "label for the estate-global results in multi-file mode")
+		workers   = flag.Int("workers", 0, "regions analysed concurrently in multi-file mode (0: GOMAXPROCS)")
+		window    = flag.Int64("window", 0, "emit windowed time-series analytics over windows of this many seconds, as JSON")
+		windowOut = flag.String("window-out", "", "write the -window JSON series to this file instead of stdout")
+		ckpt      = flag.String("checkpoint", "", "write a crash-safe checkpoint to this file while analysing")
+		ckptEvery = flag.Int64("checkpoint-every", 3600, "checkpoint interval in simulated seconds")
+		resume    = flag.String("resume", "", "resume the analysis from a checkpoint file written by -checkpoint")
 	)
 	flag.Parse()
 	paths := flag.Args()
@@ -59,7 +79,13 @@ func main() {
 		if *figdir != "" {
 			log.Printf("slanalyze: -figdir applies to single-file mode only, ignoring")
 		}
-		analyzeEstate(ctx, paths, *estate, *workers, *zeroOK)
+		if *ckpt != "" || *resume != "" {
+			log.Fatal("slanalyze: -checkpoint/-resume apply to single-file mode only")
+		}
+		if *windowOut != "" {
+			log.Printf("slanalyze: -window-out applies to single-file mode only, ignoring (estate windows print as they complete)")
+		}
+		analyzeEstate(ctx, paths, *estate, *workers, *zeroOK, *window)
 		return
 	}
 
@@ -69,17 +95,41 @@ func main() {
 	}
 	defer fs.Close()
 	info := fs.Info()
-	size, err := info.Size()
-	if err != nil {
-		log.Fatal(err)
+
+	var opts []slmob.Option
+	if *zeroOK {
+		opts = append(opts, slmob.WithSeatedRepair())
 	}
-	cfg := core.Config{TreatZeroAsSeated: *zeroOK, LandSize: size}
-	analyzer, err := core.NewAnalyzer(info.Land, info.Tau, cfg)
-	if err != nil {
-		log.Fatal(err)
+	if *ckpt != "" {
+		opts = append(opts, slmob.WithCheckpointEvery(*ckpt, *ckptEvery))
 	}
-	an, err := analyzer.Consume(ctx, fs)
-	if err != nil {
+	if *resume != "" {
+		opts = append(opts, slmob.WithResumeFrom(*resume))
+	}
+
+	var an *slmob.Analysis
+	if *window > 0 {
+		ws, err := slmob.AnalyzeWindows(ctx, fs, append(opts, slmob.WithWindow(*window))...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeWindowJSON(ws, *windowOut); err != nil {
+			log.Fatal(err)
+		}
+		if *windowOut == "" {
+			// The series went to stdout: keep it valid JSON (pipeable to
+			// jq or a plotter) and skip the text report.
+			if *figdir != "" {
+				log.Printf("slanalyze: -figdir needs -window-out when -window prints to stdout, ignoring")
+			}
+			return
+		}
+		// The whole-trace report below is the merged series — identical
+		// to the single-pass analysis by the merge invariant.
+		if an, err = ws.Merge(); err != nil {
+			log.Fatal(err)
+		}
+	} else if an, err = slmob.AnalyzeStream(ctx, fs, opts...); err != nil {
 		log.Fatal(err)
 	}
 
@@ -167,10 +217,95 @@ func main() {
 	}
 }
 
+// windowJSON is one window of the -window series.
+type windowJSON struct {
+	Index          int64                      `json:"index"`
+	StartSec       int64                      `json:"start_sec"`
+	EndSec         int64                      `json:"end_sec"`
+	Snapshots      int                        `json:"snapshots"`
+	NewUsers       int                        `json:"new_users"`
+	MeanConcurrent float64                    `json:"mean_concurrent"`
+	MaxConcurrent  int                        `json:"max_concurrent"`
+	Sessions       int                        `json:"sessions_closed"`
+	Ranges         map[string]windowRangeJSON `json:"ranges"`
+}
+
+// windowRangeJSON is one communication range's slice of a window.
+type windowRangeJSON struct {
+	NewPairs     int     `json:"new_pairs"`
+	Contacts     int     `json:"contacts"`
+	CTMedianSec  float64 `json:"ct_median_sec"`
+	ICTMedianSec float64 `json:"ict_median_sec"`
+	DegreeMedian float64 `json:"degree_median"`
+}
+
+func windowRecord(k int64, an *slmob.Analysis) windowJSON {
+	wj := windowJSON{
+		Index:          k,
+		StartSec:       an.Start,
+		EndSec:         an.End,
+		Snapshots:      an.Summary.Snapshots,
+		NewUsers:       an.Summary.Unique,
+		MeanConcurrent: an.Summary.MeanConcurrent,
+		MaxConcurrent:  an.Summary.MaxConcurrent,
+		Ranges:         make(map[string]windowRangeJSON, len(an.Contacts)),
+	}
+	if an.Trips != nil {
+		wj.Sessions = len(an.Trips.TravelTime)
+	}
+	med := func(w *stats.Weighted) float64 {
+		if w == nil || w.N() == 0 {
+			return 0
+		}
+		return w.Median()
+	}
+	for r, cs := range an.Contacts {
+		rec := windowRangeJSON{
+			NewPairs:     cs.Pairs,
+			Contacts:     cs.CT.N(),
+			CTMedianSec:  med(cs.CT),
+			ICTMedianSec: med(cs.ICT),
+		}
+		if nm := an.Nets[r]; nm != nil {
+			rec.DegreeMedian = med(nm.Degrees)
+		}
+		wj.Ranges[fmt.Sprintf("%g", r)] = rec
+	}
+	return wj
+}
+
+// writeWindowJSON emits the series as a JSON array, to stdout or a file.
+func writeWindowJSON(ws *slmob.WindowSeries, path string) error {
+	records := make([]windowJSON, 0, len(ws.Windows))
+	for i, w := range ws.Windows {
+		records = append(records, windowRecord(ws.First+int64(i), w))
+	}
+	data, err := json.MarshalIndent(struct {
+		Land      string       `json:"land"`
+		WindowSec int64        `json:"window_sec"`
+		Windows   []windowJSON `json:"windows"`
+	}{ws.Land, ws.Window, records}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("slanalyze: wrote %d-window series to %s\n", len(records), path)
+	return nil
+}
+
 // analyzeEstate zips the region files into one estate stream and runs
 // the sharded façade pipeline: per-region analyzers on parallel workers
-// plus the estate-global pass.
-func analyzeEstate(ctx context.Context, paths []string, estate string, workers int, zeroOK bool) {
+// plus the estate-global pass. With window > 0 the per-window global
+// summaries print as the stream completes them — the same live series a
+// served estate exposes.
+func analyzeEstate(ctx context.Context, paths []string, estate string, workers int, zeroOK bool, window int64) {
 	es, err := slmob.OpenEstateTraceStream(paths...)
 	if err != nil {
 		log.Fatal(err)
@@ -182,6 +317,14 @@ func analyzeEstate(ctx context.Context, paths []string, estate string, workers i
 	}
 	if estate != "" {
 		opts = append(opts, slmob.WithLand(estate))
+	}
+	if window > 0 {
+		opts = append(opts,
+			slmob.WithWindow(window),
+			slmob.WithEstateWindowFunc(func(k int64, w *slmob.EstateAnalysis) {
+				fmt.Printf("-- window %d [%d s, %d s): %s\n",
+					k, k*window, (k+1)*window, w.Global.Summary)
+			}))
 	}
 	res, err := slmob.AnalyzeEstateStream(ctx, es, opts...)
 	if err != nil {

@@ -51,6 +51,13 @@ type landMetrics struct {
 	DegZeroFracR10 float64 `json:"deg_zero_frac_r10"`
 }
 
+// windowTiming is one window's share of the windowed replay pass.
+type windowTiming struct {
+	Index     int64   `json:"index"`
+	Snapshots int     `json:"snapshots"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
 // benchOutput is the JSON artifact schema.
 type benchOutput struct {
 	Seed        uint64 `json:"seed"`
@@ -62,6 +69,13 @@ type benchOutput struct {
 	// the CI gate watches for allocation regressions in the hot path.
 	AllocsPerSnapshot float64       `json:"allocs_per_snapshot"`
 	Lands             []landMetrics `json:"lands"`
+
+	// Windowed replay pass (-window): total wall time of the windowed
+	// analysis over the first land's trace, plus per-window timing, so
+	// the baseline gate covers window-rollover cost too.
+	WindowSec      int64          `json:"window_sec,omitempty"`
+	WindowedWallMS int64          `json:"windowed_wall_ms,omitempty"`
+	Windows        []windowTiming `json:"windows,omitempty"`
 }
 
 func metricsOf(an *core.Analysis) landMetrics {
@@ -136,7 +150,45 @@ func compareBaseline(fresh benchOutput, path string, tol, wallTol, allocTol floa
 		return fmt.Errorf("allocs/snapshot %.1f exceeds %gx baseline %.1f",
 			fresh.AllocsPerSnapshot, allocTol, base.AllocsPerSnapshot)
 	}
+	// Windowed replay gate: rollover cost is covered when both runs
+	// carried a windowed pass of the same geometry.
+	if base.WindowSec > 0 && fresh.WindowSec == base.WindowSec {
+		if len(fresh.Windows) != len(base.Windows) {
+			return fmt.Errorf("windowed pass produced %d windows, baseline %d", len(fresh.Windows), len(base.Windows))
+		}
+		if base.WindowedWallMS > 0 && float64(fresh.WindowedWallMS) > wallTol*float64(base.WindowedWallMS) {
+			return fmt.Errorf("windowed wall time %d ms exceeds %gx baseline %d ms",
+				fresh.WindowedWallMS, wallTol, base.WindowedWallMS)
+		}
+	}
 	return nil
+}
+
+// windowedPass replays the land's trace through the windowed analyzer
+// with a timing hook, charging each window — rollover included — its
+// wall-clock share.
+func windowedPass(run *experiment.LandRun, window int64) (int64, []windowTiming, error) {
+	wa, err := core.NewWindowedAnalyzer(run.Trace.Land, run.Trace.Tau, window,
+		core.Config{LandSize: run.Scenario.Land.Size})
+	if err != nil {
+		return 0, nil, err
+	}
+	var timings []windowTiming
+	start := time.Now()
+	last := start
+	wa.OnWindow(func(k int64, an *core.Analysis) {
+		now := time.Now()
+		timings = append(timings, windowTiming{
+			Index:     k,
+			Snapshots: an.Summary.Snapshots,
+			WallMS:    float64(now.Sub(last).Microseconds()) / 1000,
+		})
+		last = now
+	})
+	if _, err := wa.Consume(context.Background(), run.Trace.Source()); err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start).Milliseconds(), timings, nil
 }
 
 func main() {
@@ -153,6 +205,7 @@ func main() {
 		allocTol   = flag.Float64("alloc-tolerance", 3, "allocs/snapshot growth factor tolerated by -baseline")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
+		window     = flag.Int64("window", 0, "additionally replay the first land through the windowed analyzer with windows of this many seconds, timing each window")
 	)
 	flag.Parse()
 
@@ -241,6 +294,17 @@ func main() {
 	}
 	for _, run := range runs {
 		bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
+	}
+	if *window > 0 {
+		wms, timings, err := windowedPass(runs[0], *window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bo.WindowSec = *window
+		bo.WindowedWallMS = wms
+		bo.Windows = timings
+		fmt.Printf("slbench: windowed replay (%d s windows) took %d ms over %d windows\n\n",
+			*window, wms, len(timings))
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(bo, "", "  ")

@@ -16,6 +16,8 @@ import (
 	"os"
 	"sort"
 	"testing"
+
+	"slmob/internal/core"
 )
 
 var updateGolden = flag.Bool("update", false, "regenerate the golden trace and its pinned analysis")
@@ -23,8 +25,13 @@ var updateGolden = flag.Bool("update", false, "regenerate the golden trace and i
 const (
 	goldenTracePath    = "testdata/golden_dance.sltr"
 	goldenAnalysisPath = "testdata/golden_dance_analysis.json"
+	goldenCkptPath     = "testdata/golden_dance_ckpt.snap"
 	goldenSeed         = 42
 	goldenDuration     = 1800
+	// goldenCkptAt is the snapshot time the committed checkpoint was
+	// taken at: mid-way through the golden trace, with contacts and
+	// sessions in flight.
+	goldenCkptAt = 900
 )
 
 // distStats pins a sample distribution as an order-independent digest:
@@ -158,7 +165,13 @@ func TestGoldenTraceAnalysisPinned(t *testing.T) {
 	if err := json.Unmarshal(data, &want); err != nil {
 		t.Fatal(err)
 	}
+	assertGoldenAnalysis(t, got, want)
+}
 
+// assertGoldenAnalysis compares a fresh digest against the pinned one,
+// shared by the whole-trace and the checkpoint-resume gates.
+func assertGoldenAnalysis(t *testing.T, got, want goldenAnalysis) {
+	t.Helper()
 	approx := func(what string, g, w float64) {
 		t.Helper()
 		if diff := math.Abs(g - w); diff > 1e-9*math.Max(1, math.Abs(w)) {
@@ -203,6 +216,125 @@ func TestGoldenTraceAnalysisPinned(t *testing.T) {
 	same("travel length", got.TravelLength, want.TravelLength)
 	same("effective travel time", got.EffectiveTime, want.EffectiveTime)
 	same("zones", got.Zones, want.Zones)
+}
+
+// goldenStreamConfig mirrors AnalyzeStream's labelling of the golden
+// trace, so manually driven analyzers produce the same digest.
+func goldenStreamConfig(t *testing.T, fs *TraceFileStream) (string, int64, core.Config) {
+	t.Helper()
+	info := fs.Info()
+	size, err := info.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Land, info.Tau, core.Config{LandSize: size}
+}
+
+// TestGoldenWindowedMergeParity is the windowed-parity gate of the
+// acceptance criteria: the golden trace split into windows merges back
+// to an Analysis bit-identical to the whole-trace run — whose digest is
+// already pinned on disk.
+func TestGoldenWindowedMergeParity(t *testing.T) {
+	whole := func() *Analysis {
+		fs, err := OpenTraceStream(goldenTracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		an, err := AnalyzeStream(context.Background(), fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}()
+
+	for _, window := range []int64{300, 450, 3600} {
+		fs, err := OpenTraceStream(goldenTracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := AnalyzeWindows(context.Background(), fs, WithWindow(window))
+		fs.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged, err := ws.Merge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range core.DiffAnalyses(merged, whole) {
+			t.Errorf("window=%d: %s", window, d)
+		}
+	}
+}
+
+// TestGoldenCheckpointResume is the kill-and-resume gate: the committed
+// checkpoint — taken mid-way through the golden dance trace, contacts
+// and sessions in flight — resumes against the rest of the stream and
+// reproduces the pinned whole-trace digest exactly. With -update the
+// checkpoint fixture is regenerated (the resume digest is pinned by
+// golden_dance_analysis.json, shared with the whole-trace gate: resuming
+// MUST land on the same digest as never having been killed).
+func TestGoldenCheckpointResume(t *testing.T) {
+	if *updateGolden {
+		fs, err := OpenTraceStream(goldenTracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		land, tau, cfg := goldenStreamConfig(t, fs)
+		a, err := core.NewAnalyzer(land, tau, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			snap, err := fs.Next(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Observe(snap); err != nil {
+				t.Fatal(err)
+			}
+			if snap.T >= goldenCkptAt {
+				break
+			}
+		}
+		f, err := os.Create(goldenCkptPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The file stream carries no restorable state: the checkpoint
+		// holds the analyzer alone, and resume replays the file, skipping
+		// the analysed prefix by snapshot time.
+		if err := Checkpoint(f, a, fs); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fs.Close()
+		t.Log("golden checkpoint regenerated")
+	}
+
+	fs, err := OpenTraceStream(goldenTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	an, err := AnalyzeStream(context.Background(), fs, WithResumeFrom(goldenCkptPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := digestAnalysis(an)
+
+	data, err := os.ReadFile(goldenAnalysisPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want goldenAnalysis
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	assertGoldenAnalysis(t, got, want)
 }
 
 // TestGoldenTraceMatchesSimulation guards the fixture itself: the

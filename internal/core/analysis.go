@@ -44,6 +44,13 @@ type Config struct {
 	// per-region workers: every regional analyzer fans its ranges out the
 	// same way.
 	RangeWorkers int
+	// Window, when positive, slices the measurement into fixed windows of
+	// this many seconds aligned to absolute time (3600 gives hourly,
+	// clock-aligned windows). The plain Analyzer ignores it; the
+	// WindowedAnalyzer and the estate analyzer emit one Analysis per
+	// window, with the invariant that merging every window reproduces the
+	// whole-trace result bit-identically.
+	Window int64
 }
 
 // withDefaults fills zero fields with the paper's parameters. The trace's
@@ -67,11 +74,46 @@ func (c Config) withDefaults(tau int64) Config {
 	return c
 }
 
+// Accumulator is the contract every metric state in the analysis core
+// satisfies: the pair-table contact sink (ContactSet), the line-of-sight
+// metrics (NetMetrics), the weighted distributions behind every
+// integer-valued metric (stats.Weighted), and the trip session records.
+//
+//   - Resettable: Reset returns the accumulator to empty while keeping
+//     every internal allocation, so window sinks recycle without heap
+//     traffic (the rollover AllocsPerRun pin).
+//   - Mergeable: each type exposes a merge (Weighted.Merge, the
+//     Analysis-level MergeAnalyses) with the invariant that merging the
+//     per-window accumulators of a stream reproduces the whole-stream
+//     accumulator bit-identically — events are attributed to exactly one
+//     window, at the snapshot where they resolve.
+//   - Serializable: state round-trips through the versioned binary
+//     snapshot format of internal/snap (Checkpoint / RestoreAnalyzer),
+//     with typed errors on truncated, corrupted, or version-skewed input.
+//
+// DESIGN.md §6 documents the contract and the wire format.
+type Accumulator interface {
+	Reset()
+}
+
+// Compile-time contract checks for the accumulator types.
+var (
+	_ Accumulator = (*stats.Weighted)(nil)
+	_ Accumulator = (*ContactSet)(nil)
+	_ Accumulator = (*NetMetrics)(nil)
+)
+
 // Analysis is the complete per-land result set: everything needed to
-// regenerate the paper's figures for one target land.
+// regenerate the paper's figures for one target land — either for a
+// whole trace or, when produced by a WindowedAnalyzer, for one time
+// window of it.
 type Analysis struct {
 	Land    string
 	Summary trace.Summary
+	// Start and End are the first and last snapshot times covered
+	// (window bounds for windowed results); both zero when no snapshot
+	// was observed.
+	Start, End int64
 	// Contacts maps range -> temporal metrics (Fig. 1).
 	Contacts map[float64]*ContactSet
 	// Nets maps range -> line-of-sight network metrics (Fig. 2).
@@ -82,6 +124,33 @@ type Analysis struct {
 	Zones *stats.Weighted
 	// Trips holds the per-session trip metrics (Fig. 4).
 	Trips *TripStats
+}
+
+// Clone returns an independent deep copy — what the windowed analyzer
+// emits in collection mode, so recycled sinks never alias a returned
+// window.
+func (a *Analysis) Clone() *Analysis {
+	out := &Analysis{
+		Land:     a.Land,
+		Summary:  a.Summary,
+		Start:    a.Start,
+		End:      a.End,
+		Contacts: make(map[float64]*ContactSet, len(a.Contacts)),
+		Nets:     make(map[float64]*NetMetrics, len(a.Nets)),
+	}
+	for r, cs := range a.Contacts {
+		out.Contacts[r] = cs.Clone()
+	}
+	for r, nm := range a.Nets {
+		out.Nets[r] = nm.Clone()
+	}
+	if a.Zones != nil {
+		out.Zones = a.Zones.Clone()
+	}
+	if a.Trips != nil {
+		out.Trips = a.Trips.Clone()
+	}
+	return out
 }
 
 // Analyze runs the full pipeline on one trace, re-walking it once per
@@ -106,6 +175,10 @@ func Analyze(tr *trace.Trace, cfg Config) (*Analysis, error) {
 		Summary:  tr.Summarize(),
 		Contacts: make(map[float64]*ContactSet, len(cfg.Ranges)),
 		Nets:     make(map[float64]*NetMetrics, len(cfg.Ranges)),
+	}
+	if n := len(tr.Snapshots); n > 0 {
+		a.Start = tr.Snapshots[0].T
+		a.End = tr.Snapshots[n-1].T
 	}
 	for _, r := range cfg.Ranges {
 		cs, err := ExtractContacts(tr, r)

@@ -22,6 +22,14 @@ import (
 // distinct metric value has been seen — Observe performs zero heap
 // allocations per snapshot.
 //
+// Internally the analyzer separates state machines from event sinks, the
+// split behind the Accumulator contract: the pair table, open sessions,
+// and first-seen maps carry history across the whole stream, while every
+// completed metric event (a contact duration, a closed session, a
+// snapshot's zone counts) lands in the current sink. The plain Analyzer
+// uses one sink for the whole run; the WindowedAnalyzer swaps sinks at
+// window boundaries, and Checkpoint serialises both halves.
+//
 // With cfg.RangeWorkers > 1 the independent per-range passes (proximity
 // graph, contact tracking, line-of-sight metrics) of each snapshot fan
 // out across persistent worker goroutines; the worker count never
@@ -32,26 +40,32 @@ type Analyzer struct {
 	cfg      Config
 	finished bool
 
-	// Summary accumulators.
-	snapshots     int
+	// Stream-wide cursor state.
+	started       bool
 	firstT, lastT int64
-	totalSamples  int
-	maxConcurrent int
+	// resuming marks an analyzer restored from a checkpoint: Consume
+	// skips snapshots at or before resumeFrom (the checkpointed lastT,
+	// which may legitimately be 0) instead of treating the replayed
+	// prefix as an ordering violation.
+	resuming   bool
+	resumeFrom int64
 
-	// Per-range contact and line-of-sight state.
+	// Per-range contact and line-of-sight state machines.
 	ranges []*rangeState
 	// firstSeenT is each avatar's first appearance (seated included),
 	// shared by every range's first-contact computation; its key count is
 	// also the unique-user tally.
 	firstSeenT map[trace.AvatarID]int64
 
-	// Zone occupation.
+	// Zone occupation scratch.
 	zoneN      int
 	zoneCounts []int
-	zones      *stats.Weighted
 
-	// Trip sessionisation.
+	// Trip sessionisation state machine.
 	trips *tripTracker
+
+	// cur is the event sink all metric events flow into.
+	cur *sink
 
 	// Per-snapshot scratch, reused across Observe calls.
 	sc  snapScratch
@@ -61,13 +75,71 @@ type Analyzer struct {
 	fan *rangeFan
 }
 
+// sink is one window's worth of metric events: the mergeable,
+// resettable accumulator set the state machines emit into. The plain
+// analyzer owns exactly one; the windowed analyzer double-buffers two.
+type sink struct {
+	snapshots     int
+	start, end    int64
+	totalSamples  int
+	maxConcurrent int
+	// newUsers counts avatars first seen in this sink's window; summed
+	// over windows it reproduces the whole-trace unique-user count.
+	newUsers int
+
+	zones    *stats.Weighted
+	contacts []*ContactSet
+	nets     []*NetMetrics
+	closed   []closedSession
+}
+
+// newSink allocates a fresh sink for the analyzer's configured ranges.
+func (a *Analyzer) newSink() *sink {
+	s := &sink{zones: stats.NewWeighted()}
+	for _, r := range a.cfg.Ranges {
+		s.contacts = append(s.contacts, newContactSet(r, a.tau))
+		s.nets = append(s.nets, newNetMetrics(r))
+	}
+	return s
+}
+
+// reset recycles the sink for the next window, retaining every internal
+// allocation.
+func (s *sink) reset() {
+	s.snapshots = 0
+	s.start, s.end = 0, 0
+	s.totalSamples = 0
+	s.maxConcurrent = 0
+	s.newUsers = 0
+	s.zones.Reset()
+	for _, cs := range s.contacts {
+		cs.Reset()
+	}
+	for _, nm := range s.nets {
+		nm.Reset()
+	}
+	s.closed = s.closed[:0]
+}
+
+// bindSink points every state machine's event emission at s.
+func (a *Analyzer) bindSink(s *sink) {
+	a.cur = s
+	for _, rs := range a.ranges {
+		rs.ct.bind(s.contacts[rs.idx])
+		rs.nm = s.nets[rs.idx]
+	}
+	a.trips.bind(&s.closed)
+}
+
 // rangeState pairs one communication range's contact state machine with
-// its line-of-sight accumulators and its dedicated graph workspace.
+// its dedicated graph workspace and the current sink's line-of-sight
+// accumulator.
 type rangeState struct {
-	r  float64
-	ct *contactTracker
-	nm *NetMetrics
-	ws *graph.Workspace
+	r   float64
+	idx int
+	ct  *contactTracker
+	nm  *NetMetrics
+	ws  *graph.Workspace
 }
 
 // sessionState is one avatar's open presence on the land.
@@ -81,8 +153,9 @@ type sessionState struct {
 	prevT   int64
 }
 
-// closedSession is a finished session's trip metrics, kept until Finish
-// so the output order matches the batch path (login time, then ID).
+// closedSession is a finished session's trip metrics, attributed to the
+// window in which the closure was detected; the (login, id) key restores
+// the batch path's output order.
 type closedSession struct {
 	id       trace.AvatarID
 	login    int64
@@ -116,18 +189,18 @@ func NewAnalyzer(land string, tau int64, cfg Config) (*Analyzer, error) {
 		firstSeenT: make(map[trace.AvatarID]int64),
 		zoneN:      n,
 		zoneCounts: make([]int, n*n),
-		zones:      stats.NewWeighted(),
-		trips:      newTripTracker(cfg.MoveEps, cfg.SessionGap),
 		dup:        make(map[trace.AvatarID]struct{}),
 	}
-	for _, r := range cfg.Ranges {
+	a.trips = newTripTracker(cfg.MoveEps, cfg.SessionGap, nil)
+	for i, r := range cfg.Ranges {
 		a.ranges = append(a.ranges, &rangeState{
-			r:  r,
-			ct: newContactTracker(r, tau),
-			nm: newNetMetrics(r),
-			ws: graph.NewWorkspace(),
+			r:   r,
+			idx: i,
+			ct:  newContactTracker(tau),
+			ws:  graph.NewWorkspace(),
 		})
 	}
+	a.bindSink(a.newSink())
 	return a, nil
 }
 
@@ -145,7 +218,7 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 	if a.finished {
 		return fmt.Errorf("core: Observe after Finish")
 	}
-	if a.snapshots > 0 && snap.T <= a.lastT {
+	if a.started && snap.T <= a.lastT {
 		return fmt.Errorf("core: invalid stream: snapshot at t=%d not after t=%d", snap.T, a.lastT)
 	}
 	clear(a.dup)
@@ -155,18 +228,24 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 		}
 		a.dup[s.ID] = struct{}{}
 	}
-	if a.snapshots == 0 {
+	if !a.started {
+		a.started = true
 		a.firstT = snap.T
 	}
 	a.lastT = snap.T
-	a.snapshots++
-	a.totalSamples += len(snap.Samples)
-	if n := len(snap.Samples); n > a.maxConcurrent {
-		a.maxConcurrent = n
+	cur := a.cur
+	if cur.snapshots == 0 {
+		cur.start = snap.T
+	}
+	cur.end = snap.T
+	cur.snapshots++
+	cur.totalSamples += len(snap.Samples)
+	if n := len(snap.Samples); n > cur.maxConcurrent {
+		cur.maxConcurrent = n
 	}
 
 	// Live (non-seated) avatars of this snapshot, plus first appearances.
-	a.sc.fill(snap, a.firstSeenT, a.cfg.TreatZeroAsSeated)
+	cur.newUsers += a.sc.fill(snap, a.firstSeenT, a.cfg.TreatZeroAsSeated)
 
 	if a.cfg.RangeWorkers > 1 && len(a.ranges) > 1 {
 		a.fanObserve(snap.T)
@@ -187,7 +266,7 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 // between both.
 func (a *Analyzer) observeRange(rs *rangeState, t int64) {
 	g := rs.ws.FromPositions(a.sc.positions, rs.r)
-	rs.ct.observe(a.sc.ids, g, t, t == a.firstT)
+	rs.ct.observe(a.sc.ids, a.sc.fsT, g, t, t == a.firstT)
 
 	// Line-of-sight metrics; snapshots without users are skipped.
 	if len(a.sc.positions) == 0 {
@@ -213,14 +292,15 @@ func (a *Analyzer) observeZones() {
 	// Most cells of a land are empty most of the time; batch the zero
 	// cells into one weighted insert and add the occupied ones singly.
 	zeros := int64(0)
+	zones := a.cur.zones
 	for _, c := range a.zoneCounts {
 		if c == 0 {
 			zeros++
 			continue
 		}
-		a.zones.Add(float64(c))
+		zones.Add(float64(c))
 	}
-	a.zones.AddN(0, zeros)
+	zones.AddN(0, zeros)
 }
 
 // rangeFan runs one persistent worker goroutine per configured range
@@ -228,7 +308,9 @@ func (a *Analyzer) observeZones() {
 // range's state machine stays single-goroutine. Observe signals a
 // snapshot and waits for all workers — a per-snapshot barrier that keeps
 // the analyzer's synchronous, order-dependent contract while spending
-// multiple cores per snapshot. Signalling allocates nothing.
+// multiple cores per snapshot. Signalling allocates nothing, and the
+// barrier also means sinks can be swapped safely between snapshots: no
+// worker is mid-range outside fanObserve.
 type rangeFan struct {
 	start  []chan int64
 	snapWG sync.WaitGroup
@@ -284,6 +366,51 @@ func (a *Analyzer) stopFan() {
 	a.fan = nil
 }
 
+// sealFinal emits the end-of-stream events into the current sink: open
+// contacts right-censor, the never-contacted population resolves, and
+// open sessions close. Only the final window receives these.
+func (a *Analyzer) sealFinal() {
+	for _, rs := range a.ranges {
+		rs.ct.finish(len(a.firstSeenT))
+	}
+	a.trips.closeAll()
+}
+
+// buildAnalysis assembles an Analysis from one sink, reusing out (and
+// its maps, trip slices, and session buffer) when non-nil — the
+// allocation-free path behind window rollover in hook mode.
+func (a *Analyzer) buildAnalysis(s *sink, out *Analysis) *Analysis {
+	if out == nil {
+		out = &Analysis{
+			Contacts: make(map[float64]*ContactSet, len(a.cfg.Ranges)),
+			Nets:     make(map[float64]*NetMetrics, len(a.cfg.Ranges)),
+			Trips:    &TripStats{},
+		}
+	}
+	out.Land = a.land
+	out.Start, out.End = s.start, s.end
+	out.Summary = trace.Summary{
+		Land:          a.land,
+		Snapshots:     s.snapshots,
+		Unique:        s.newUsers,
+		MaxConcurrent: s.maxConcurrent,
+		TotalSamples:  s.totalSamples,
+	}
+	if s.snapshots >= 2 {
+		out.Summary.DurationSec = s.end - s.start
+	}
+	if s.snapshots > 0 {
+		out.Summary.MeanConcurrent = float64(s.totalSamples) / float64(s.snapshots)
+	}
+	for i, r := range a.cfg.Ranges {
+		out.Contacts[r] = s.contacts[i]
+		out.Nets[r] = s.nets[i]
+	}
+	out.Zones = s.zones
+	out.Trips = buildTripStats(s.closed, out.Trips)
+	return out
+}
+
 // Finish closes censored contacts and open sessions and returns the
 // completed Analysis. The analyzer cannot be reused afterwards.
 func (a *Analyzer) Finish() (*Analysis, error) {
@@ -292,38 +419,26 @@ func (a *Analyzer) Finish() (*Analysis, error) {
 	}
 	a.finished = true
 	a.stopFan()
-
-	an := &Analysis{
-		Land: a.land,
-		Summary: trace.Summary{
-			Land:          a.land,
-			Snapshots:     a.snapshots,
-			Unique:        len(a.firstSeenT),
-			MaxConcurrent: a.maxConcurrent,
-		},
-		Contacts: make(map[float64]*ContactSet, len(a.cfg.Ranges)),
-		Nets:     make(map[float64]*NetMetrics, len(a.cfg.Ranges)),
-		Zones:    a.zones,
-	}
-	if a.snapshots >= 2 {
-		an.Summary.DurationSec = a.lastT - a.firstT
-	}
-	if a.snapshots > 0 {
-		an.Summary.MeanConcurrent = float64(a.totalSamples) / float64(a.snapshots)
-	}
-
-	for _, rs := range a.ranges {
-		an.Contacts[rs.r] = rs.ct.finish(a.firstSeenT)
-		an.Nets[rs.r] = rs.nm
-	}
-	an.Trips = a.trips.finish()
-	return an, nil
+	a.sealFinal()
+	return a.buildAnalysis(a.cur, nil), nil
 }
 
 // Consume drains a snapshot source into the analyzer and finishes it: the
 // one-call streaming pipeline. It stops on the first error; a cancelled
-// context surfaces as ctx.Err() from the source.
+// context surfaces as ctx.Err() from the source. After a checkpoint
+// restore, snapshots at or before the checkpointed time are skipped, so
+// a source replayed from the start resumes exactly where the snapshot
+// was taken.
 func (a *Analyzer) Consume(ctx context.Context, src trace.Source) (*Analysis, error) {
+	return a.ConsumeWith(ctx, src, nil)
+}
+
+// ConsumeWith is Consume with a callback invoked after every observed
+// snapshot — between snapshots, when the analyzer is quiescent and safe
+// to Checkpoint (the façade's periodic-checkpoint hook). A callback
+// error aborts the drain; the range-fan workers are wound down on every
+// exit path.
+func (a *Analyzer) ConsumeWith(ctx context.Context, src trace.Source, after func(t int64) error) (*Analysis, error) {
 	defer a.stopFan()
 	for {
 		snap, err := src.Next(ctx)
@@ -333,8 +448,16 @@ func (a *Analyzer) Consume(ctx context.Context, src trace.Source) (*Analysis, er
 		if err != nil {
 			return nil, err
 		}
+		if a.resuming && snap.T <= a.resumeFrom {
+			continue
+		}
 		if err := a.Observe(snap); err != nil {
 			return nil, err
+		}
+		if after != nil {
+			if err := after(snap.T); err != nil {
+				return nil, err
+			}
 		}
 	}
 }

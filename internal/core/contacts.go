@@ -83,6 +83,37 @@ func newContactSet(r float64, tau int64) *ContactSet {
 	}
 }
 
+// Reset empties the accumulator while keeping its identity (Range, Tau)
+// and every internal allocation — the resettable leg of the Accumulator
+// contract, used to recycle window sinks.
+func (cs *ContactSet) Reset() {
+	cs.CT.Reset()
+	cs.ICT.Reset()
+	cs.FT.Reset()
+	cs.Censored = 0
+	cs.NeverContacted = 0
+	cs.Pairs = 0
+}
+
+// mergeFrom folds another window's events into cs. Distributions are
+// multisets and counters are event counts, so merging windows in any
+// order reproduces the whole-trace ContactSet exactly.
+func (cs *ContactSet) mergeFrom(o *ContactSet) {
+	cs.CT.Merge(o.CT)
+	cs.ICT.Merge(o.ICT)
+	cs.FT.Merge(o.FT)
+	cs.Censored += o.Censored
+	cs.NeverContacted += o.NeverContacted
+	cs.Pairs += o.Pairs
+}
+
+// Clone returns an independent deep copy.
+func (cs *ContactSet) Clone() *ContactSet {
+	out := newContactSet(cs.Range, cs.Tau)
+	out.mergeFrom(cs)
+	return out
+}
+
 // ExtractContacts computes the ContactSet of a trace at range r. Seated
 // samples are excluded: a seated avatar reports no usable position.
 //
@@ -103,7 +134,8 @@ func ExtractContacts(tr *trace.Trace, r float64) (*ContactSet, error) {
 	if tr.Tau <= 0 {
 		return nil, fmt.Errorf("core: trace has non-positive tau")
 	}
-	ct := newContactTracker(r, tr.Tau)
+	ct := newContactTracker(tr.Tau)
+	ct.bind(newContactSet(r, tr.Tau))
 	ws := graph.NewWorkspace()
 	firstSeen := make(map[trace.AvatarID]int64)
 	var firstSnapT int64
@@ -114,28 +146,38 @@ func ExtractContacts(tr *trace.Trace, r float64) (*ContactSet, error) {
 	for _, snap := range tr.Snapshots {
 		sc.fill(snap, firstSeen, false)
 		g := ws.FromPositions(sc.positions, r)
-		ct.observe(sc.ids, g, snap.T, snap.T == firstSnapT)
+		ct.observe(sc.ids, sc.fsT, g, snap.T, snap.T == firstSnapT)
 	}
-	return ct.finish(firstSeen), nil
+	return ct.finish(len(firstSeen)), nil
 }
 
 // snapScratch collects one snapshot's live (non-seated) avatars into
 // reusable id/position buffers, recording first appearances on the way.
+// fsT carries each live avatar's first-seen time, aligned with ids, so
+// the contact tracker can emit first-contact waits at the moment they
+// resolve.
 type snapScratch struct {
 	ids       []trace.AvatarID
 	positions []geom.Vec
+	fsT       []int64
 }
 
-// fill resets the scratch to the snapshot's live avatars. zeroSeated
-// additionally treats exact-origin positions as seated (the streaming
-// equivalent of NormalizeSeated).
-func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]int64, zeroSeated bool) {
+// fill resets the scratch to the snapshot's live avatars and returns the
+// number of avatars first seen in this snapshot. zeroSeated additionally
+// treats exact-origin positions as seated (the streaming equivalent of
+// NormalizeSeated).
+func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]int64, zeroSeated bool) (newSeen int) {
 	sc.ids = sc.ids[:0]
 	sc.positions = sc.positions[:0]
+	sc.fsT = sc.fsT[:0]
 	for _, s := range snap.Samples {
+		fs := snap.T
 		if firstSeen != nil {
-			if _, ok := firstSeen[s.ID]; !ok {
+			if t0, ok := firstSeen[s.ID]; ok {
+				fs = t0
+			} else {
 				firstSeen[s.ID] = snap.T
+				newSeen++
 			}
 		}
 		if s.Seated || (zeroSeated && s.Pos.IsZero()) {
@@ -143,5 +185,7 @@ func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]in
 		}
 		sc.ids = append(sc.ids, s.ID)
 		sc.positions = append(sc.positions, s.Pos)
+		sc.fsT = append(sc.fsT, fs)
 	}
+	return newSeen
 }

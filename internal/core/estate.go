@@ -44,7 +44,9 @@ func RegionMetasFromInfos(infos []trace.Info) ([]RegionMeta, error) {
 }
 
 // EstateAnalysis is the two-level result of a sharded measurement:
-// one full Analysis per region plus the estate-global view.
+// one full Analysis per region plus the estate-global view — and, when
+// the analysis ran windowed (Config.Window > 0), the per-window time
+// series.
 //
 // The global Analysis is computed in estate coordinates, so its contact
 // metrics stay correct for pairs that meet across a region border or
@@ -60,6 +62,16 @@ type EstateAnalysis struct {
 	Global *Analysis
 	// Regions holds one Analysis per region, in the estate's index order.
 	Regions []*Analysis
+
+	// WindowSec and FirstWindow describe the window series of a windowed
+	// run: Windows[i] covers [(FirstWindow+i)·WindowSec,
+	// (FirstWindow+i+1)·WindowSec). All three are zero/nil for
+	// whole-trace runs. Each window is itself a two-level EstateAnalysis
+	// (with nil Windows); merging the series reproduces the whole-run
+	// Global and Regions bit-identically.
+	WindowSec   int64
+	FirstWindow int64
+	Windows     []*EstateAnalysis
 }
 
 // EstateAnalyzer runs a sharded incremental analysis: one full Analyzer
@@ -87,20 +99,29 @@ type EstateAnalyzer struct {
 	firstSeen     map[trace.AvatarID]int64
 	contacts      []*contactTracker
 	trips         *tripTracker
+	closed        []closedSession
 
 	// Per-tick scratch.
 	dup map[trace.AvatarID]struct{}
+
+	// Windowed analytics (cfg.Window > 0); nil otherwise. winEmitted
+	// counts windows already delivered to the live hook (feed-owned).
+	win        *estateWindows
+	winEmitted int
 }
 
 // globalTick is the merged, estate-coordinate view of one tick, handed
 // to the per-range global contact trackers. The slices are freshly
 // allocated per tick and read-only downstream, so every range tracker
-// can consume the same value concurrently.
+// can consume the same value concurrently. fsT carries each avatar's
+// first-seen time (aligned with ids) so the trackers can emit
+// first-contact waits without touching the feed-owned firstSeen map.
 type globalTick struct {
 	t     int64
 	first bool
 	ids   []trace.AvatarID
 	pos   []geom.Vec
+	fsT   []int64
 }
 
 // NewEstateAnalyzer builds the analyzer for an estate of the given
@@ -128,9 +149,9 @@ func NewEstateAnalyzer(estate string, regions []RegionMeta, tau int64, cfg Confi
 		workers:   workers,
 		regions:   regions,
 		firstSeen: make(map[trace.AvatarID]int64),
-		trips:     newTripTracker(base.MoveEps, base.SessionGap),
 		dup:       make(map[trace.AvatarID]struct{}),
 	}
+	ea.trips = newTripTracker(base.MoveEps, base.SessionGap, &ea.closed)
 	for _, rm := range regions {
 		rc := base
 		if perRegionSize && rm.Size > 0 {
@@ -144,7 +165,12 @@ func NewEstateAnalyzer(estate string, regions []RegionMeta, tau int64, cfg Confi
 	}
 	// NewAnalyzer above has already vetted tau and the ranges.
 	for _, r := range base.Ranges {
-		ea.contacts = append(ea.contacts, newContactTracker(r, tau))
+		ct := newContactTracker(tau)
+		ct.bind(newContactSet(r, tau))
+		ea.contacts = append(ea.contacts, ct)
+	}
+	if base.Window > 0 {
+		ea.initWindows()
 	}
 	return ea, nil
 }
@@ -167,6 +193,23 @@ func (ea *EstateAnalyzer) observeTick(tick trace.EstateTick) (globalTick, error)
 	ea.lastT = t
 	ea.snapshots++
 
+	var fw *feedSink
+	if ea.win != nil {
+		// Bounding the window gap here covers every stage: all of them
+		// (regional windowed analyzers, range trackers) see exactly the
+		// ticks the feed has validated.
+		if k := t / ea.win.w; ea.win.feedStarted && k-ea.win.feedIdx > maxWindowGap {
+			return globalTick{}, fmt.Errorf("core: tick at t=%d skips %d windows (max %d) — corrupt timestamp?",
+				t, k-ea.win.feedIdx, maxWindowGap)
+		}
+		fw = ea.win.feedRollover(t, ea.trips)
+		if fw.snapshots == 0 {
+			fw.start = t
+		}
+		fw.end = t
+		fw.snapshots++
+	}
+
 	clear(ea.dup)
 	gt := globalTick{t: t, first: t == ea.firstT}
 	n := 0
@@ -181,8 +224,13 @@ func (ea *EstateAnalyzer) observeTick(tick trace.EstateTick) (globalTick, error)
 			}
 			ea.dup[s.ID] = struct{}{}
 			n++
-			if _, ok := ea.firstSeen[s.ID]; !ok {
+			fs, ok := ea.firstSeen[s.ID]
+			if !ok {
+				fs = t
 				ea.firstSeen[s.ID] = t
+				if fw != nil {
+					fw.newUsers++
+				}
 			}
 			// The {0,0,0} sitting sentinel is a local coordinate: repair
 			// before re-basing into estate coordinates.
@@ -194,11 +242,18 @@ func (ea *EstateAnalyzer) observeTick(tick trace.EstateTick) (globalTick, error)
 			}
 			gt.ids = append(gt.ids, s.ID)
 			gt.pos = append(gt.pos, gpos)
+			gt.fsT = append(gt.fsT, fs)
 		}
 	}
 	ea.totalSamples += n
 	if n > ea.maxConcurrent {
 		ea.maxConcurrent = n
+	}
+	if fw != nil {
+		fw.totalSamples += n
+		if n > fw.maxConcurrent {
+			fw.maxConcurrent = n
+		}
 	}
 	return gt, nil
 }
@@ -262,16 +317,15 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 					// Global contact-tracker stage for one range, with its
 					// own reusable graph workspace (stages run concurrently,
 					// so workspaces cannot be shared).
-					ct := ea.contacts[j-ea.workers]
-					r := ea.cfg.Ranges[j-ea.workers]
+					ri := j - ea.workers
 					ws := graph.NewWorkspace()
 					for {
 						select {
-						case gt, ok := <-globalChans[j-ea.workers]:
+						case gt, ok := <-globalChans[ri]:
 							if !ok {
 								return struct{}{}, nil
 							}
-							ct.observe(gt.ids, ws.FromPositions(gt.pos, r), gt.t, gt.first)
+							ea.observeGlobalRange(ri, ws, gt)
 						case <-ctx.Done():
 							return struct{}{}, ctx.Err()
 						}
@@ -284,7 +338,7 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 						if !ok {
 							return struct{}{}, nil
 						}
-						if err := ea.regional[m.region].Observe(m.snap); err != nil {
+						if err := ea.observeRegion(m.region, m.snap); err != nil {
 							return struct{}{}, fmt.Errorf("region %q: %w", ea.regions[m.region].Name, err)
 						}
 					case <-ctx.Done():
@@ -345,6 +399,7 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 			}
 			return nil, wctx.Err()
 		}
+		ea.emitReadyWindows()
 	}
 	closeAll()
 	if err := <-done; err != nil {
@@ -353,9 +408,63 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 	return ea.finish()
 }
 
+// observeRegion advances one region's analyzer — windowed when the
+// estate runs windowed — on its worker goroutine.
+func (ea *EstateAnalyzer) observeRegion(i int, snap trace.Snapshot) error {
+	if ea.win != nil {
+		return ea.win.regionW[i].Observe(snap)
+	}
+	return ea.regional[i].Observe(snap)
+}
+
+// observeGlobalRange advances one range's estate-global contact tracker
+// on its stage goroutine, rolling its window sink when the tick crosses
+// a window boundary.
+func (ea *EstateAnalyzer) observeGlobalRange(i int, ws *graph.Workspace, gt globalTick) {
+	ct := ea.contacts[i]
+	if w := ea.win; w != nil {
+		k := gt.t / w.w
+		if !w.rangeStarted[i] {
+			w.rangeStarted[i] = true
+			w.rangeIdx[i] = k
+		}
+		for w.rangeIdx[i] < k {
+			done := ct.cs
+			w.mu.Lock()
+			w.rangeDone[i] = append(w.rangeDone[i], done)
+			w.mu.Unlock()
+			ct.bind(newContactSet(done.Range, ea.tau))
+			w.rangeIdx[i]++
+		}
+	}
+	ct.observe(gt.ids, gt.fsT, ws.FromPositions(gt.pos, ea.cfg.Ranges[i]), gt.t, gt.first)
+}
+
+// buildGlobalSummary assembles the estate-global summary from the whole
+// feed counters.
+func (ea *EstateAnalyzer) buildGlobalSummary() trace.Summary {
+	sum := trace.Summary{
+		Land:          ea.estate,
+		Snapshots:     ea.snapshots,
+		Unique:        len(ea.firstSeen),
+		MaxConcurrent: ea.maxConcurrent,
+		TotalSamples:  ea.totalSamples,
+	}
+	if ea.snapshots >= 2 {
+		sum.DurationSec = ea.lastT - ea.firstT
+	}
+	if ea.snapshots > 0 {
+		sum.MeanConcurrent = float64(ea.totalSamples) / float64(ea.snapshots)
+	}
+	return sum
+}
+
 // finish completes every region analyzer and assembles the merged
-// estate-global Analysis.
+// estate-global Analysis (and, in a windowed run, the window series).
 func (ea *EstateAnalyzer) finish() (*EstateAnalysis, error) {
+	if ea.win != nil {
+		return ea.finishWindowed()
+	}
 	res := &EstateAnalysis{
 		Estate:  ea.estate,
 		Regions: make([]*Analysis, len(ea.regional)),
@@ -369,29 +478,22 @@ func (ea *EstateAnalyzer) finish() (*EstateAnalysis, error) {
 	}
 
 	global := &Analysis{
-		Land: ea.estate,
-		Summary: trace.Summary{
-			Land:          ea.estate,
-			Snapshots:     ea.snapshots,
-			Unique:        len(ea.firstSeen),
-			MaxConcurrent: ea.maxConcurrent,
-		},
+		Land:     ea.estate,
+		Summary:  ea.buildGlobalSummary(),
 		Contacts: make(map[float64]*ContactSet, len(ea.cfg.Ranges)),
 	}
-	if ea.snapshots >= 2 {
-		global.Summary.DurationSec = ea.lastT - ea.firstT
-	}
 	if ea.snapshots > 0 {
-		global.Summary.MeanConcurrent = float64(ea.totalSamples) / float64(ea.snapshots)
+		global.Start, global.End = ea.firstT, ea.lastT
 	}
 	for i, r := range ea.cfg.Ranges {
-		global.Contacts[r] = ea.contacts[i].finish(ea.firstSeen)
+		global.Contacts[r] = ea.contacts[i].finish(len(ea.firstSeen))
 	}
 	global.Zones = stats.NewWeighted()
 	for _, ra := range res.Regions {
-		global.Zones.MergeFrom(ra.Zones)
+		global.Zones.Merge(ra.Zones)
 	}
-	global.Trips = ea.trips.finish()
+	ea.trips.closeAll()
+	global.Trips = buildTripStats(ea.closed, nil)
 	res.Global = global
 	return res, nil
 }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"slmob/internal/stats"
+	"slmob/internal/trace"
+)
+
+// estateWindows is the windowed-analytics side of an EstateAnalyzer.
+// Every pipeline stage windows its own state independently — the feed
+// (summary counters and trips), each per-range global contact tracker,
+// and each region's windowed analyzer — keyed by the same absolute
+// window index, so no cross-stage barrier is ever needed: stage s
+// finalises window k the moment it sees a tick in window k+1, and a
+// window is complete (assemblable, and deliverable to the live hook)
+// once every stage has finalised it. All stages observe the same tick
+// timeline, so their window sequences align exactly.
+type estateWindows struct {
+	w    int64
+	hook func(k int64, win *EstateAnalysis)
+
+	// mu guards the finalized-window lists, which workers append to and
+	// the feed reads during assembly. Rollovers are per-window rare, so
+	// contention is negligible.
+	mu sync.Mutex
+
+	// Feed-owned window state (summary counters, cross-region trips).
+	feedStarted bool
+	feedIdx     int64
+	k0          int64
+	feedCur     *feedSink
+	feedDone    []*feedSink
+
+	// Per-range global contact windows, owned by the range stages.
+	rangeStarted []bool
+	rangeIdx     []int64
+	rangeDone    [][]*ContactSet
+
+	// Per-region windowed analyzers (each wrapping the corresponding
+	// ea.regional analyzer) and their finalized windows.
+	regionW    []*WindowedAnalyzer
+	regionDone [][]*Analysis
+
+	// assembled caches completed windows, shared by the live hook and
+	// the final result.
+	assembled []*EstateAnalysis
+}
+
+// feedSink is one window's worth of feed-side events: population
+// counters plus the sessions that closed during the window.
+type feedSink struct {
+	snapshots     int
+	start, end    int64
+	totalSamples  int
+	maxConcurrent int
+	newUsers      int
+	closed        []closedSession
+}
+
+// initWindows arms the estate analyzer's windowed mode (cfg.Window > 0).
+func (ea *EstateAnalyzer) initWindows() {
+	w := &estateWindows{
+		w:            ea.cfg.Window,
+		feedCur:      &feedSink{},
+		rangeStarted: make([]bool, len(ea.cfg.Ranges)),
+		rangeIdx:     make([]int64, len(ea.cfg.Ranges)),
+		rangeDone:    make([][]*ContactSet, len(ea.cfg.Ranges)),
+		regionDone:   make([][]*Analysis, len(ea.regional)),
+	}
+	ea.trips.bind(&w.feedCur.closed)
+	for i, a := range ea.regional {
+		ww, err := newWindowedOver(a, w.w)
+		if err != nil {
+			// Window positivity was vetted by the caller.
+			panic(err)
+		}
+		ri := i
+		ww.OnWindow(func(_ int64, an *Analysis) {
+			c := an.Clone()
+			w.mu.Lock()
+			w.regionDone[ri] = append(w.regionDone[ri], c)
+			w.mu.Unlock()
+		})
+		w.regionW = append(w.regionW, ww)
+	}
+	ea.win = w
+}
+
+// OnWindow registers a live per-window hook: every window is delivered —
+// in order, while the stream is still being consumed — as soon as all
+// pipeline stages have moved past it. The delivered values are retained
+// (they are the same objects returned in EstateAnalysis.Windows), so the
+// callback may keep them. Must be called before Consume.
+func (ea *EstateAnalyzer) OnWindow(fn func(k int64, win *EstateAnalysis)) error {
+	if ea.win == nil {
+		return fmt.Errorf("core: OnWindow on a non-windowed estate analyzer (set Config.Window)")
+	}
+	ea.win.hook = fn
+	return nil
+}
+
+// feedRollover advances the feed's window cursor to the window holding
+// tick time t, finalising any windows passed over, and returns the
+// current window sink. Runs on the feed goroutine.
+func (w *estateWindows) feedRollover(t int64, trips *tripTracker) *feedSink {
+	k := t / w.w
+	if !w.feedStarted {
+		w.feedStarted = true
+		w.feedIdx = k
+		w.k0 = k
+	}
+	for w.feedIdx < k {
+		done := w.feedCur
+		w.mu.Lock()
+		w.feedDone = append(w.feedDone, done)
+		w.mu.Unlock()
+		w.feedCur = &feedSink{}
+		trips.bind(&w.feedCur.closed)
+		w.feedIdx++
+	}
+	return w.feedCur
+}
+
+// completeWindows reports how many windows every stage has finalised.
+// Call with mu held.
+func (w *estateWindows) completeWindows() int {
+	n := len(w.feedDone)
+	for _, rd := range w.rangeDone {
+		if len(rd) < n {
+			n = len(rd)
+		}
+	}
+	for _, rd := range w.regionDone {
+		if len(rd) < n {
+			n = len(rd)
+		}
+	}
+	return n
+}
+
+// emitReadyWindows assembles and delivers every newly completed window
+// to the live hook. Runs on the feed goroutine between ticks; a no-op
+// without a hook (windows are then assembled once, at finish).
+func (ea *EstateAnalyzer) emitReadyWindows() {
+	w := ea.win
+	if w == nil || w.hook == nil {
+		return
+	}
+	w.mu.Lock()
+	n := w.completeWindows()
+	for len(w.assembled) < n {
+		w.assembled = append(w.assembled, ea.assembleWindow(len(w.assembled)))
+	}
+	ready := w.assembled
+	w.mu.Unlock()
+	for i := ea.winEmitted; i < n; i++ {
+		w.hook(w.k0+int64(i), ready[i])
+	}
+	ea.winEmitted = n
+}
+
+// assembleWindow builds window j (offset from k0) from the stages'
+// finalized state. Call with mu held; the referenced window objects are
+// immutable once finalized.
+func (ea *EstateAnalyzer) assembleWindow(j int) *EstateAnalysis {
+	w := ea.win
+	fs := w.feedDone[j]
+	global := &Analysis{
+		Land: ea.estate,
+		Summary: trace.Summary{
+			Land:          ea.estate,
+			Snapshots:     fs.snapshots,
+			Unique:        fs.newUsers,
+			MaxConcurrent: fs.maxConcurrent,
+			TotalSamples:  fs.totalSamples,
+		},
+		Start:    fs.start,
+		End:      fs.end,
+		Contacts: make(map[float64]*ContactSet, len(ea.cfg.Ranges)),
+		Zones:    stats.NewWeighted(),
+	}
+	if fs.snapshots >= 2 {
+		global.Summary.DurationSec = fs.end - fs.start
+	}
+	if fs.snapshots > 0 {
+		global.Summary.MeanConcurrent = float64(fs.totalSamples) / float64(fs.snapshots)
+	}
+	for i, r := range ea.cfg.Ranges {
+		global.Contacts[r] = w.rangeDone[i][j]
+	}
+	regions := make([]*Analysis, len(ea.regional))
+	for i := range regions {
+		regions[i] = w.regionDone[i][j]
+		global.Zones.Merge(regions[i].Zones)
+	}
+	global.Trips = buildTripStats(fs.closed, nil)
+	return &EstateAnalysis{Estate: ea.estate, Global: global, Regions: regions}
+}
+
+// finishWindowed seals every stage's final window, assembles the window
+// series, and derives the whole-run Global and Regions by merging it —
+// bit-identical to a non-windowed run by the merge invariant (pinned by
+// the estate windowed-parity test).
+func (ea *EstateAnalyzer) finishWindowed() (*EstateAnalysis, error) {
+	w := ea.win
+
+	// Seal the final windows. All stages have drained: no concurrent
+	// observers remain. An empty stream yields one empty window per
+	// stage (the regional windowed analyzers do the same in Finish), so
+	// the series always exists and the alignment checks below hold.
+	for _, ww := range w.regionW {
+		if _, err := ww.Finish(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range ea.contacts {
+		ea.contacts[i].finish(len(ea.firstSeen))
+		w.rangeDone[i] = append(w.rangeDone[i], ea.contacts[i].cs)
+	}
+	ea.trips.closeAll()
+	w.feedDone = append(w.feedDone, w.feedCur)
+
+	res := &EstateAnalysis{
+		Estate:    ea.estate,
+		Regions:   make([]*Analysis, len(ea.regional)),
+		WindowSec: w.w,
+	}
+
+	total := len(w.feedDone)
+	for i := range ea.cfg.Ranges {
+		if len(w.rangeDone[i]) != total {
+			return nil, fmt.Errorf("core: range %d finalised %d windows, feed %d", i, len(w.rangeDone[i]), total)
+		}
+	}
+	for i := range ea.regional {
+		if len(w.regionDone[i]) != total {
+			return nil, fmt.Errorf("core: region %d finalised %d windows, feed %d", i, len(w.regionDone[i]), total)
+		}
+	}
+
+	for len(w.assembled) < total {
+		w.assembled = append(w.assembled, ea.assembleWindow(len(w.assembled)))
+	}
+	if w.hook != nil {
+		for i := ea.winEmitted; i < total; i++ {
+			w.hook(w.k0+int64(i), w.assembled[i])
+		}
+		ea.winEmitted = total
+	}
+	res.FirstWindow = w.k0
+	res.Windows = w.assembled
+
+	// Whole-run regional analyses: merge each region's window series.
+	for i := range ea.regional {
+		merged, err := MergeAnalyses(w.regionDone[i])
+		if err != nil {
+			return nil, err
+		}
+		res.Regions[i] = merged
+	}
+
+	// Whole-run global: whole-stream summary plus merged window events.
+	global := &Analysis{
+		Land:     ea.estate,
+		Summary:  ea.buildGlobalSummary(),
+		Start:    ea.firstT,
+		End:      ea.lastT,
+		Contacts: make(map[float64]*ContactSet, len(ea.cfg.Ranges)),
+		Zones:    stats.NewWeighted(),
+	}
+	for i, r := range ea.cfg.Ranges {
+		merged := newContactSet(r, ea.tau)
+		for _, cs := range w.rangeDone[i] {
+			merged.mergeFrom(cs)
+		}
+		global.Contacts[r] = merged
+	}
+	var sess []closedSession
+	for _, ra := range res.Regions {
+		global.Zones.Merge(ra.Zones)
+	}
+	for _, fs := range w.feedDone {
+		sess = append(sess, fs.closed...)
+	}
+	global.Trips = buildTripStats(sess, nil)
+	res.Global = global
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// estateFixture simulates a short paper estate once and replays it for
+// every configuration under test.
+func estateFixture(t *testing.T, duration int64) ([]trace.Info, []*trace.Trace, []RegionMeta) {
+	t.Helper()
+	est := world.PaperEstate(17)
+	est.Duration = duration
+	src, err := world.NewEstateSource(est, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := src.Regions()
+	trs, err := trace.CollectEstate(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, err := RegionMetasFromInfos(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return infos, trs, metas
+}
+
+// TestEstateWindowedParity pins the estate half of the merge invariant:
+// a windowed estate run's whole-trace Global and Regions — derived by
+// merging the window series — are bit-identical to a non-windowed run,
+// and each region's window series merges back to its whole analysis.
+func TestEstateWindowedParity(t *testing.T) {
+	infos, trs, metas := estateFixture(t, 900)
+
+	run := func(window int64) *EstateAnalysis {
+		replay, err := trace.NewEstateReplay(infos, trs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ea, err := NewEstateAnalyzer("Paper Estate", metas, 10,
+			Config{Ranges: []float64{10, 80}, Window: window}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ea.Consume(context.Background(), replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	whole := run(0)
+	windowed := run(300)
+
+	// Ticks run T=10..900; T=900 opens window 3, so windows 0..3.
+	if got := len(windowed.Windows); got != 4 {
+		t.Fatalf("windows = %d, want 4", got)
+	}
+	if windowed.WindowSec != 300 || windowed.FirstWindow != 0 {
+		t.Fatalf("WindowSec/FirstWindow = %d/%d", windowed.WindowSec, windowed.FirstWindow)
+	}
+	for _, d := range DiffAnalyses(windowed.Global, whole.Global) {
+		t.Errorf("global: %s", d)
+	}
+	for i := range whole.Regions {
+		for _, d := range DiffAnalyses(windowed.Regions[i], whole.Regions[i]) {
+			t.Errorf("region %d: %s", i, d)
+		}
+	}
+
+	// Re-merging each region's window series reproduces its whole view.
+	for i := range whole.Regions {
+		var parts []*Analysis
+		for _, w := range windowed.Windows {
+			parts = append(parts, w.Regions[i])
+		}
+		merged, err := MergeAnalyses(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range DiffAnalyses(merged, whole.Regions[i]) {
+			t.Errorf("region %d remerge: %s", i, d)
+		}
+	}
+
+	// Window summaries partition the global stream.
+	snaps, uniq := 0, 0
+	for _, w := range windowed.Windows {
+		snaps += w.Global.Summary.Snapshots
+		uniq += w.Global.Summary.Unique
+	}
+	if snaps != whole.Global.Summary.Snapshots {
+		t.Errorf("window snapshots sum = %d, want %d", snaps, whole.Global.Summary.Snapshots)
+	}
+	if uniq != whole.Global.Summary.Unique {
+		t.Errorf("window new-user sum = %d, want %d", uniq, whole.Global.Summary.Unique)
+	}
+}
+
+// TestEstateWindowLiveHook: the hook receives every window, in order,
+// while the stream is being consumed, and the delivered windows are the
+// same objects as the final series.
+func TestEstateWindowLiveHook(t *testing.T) {
+	infos, trs, metas := estateFixture(t, 600)
+	replay, err := trace.NewEstateReplay(infos, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := NewEstateAnalyzer("Paper Estate", metas, 10,
+		Config{Ranges: []float64{10}, Window: 200}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ks []int64
+	var got []*EstateAnalysis
+	if err := ea.OnWindow(func(k int64, w *EstateAnalysis) {
+		ks = append(ks, k)
+		got = append(got, w)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ea.Consume(context.Background(), replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Windows) {
+		t.Fatalf("hook delivered %d windows, result has %d", len(got), len(res.Windows))
+	}
+	for i := range got {
+		if got[i] != res.Windows[i] {
+			t.Errorf("window %d: hook object differs from result object", i)
+		}
+		if ks[i] != res.FirstWindow+int64(i) {
+			t.Errorf("window %d delivered as k=%d, want %d", i, ks[i], res.FirstWindow+int64(i))
+		}
+	}
+	// Each window is internally consistent: global zones are the merge of
+	// the regional zones.
+	for i, w := range res.Windows {
+		n := 0
+		for _, r := range w.Regions {
+			n += r.Zones.N()
+		}
+		if w.Global.Zones.N() != n {
+			t.Errorf("window %d: global zones N=%d, regional sum %d", i, w.Global.Zones.N(), n)
+		}
+	}
+}
+
+// TestEstateOnWindowRequiresWindow: arming the hook without Window set
+// is an error, not a silent no-op.
+func TestEstateOnWindowRequiresWindow(t *testing.T) {
+	ea, err := NewEstateAnalyzer("e", twoRegionMetas(), 10, Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ea.OnWindow(func(int64, *EstateAnalysis) {}); err == nil {
+		t.Error("OnWindow succeeded on a non-windowed analyzer")
+	}
+}

@@ -35,6 +35,30 @@ func newNetMetrics(r float64) *NetMetrics {
 	return &NetMetrics{Range: r, Degrees: stats.NewWeighted(), Diameters: stats.NewWeighted()}
 }
 
+// Reset empties the accumulator while keeping its identity and internal
+// allocations — the resettable leg of the Accumulator contract.
+func (nm *NetMetrics) Reset() {
+	nm.Degrees.Reset()
+	nm.Diameters.Reset()
+	nm.Clusterings = nm.Clusterings[:0]
+}
+
+// mergeFrom appends another window's metrics. Degrees and diameters are
+// multisets; clustering coefficients are kept in snapshot order, so
+// windows must merge in time order to reproduce the whole-trace slice.
+func (nm *NetMetrics) mergeFrom(o *NetMetrics) {
+	nm.Degrees.Merge(o.Degrees)
+	nm.Diameters.Merge(o.Diameters)
+	nm.Clusterings = append(nm.Clusterings, o.Clusterings...)
+}
+
+// Clone returns an independent deep copy.
+func (nm *NetMetrics) Clone() *NetMetrics {
+	out := newNetMetrics(nm.Range)
+	out.mergeFrom(nm)
+	return out
+}
+
 // observe folds the workspace's current snapshot graph into the
 // metrics. Snapshots without users must be skipped by the caller.
 func (nm *NetMetrics) observe(ws *graph.Workspace) {

@@ -38,6 +38,9 @@ func DiffAnalyses(got, want *Analysis) []string {
 	if got.Summary != want.Summary {
 		addf("Summary = %+v, want %+v", got.Summary, want.Summary)
 	}
+	if got.Start != want.Start || got.End != want.End {
+		addf("Start/End = %d/%d, want %d/%d", got.Start, got.End, want.Start, want.End)
+	}
 	if len(got.Contacts) != len(want.Contacts) {
 		addf("contact ranges = %d, want %d", len(got.Contacts), len(want.Contacts))
 	}

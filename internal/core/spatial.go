@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"slmob/internal/trace"
 )
@@ -47,6 +48,8 @@ func ZoneOccupation(tr *trace.Trace, landSize, cellSize float64) ([]float64, err
 }
 
 // TripStats aggregates the per-session trip metrics of §3.2 (Fig. 4).
+// All three slices are kept in the canonical session order: login time,
+// then avatar ID.
 type TripStats struct {
 	// TravelLength is the distance covered by each session, computed as
 	// the sampled ground-plane path length from login to logout (Fig. 4a).
@@ -57,6 +60,33 @@ type TripStats struct {
 	// TravelTime is the total connection time per session (Fig. 4c, the
 	// "login time").
 	TravelTime []float64
+
+	// sess retains the per-session records with their (login, id) sort
+	// keys, so window TripStats can be merged back into the whole-trace
+	// ordering bit-identically.
+	sess []closedSession
+}
+
+// Clone returns an independent deep copy. The slices are already in
+// canonical order, so this is a plain copy — no re-sort. Empty slices
+// normalise to nil, matching what a fresh buildTripStats produces (the
+// parity tests compare TripStats with reflect.DeepEqual).
+func (ts *TripStats) Clone() *TripStats {
+	cloned := func(s []float64) []float64 {
+		if len(s) == 0 {
+			return nil
+		}
+		return slices.Clone(s)
+	}
+	out := &TripStats{
+		TravelLength:        cloned(ts.TravelLength),
+		EffectiveTravelTime: cloned(ts.EffectiveTravelTime),
+		TravelTime:          cloned(ts.TravelTime),
+	}
+	if len(ts.sess) > 0 {
+		out.sess = slices.Clone(ts.sess)
+	}
+	return out
 }
 
 // Trips computes trip metrics over the trace's sessions. A sample-to-
@@ -67,9 +97,8 @@ func Trips(tr *trace.Trace, moveEps float64, sessionGap int64) *TripStats {
 	if moveEps <= 0 {
 		moveEps = 0.5
 	}
-	ts := &TripStats{}
+	var closed []closedSession
 	for _, sess := range tr.Sessions(sessionGap) {
-		ts.TravelTime = append(ts.TravelTime, float64(sess.Duration()))
 		var length float64
 		var moving int64
 		var prev *trace.TimedPos
@@ -87,10 +116,15 @@ func Trips(tr *trace.Trace, moveEps float64, sessionGap int64) *TripStats {
 			}
 			prev = cur
 		}
-		ts.TravelLength = append(ts.TravelLength, length)
-		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(moving))
+		closed = append(closed, closedSession{
+			id:       sess.ID,
+			login:    sess.Login(),
+			duration: sess.Duration(),
+			length:   length,
+			moving:   moving,
+		})
 	}
-	return ts
+	return buildTripStats(closed, nil)
 }
 
 // NormalizeSeated returns a copy of the trace in which any sample at the

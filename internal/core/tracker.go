@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"slmob/internal/geom"
 	"slmob/internal/graph"
@@ -125,6 +125,14 @@ func (pt *pairTable) rehashed() bool {
 // per-snapshot "in contact now" map is replaced by generation stamps,
 // and end detection walks a compact active list (O(active), not O(pairs
 // ever seen)).
+//
+// The tracker is the state-machine half of the metric; the event sink is
+// the ContactSet bound with bind(). Every completed event — a contact
+// duration, an inter-contact gap, a first-contact wait, a new pair, a
+// censored interval — is emitted into the currently bound sink at the
+// snapshot at which it resolves, which is what lets windowed analytics
+// swap sinks at window boundaries and still have the merged windows
+// reproduce the whole-trace distributions bit-identically.
 type contactTracker struct {
 	tau int64
 	// gen is the snapshot ordinal; a pair with seenGen == gen is in
@@ -136,19 +144,25 @@ type contactTracker struct {
 	cs           *ContactSet
 }
 
-func newContactTracker(r float64, tau int64) *contactTracker {
+func newContactTracker(tau int64) *contactTracker {
 	return &contactTracker{
 		tau:          tau,
 		table:        newPairTable(),
 		firstContact: make(map[trace.AvatarID]int64),
-		cs:           newContactSet(r, tau),
 	}
 }
 
+// bind points the tracker's event emission at cs. Events already emitted
+// stay where they were — binding is how a window rollover redirects the
+// remainder of the stream into a fresh accumulator.
+func (c *contactTracker) bind(cs *ContactSet) { c.cs = cs }
+
 // observe advances the state machine with the proximity graph g over the
-// avatars ids at snapshot time t. first marks the stream's first
-// snapshot, whose ongoing contacts are left-censored.
-func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, first bool) {
+// avatars ids at snapshot time t. fsT holds each avatar's first-seen
+// time, aligned with ids, so first-contact waits are emitted the moment
+// the first contact happens. first marks the stream's first snapshot,
+// whose ongoing contacts are left-censored.
+func (c *contactTracker) observe(ids []trace.AvatarID, fsT []int64, g *graph.Graph, t int64, first bool) {
 	c.gen++
 	// Starts and continuations: every pair in range this snapshot gets
 	// the current generation stamp.
@@ -156,6 +170,7 @@ func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, 
 		if g.Degree(i) > 0 {
 			if _, ok := c.firstContact[ids[i]]; !ok {
 				c.firstContact[ids[i]] = t
+				c.cs.FT.Add(float64(t - fsT[i]))
 			}
 		}
 		for _, j := range g.Neighbors(i) {
@@ -214,17 +229,14 @@ func (c *contactTracker) observe(ids []trace.AvatarID, g *graph.Graph, t int64, 
 	}
 }
 
-// finish right-censors contacts still open at the end of the stream,
-// derives first-contact times from the avatars' first appearances, and
-// returns the completed ContactSet.
-func (c *contactTracker) finish(firstSeen map[trace.AvatarID]int64) *ContactSet {
+// finish right-censors contacts still open at the end of the stream and
+// derives the never-contacted count from the stream's total population,
+// emitting both into the currently bound sink (the final window).
+// totalSeen is the number of distinct avatars ever observed.
+func (c *contactTracker) finish(totalSeen int) *ContactSet {
 	c.cs.Censored += len(c.active)
-	for id, t0 := range firstSeen {
-		if tc, ok := c.firstContact[id]; ok {
-			c.cs.FT.Add(float64(tc - t0))
-		} else {
-			c.cs.NeverContacted++
-		}
+	if n := totalSeen - len(c.firstContact); n > 0 {
+		c.cs.NeverContacted += n
 	}
 	return c.cs
 }
@@ -232,21 +244,28 @@ func (c *contactTracker) finish(firstSeen map[trace.AvatarID]int64) *ContactSet 
 // tripTracker is the per-avatar sessionisation state machine shared by
 // the single-land Analyzer and the estate-global analysis: an avatar
 // absent longer than the session gap logs out and back in; displacement
-// above moveEps between consecutive samples counts as movement.
+// above moveEps between consecutive samples counts as movement. Closed
+// sessions are appended to the bound output list (*out) at the snapshot
+// their closure is detected — the window-attribution point.
 type tripTracker struct {
 	moveEps float64
 	gap     int64
 	open    map[trace.AvatarID]*sessionState
-	closed  []closedSession
+	out     *[]closedSession
 }
 
-func newTripTracker(moveEps float64, gap int64) *tripTracker {
+func newTripTracker(moveEps float64, gap int64, out *[]closedSession) *tripTracker {
 	return &tripTracker{
 		moveEps: moveEps,
 		gap:     gap,
 		open:    make(map[trace.AvatarID]*sessionState),
+		out:     out,
 	}
 }
+
+// bind redirects closed-session emission, the trip analogue of
+// contactTracker.bind.
+func (tt *tripTracker) bind(out *[]closedSession) { tt.out = out }
 
 // observe folds one avatar sample at snapshot time t into the tracker.
 // Seated samples keep the session alive but contribute no movement.
@@ -277,7 +296,7 @@ func (tt *tripTracker) observe(id trace.AvatarID, pos geom.Vec, seated bool, t i
 }
 
 func (tt *tripTracker) closeSession(id trace.AvatarID, ss *sessionState) {
-	tt.closed = append(tt.closed, closedSession{
+	*tt.out = append(*tt.out, closedSession{
 		id:       id,
 		login:    ss.login,
 		duration: ss.last - ss.login,
@@ -286,20 +305,42 @@ func (tt *tripTracker) closeSession(id trace.AvatarID, ss *sessionState) {
 	})
 }
 
-// finish closes open sessions and emits trips in the batch path's order
-// (login time, then avatar ID).
-func (tt *tripTracker) finish() *TripStats {
+// closeAll closes every open session into the bound output — the
+// end-of-stream flush feeding the final window.
+func (tt *tripTracker) closeAll() {
 	for id, ss := range tt.open {
 		tt.closeSession(id, ss)
 	}
-	sort.Slice(tt.closed, func(i, j int) bool {
-		if tt.closed[i].login != tt.closed[j].login {
-			return tt.closed[i].login < tt.closed[j].login
+}
+
+// buildTripStats sorts the closed sessions into the batch path's order
+// (login time, then avatar ID) and fills ts, reusing its slices. The
+// session records themselves are retained (copied) as merge keys, so
+// window TripStats can be re-merged into the whole-trace ordering.
+func buildTripStats(closed []closedSession, ts *TripStats) *TripStats {
+	if ts == nil {
+		ts = &TripStats{}
+	}
+	slices.SortFunc(closed, func(a, b closedSession) int {
+		if a.login != b.login {
+			if a.login < b.login {
+				return -1
+			}
+			return 1
 		}
-		return tt.closed[i].id < tt.closed[j].id
+		if a.id != b.id {
+			if a.id < b.id {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
-	ts := &TripStats{}
-	for _, cs := range tt.closed {
+	ts.TravelTime = ts.TravelTime[:0]
+	ts.TravelLength = ts.TravelLength[:0]
+	ts.EffectiveTravelTime = ts.EffectiveTravelTime[:0]
+	ts.sess = append(ts.sess[:0], closed...)
+	for _, cs := range closed {
 		ts.TravelTime = append(ts.TravelTime, float64(cs.duration))
 		ts.TravelLength = append(ts.TravelLength, cs.length)
 		ts.EffectiveTravelTime = append(ts.EffectiveTravelTime, float64(cs.moving))

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"slmob/internal/stats"
+	"slmob/internal/trace"
+)
+
+// WindowFunc receives one completed window. k is the absolute window
+// index (snapshot time / window length, so with hourly windows k mod 24
+// is the hour of day). In hook mode the *Analysis is transient: it is
+// only valid for the duration of the call, because its accumulators are
+// recycled for the next window — retain a.Clone() if needed.
+type WindowFunc func(k int64, an *Analysis)
+
+// WindowSeries is the result of a windowed analysis: one Analysis per
+// fixed window, in time order, including empty windows between the first
+// and last observed snapshot. Merging the whole series with
+// MergeAnalyses reproduces the whole-trace Analysis bit-identically —
+// the invariant the windowed-parity gate pins.
+type WindowSeries struct {
+	// Land labels the series.
+	Land string
+	// Window is the window length in seconds.
+	Window int64
+	// First is the absolute index of Windows[0]: window i of the series
+	// covers snapshot times [(First+i)·Window, (First+i+1)·Window).
+	First int64
+	// Windows holds one Analysis per window. Nil in hook mode.
+	Windows []*Analysis
+}
+
+// WindowedAnalyzer rolls a snapshot stream into fixed, absolute-time
+// aligned windows and emits one Analysis per window, sharing the plain
+// Analyzer's state machines across windows so that nothing is lost at a
+// boundary: a contact spanning three windows contributes its duration to
+// the window in which it ends, a session closes where its gap is
+// detected, and summing per-window events over all windows reproduces
+// the whole-trace analysis exactly.
+//
+// Two emission modes:
+//
+//   - Collection (default): each completed window is deep-copied and
+//     returned from Finish as a WindowSeries.
+//   - Hook (OnWindow): each completed window is handed to the callback
+//     as a transient value and the sink is recycled, so steady-state
+//     rollover performs zero heap allocations — the live-service path.
+type WindowedAnalyzer struct {
+	a      *Analyzer
+	window int64
+	hook   WindowFunc
+	// needHook marks an analyzer restored from a hook-mode checkpoint
+	// whose hook has not been re-registered: driving it would silently
+	// drop every window, so Observe and Finish refuse until OnWindow is
+	// called.
+	needHook bool
+
+	series   *WindowSeries
+	shell    *Analysis
+	spare    *sink
+	curIdx   int64
+	started  bool
+	finished bool
+}
+
+// NewWindowedAnalyzer builds a windowed analyzer over windows of the
+// given length in seconds (cfg.Window is ignored in favour of the
+// explicit parameter). Windows are aligned to absolute multiples of the
+// length, so 3600 yields clock-aligned hourly windows.
+func NewWindowedAnalyzer(land string, tau, window int64, cfg Config) (*WindowedAnalyzer, error) {
+	a, err := NewAnalyzer(land, tau, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newWindowedOver(a, window)
+}
+
+// newWindowedOver wraps an existing analyzer — how the estate analyzer
+// windows its per-region analyzers without re-validating their configs.
+func newWindowedOver(a *Analyzer, window int64) (*WindowedAnalyzer, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("core: non-positive window %d", window)
+	}
+	wa := &WindowedAnalyzer{
+		a:      a,
+		window: window,
+		series: &WindowSeries{Land: a.land, Window: window},
+	}
+	wa.spare = a.newSink()
+	return wa, nil
+}
+
+// OnWindow switches the analyzer to hook mode: every completed window is
+// delivered to fn and recycled instead of being collected. Must be
+// called before the first Observe (or, after a hook-mode restore,
+// before resuming).
+func (wa *WindowedAnalyzer) OnWindow(fn WindowFunc) {
+	wa.hook = fn
+	wa.needHook = false
+}
+
+// RequiresHook reports whether the analyzer was restored from a
+// hook-mode checkpoint and still needs its hook re-registered with
+// OnWindow before it can resume.
+func (wa *WindowedAnalyzer) RequiresHook() bool { return wa.needHook }
+
+// errNeedHook is the refusal both Observe and Finish issue for an
+// orphaned hook-mode restore.
+func errNeedHook() error {
+	return fmt.Errorf("core: windowed analyzer was checkpointed in hook mode; re-register its hook with OnWindow before resuming")
+}
+
+// Window returns the configured window length in seconds.
+func (wa *WindowedAnalyzer) Window() int64 { return wa.window }
+
+// maxWindowGap bounds how many empty windows a single snapshot may roll
+// past: a corrupt or hostile timestamp (t jumping by aeons) must be a
+// typed error, not an unbounded emit loop. A million windows covers any
+// legitimate gap (a year of 30 s windows).
+const maxWindowGap = 1 << 20
+
+// Observe folds one snapshot into the current window, first emitting any
+// windows the snapshot has moved past. Snapshot times must be
+// non-negative (absolute window alignment) and strictly increasing.
+func (wa *WindowedAnalyzer) Observe(snap trace.Snapshot) error {
+	if wa.finished {
+		return fmt.Errorf("core: Observe after Finish")
+	}
+	if wa.needHook {
+		return errNeedHook()
+	}
+	if snap.T < 0 {
+		return fmt.Errorf("core: negative snapshot time %d in windowed analysis", snap.T)
+	}
+	k := snap.T / wa.window
+	if !wa.started {
+		wa.started = true
+		wa.curIdx = k
+		wa.series.First = k
+	}
+	if k-wa.curIdx > maxWindowGap {
+		return fmt.Errorf("core: snapshot at t=%d skips %d windows (max %d) — corrupt timestamp?",
+			snap.T, k-wa.curIdx, maxWindowGap)
+	}
+	for wa.curIdx < k {
+		wa.emit(false)
+		wa.curIdx++
+	}
+	return wa.a.Observe(snap)
+}
+
+// emit closes the current window: it assembles the window's Analysis,
+// delivers it (hook or collection), and recycles the sink. With final
+// set, the end-of-stream events (right-censored contacts, open sessions,
+// the never-contacted population) are sealed into the window first.
+func (wa *WindowedAnalyzer) emit(final bool) {
+	if final {
+		wa.a.sealFinal()
+	}
+	old := wa.a.cur
+	wa.shell = wa.a.buildAnalysis(old, wa.shell)
+	if wa.hook != nil {
+		wa.hook(wa.curIdx, wa.shell)
+	} else {
+		wa.series.Windows = append(wa.series.Windows, wa.shell.Clone())
+	}
+	if final {
+		return
+	}
+	next := wa.spare
+	next.reset()
+	wa.a.bindSink(next)
+	wa.spare = old
+}
+
+// Finish seals the last window and returns the series. In hook mode the
+// final window is delivered to the callback and Windows stays nil. An
+// empty stream yields one empty window (at index 0), so the merged
+// series always exists and matches the plain analyzer's empty result.
+func (wa *WindowedAnalyzer) Finish() (*WindowSeries, error) {
+	if wa.finished {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	if wa.needHook {
+		return nil, errNeedHook()
+	}
+	wa.finished = true
+	wa.a.finished = true
+	wa.a.stopFan()
+	wa.emit(true)
+	return wa.series, nil
+}
+
+// Consume drains a snapshot source and finishes the series: the one-call
+// windowed pipeline. After a checkpoint restore, snapshots at or before
+// the checkpointed time are skipped.
+func (wa *WindowedAnalyzer) Consume(ctx context.Context, src trace.Source) (*WindowSeries, error) {
+	return wa.ConsumeWith(ctx, src, nil)
+}
+
+// ConsumeWith mirrors Analyzer.ConsumeWith: a drain with a
+// between-snapshots callback, range-fan workers wound down on every
+// exit path.
+func (wa *WindowedAnalyzer) ConsumeWith(ctx context.Context, src trace.Source, after func(t int64) error) (*WindowSeries, error) {
+	defer wa.a.stopFan()
+	for {
+		snap, err := src.Next(ctx)
+		if err == io.EOF {
+			return wa.Finish()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if wa.a.resuming && snap.T <= wa.a.resumeFrom {
+			continue
+		}
+		if err := wa.Observe(snap); err != nil {
+			return nil, err
+		}
+		if after != nil {
+			if err := after(snap.T); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// MergeAnalyses folds a time-ordered sequence of window analyses into
+// one — the whole-trace Analysis, reproduced bit-identically when the
+// parts are the complete window series of a single stream (the merge
+// parity gate pins this). The parts must share the land and range set;
+// clustering coefficients are concatenated in part order, so parts must
+// be passed in time order.
+//
+// The merge is also what lets shards combine order-independent metrics
+// without a shared accumulator: every distribution is a multiset, every
+// counter an event count, and the summary recomputes its mean from the
+// exact integer operands.
+func MergeAnalyses(parts []*Analysis) (*Analysis, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: no analyses to merge")
+	}
+	first := parts[0]
+	out := &Analysis{
+		Land:     first.Land,
+		Contacts: make(map[float64]*ContactSet, len(first.Contacts)),
+		Nets:     make(map[float64]*NetMetrics, len(first.Nets)),
+		Zones:    stats.NewWeighted(),
+		Trips:    &TripStats{},
+	}
+	for r, cs := range first.Contacts {
+		out.Contacts[r] = newContactSet(cs.Range, cs.Tau)
+	}
+	for r, nm := range first.Nets {
+		out.Nets[r] = newNetMetrics(nm.Range)
+	}
+	var sess []closedSession
+	startSet := false
+	for i, p := range parts {
+		if p.Land != first.Land {
+			return nil, fmt.Errorf("core: cannot merge analyses of %q and %q", first.Land, p.Land)
+		}
+		if len(p.Contacts) != len(first.Contacts) || len(p.Nets) != len(first.Nets) {
+			return nil, fmt.Errorf("core: part %d has a different range set", i)
+		}
+		out.Summary.Snapshots += p.Summary.Snapshots
+		out.Summary.TotalSamples += p.Summary.TotalSamples
+		out.Summary.Unique += p.Summary.Unique
+		if p.Summary.MaxConcurrent > out.Summary.MaxConcurrent {
+			out.Summary.MaxConcurrent = p.Summary.MaxConcurrent
+		}
+		if p.Summary.Snapshots > 0 {
+			if !startSet || p.Start < out.Start {
+				out.Start = p.Start
+			}
+			if !startSet || p.End > out.End {
+				out.End = p.End
+			}
+			startSet = true
+		}
+		for r, cs := range p.Contacts {
+			dst, ok := out.Contacts[r]
+			if !ok {
+				return nil, fmt.Errorf("core: part %d adds contact range %v", i, r)
+			}
+			dst.mergeFrom(cs)
+		}
+		for r, nm := range p.Nets {
+			dst, ok := out.Nets[r]
+			if !ok {
+				return nil, fmt.Errorf("core: part %d adds net range %v", i, r)
+			}
+			dst.mergeFrom(nm)
+		}
+		out.Zones.Merge(p.Zones)
+		if p.Trips != nil {
+			sess = append(sess, p.Trips.sess...)
+		}
+	}
+	out.Summary.Land = first.Land
+	if out.Summary.Snapshots >= 2 {
+		out.Summary.DurationSec = out.End - out.Start
+	}
+	if out.Summary.Snapshots > 0 {
+		out.Summary.MeanConcurrent = float64(out.Summary.TotalSamples) / float64(out.Summary.Snapshots)
+	}
+	out.Trips = buildTripStats(sess, out.Trips)
+	return out, nil
+}
+
+// Merge folds the whole series into the whole-trace Analysis.
+func (ws *WindowSeries) Merge() (*Analysis, error) {
+	return MergeAnalyses(ws.Windows)
+}

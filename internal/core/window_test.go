@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+// windowSnapshots builds a deterministic stream whose population churns:
+// avatars appear, meet, separate, idle, and leave, so contacts and
+// sessions regularly span window boundaries — the cases the merge
+// invariant must survive.
+func windowSnapshots(n int) []trace.Snapshot {
+	snaps := make([]trace.Snapshot, n)
+	for i := 0; i < n; i++ {
+		t := int64(i+1) * 10
+		var samples []trace.Sample
+		// A stable pair, in contact except every 7th snapshot.
+		if i%7 != 0 {
+			samples = append(samples,
+				trace.Sample{ID: 1, Pos: geom.V2(50, 50)},
+				trace.Sample{ID: 2, Pos: geom.V2(54, 50)})
+		} else {
+			samples = append(samples,
+				trace.Sample{ID: 1, Pos: geom.V2(50, 50)},
+				trace.Sample{ID: 2, Pos: geom.V2(200, 200)})
+		}
+		// A churner: present for 5 snapshots out of 9 (sessions split).
+		if i%9 < 5 {
+			samples = append(samples, trace.Sample{ID: 3, Pos: geom.V2(52+float64(i%5), 48)})
+		}
+		// A walker crossing the land, meeting the pair mid-journey.
+		samples = append(samples, trace.Sample{ID: 4, Pos: geom.V2(float64(4*(i%64)), 50)})
+		// A late joiner, seated at first.
+		if i > n/2 {
+			samples = append(samples, trace.Sample{ID: 5, Pos: geom.V2(10, 10), Seated: i < n/2+10})
+		}
+		snaps[i] = trace.Snapshot{T: t, Samples: samples}
+	}
+	return snaps
+}
+
+func runPlain(t *testing.T, snaps []trace.Snapshot, cfg Config) *Analysis {
+	t.Helper()
+	a, err := NewAnalyzer("win", 10, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range snaps {
+		if err := a.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	an, err := a.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func runWindowed(t *testing.T, snaps []trace.Snapshot, window int64, cfg Config) *WindowSeries {
+	t.Helper()
+	wa, err := NewWindowedAnalyzer("win", 10, window, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range snaps {
+		if err := wa.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := wa.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
+
+// TestWindowMergeParity pins the tentpole invariant: for several window
+// lengths — including ones that do not divide the stream evenly —
+// merging all window accumulators reproduces the whole-trace Analysis
+// bit-identically.
+func TestWindowMergeParity(t *testing.T) {
+	snaps := windowSnapshots(500)
+	cfg := Config{Ranges: []float64{10, 80}}
+	whole := runPlain(t, snaps, cfg)
+	for _, window := range []int64{60, 300, 777, 1200, 10000} {
+		ws := runWindowed(t, snaps, window, cfg)
+		merged, err := ws.Merge()
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		for _, d := range DiffAnalyses(merged, whole) {
+			t.Errorf("window=%d: %s", window, d)
+		}
+	}
+}
+
+// TestWindowSeriesShape: windows are contiguous, absolute-aligned, and
+// their per-window summaries partition the stream.
+func TestWindowSeriesShape(t *testing.T) {
+	snaps := windowSnapshots(120) // T in [10, 1200]
+	ws := runWindowed(t, snaps, 300, Config{Ranges: []float64{10}})
+	if ws.Window != 300 || ws.First != 0 {
+		t.Fatalf("Window/First = %d/%d, want 300/0", ws.Window, ws.First)
+	}
+	// T=10..1200 covers windows 0..4 (1200/300 = 4).
+	if len(ws.Windows) != 5 {
+		t.Fatalf("windows = %d, want 5", len(ws.Windows))
+	}
+	totalSnaps, totalNew := 0, 0
+	for i, w := range ws.Windows {
+		lo, hi := (ws.First+int64(i))*300, (ws.First+int64(i)+1)*300
+		if w.Summary.Snapshots > 0 && (w.Start < lo || w.End >= hi) {
+			t.Errorf("window %d spans [%d,%d], want within [%d,%d)", i, w.Start, w.End, lo, hi)
+		}
+		totalSnaps += w.Summary.Snapshots
+		totalNew += w.Summary.Unique
+	}
+	if totalSnaps != 120 {
+		t.Errorf("snapshots across windows = %d, want 120", totalSnaps)
+	}
+	if totalNew != 5 {
+		t.Errorf("new users across windows = %d, want 5", totalNew)
+	}
+}
+
+// TestWindowHookTransient: hook mode delivers every window exactly once,
+// in order, and the merge invariant holds for clones taken in the hook.
+func TestWindowHookTransient(t *testing.T) {
+	snaps := windowSnapshots(200)
+	cfg := Config{Ranges: []float64{10, 80}}
+	wa, err := NewWindowedAnalyzer("win", 10, 250, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ks []int64
+	var clones []*Analysis
+	wa.OnWindow(func(k int64, an *Analysis) {
+		ks = append(ks, k)
+		clones = append(clones, an.Clone())
+	})
+	for _, s := range snaps {
+		if err := wa.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := wa.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Windows != nil {
+		t.Error("hook mode must not collect")
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i] != ks[i-1]+1 {
+			t.Fatalf("window indices not contiguous: %v", ks)
+		}
+	}
+	merged, err := MergeAnalyses(clones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := runPlain(t, snaps, cfg)
+	for _, d := range DiffAnalyses(merged, whole) {
+		t.Error(d)
+	}
+}
+
+// TestWindowRolloverZeroAllocSteadyState pins the rollover satellite:
+// once the windowed analyzer has warmed up (every sink double-buffer has
+// seen every distinct value), observing a full window — rollover
+// included — allocates nothing in hook mode.
+func TestWindowRolloverZeroAllocSteadyState(t *testing.T) {
+	wa, err := NewWindowedAnalyzer("alloc", 10, 60, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	wa.OnWindow(func(_ int64, an *Analysis) {
+		// A realistic consumer: touch a counter and a quantile.
+		sum += float64(an.Contacts[BluetoothRange].Pairs)
+		if an.Zones.N() > 0 {
+			sum += an.Zones.Median()
+		}
+	})
+	warm := allocSnapshots(600)
+	for _, snap := range warm {
+		if err := wa.Observe(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const runs = 120 // 20 full windows of 6 snapshots
+	measured := allocSnapshots(600 + runs + 1)[600:]
+	i := 0
+	avg := testing.AllocsPerRun(runs, func() {
+		if err := wa.Observe(measured[i]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state windowed Observe (with rollovers) allocates %v per snapshot, want 0", avg)
+	}
+	if _, err := wa.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sum
+}
+
+// TestWindowGapBounded: a snapshot whose timestamp would roll past an
+// absurd number of windows is a typed error, not an unbounded emit loop.
+func TestWindowGapBounded(t *testing.T) {
+	wa, err := NewWindowedAnalyzer("gap", 10, 60, Config{Ranges: []float64{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Observe(trace.Snapshot{T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wa.Observe(trace.Snapshot{T: 1 << 50}); err == nil {
+		t.Fatal("absurd timestamp gap accepted")
+	}
+}
+
+// TestMergeAnalysesErrors: empty input and mismatched parts are rejected.
+func TestMergeAnalysesErrors(t *testing.T) {
+	if _, err := MergeAnalyses(nil); err == nil {
+		t.Error("merging nothing succeeded")
+	}
+	a := runPlain(t, windowSnapshots(20), Config{Ranges: []float64{10}})
+	b := runPlain(t, windowSnapshots(20), Config{Ranges: []float64{10, 80}})
+	if _, err := MergeAnalyses([]*Analysis{a, b}); err == nil {
+		t.Error("merging mismatched range sets succeeded")
+	}
+}

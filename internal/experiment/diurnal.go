@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"fmt"
+
+	"slmob/internal/core"
+	"slmob/internal/stats"
+)
+
+// DiurnalFigures renders the time-of-day view of a windowed analysis —
+// the structure a whole-trace ECDF hides: how population, contact
+// behaviour, and churn vary over the measurement day. One curve per
+// figure, X in hours since the epoch of the window grid (with hourly
+// windows over a day-long trace, X is the hour of day).
+//
+// Windows with no snapshots contribute gaps (the curve skips them), so a
+// partial-coverage trace plots honestly.
+func DiurnalFigures(ws *core.WindowSeries) ([]*core.Figure, error) {
+	if ws == nil || len(ws.Windows) == 0 {
+		return nil, fmt.Errorf("experiment: empty window series")
+	}
+	hours := func(i int) float64 {
+		return float64(ws.First+int64(i)) * float64(ws.Window) / 3600
+	}
+	curveOf := func(y func(*core.Analysis) (float64, bool)) stats.Curve {
+		var c stats.Curve
+		for i, w := range ws.Windows {
+			if w.Summary.Snapshots == 0 {
+				continue
+			}
+			v, ok := y(w)
+			if !ok {
+				continue
+			}
+			c = append(c, stats.Point{X: hours(i), Y: v})
+		}
+		return c
+	}
+	fig := func(id, title, ylabel string, y func(*core.Analysis) (float64, bool)) *core.Figure {
+		return &core.Figure{
+			ID:     id,
+			Title:  title,
+			XLabel: "Time of day (h)",
+			YLabel: ylabel,
+			Series: []core.Series{{Name: ws.Land, Curve: curveOf(y)}},
+		}
+	}
+
+	figs := []*core.Figure{
+		fig("figD1", "Diurnal population", "Mean concurrent users",
+			func(a *core.Analysis) (float64, bool) { return a.Summary.MeanConcurrent, true }),
+		fig("figD2", "Diurnal arrivals", "New users per window",
+			func(a *core.Analysis) (float64, bool) { return float64(a.Summary.Unique), true }),
+		fig("figD3", "Diurnal contact time, r=10m", "Median CT (s)",
+			func(a *core.Analysis) (float64, bool) {
+				cs, ok := a.Contacts[core.BluetoothRange]
+				if !ok || cs.CT.N() == 0 {
+					return 0, false
+				}
+				return cs.CT.Median(), true
+			}),
+		fig("figD4", "Diurnal contact pairs, r=10m", "New contact pairs per window",
+			func(a *core.Analysis) (float64, bool) {
+				cs, ok := a.Contacts[core.BluetoothRange]
+				if !ok {
+					return 0, false
+				}
+				return float64(cs.Pairs), true
+			}),
+		fig("figD5", "Diurnal sessions", "Sessions closed per window",
+			func(a *core.Analysis) (float64, bool) {
+				if a.Trips == nil {
+					return 0, false
+				}
+				return float64(len(a.Trips.TravelTime)), true
+			}),
+	}
+	return figs, nil
+}

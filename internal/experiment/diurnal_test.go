@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"slmob/internal/core"
+	"slmob/internal/world"
+)
+
+// TestDiurnalFigures: the windowed series of a short run renders one
+// point per non-empty window, on an hour axis anchored at the window
+// grid's epoch.
+func TestDiurnalFigures(t *testing.T) {
+	scn := world.DanceIsland(3)
+	scn.Duration = 7200 // two hours
+
+	src, err := world.NewSource(scn, core.PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, err := core.NewWindowedAnalyzer(scn.Land.Name, core.PaperTau, 1800, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := wa.Consume(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws.Windows) != 5 { // T=10..7200 touches windows 0..4
+		t.Fatalf("windows = %d, want 5", len(ws.Windows))
+	}
+
+	figs, err := DiurnalFigures(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 5 {
+		t.Fatalf("figures = %d, want 5", len(figs))
+	}
+	pop := figs[0]
+	if pop.ID != "figD1" || len(pop.Series) != 1 {
+		t.Fatalf("figD1 malformed: %+v", pop)
+	}
+	curve := pop.Series[0].Curve
+	if len(curve) != len(ws.Windows) {
+		t.Fatalf("population curve has %d points, want %d", len(curve), len(ws.Windows))
+	}
+	// X axis: half-hour windows → 0, 0.5, 1, 1.5, 2.
+	for i, p := range curve {
+		if want := 0.5 * float64(i); p.X != want {
+			t.Errorf("point %d at X=%v, want %v", i, p.X, want)
+		}
+		if p.Y <= 0 {
+			t.Errorf("point %d has non-positive population %v", i, p.Y)
+		}
+	}
+
+	if _, err := DiurnalFigures(&core.WindowSeries{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}

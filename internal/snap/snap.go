@@ -1,0 +1,322 @@
+// Package snap implements the versioned binary snapshot container behind
+// every checkpoint in the repository: the analyzer checkpoints written by
+// slmob.Checkpoint, the simulation state captured by world sources, and
+// any future accumulator that needs to survive a process death.
+//
+// A snapshot is a self-delimiting byte blob:
+//
+//	magic   [4]byte  "SLCK"
+//	version uvarint  container format version (currently 1)
+//	kind    uvarint  caller-defined payload kind
+//	payload ...      caller-defined, written with the Writer primitives
+//	crc32   [4]byte  IEEE checksum of everything before it, little-endian
+//
+// Decoding is hardened against hostile input: every read is bounds
+// checked, claimed element counts are validated against the remaining
+// payload size before any allocation, and every failure mode surfaces as
+// a typed *Error (never a panic) — the contract the checkpoint fuzz
+// harnesses pin.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the container format version this package writes and
+// accepts. Bump it when the envelope itself (not a payload) changes.
+const Version = 1
+
+var magic = [4]byte{'S', 'L', 'C', 'K'}
+
+// ErrKind classifies a snapshot decoding failure.
+type ErrKind uint8
+
+const (
+	// KindMagic: the blob does not start with the snapshot magic — it is
+	// not a snapshot at all.
+	KindMagic ErrKind = iota
+	// KindVersion: the container (or a payload) was written by an
+	// incompatible format version.
+	KindVersion
+	// KindChecksum: the trailing CRC does not match — the snapshot was
+	// corrupted at rest or in transit.
+	KindChecksum
+	// KindTruncated: the blob ends before a declared field or element.
+	KindTruncated
+	// KindMalformed: a field decodes but violates an invariant (NaN
+	// weight, zero multiplicity, inverted pair key, ...).
+	KindMalformed
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case KindMagic:
+		return "bad magic"
+	case KindVersion:
+		return "unsupported version"
+	case KindChecksum:
+		return "checksum mismatch"
+	case KindTruncated:
+		return "truncated"
+	default:
+		return "malformed"
+	}
+}
+
+// Error is the typed decoding failure every snapshot consumer returns:
+// corrupted, truncated, or version-skewed snapshots surface as one of
+// these, never as a panic or an untyped error.
+type Error struct {
+	Kind ErrKind
+	// Off is the payload offset at which the failure was detected.
+	Off int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("snap: %s at offset %d", e.Kind, e.Off)
+	}
+	return fmt.Sprintf("snap: %s at offset %d: %s", e.Kind, e.Off, e.Msg)
+}
+
+// Writer builds a snapshot in memory. The zero value is unusable;
+// construct with NewWriter.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter starts a snapshot of the given payload kind.
+func NewWriter(kind uint64) *Writer {
+	w := &Writer{buf: make([]byte, 0, 256)}
+	w.buf = append(w.buf, magic[:]...)
+	w.Uvarint(Version)
+	w.Uvarint(kind)
+	return w
+}
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a signed (zigzag) varint.
+func (w *Writer) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// U64 appends a fixed-width big-endian 64-bit word (rng states).
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// F64 appends a float64 as its IEEE bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends one byte, 0 or 1.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Finish seals the snapshot with its checksum and returns the blob. The
+// writer must not be used afterwards.
+func (w *Writer) Finish() []byte {
+	sum := crc32.ChecksumIEEE(w.buf)
+	return binary.LittleEndian.AppendUint32(w.buf, sum)
+}
+
+// Reader decodes a snapshot. Errors are sticky: after the first failure
+// every subsequent read returns zero values, so a decoder can run a
+// whole field sequence and check Err once per structure — but it MUST
+// check Err before trusting any value that guards an allocation or a
+// loop bound (Count does this internally).
+type Reader struct {
+	data []byte // payload only (magic/version/kind/crc stripped)
+	off  int
+	err  *Error
+	kind uint64
+}
+
+// NewReader validates the envelope — magic, container version, checksum
+// — and positions the reader at the start of the payload.
+func NewReader(blob []byte) (*Reader, error) {
+	if len(blob) < len(magic)+1 {
+		return nil, &Error{Kind: KindTruncated, Msg: "shorter than header"}
+	}
+	if [4]byte(blob[:4]) != magic {
+		return nil, &Error{Kind: KindMagic}
+	}
+	if len(blob) < len(magic)+4 {
+		return nil, &Error{Kind: KindTruncated, Msg: "no room for checksum"}
+	}
+	body, tail := blob[:len(blob)-4], blob[len(blob)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return nil, &Error{Kind: KindChecksum}
+	}
+	r := &Reader{data: body[4:]}
+	ver := r.Uvarint()
+	kind := r.Uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if ver != Version {
+		return nil, &Error{Kind: KindVersion, Msg: fmt.Sprintf("container version %d, want %d", ver, Version)}
+	}
+	r.kind = kind
+	return r, nil
+}
+
+// Kind returns the payload kind declared in the header.
+func (r *Reader) Kind() uint64 { return r.kind }
+
+// Err returns the sticky decoding error, nil while the stream is good.
+func (r *Reader) Err() error {
+	if r.err == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Remaining returns the number of undecoded payload bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// fail latches the first error.
+func (r *Reader) fail(kind ErrKind, msg string) {
+	if r.err == nil {
+		r.err = &Error{Kind: kind, Off: r.off, Msg: msg}
+	}
+}
+
+// Fail lets a payload decoder latch a malformed-content error at the
+// current offset (invariant violations the envelope cannot see).
+func (r *Reader) Fail(msg string) { r.fail(KindMalformed, msg) }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(KindTruncated, "uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed (zigzag) varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		r.fail(KindTruncated, "varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U64 reads a fixed-width big-endian 64-bit word.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.Remaining() < 8 {
+		r.fail(KindTruncated, "u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// F64 reads a float64 from its IEEE bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte; anything but 0 or 1 is malformed.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.Remaining() < 1 {
+		r.fail(KindTruncated, "bool")
+		return false
+	}
+	b := r.data[r.off]
+	r.off++
+	if b > 1 {
+		r.fail(KindMalformed, "bool byte out of range")
+		return false
+	}
+	return b == 1
+}
+
+// Bytes reads a length-prefixed byte slice. The declared length is
+// validated against the remaining payload before allocating.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(KindTruncated, "byte slice longer than payload")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.data[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	if r.err != nil {
+		return ""
+	}
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.Remaining()) {
+		r.fail(KindTruncated, "string longer than payload")
+		return ""
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Count reads an element count whose elements each occupy at least
+// minBytes encoded bytes, rejecting counts the remaining payload cannot
+// possibly hold — the guard that keeps a corrupted length prefix from
+// turning into a multi-gigabyte allocation.
+func (r *Reader) Count(minBytes int) int {
+	n := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if n > uint64(r.Remaining()/minBytes) {
+		r.fail(KindTruncated, "count exceeds remaining payload")
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,153 @@
+package snap
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRoundTrip exercises every primitive through a full write/read
+// cycle.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(7)
+	w.Uvarint(12345)
+	w.Varint(-987)
+	w.U64(0xDEADBEEFCAFEF00D)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	blob := w.Finish()
+
+	r, err := NewReader(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != 7 {
+		t.Errorf("kind = %d, want 7", r.Kind())
+	}
+	if v := r.Uvarint(); v != 12345 {
+		t.Errorf("uvarint = %d", v)
+	}
+	if v := r.Varint(); v != -987 {
+		t.Errorf("varint = %d", v)
+	}
+	if v := r.U64(); v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("u64 = %x", v)
+	}
+	if v := r.F64(); v != 3.14159 {
+		t.Errorf("f64 = %v", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("bools did not round-trip")
+	}
+	if b := r.Bytes(); len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("bytes = %v", b)
+	}
+	if s := r.String(); s != "hello" {
+		t.Errorf("string = %q", s)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("remaining = %d", r.Remaining())
+	}
+}
+
+func kindOf(t *testing.T, err error) ErrKind {
+	t.Helper()
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *snap.Error", err)
+	}
+	return se.Kind
+}
+
+// TestEnvelopeErrors pins the typed failure for each envelope defect.
+func TestEnvelopeErrors(t *testing.T) {
+	w := NewWriter(1)
+	w.String("payload")
+	good := w.Finish()
+
+	if _, err := NewReader(nil); kindOf(t, err) != KindTruncated {
+		t.Error("nil blob: want truncated")
+	}
+	if _, err := NewReader([]byte("NOPE-not-a-snapshot")); kindOf(t, err) != KindMagic {
+		t.Error("bad magic: want magic error")
+	}
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), good...)
+	bad[6] ^= 0xFF
+	if _, err := NewReader(bad); kindOf(t, err) != KindChecksum {
+		t.Error("flipped byte: want checksum error")
+	}
+	// Truncate mid-payload: the checksum is gone or wrong.
+	if _, err := NewReader(good[:len(good)-6]); err == nil {
+		t.Error("truncated blob decoded")
+	}
+	// Future container version.
+	vw := &Writer{buf: append([]byte(nil), 'S', 'L', 'C', 'K')}
+	vw.Uvarint(Version + 1)
+	vw.Uvarint(0)
+	if _, err := NewReader(vw.Finish()); kindOf(t, err) != KindVersion {
+		t.Error("future version: want version error")
+	}
+}
+
+// TestStickyErrors: after the first failure every read returns zero
+// values and the original error is preserved.
+func TestStickyErrors(t *testing.T) {
+	w := NewWriter(1)
+	w.Uvarint(5)
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Uvarint() // consumes the only field
+	if v := r.U64(); v != 0 {
+		t.Errorf("u64 past end = %d", v)
+	}
+	first := r.Err()
+	if kindOf(t, first) != KindTruncated {
+		t.Fatalf("err = %v", first)
+	}
+	r.Fail("later failure")
+	if !errors.Is(r.Err(), first) && r.Err().Error() != first.Error() {
+		t.Error("first error not preserved")
+	}
+}
+
+// TestCountGuard: a corrupted count larger than the payload must fail
+// before allocating.
+func TestCountGuard(t *testing.T) {
+	w := NewWriter(1)
+	w.Uvarint(1 << 40) // claims a trillion elements
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Count(8); n != 0 {
+		t.Errorf("count = %d, want 0", n)
+	}
+	if kindOf(t, r.Err()) != KindTruncated {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+// TestBytesGuard: a length prefix past the payload end fails typed.
+func TestBytesGuard(t *testing.T) {
+	w := NewWriter(1)
+	w.Uvarint(1000)
+	w.buf = append(w.buf, 1, 2, 3)
+	r, err := NewReader(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := r.Bytes(); b != nil {
+		t.Errorf("bytes = %v", b)
+	}
+	if kindOf(t, r.Err()) != KindTruncated {
+		t.Errorf("err = %v", r.Err())
+	}
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"slmob/internal/snap"
+)
+
+// TestMergeEquivalence pins the mergeable half of the Accumulator
+// contract: a merged accumulator must be bit-identical — ECDF, quantile,
+// curve, and summary — to a single accumulator fed the concatenated
+// stream, including empty parts and parts with overlapping support.
+func TestMergeEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"disjoint support", []float64{10, 20, 20, 30}, []float64{40, 50, 50}},
+		{"overlapping support", []float64{10, 20, 20, 30}, []float64{20, 30, 30, 10}},
+		{"identical support", []float64{1, 2, 3}, []float64{3, 2, 1}},
+		{"left empty", nil, []float64{5, 5, 7}},
+		{"right empty", []float64{5, 5, 7}, nil},
+		{"both empty", nil, nil},
+		{"negative and zero", []float64{-3, 0, 0, 2}, []float64{0, -3, 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			merged := WeightedOf(tc.a...)
+			merged.Merge(WeightedOf(tc.b...))
+
+			whole := WeightedOf(append(append([]float64(nil), tc.a...), tc.b...)...)
+
+			if !merged.Equal(whole) {
+				t.Fatalf("merged multiset != concatenated multiset")
+			}
+			if merged.N() != whole.N() || merged.Distinct() != whole.Distinct() {
+				t.Fatalf("N/Distinct = %d/%d, want %d/%d",
+					merged.N(), merged.Distinct(), whole.N(), whole.Distinct())
+			}
+			if !reflect.DeepEqual(merged.CDFCurve(), whole.CDFCurve()) {
+				t.Error("CDF curves differ")
+			}
+			if !reflect.DeepEqual(merged.CCDFCurve(), whole.CCDFCurve()) {
+				t.Error("CCDF curves differ")
+			}
+			if !reflect.DeepEqual(merged.Values(), whole.Values()) {
+				t.Error("materialised values differ")
+			}
+			for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.98, 1} {
+				if whole.N() == 0 {
+					break
+				}
+				if got, want := merged.Quantile(p), whole.Quantile(p); got != want {
+					t.Errorf("quantile(%g) = %v, want %v", p, got, want)
+				}
+			}
+			if whole.N() > 0 && merged.Summary() != whole.Summary() {
+				t.Errorf("summary = %+v, want %+v", merged.Summary(), whole.Summary())
+			}
+		})
+	}
+}
+
+// TestMergeNil: merging a nil accumulator is a no-op.
+func TestMergeNil(t *testing.T) {
+	w := WeightedOf(1, 2)
+	w.Merge(nil)
+	if w.N() != 2 {
+		t.Errorf("N = %d after nil merge", w.N())
+	}
+}
+
+// TestResetReuse pins the resettable half of the contract: Reset empties
+// the accumulator, and re-adding previously seen values allocates
+// nothing.
+func TestResetReuse(t *testing.T) {
+	w := NewWeighted()
+	for i := 0; i < 100; i++ {
+		w.Add(float64(i % 10))
+	}
+	w.Median() // populate the sorted view
+	w.Reset()
+	if w.N() != 0 || w.Distinct() != 0 {
+		t.Fatalf("after Reset: N=%d Distinct=%d", w.N(), w.Distinct())
+	}
+	if got := w.CDF(5); got != 0 {
+		t.Errorf("CDF after Reset = %v", got)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		w.Add(3)
+		w.Add(7)
+	})
+	if avg != 0 {
+		t.Errorf("re-adding seen values after Reset allocates %v", avg)
+	}
+	w.Reset()
+	w.Add(4)
+	if w.N() != 1 || w.CountOf(4) != 1 {
+		t.Errorf("accumulator unusable after second Reset")
+	}
+}
+
+// TestWeightedSnapshotRoundTrip: Encode/Decode preserve the multiset
+// exactly.
+func TestWeightedSnapshotRoundTrip(t *testing.T) {
+	w := WeightedOf(10, 20, 20, 30, 30, 30, -1.5, 0)
+	sw := snap.NewWriter(99)
+	w.Encode(sw)
+	EncodeSample(sw, []float64{0.5, 0.25, 1})
+	r, err := snap.NewReader(sw.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecodeWeighted(r)
+	xs := DecodeSample(r)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(w) {
+		t.Error("decoded multiset differs")
+	}
+	if !reflect.DeepEqual(xs, []float64{0.5, 0.25, 1}) {
+		t.Errorf("sample = %v", xs)
+	}
+}
+
+// TestWeightedSnapshotRejects: zero multiplicities and NaN values are
+// typed malformed errors, never panics.
+func TestWeightedSnapshotRejects(t *testing.T) {
+	check := func(name string, build func(sw *snap.Writer)) {
+		t.Helper()
+		sw := snap.NewWriter(99)
+		build(sw)
+		r, err := snap.NewReader(sw.Finish())
+		if err != nil {
+			t.Fatal(err)
+		}
+		DecodeWeighted(r)
+		var se *snap.Error
+		if !errors.As(r.Err(), &se) {
+			t.Errorf("%s: err = %v, want *snap.Error", name, r.Err())
+		}
+	}
+	check("zero multiplicity", func(sw *snap.Writer) {
+		sw.Uvarint(1)
+		sw.F64(5)
+		sw.Uvarint(0)
+	})
+	check("NaN value", func(sw *snap.Writer) {
+		sw.Uvarint(1)
+		sw.F64(nan())
+		sw.Uvarint(1)
+	})
+	check("duplicate value", func(sw *snap.Writer) {
+		sw.Uvarint(2)
+		sw.F64(5)
+		sw.Uvarint(1)
+		sw.F64(5)
+		sw.Uvarint(2)
+	})
+	check("count past payload", func(sw *snap.Writer) {
+		sw.Uvarint(1 << 50)
+	})
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

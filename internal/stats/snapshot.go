@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+
+	"slmob/internal/snap"
+)
+
+// Encode appends the accumulator's multiset to a snapshot: the distinct
+// count, then one (value, multiplicity) pair per distinct value. The
+// serializable third of the core.Accumulator contract.
+func (w *Weighted) Encode(sw *snap.Writer) {
+	sw.Uvarint(uint64(len(w.counts)))
+	for v, c := range w.counts {
+		sw.F64(v)
+		sw.Uvarint(uint64(c))
+	}
+}
+
+// DecodeWeighted reads an accumulator previously written with Encode.
+// Invariant violations — NaN values, zero multiplicities, duplicate
+// values — latch a typed malformed error on the reader; the caller
+// checks r.Err once per structure.
+func DecodeWeighted(r *snap.Reader) *Weighted {
+	// Each distinct value occupies at least 9 bytes (8-byte value + a
+	// one-byte-minimum multiplicity).
+	n := r.Count(9)
+	w := NewWeighted()
+	for i := 0; i < n; i++ {
+		v := r.F64()
+		c := r.Uvarint()
+		if r.Err() != nil {
+			return w
+		}
+		if math.IsNaN(v) {
+			r.Fail("NaN in weighted distribution")
+			return w
+		}
+		if c == 0 || c > math.MaxInt64 {
+			r.Fail("weighted multiplicity out of range")
+			return w
+		}
+		if _, dup := w.counts[v]; dup {
+			r.Fail("duplicate value in weighted distribution")
+			return w
+		}
+		w.AddN(v, int64(c))
+	}
+	return w
+}
+
+// EncodeSample appends a plain float64 sample (clustering coefficients,
+// trip metrics) to a snapshot.
+func EncodeSample(sw *snap.Writer, xs []float64) {
+	sw.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		sw.F64(x)
+	}
+}
+
+// DecodeSample reads a sample written with EncodeSample.
+func DecodeSample(r *snap.Reader) []float64 {
+	n := r.Count(8)
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, r.F64())
+	}
+	if r.Err() != nil {
+		return nil
+	}
+	return xs
+}

@@ -62,8 +62,14 @@ func (w *Weighted) AddN(v float64, n int64) {
 	w.dirty = true
 }
 
-// MergeFrom folds every observation of o into w.
-func (w *Weighted) MergeFrom(o *Weighted) {
+// Merge folds every observation of o into w. Because the accumulator is
+// a canonical multiset, a merged accumulator is bit-identical — same
+// ECDF, quantiles, and figure curves — to a single accumulator fed the
+// two streams concatenated in any order; the equivalence tests pin it.
+// Merge is the mergeable half of the core.Accumulator contract: it is
+// what lets windowed analytics reassemble a whole-trace analysis from
+// its windows and estate shards combine order-independent metrics.
+func (w *Weighted) Merge(o *Weighted) {
 	if o == nil {
 		return
 	}
@@ -72,10 +78,22 @@ func (w *Weighted) MergeFrom(o *Weighted) {
 	}
 }
 
+// Reset empties the accumulator while retaining every internal
+// allocation (hash buckets, sorted-view buffers), so a window
+// accumulator can be recycled without touching the heap: re-adding a
+// previously seen value after Reset allocates nothing.
+func (w *Weighted) Reset() {
+	clear(w.counts)
+	w.n = 0
+	w.sorted = w.sorted[:0]
+	w.cum = w.cum[:0]
+	w.dirty = true
+}
+
 // Clone returns an independent copy.
 func (w *Weighted) Clone() *Weighted {
 	c := NewWeighted()
-	c.MergeFrom(w)
+	c.Merge(w)
 	return c
 }
 

@@ -94,7 +94,7 @@ func TestWeightedMergeAndEqual(t *testing.T) {
 	a := WeightedOf(1, 2, 2, 3)
 	b := WeightedOf(2, 3, 3)
 	m := a.Clone()
-	m.MergeFrom(b)
+	m.Merge(b)
 	want := WeightedOf(1, 2, 2, 2, 3, 3, 3)
 	if !m.Equal(want) {
 		t.Errorf("merge = %v, want %v", m.Values(), want.Values())

@@ -90,6 +90,23 @@ type Described interface {
 	Info() Info
 }
 
+// Stateful is implemented by sources whose position and internal state
+// can be captured and restored — the producer half of checkpoint/resume.
+// The in-process simulation source implements it (its snapshot carries
+// the full world state, avatar rng streams included), so a resumed run
+// continues mid-stream instead of re-simulating from zero. Sources that
+// do not implement it (file streams, live crawls) are resumed by
+// replaying from the start and letting the analyzer skip the
+// already-observed prefix by snapshot time.
+type Stateful interface {
+	// SnapshotState captures the source's state between Next calls.
+	SnapshotState() ([]byte, error)
+	// RestoreState rebuilds the state captured by SnapshotState. It must
+	// be called on a source constructed with the same parameters
+	// (scenario, tau); implementations reject mismatches.
+	RestoreState(data []byte) error
+}
+
 // ReplaySource streams the snapshots of an in-memory trace. Snapshots are
 // not cloned: the consumer must not mutate them.
 type ReplaySource struct {

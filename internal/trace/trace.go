@@ -100,6 +100,11 @@ type Summary struct {
 	Unique         int
 	MeanConcurrent float64
 	MaxConcurrent  int
+	// TotalSamples counts every (avatar, snapshot) observation — the
+	// numerator behind MeanConcurrent, carried explicitly so merged
+	// window summaries recompute the mean from exact integer operands
+	// instead of averaging averages.
+	TotalSamples int
 }
 
 // Summarize computes the population summary.
@@ -113,15 +118,14 @@ func (tr *Trace) Summarize() Summary {
 	if len(tr.Snapshots) == 0 {
 		return sum
 	}
-	total := 0
 	for _, s := range tr.Snapshots {
 		n := len(s.Samples)
-		total += n
+		sum.TotalSamples += n
 		if n > sum.MaxConcurrent {
 			sum.MaxConcurrent = n
 		}
 	}
-	sum.MeanConcurrent = float64(total) / float64(len(tr.Snapshots))
+	sum.MeanConcurrent = float64(sum.TotalSamples) / float64(len(tr.Snapshots))
 	return sum
 }
 

@@ -1,0 +1,154 @@
+package world
+
+import (
+	"fmt"
+
+	"slmob/internal/snap"
+	"slmob/internal/trace"
+)
+
+// Source checkpointing: the producer half of the pipeline's
+// checkpoint/resume. The snapshot carries the complete simulation state
+// — every resident avatar (kinematics, session timers, odometry, and its
+// personal rng stream via the capsule codec), the arrival and root rng
+// streams, the clock, and the login counters — so a restored source
+// continues the exact same snapshot sequence mid-stream, bit-identical
+// to a run that was never interrupted.
+//
+// The ground-truth departure log (Sim.Departed) is intentionally not
+// carried: it grows with the run, is only read by calibration
+// diagnostics, and does not influence the emitted snapshots.
+
+// kindWorldSource is this payload's snap container kind (mirrors
+// core.KindWorldSource).
+const kindWorldSource uint64 = 3
+
+// worldCheckpointVersion guards the payload layout.
+const worldCheckpointVersion = 1
+
+// SnapshotState implements trace.Stateful: it captures the simulation
+// between Next calls. A simulation hosting monitor-controlled (external)
+// avatars cannot be checkpointed — the monitors' connections cannot be
+// serialised.
+func (s *Source) SnapshotState() ([]byte, error) {
+	sim := s.sim
+	if len(sim.externals) > 0 {
+		return nil, fmt.Errorf("world: cannot checkpoint a simulation with %d external avatars", len(sim.externals))
+	}
+	w := snap.NewWriter(kindWorldSource)
+	w.Uvarint(worldCheckpointVersion)
+	// Identity guard: a checkpoint only restores onto the same scenario.
+	w.String(sim.scn.Land.Name)
+	w.U64(sim.scn.Seed)
+	w.Varint(sim.scn.Duration)
+	w.Varint(s.tau)
+
+	w.Varint(sim.t)
+	w.Uvarint(sim.nextID)
+	w.Uvarint(sim.idBase)
+	w.Varint(int64(sim.totalLogins))
+	w.Varint(int64(sim.rejectedLogins))
+	w.Varint(int64(sim.peak))
+	for _, word := range sim.root.State() {
+		w.U64(word)
+	}
+	for _, word := range sim.arrRng.State() {
+		w.U64(word)
+	}
+	w.Uvarint(uint64(len(sim.avatars)))
+	for _, a := range sim.avatars {
+		w.Bytes(encodeAvatar(a))
+		w.Varint(int64(a.seat))
+		w.Varint(int64(a.crossTo))
+	}
+	return w.Finish(), nil
+}
+
+// RestoreState implements trace.Stateful. The source must have been
+// constructed from the same scenario and tau the checkpoint was taken
+// with; corrupted or mismatched snapshots return typed errors.
+func (s *Source) RestoreState(data []byte) error {
+	r, err := snap.NewReader(data)
+	if err != nil {
+		return err
+	}
+	if r.Kind() != kindWorldSource {
+		return &snap.Error{Kind: snap.KindMalformed, Msg: fmt.Sprintf("payload kind %d is not a world-source checkpoint", r.Kind())}
+	}
+	if v := r.Uvarint(); r.Err() == nil && v != worldCheckpointVersion {
+		return &snap.Error{Kind: snap.KindVersion, Msg: fmt.Sprintf("world checkpoint version %d, want %d", v, worldCheckpointVersion)}
+	}
+	sim := s.sim
+	land := r.String()
+	seed := r.U64()
+	duration := r.Varint()
+	tau := r.Varint()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if land != sim.scn.Land.Name || seed != sim.scn.Seed || duration != sim.scn.Duration || tau != s.tau {
+		return fmt.Errorf("world: checkpoint is for %q seed=%d duration=%d tau=%d, source runs %q seed=%d duration=%d tau=%d",
+			land, seed, duration, tau, sim.scn.Land.Name, sim.scn.Seed, sim.scn.Duration, s.tau)
+	}
+
+	t := r.Varint()
+	nextID := r.Uvarint()
+	idBase := r.Uvarint()
+	totalLogins := int(r.Varint())
+	rejectedLogins := int(r.Varint())
+	peak := int(r.Varint())
+	var rootState, arrState [4]uint64
+	for i := range rootState {
+		rootState[i] = r.U64()
+	}
+	for i := range arrState {
+		arrState[i] = r.U64()
+	}
+	na := r.Count(capsuleSize + 2)
+	avatars := make([]*avatar, 0, na)
+	for i := 0; i < na; i++ {
+		capsule := r.Bytes()
+		seat := r.Varint()
+		crossTo := r.Varint()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		a, err := decodeAvatar(capsule)
+		if err != nil {
+			return &snap.Error{Kind: snap.KindMalformed, Msg: err.Error()}
+		}
+		if seat < -1 || seat >= int64(len(sim.scn.Land.SitSpots)) {
+			return &snap.Error{Kind: snap.KindMalformed, Msg: "avatar seat out of range"}
+		}
+		if crossTo < -1 {
+			return &snap.Error{Kind: snap.KindMalformed, Msg: "avatar crossTo out of range"}
+		}
+		a.seat = int(seat)
+		a.crossTo = int(crossTo)
+		avatars = append(avatars, a)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if t < 0 || totalLogins < 0 || rejectedLogins < 0 || peak < 0 {
+		return &snap.Error{Kind: snap.KindMalformed, Msg: "negative simulation counter"}
+	}
+
+	sim.t = t
+	sim.nextID = nextID
+	sim.idBase = idBase
+	sim.totalLogins = totalLogins
+	sim.rejectedLogins = rejectedLogins
+	sim.peak = peak
+	sim.root.Restore(rootState)
+	sim.arrRng.Restore(arrState)
+	sim.avatars = avatars
+	sim.departed = nil
+	return nil
+}
+
+// Compile-time interface checks.
+var (
+	_ trace.Stateful  = (*Source)(nil)
+	_ trace.Described = (*Source)(nil)
+)

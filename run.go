@@ -30,7 +30,20 @@ type (
 	EstateSource = trace.EstateSource
 	// EstateTick is one shared-clock tick across every region.
 	EstateTick = trace.EstateTick
+	// WindowedAnalyzer rolls a stream into fixed time windows; merging
+	// the windows reproduces the whole-trace Analysis bit-identically.
+	WindowedAnalyzer = core.WindowedAnalyzer
+	// WindowSeries is one Analysis per window, in time order.
+	WindowSeries = core.WindowSeries
 )
+
+// MergeAnalyses folds a time-ordered window series (or any set of
+// analyses over disjoint streams of the same land and range set) into
+// one Analysis. For the complete window series of a single stream the
+// result is bit-identical to the whole-trace analysis.
+func MergeAnalyses(parts []*Analysis) (*Analysis, error) {
+	return core.MergeAnalyses(parts)
+}
 
 // Option configures a streaming run. Options follow the functional-
 // options idiom: Run(ctx, scn, WithTau(10), WithRanges(10, 80)).
@@ -43,6 +56,15 @@ type options struct {
 	cfg           core.Config
 	parallel      int
 	regionWorkers int
+
+	// Windowed analytics.
+	windowFn       core.WindowFunc
+	estateWindowFn func(k int64, w *EstateAnalysis)
+
+	// Checkpoint/resume.
+	ckptPath  string
+	ckptEvery int64
+	resume    string
 
 	// Live-service options (ServeEstate / AnalyzeEstateLive).
 	warp          float64
@@ -171,6 +193,56 @@ func WithAnalysisConfig(cfg AnalysisConfig) Option {
 	return func(o *options) { o.cfg = cfg }
 }
 
+// WithWindow slices the measurement into fixed windows of the given
+// length in simulated seconds, aligned to absolute time (3600 gives
+// clock-aligned hourly windows). RunWindows and AnalyzeWindows require
+// it; RunEstate, AnalyzeEstateStream, and AnalyzeEstateLive populate the
+// result's Windows series when it is set. Merging all windows of a
+// stream reproduces the whole-trace analysis bit-identically.
+func WithWindow(seconds int64) Option {
+	return func(o *options) { o.cfg.Window = seconds }
+}
+
+// WithWindowFunc streams completed windows to fn while a windowed
+// single-land run is still consuming. The *Analysis handed to fn is
+// transient — its accumulators are recycled for the next window (the
+// allocation-free rollover path); Clone it to retain. With a hook set,
+// RunWindows/AnalyzeWindows return a series with nil Windows.
+func WithWindowFunc(fn func(k int64, an *Analysis)) Option {
+	return func(o *options) { o.windowFn = fn }
+}
+
+// WithEstateWindowFunc streams completed estate windows to fn while a
+// windowed estate run (WithWindow) is still consuming — the live
+// per-window exposure of a served estate. Unlike the single-land hook,
+// the delivered values are retained: they are the same objects returned
+// in EstateAnalysis.Windows.
+func WithEstateWindowFunc(fn func(k int64, w *EstateAnalysis)) Option {
+	return func(o *options) { o.estateWindowFn = fn }
+}
+
+// WithCheckpointEvery writes a crash-safe checkpoint of the full
+// pipeline state — analyzer, and for checkpointable sources (in-process
+// simulations) the world state too, rng streams included — to path
+// every `every` simulated seconds, atomically (write-then-rename). A run
+// killed between checkpoints resumes from the file with WithResumeFrom
+// and finishes with a digest identical to an uninterrupted run.
+// Supported by Run, AnalyzeStream, RunWindows, and AnalyzeWindows.
+func WithCheckpointEvery(path string, every int64) Option {
+	return func(o *options) { o.ckptPath = path; o.ckptEvery = every }
+}
+
+// WithResumeFrom restores the pipeline from a checkpoint file before
+// consuming. The analyzer's configuration (land, τ, ranges, windows)
+// comes from the checkpoint; analysis options passed alongside are
+// ignored. If the checkpoint carries source state and the source
+// supports restoration, the source fast-forwards; otherwise the source
+// replays from the start and the analyzer skips the already-observed
+// prefix by snapshot time.
+func WithResumeFrom(path string) Option {
+	return func(o *options) { o.resume = path }
+}
+
 // Run simulates the scenario and analyses it as one streaming pipeline:
 // snapshots flow from the in-process simulation straight into the
 // incremental analyzer. Pipeline state stays O(avatars + contact pairs)
@@ -186,15 +258,75 @@ func Run(ctx context.Context, scn Scenario, opts ...Option) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	var a *core.Analyzer
+	if o.resume != "" {
+		if a, err = resumeAnalyzer(o, src); err != nil {
+			return nil, err
+		}
+	} else {
+		cfg := o.cfg
+		if cfg.LandSize == 0 {
+			cfg.LandSize = scn.Land.Size
+		}
+		if a, err = core.NewAnalyzer(scn.Land.Name, o.tau, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return runAnalyzer(ctx, a, src, o)
+}
+
+// RunWindows is Run with windowed analytics: the measurement is sliced
+// into WithWindow-sized absolute-time windows and one Analysis per
+// window is returned. Merging the series (WindowSeries.Merge) reproduces
+// the Run result bit-identically. With WithWindowFunc the windows stream
+// to the hook instead of being collected.
+func RunWindows(ctx context.Context, scn Scenario, opts ...Option) (*WindowSeries, error) {
+	o := buildOptions(opts)
+	src, err := world.NewSource(scn, o.tau)
+	if err != nil {
+		return nil, err
+	}
 	cfg := o.cfg
 	if cfg.LandSize == 0 {
 		cfg.LandSize = scn.Land.Size
 	}
-	a, err := core.NewAnalyzer(scn.Land.Name, o.tau, cfg)
+	return consumeWindowed(ctx, src, scn.Land.Name, o.tau, cfg, o)
+}
+
+// AnalyzeWindows is AnalyzeStream with windowed analytics, over any
+// snapshot source.
+func AnalyzeWindows(ctx context.Context, src SnapshotSource, opts ...Option) (*WindowSeries, error) {
+	o := buildOptions(opts)
+	land, tau, cfg, err := describeStream(src, o)
 	if err != nil {
 		return nil, err
 	}
-	return a.Consume(ctx, src)
+	return consumeWindowed(ctx, src, land, tau, cfg, o)
+}
+
+// consumeWindowed builds (or resumes) the windowed analyzer and drives
+// it under the run options.
+func consumeWindowed(ctx context.Context, src SnapshotSource, land string, tau int64, cfg core.Config, o options) (*WindowSeries, error) {
+	var wa *core.WindowedAnalyzer
+	var err error
+	if o.resume != "" {
+		if wa, err = resumeWindowedAnalyzer(o, src); err != nil {
+			return nil, err
+		}
+	} else {
+		if cfg.Window <= 0 {
+			return nil, fmt.Errorf("slmob: windowed analysis needs WithWindow")
+		}
+		if wa, err = core.NewWindowedAnalyzer(land, tau, cfg.Window, cfg); err != nil {
+			return nil, err
+		}
+	}
+	if o.windowFn != nil {
+		wa.OnWindow(o.windowFn)
+	} else if wa.RequiresHook() {
+		return nil, fmt.Errorf("slmob: %s was checkpointed with a window hook; pass WithWindowFunc to resume it", o.resume)
+	}
+	return runWindowedAnalyzer(ctx, wa, src, o)
 }
 
 // RunEstate simulates a multi-region estate and analyses it as one
@@ -221,6 +353,11 @@ func RunEstate(ctx context.Context, est Estate, opts ...Option) (*EstateAnalysis
 	ea, err := core.NewEstateAnalyzer(est.Name, metas, o.tau, o.cfg, o.regionWorkers)
 	if err != nil {
 		return nil, err
+	}
+	if o.estateWindowFn != nil {
+		if err := ea.OnWindow(o.estateWindowFn); err != nil {
+			return nil, err
+		}
 	}
 	return ea.Consume(ctx, src)
 }
@@ -257,6 +394,11 @@ func AnalyzeEstateStream(ctx context.Context, es EstateSource, opts ...Option) (
 	if err != nil {
 		return nil, err
 	}
+	if o.estateWindowFn != nil {
+		if err := ea.OnWindow(o.estateWindowFn); err != nil {
+			return nil, err
+		}
+	}
 	return ea.Consume(ctx, es)
 }
 
@@ -276,12 +418,9 @@ func RunLands(ctx context.Context, scns []Scenario, opts ...Option) ([]*Analysis
 		})
 }
 
-// AnalyzeStream runs the incremental analysis over any snapshot source —
-// a crawler mid-flight, a sensor collector, a replayed trace file. When
-// the source describes itself (trace.Described), its land, period, and
-// size metadata label the analysis; explicit options win.
-func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*Analysis, error) {
-	o := buildOptions(opts)
+// describeStream resolves the analysis labelling from a self-describing
+// source, with explicit options winning.
+func describeStream(src SnapshotSource, o options) (string, int64, core.Config, error) {
 	land, tau, cfg := o.land, o.tau, o.cfg
 	if d, ok := src.(trace.Described); ok {
 		info := d.Info()
@@ -294,16 +433,36 @@ func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*An
 		if cfg.LandSize == 0 {
 			size, err := info.Size()
 			if err != nil {
-				return nil, err
+				return "", 0, cfg, err
 			}
 			cfg.LandSize = size
 		}
 	}
-	a, err := core.NewAnalyzer(land, tau, cfg)
-	if err != nil {
-		return nil, err
+	return land, tau, cfg, nil
+}
+
+// AnalyzeStream runs the incremental analysis over any snapshot source —
+// a crawler mid-flight, a sensor collector, a replayed trace file. When
+// the source describes itself (trace.Described), its land, period, and
+// size metadata label the analysis; explicit options win.
+func AnalyzeStream(ctx context.Context, src SnapshotSource, opts ...Option) (*Analysis, error) {
+	o := buildOptions(opts)
+	var a *core.Analyzer
+	var err error
+	if o.resume != "" {
+		if a, err = resumeAnalyzer(o, src); err != nil {
+			return nil, err
+		}
+	} else {
+		land, tau, cfg, derr := describeStream(src, o)
+		if derr != nil {
+			return nil, derr
+		}
+		if a, err = core.NewAnalyzer(land, tau, cfg); err != nil {
+			return nil, err
+		}
 	}
-	return a.Consume(ctx, src)
+	return runAnalyzer(ctx, a, src, o)
 }
 
 // NewSource returns a streaming source over a fresh in-process simulation

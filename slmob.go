@@ -30,6 +30,22 @@
 //	res, err := slmob.RunEstate(ctx, slmob.PaperEstate(42), slmob.WithRegionWorkers(4))
 //	fmt.Println(res.Global.Summary, res.Regions[1].Summary)
 //
+// Every metric accumulator is resettable, mergeable, and serializable
+// (the core Accumulator contract), which buys two orthogonal features.
+// Windowed analytics slice any measurement into fixed time-of-day
+// windows whose merge reproduces the whole-trace result bit-identically:
+//
+//	ws, err := slmob.RunWindows(ctx, scn, slmob.WithWindow(3600))
+//	whole, err := ws.Merge() // == slmob.Run(ctx, scn), exactly
+//
+// And checkpoint/resume makes long runs crash-safe — the analyzer state
+// and, for simulation sources, the full world state (avatar rng streams
+// included) snapshot to one file, and a killed run resumes to an
+// identical digest:
+//
+//	an, err := slmob.Run(ctx, scn, slmob.WithCheckpointEvery("run.ckpt", 1800))
+//	an, err = slmob.Run(ctx, scn, slmob.WithResumeFrom("run.ckpt"))
+//
 // The batch entry points (CollectTrace, Analyze) remain as thin wrappers
 // for workloads that genuinely need the materialised trace, such as the
 // DTN replayer.

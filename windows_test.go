@@ -1,0 +1,187 @@
+package slmob
+
+// Façade-level gates for the windowed-analytics and checkpoint/resume
+// tentpole: the windowed series merges back to the whole-trace run, and
+// a run killed mid-stream resumes from its checkpoint file — world state
+// included — to a bit-identical digest.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slmob/internal/core"
+	"slmob/internal/trace"
+	"slmob/internal/world"
+)
+
+// TestRunWindowsMergeMatchesRun: the façade windowed pipeline over a
+// simulated land merges back to the plain Run result exactly.
+func TestRunWindowsMergeMatchesRun(t *testing.T) {
+	scn := DanceIsland(11)
+	scn.Duration = 1200
+	whole, err := Run(context.Background(), scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := RunWindows(context.Background(), scn, WithWindow(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Window != 300 || len(ws.Windows) == 0 {
+		t.Fatalf("series = %d windows of %d s", len(ws.Windows), ws.Window)
+	}
+	merged, err := ws.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range core.DiffAnalyses(merged, whole) {
+		t.Error(d)
+	}
+}
+
+// TestRunWindowsRequiresWindow: the windowed entry points demand an
+// explicit window.
+func TestRunWindowsRequiresWindow(t *testing.T) {
+	scn := DanceIsland(11)
+	scn.Duration = 60
+	if _, err := RunWindows(context.Background(), scn); err == nil {
+		t.Error("RunWindows without WithWindow succeeded")
+	}
+}
+
+// errKilled simulates a crash mid-stream.
+var errKilled = errors.New("killed")
+
+// killSource yields the underlying source's snapshots until the kill
+// point, then fails — forwarding provenance and state capture so the
+// checkpoint path sees the real source.
+type killSource struct {
+	src   *world.Source
+	n     int
+	after int
+}
+
+func (k *killSource) Next(ctx context.Context) (trace.Snapshot, error) {
+	if k.n >= k.after {
+		return trace.Snapshot{}, errKilled
+	}
+	k.n++
+	return k.src.Next(ctx)
+}
+
+func (k *killSource) Info() trace.Info               { return k.src.Info() }
+func (k *killSource) SnapshotState() ([]byte, error) { return k.src.SnapshotState() }
+func (k *killSource) RestoreState(data []byte) error { return k.src.RestoreState(data) }
+
+// TestKillAndResumeDigestIdentical is the façade acceptance gate: a
+// streaming run checkpointing every 200 sim-seconds is killed, resumed
+// from the file onto a fresh source — which fast-forwards via the
+// serialised world state instead of re-simulating — and finishes with an
+// Analysis identical to an uninterrupted run.
+func TestKillAndResumeDigestIdentical(t *testing.T) {
+	scn := DanceIsland(21)
+	scn.Duration = 1500
+	whole, err := Run(context.Background(), scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	src, err := world.NewSource(scn, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = AnalyzeStream(context.Background(), &killSource{src: src, after: 97},
+		WithCheckpointEvery(ckpt, 200))
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("killed run returned %v", err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written before the kill: %v", err)
+	}
+
+	fresh, err := world.NewSource(scn, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := AnalyzeStream(context.Background(), fresh, WithResumeFrom(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range core.DiffAnalyses(resumed, whole) {
+		t.Error(d)
+	}
+}
+
+// TestKillAndResumeWindowed: the same guarantee for a windowed run,
+// windows collected before the kill included.
+func TestKillAndResumeWindowed(t *testing.T) {
+	scn := DanceIsland(23)
+	scn.Duration = 1500
+	wholeSeries, err := RunWindows(context.Background(), scn, WithWindow(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	src, err := world.NewSource(scn, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = AnalyzeWindows(context.Background(), &killSource{src: src, after: 110},
+		WithWindow(400), WithCheckpointEvery(ckpt, 250))
+	if !errors.Is(err, errKilled) {
+		t.Fatalf("killed run returned %v", err)
+	}
+
+	fresh, err := world.NewSource(scn, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := AnalyzeWindows(context.Background(), fresh, WithResumeFrom(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Windows) != len(wholeSeries.Windows) {
+		t.Fatalf("resumed series has %d windows, want %d", len(resumed.Windows), len(wholeSeries.Windows))
+	}
+	for i := range wholeSeries.Windows {
+		for _, d := range core.DiffAnalyses(resumed.Windows[i], wholeSeries.Windows[i]) {
+			t.Errorf("window %d: %s", i, d)
+		}
+	}
+}
+
+// TestEstateWindowedFacade: WithWindow + WithEstateWindowFunc surface
+// the live per-window series through RunEstate, and the windowed whole
+// matches the plain estate run.
+func TestEstateWindowedFacade(t *testing.T) {
+	est := PaperEstate(9)
+	est.Duration = 600
+	whole, err := RunEstate(context.Background(), est, WithRegionWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live []*EstateAnalysis
+	res, err := RunEstate(context.Background(), est, WithRegionWorkers(2),
+		WithWindow(200), WithEstateWindowFunc(func(k int64, w *EstateAnalysis) {
+			live = append(live, w)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 || len(live) != len(res.Windows) {
+		t.Fatalf("windows = %d, live deliveries = %d", len(res.Windows), len(live))
+	}
+	for _, d := range core.DiffAnalyses(res.Global, whole.Global) {
+		t.Errorf("global: %s", d)
+	}
+	for i := range whole.Regions {
+		for _, d := range core.DiffAnalyses(res.Regions[i], whole.Regions[i]) {
+			t.Errorf("region %d: %s", i, d)
+		}
+	}
+}
