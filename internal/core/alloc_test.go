@@ -137,3 +137,34 @@ func TestContactTrackerSurvivesTableGrowth(t *testing.T) {
 		t.Errorf("closed+censored = %d, want at least %d", got, k*(k-1)/2)
 	}
 }
+
+// TestTripCloseZeroAllocSteadyState pins the //slmob:hotpath contract on
+// the session-closure path specifically: once the closed-session buffer
+// and the per-avatar session states exist, a relogin cycle — close the
+// old session, reopen in place — allocates nothing. The Observe-level
+// pin never exercises closures at steady state (its population stays
+// logged in), so this covers tripTracker.observe's gap branch and
+// closeSession directly.
+func TestTripCloseZeroAllocSteadyState(t *testing.T) {
+	var closed []closedSession
+	tt := newTripTracker(0.5, 100, &closed)
+	pos := geom.V2(50, 50)
+	// Warm-up: one avatar cycling through enough relogins to grow the
+	// closed buffer past what the measured phase appends.
+	tm := int64(0)
+	for i := 0; i < 200; i++ {
+		tm += 200 // every observation exceeds the gap: close + reopen
+		tt.observe(1, pos, false, tm)
+	}
+	closed = closed[:0]
+	avg := testing.AllocsPerRun(100, func() {
+		tm += 200
+		tt.observe(1, pos, false, tm)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state relogin cycle allocates %v per run, want 0", avg)
+	}
+	if len(closed) == 0 {
+		t.Fatal("no sessions closed during measurement")
+	}
+}

@@ -214,6 +214,8 @@ func (a *Analyzer) seated(s trace.Sample) bool {
 // Observe folds one snapshot into the running analysis. Snapshots must
 // arrive in strictly increasing time order with no duplicate avatars,
 // the invariants Trace.Validate enforces on the batch path.
+//
+//slmob:hotpath
 func (a *Analyzer) Observe(snap trace.Snapshot) error {
 	if a.finished {
 		return fmt.Errorf("core: Observe after Finish")
@@ -264,6 +266,8 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 // observeRange advances one range's contact state machine and appends its
 // line-of-sight metrics, sharing a single workspace-built proximity graph
 // between both.
+//
+//slmob:hotpath
 func (a *Analyzer) observeRange(rs *rangeState, t int64) {
 	g := rs.ws.FromPositions(a.sc.positions, rs.r)
 	rs.ct.observe(a.sc.ids, a.sc.fsT, g, t, t == a.firstT)
@@ -277,6 +281,8 @@ func (a *Analyzer) observeRange(rs *rangeState, t int64) {
 
 // observeZones folds one occupancy count per cell for this snapshot into
 // the weighted zone distribution.
+//
+//slmob:hotpath
 func (a *Analyzer) observeZones() {
 	for i := range a.zoneCounts {
 		a.zoneCounts[i] = 0

@@ -1,13 +1,29 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 
 	"slmob/internal/snap"
 	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
+
+// sortedKeys returns the map's keys in ascending order. Every map that
+// reaches a snap.Writer is iterated through this: Go randomises map
+// iteration order per run, and checkpoint bytes must be reproducible —
+// equal states must serialise identically (the determinism analyzer
+// enforces exactly this).
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // Checkpointing: the serializable leg of the Accumulator contract. A
 // checkpoint is a versioned binary snapshot (internal/snap) of the FULL
@@ -221,11 +237,12 @@ func (a *Analyzer) encodeState(w *snap.Writer) {
 	w.Varint(int64(s.totalSamples))
 	w.Varint(int64(s.maxConcurrent))
 	w.Varint(int64(s.newUsers))
-	// First appearances.
+	// First appearances, in ascending avatar order for reproducible
+	// bytes.
 	w.Uvarint(uint64(len(a.firstSeenT)))
-	for id, t := range a.firstSeenT {
+	for _, id := range sortedKeys(a.firstSeenT) {
 		w.Uvarint(uint64(id))
-		w.Varint(t)
+		w.Varint(a.firstSeenT[id])
 	}
 	// Per-range state machines and sinks.
 	for i, rs := range a.ranges {
@@ -234,9 +251,11 @@ func (a *Analyzer) encodeState(w *snap.Writer) {
 		encodeNetMetrics(w, s.nets[i])
 	}
 	s.zones.Encode(w)
-	// Trips: open sessions then the window's closed sessions.
+	// Trips: open sessions (ascending avatar order) then the window's
+	// closed sessions.
 	w.Uvarint(uint64(len(a.trips.open)))
-	for id, ss := range a.trips.open {
+	for _, id := range sortedKeys(a.trips.open) {
+		ss := a.trips.open[id]
 		w.Uvarint(uint64(id))
 		w.Varint(ss.login)
 		w.Varint(ss.last)
@@ -370,9 +389,9 @@ func decodeAnalyzer(r *snap.Reader) (*Analyzer, error) {
 
 func encodeTracker(w *snap.Writer, ct *contactTracker) {
 	w.Uvarint(uint64(len(ct.firstContact)))
-	for id, t := range ct.firstContact {
+	for _, id := range sortedKeys(ct.firstContact) {
 		w.Uvarint(uint64(id))
-		w.Varint(t)
+		w.Varint(ct.firstContact[id])
 	}
 	w.Uvarint(uint64(ct.table.n))
 	for i := range ct.table.slots {
@@ -531,15 +550,16 @@ func encodeAnalysis(w *snap.Writer, an *Analysis) {
 	w.Varint(an.Start)
 	w.Varint(an.End)
 	w.Uvarint(uint64(len(an.Contacts)))
-	for r, cs := range an.Contacts {
+	for _, r := range sortedKeys(an.Contacts) {
+		cs := an.Contacts[r]
 		w.F64(r)
 		w.Varint(cs.Tau)
 		encodeContactSet(w, cs)
 	}
 	w.Uvarint(uint64(len(an.Nets)))
-	for r, nm := range an.Nets {
+	for _, r := range sortedKeys(an.Nets) {
 		w.F64(r)
-		encodeNetMetrics(w, nm)
+		encodeNetMetrics(w, an.Nets[r])
 	}
 	an.Zones.Encode(w)
 	encodeClosed(w, an.Trips.sess)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"io"
@@ -294,5 +295,34 @@ func TestCheckpointAfterFinish(t *testing.T) {
 	}
 	if _, err := a.Checkpoint(); err == nil {
 		t.Error("Checkpoint after Finish succeeded")
+	}
+}
+
+// Two checkpoints of identical state must be byte-identical: every map
+// iteration on the encode path goes through sortedKeys, so serialized
+// bytes never depend on Go's randomised map order. This is the
+// byte-level strengthening of the digest-level golden gates (decoders
+// were always order-agnostic; encoders now are too).
+func TestCheckpointBytesReproducible(t *testing.T) {
+	tr := syntheticTrace()
+	a, err := NewAnalyzer(tr.Land, tr.Tau, Config{Ranges: []float64{10}, ZoneSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tr.Snapshots {
+		if err := a.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("two checkpoints of identical state differ: %d vs %d bytes", len(b1), len(b2))
 	}
 }

@@ -51,9 +51,9 @@ func makePair(a, b trace.AvatarID) pairKey {
 // distributions.
 type ContactSet struct {
 	// Range is the communication range r in metres.
-	Range float64
+	Range float64 //lint:allow acc construction-time identity; Reset preserves it and mergeFrom requires equal ranges
 	// Tau is the trace's sampling period.
-	Tau int64
+	Tau int64 //lint:allow acc construction-time identity; Reset preserves it and mergeFrom requires equal taus
 	// CT holds the distribution of completed contact durations in seconds.
 	CT *stats.Weighted
 	// ICT holds the distribution of inter-contact gaps in seconds.
@@ -166,6 +166,8 @@ type snapScratch struct {
 // number of avatars first seen in this snapshot. zeroSeated additionally
 // treats exact-origin positions as seated (the streaming equivalent of
 // NormalizeSeated).
+//
+//slmob:hotpath
 func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]int64, zeroSeated bool) (newSeen int) {
 	sc.ids = sc.ids[:0]
 	sc.positions = sc.positions[:0]

@@ -15,7 +15,7 @@ import (
 // sample slice.
 type NetMetrics struct {
 	// Range is the communication range r in metres.
-	Range float64
+	Range float64 //lint:allow acc construction-time identity; Reset preserves it and mergeFrom requires equal ranges
 	// Degrees holds the node-degree distribution over every
 	// (user, snapshot) pair, the population behind the aggregated degree
 	// CCDF (Fig. 2a/2d).
@@ -61,6 +61,8 @@ func (nm *NetMetrics) Clone() *NetMetrics {
 
 // observe folds the workspace's current snapshot graph into the
 // metrics. Snapshots without users must be skipped by the caller.
+//
+//slmob:hotpath
 func (nm *NetMetrics) observe(ws *graph.Workspace) {
 	g := ws.Graph()
 	for u := 0; u < g.N(); u++ {

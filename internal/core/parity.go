@@ -44,7 +44,9 @@ func DiffAnalyses(got, want *Analysis) []string {
 	if len(got.Contacts) != len(want.Contacts) {
 		addf("contact ranges = %d, want %d", len(got.Contacts), len(want.Contacts))
 	}
-	for r, w := range want.Contacts {
+	// Ranges in ascending order so the diff report is stable run to run.
+	for _, r := range sortedKeys(want.Contacts) {
+		w := want.Contacts[r]
 		g := got.Contacts[r]
 		if g == nil {
 			addf("missing contact range %v", r)
@@ -64,7 +66,8 @@ func DiffAnalyses(got, want *Analysis) []string {
 	if len(got.Nets) != len(want.Nets) {
 		addf("net ranges = %d, want %d", len(got.Nets), len(want.Nets))
 	}
-	for r, w := range want.Nets {
+	for _, r := range sortedKeys(want.Nets) {
+		w := want.Nets[r]
 		g := got.Nets[r]
 		if g == nil {
 			addf("missing net range %v", r)

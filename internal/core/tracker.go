@@ -57,6 +57,8 @@ func newPairTable() *pairTable {
 }
 
 // hash mixes both avatar IDs with a splitmix64-style finaliser.
+//
+//slmob:hotpath
 func (pt *pairTable) hash(k pairKey) uint64 {
 	h := uint64(k.A)*0x9e3779b97f4a7c15 ^ uint64(k.B)
 	h ^= h >> 30
@@ -71,6 +73,8 @@ func (pt *pairTable) hash(k pairKey) uint64 {
 // the pair is new. isNew reports the insertion. A grow may relocate every
 // slot; callers holding slot indices across insertions must check
 // rehashed().
+//
+//slmob:hotpath
 func (pt *pairTable) lookupOrInsert(k pairKey) (idx int, isNew bool) {
 	if pt.n*4 >= len(pt.slots)*3 {
 		pt.grow()
@@ -162,6 +166,8 @@ func (c *contactTracker) bind(cs *ContactSet) { c.cs = cs }
 // time, aligned with ids, so first-contact waits are emitted the moment
 // the first contact happens. first marks the stream's first snapshot,
 // whose ongoing contacts are left-censored.
+//
+//slmob:hotpath
 func (c *contactTracker) observe(ids []trace.AvatarID, fsT []int64, g *graph.Graph, t int64, first bool) {
 	c.gen++
 	// Starts and continuations: every pair in range this snapshot gets
@@ -269,6 +275,10 @@ func (tt *tripTracker) bind(out *[]closedSession) { tt.out = out }
 
 // observe folds one avatar sample at snapshot time t into the tracker.
 // Seated samples keep the session alive but contribute no movement.
+// Session (re)creation allocates, but only on login/relogin, never at
+// per-sample steady state.
+//
+//slmob:hotpath
 func (tt *tripTracker) observe(id trace.AvatarID, pos geom.Vec, seated bool, t int64) {
 	ss := tt.open[id]
 	if ss != nil && t-ss.last > tt.gap {
@@ -295,6 +305,11 @@ func (tt *tripTracker) observe(id trace.AvatarID, pos geom.Vec, seated bool, t i
 	ss.prevT = t
 }
 
+// closeSession emits one finished session into the bound output. The
+// append is self-amortising: the closed-session buffer is recycled
+// across windows.
+//
+//slmob:hotpath
 func (tt *tripTracker) closeSession(id trace.AvatarID, ss *sessionState) {
 	*tt.out = append(*tt.out, closedSession{
 		id:       id,
@@ -306,10 +321,13 @@ func (tt *tripTracker) closeSession(id trace.AvatarID, ss *sessionState) {
 }
 
 // closeAll closes every open session into the bound output — the
-// end-of-stream flush feeding the final window.
+// end-of-stream flush feeding the final window. Sessions close in
+// ascending avatar order: the flush feeds the checkpointed closed-
+// session slice, and map iteration order must never reach serialized
+// state.
 func (tt *tripTracker) closeAll() {
-	for id, ss := range tt.open {
-		tt.closeSession(id, ss)
+	for _, id := range sortedKeys(tt.open) {
+		tt.closeSession(id, tt.open[id])
 	}
 }
 

@@ -37,6 +37,8 @@ func NewGrid(cell float64) *Grid {
 func (g *Grid) CellSize() float64 { return g.cell }
 
 // Reset removes all points while retaining bucket capacity.
+//
+//slmob:hotpath
 func (g *Grid) Reset() {
 	for _, k := range g.occupied {
 		g.buckets[k] = g.buckets[k][:0]
@@ -45,6 +47,8 @@ func (g *Grid) Reset() {
 }
 
 // Insert adds a point with an opaque identifier.
+//
+//slmob:hotpath
 func (g *Grid) Insert(id int64, p Vec) {
 	k := g.key(p)
 	b := g.buckets[k]
@@ -66,6 +70,8 @@ func (g *Grid) Len() int {
 // VisitWithin calls fn for every stored point whose ground-plane distance
 // to p is at most r, including any point stored at p itself. Iteration
 // stops early if fn returns false.
+//
+//slmob:hotpath
 func (g *Grid) VisitWithin(p Vec, r float64, fn func(id int64, q Vec) bool) {
 	if r < 0 {
 		return

@@ -155,3 +155,36 @@ func TestGridMatchesBruteForceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGridZeroAllocSteadyState pins the //slmob:hotpath contract on the
+// grid's per-snapshot cycle: once every bucket a population touches has
+// been materialised, Reset + reinsertion + range queries allocate
+// nothing.
+func TestGridZeroAllocSteadyState(t *testing.T) {
+	g := NewGrid(10)
+	pts := make([]Vec, 64)
+	for i := range pts {
+		pts[i] = V2(float64(i%8)*12, float64(i/8)*12)
+	}
+	// Warm-up: materialise every bucket and the occupied list.
+	for i := 0; i < 3; i++ {
+		g.Reset()
+		for j, p := range pts {
+			g.Insert(int64(j), p)
+		}
+	}
+	n := 0
+	avg := testing.AllocsPerRun(100, func() {
+		g.Reset()
+		for j, p := range pts {
+			g.Insert(int64(j), p)
+		}
+		g.VisitWithin(pts[7], 25, func(int64, Vec) bool { n++; return true })
+	})
+	if avg != 0 {
+		t.Errorf("steady-state grid cycle allocates %v per run, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("VisitWithin visited nothing")
+	}
+}

@@ -39,6 +39,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 // growInt32 returns buf resized to n, reallocating only when capacity is
 // insufficient.
+//
+//slmob:hotpath
 func growInt32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
 		return make([]int32, n, n+n/2+8)
@@ -51,6 +53,8 @@ func growInt32(buf []int32, n int) []int32 {
 // exactly the graph the package-level FromPositions builds — identical
 // adjacency lists in identical order — without the per-snapshot
 // allocations. The returned graph is invalidated by the next call.
+//
+//slmob:hotpath
 func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
 	n := len(ps)
 	if cap(ws.adj) < n {
@@ -124,6 +128,8 @@ func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
 // connected component of the workspace's current graph — the same value
 // Graph.Diameter returns — using the shared BFS buffers instead of
 // per-call allocations.
+//
+//slmob:hotpath
 func (ws *Workspace) Diameter() int {
 	g := &ws.g
 	n := len(g.adj)

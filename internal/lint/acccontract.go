@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AccContract enforces the core.Accumulator contract on every
+// implementing struct that participates in merging or checkpointing: a
+// struct field added to such a type MUST be handled by Reset (or the
+// window-rollover recycles stale state into the next window), by every
+// Merge method (or merged windows silently drop the field — a
+// wrong-answer bug), and by its encode/decode pair (or checkpoints
+// corrupt the field on resume).
+//
+// "Handled" means referenced transitively: the method body, or any
+// same-module function it calls, selects the field, names it in a
+// composite literal, or copies the whole struct. The encode and decode
+// halves are checked as a pair — a field reconstructed by the decoder
+// (Weighted's running total, rebuilt by AddN) counts as covered.
+//
+// Fields that are derived caches or construction-time identity are
+// exempted at the declaration with //lint:allow acc <reason>.
+//
+// Types that implement Accumulator but expose neither a merge method
+// (Merge/mergeFrom) nor an encode/decode pair — pure resettable
+// scratch like geom.Grid — are outside the contract and skipped.
+func AccContract() *Analyzer {
+	return &Analyzer{
+		Name: "acc",
+		Doc: "require every field of a merging/serializable core.Accumulator implementation to be " +
+			"handled by Reset, every Merge method, and the encode/decode pair",
+		Run: runAccContract,
+	}
+}
+
+func runAccContract(pass *Pass) error {
+	idx := buildFuncIndex(pass.Pkgs)
+
+	// The Accumulator interfaces: any interface named Accumulator
+	// declared in a package named core (the analyzer golden tests load a
+	// synthetic core package the same way).
+	var ifaces []*types.Interface
+	for _, pkg := range pass.Pkgs {
+		if pkg.Types.Name() != "core" {
+			continue
+		}
+		if obj, ok := pkg.Types.Scope().Lookup("Accumulator").(*types.TypeName); ok {
+			if it, ok := obj.Type().Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, it)
+			}
+		}
+	}
+	if len(ifaces) == 0 {
+		return nil
+	}
+
+	for _, pkg := range pass.Pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			implements := false
+			for _, it := range ifaces {
+				if types.Implements(types.NewPointer(named), it) {
+					implements = true
+					break
+				}
+			}
+			if !implements {
+				continue
+			}
+			checkAccumulator(pass, pkg, idx, named, st)
+		}
+	}
+	return nil
+}
+
+// methodNamed returns the method of named called name, nil if absent.
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// packageFunc looks up a package-scope function by name.
+func packageFunc(pkg *Package, name string) *types.Func {
+	f, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+	return f
+}
+
+func checkAccumulator(pass *Pass, pkg *Package, idx *funcIndex, named *types.Named, st *types.Struct) {
+	typeName := named.Obj().Name()
+
+	var merges []*types.Func
+	for _, name := range []string{"Merge", "mergeFrom"} {
+		if m := methodNamed(named, name); m != nil {
+			merges = append(merges, m)
+		}
+	}
+	var encoders, decoders []*types.Func
+	if m := methodNamed(named, "Encode"); m != nil {
+		encoders = append(encoders, m)
+	}
+	if m := methodNamed(named, "Decode"); m != nil {
+		decoders = append(decoders, m)
+	}
+	for _, prefix := range []string{"encode", "Encode"} {
+		if f := packageFunc(pkg, prefix+typeName); f != nil {
+			encoders = append(encoders, f)
+		}
+	}
+	for _, prefix := range []string{"decode", "Decode"} {
+		if f := packageFunc(pkg, prefix+typeName); f != nil {
+			decoders = append(decoders, f)
+		}
+	}
+
+	// Pure resettable scratch is outside the merge/serialize contract.
+	if len(merges) == 0 && len(encoders) == 0 && len(decoders) == 0 {
+		return
+	}
+
+	fields := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i))
+	}
+	if len(fields) == 0 {
+		return
+	}
+
+	reportMissing := func(covered map[*types.Var]bool, what string) {
+		for _, f := range fields {
+			if !covered[f] {
+				pass.Report(f.Pos(), "field %s.%s is not handled by %s; a stale or dropped field here breaks %s",
+					typeName, f.Name(), what, contractConsequence(what))
+			}
+		}
+	}
+
+	if reset := methodNamed(named, "Reset"); reset != nil {
+		reportMissing(fieldsCovered(pkg, idx, named, []*types.Func{reset}), "Reset")
+	}
+	for _, m := range merges {
+		reportMissing(fieldsCovered(pkg, idx, named, []*types.Func{m}), m.Name())
+	}
+	switch {
+	case len(encoders) > 0 && len(decoders) > 0:
+		pair := append(append([]*types.Func{}, encoders...), decoders...)
+		reportMissing(fieldsCovered(pkg, idx, named, pair), "the encode/decode pair")
+	case len(encoders) > 0 || len(decoders) > 0:
+		var have, want string
+		if len(encoders) > 0 {
+			have, want = encoders[0].Name(), "decoder"
+		} else {
+			have, want = decoders[0].Name(), "encoder"
+		}
+		pass.Report(named.Obj().Pos(), "accumulator %s has %s but no matching %s; checkpoints cannot round-trip",
+			typeName, have, want)
+	}
+}
+
+func contractConsequence(what string) string {
+	switch {
+	case what == "Reset":
+		return "window rollover (stale state leaks into the next window)"
+	case strings.HasPrefix(strings.ToLower(what), "merge"):
+		return "merge-of-windows ≡ whole-trace (the field is dropped on merge)"
+	default:
+		return "checkpoint/resume (the field is lost across a restore)"
+	}
+}
+
+// fieldsCovered walks the given functions and every same-module
+// function they transitively call, collecting which fields of named are
+// referenced: selected, named in a composite literal, or covered
+// wholesale by a struct copy.
+func fieldsCovered(pkg *Package, idx *funcIndex, named *types.Named, roots []*types.Func) map[*types.Var]bool {
+	fieldSet := make(map[*types.Var]bool)
+	st := named.Underlying().(*types.Struct)
+	for i := 0; i < st.NumFields(); i++ {
+		fieldSet[st.Field(i)] = true
+	}
+
+	covered := make(map[*types.Var]bool)
+	coverAll := func() {
+		for f := range fieldSet {
+			covered[f] = true
+		}
+	}
+	isOurStruct := func(t types.Type) bool {
+		n := namedOf(t)
+		return n != nil && n.Obj() == named.Obj()
+	}
+
+	visited := make(map[*types.Func]bool)
+	queue := append([]*types.Func{}, roots...)
+	for len(queue) > 0 && len(visited) < 500 {
+		fn := queue[0]
+		queue = queue[1:]
+		if fn == nil || visited[fn] {
+			continue
+		}
+		visited[fn] = true
+		fd := idx.decls[fn]
+		fpkg := idx.pkgs[fn]
+		if fd == nil || fd.Body == nil || fpkg == nil {
+			continue
+		}
+		info := fpkg.Info
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				// Field references through selections and composite
+				// literal keys both resolve in Uses.
+				if v, ok := info.Uses[n].(*types.Var); ok && v.IsField() && fieldSet[v] {
+					covered[v] = true
+				}
+			case *ast.AssignStmt:
+				// A whole-struct copy (dst = src), a zeroing assignment
+				// (*p = T{}), or a positional literal covers every field.
+				// A keyed literal covers exactly the fields it names,
+				// which the Ident case picks up.
+				for i := range n.Lhs {
+					if i >= len(n.Rhs) || !isOurStruct(info.TypeOf(n.Lhs[i])) {
+						continue
+					}
+					lit, isLit := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit)
+					keyed := isLit && len(lit.Elts) > 0
+					if keyed {
+						if _, kv := lit.Elts[0].(*ast.KeyValueExpr); !kv {
+							keyed = false
+						}
+					}
+					if !keyed {
+						coverAll()
+					}
+				}
+			case *ast.CallExpr:
+				if callee := calleeOf(info, n); callee != nil {
+					if _, local := idx.decls[callee]; local && !visited[callee] {
+						queue = append(queue, callee)
+					}
+				}
+			}
+			return true
+		})
+	}
+	_ = fmt.Sprintf // keep fmt import decisions stable
+	return covered
+}

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the reproducibility contract of the analysis
+// core: live ≡ replay digests, merge-of-windows ≡ whole-trace, and
+// byte-reproducible checkpoints all die silently the moment wall-clock
+// time, the global math/rand source, or Go's randomised map iteration
+// order reaches an output path. The analyzer covers the deterministic
+// packages (core, snap, stats) wholesale, plus every function anywhere
+// in the module whose name marks it as part of an encode/merge/
+// checkpoint call graph.
+//
+// Rules:
+//
+//   - no time.Now: clocks are injected (the world's warped clock, trace
+//     timestamps), never sampled.
+//   - no global math/rand: stochastic code draws from internal/rng
+//     streams, which are seeded, splittable, and serializable.
+//   - no map iteration into an ordered sink: ranging over a map while
+//     appending to an outer slice (unless the slice is sorted
+//     afterwards in the same function), writing through an io.Writer /
+//     *Writer-style encoder, or sending on a channel produces
+//     different bytes on every run.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbid time.Now, global math/rand, and unsorted map iteration into ordered sinks " +
+			"in the deterministic packages (core, snap, stats) and all encode/merge/checkpoint call graphs",
+		Run: runDeterminism,
+	}
+}
+
+// deterministicPkgs are covered in full.
+var deterministicPkgs = map[string]bool{"core": true, "snap": true, "stats": true}
+
+// deterministicFuncPrefixes mark encode/merge/checkpoint call-graph
+// members in any package (matched case-insensitively).
+var deterministicFuncPrefixes = []string{
+	"encode", "decode", "merge", "checkpoint", "restore", "snapshotstate", "restorestate",
+}
+
+func inDeterministicScope(pkg *Package, fd *ast.FuncDecl) bool {
+	if deterministicPkgs[pkg.Types.Name()] {
+		return true
+	}
+	name := strings.ToLower(fd.Name.Name)
+	for _, p := range deterministicFuncPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !inDeterministicScope(pkg, fd) {
+					continue
+				}
+				checkDeterministicFunc(pass, pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkDeterministicFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	info := pkg.Info
+	closures := localClosures(info, fd)
+	sorts := sortCalls(pass.Fset, info, fd)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkClockAndRand(pass, info, fd, n)
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, pkg, fd, n, closures, sorts)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkClockAndRand flags time.Now and global math/rand selectors.
+func checkClockAndRand(pass *Pass, info *types.Info, fd *ast.FuncDecl, sel *ast.SelectorExpr) {
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := info.Uses[base].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pkgName.Imported().Path() {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			pass.Report(sel.Pos(), "%s samples the wall clock with time.Now; deterministic code takes the clock as input", fd.Name.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !strings.HasPrefix(sel.Sel.Name, "New") {
+			pass.Report(sel.Pos(), "%s uses global math/rand.%s; draw from a seeded internal/rng stream instead", fd.Name.Name, sel.Sel.Name)
+		}
+	}
+}
+
+// sortCall is one sort.* / slices.Sort* call with the source text of
+// its arguments — the "intervening sort" that legitimises collecting
+// map keys into a slice.
+type sortCall struct {
+	pos  token.Pos
+	args []string
+}
+
+func sortCalls(fset *token.FileSet, info *types.Info, fd *ast.FuncDecl) []sortCall {
+	var out []sortCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := info.Uses[base].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "sort", "slices":
+			sc := sortCall{pos: call.Pos()}
+			for _, a := range call.Args {
+				sc.args = append(sc.args, exprText(fset, a))
+			}
+			out = append(out, sc)
+		}
+		return true
+	})
+	return out
+}
+
+// localClosures maps local variables to the func literals assigned to
+// them, so a call through a closure can be checked against the
+// closure's body.
+func localClosures(info *types.Info, fd *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := assign.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				out[obj] = lit
+			} else if obj := info.Uses[id]; obj != nil {
+				out[obj] = lit
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rootObject returns the object of the base identifier of an lvalue
+// chain: w.sorted -> w, *tt.out -> tt, diffs -> diffs.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writerLike reports whether a type is an ordered byte/record sink: a
+// named type ending in "Writer" (snap.Writer and friends) or an
+// io.Writer implementer (bytes.Buffer, bufio.Writer, ...).
+func writerLike(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil {
+		return false
+	}
+	if strings.HasSuffix(n.Obj().Name(), "Writer") {
+		return true
+	}
+	return implementsIOWriter(types.NewPointer(n)) || implementsIOWriter(n)
+}
+
+// ioWriterType is a structural copy of io.Writer used for Implements
+// checks without importing io's type-checked package.
+var ioWriterType = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(token.NoPos, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)),
+}, nil)
+
+func implementsIOWriter(t types.Type) bool {
+	return types.Implements(t, ioWriterType.Complete())
+}
+
+// checkMapRange flags ordered-sink writes inside a map-range body.
+func checkMapRange(pass *Pass, pkg *Package, fd *ast.FuncDecl, rng *ast.RangeStmt,
+	closures map[types.Object]*ast.FuncLit, sorts []sortCall) {
+	info := pkg.Info
+
+	// Objects derived from the iteration key or value: writes keyed by
+	// them land in per-entry slots, which is order-insensitive.
+	derived := make(map[types.Object]bool)
+	addIdent := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				derived[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+	if rng.Key != nil {
+		addIdent(rng.Key)
+	}
+	if rng.Value != nil {
+		addIdent(rng.Value)
+	}
+	// Propagate: a NEW local defined from a derived expression is derived
+	// (dst := out.Contacts[r]). Plain assignments must not propagate — in
+	// `out = append(out, k)` the rhs mentions the key but out is outer
+	// state, and that append is exactly what the rule exists to catch.
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || assign.Tok != token.DEFINE || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if exprMentions(info, rhs, derived) {
+				addIdent(assign.Lhs[i])
+			}
+		}
+		return true
+	})
+
+	declaredOutside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rng.Pos() || obj.Pos() > rng.End())
+	}
+	sortedAfter := func(target ast.Expr) bool {
+		text := exprText(pass.Fset, target)
+		for _, sc := range sorts {
+			if sc.pos <= rng.End() {
+				continue
+			}
+			for _, a := range sc.args {
+				if a == text || strings.HasPrefix(a, text+"[") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// ordered inspects one body for ordered-sink writes; used for the
+	// range body itself and, once, for any local closure it calls.
+	var ordered func(body ast.Node, report bool, at token.Pos) bool
+	ordered = func(body ast.Node, report bool, at token.Pos) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok || id.Name != "append" {
+						continue
+					}
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+						continue
+					}
+					if i >= len(n.Lhs) || len(call.Args) == 0 {
+						continue
+					}
+					target := n.Lhs[i]
+					obj := rootObject(info, target)
+					if !declaredOutside(obj) || derived[obj] || sortedAfter(target) {
+						continue
+					}
+					found = true
+					if report {
+						pass.Report(n.Pos(), "%s appends to %s in map iteration order; collect the keys and sort them first", fd.Name.Name, exprText(pass.Fset, target))
+					}
+				}
+			case *ast.CallExpr:
+				// Method call on an ordered sink (w.F64(v), buf.WriteByte).
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if recvT := info.TypeOf(sel.X); recvT != nil && writerLike(recvT) {
+						obj := rootObject(info, sel.X)
+						if declaredOutside(obj) && !derived[obj] {
+							found = true
+							if report {
+								pass.Report(n.Pos(), "%s writes to %s in map iteration order; sort the keys before encoding", fd.Name.Name, exprText(pass.Fset, sel.X))
+							}
+						}
+					}
+				}
+				// Call through a local closure that itself writes an
+				// ordered sink (addf-style helpers).
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						if lit, ok := closures[obj]; ok && declaredOutside(obj) {
+							if ordered(lit.Body, false, n.Pos()) {
+								found = true
+								if report {
+									pass.Report(n.Pos(), "%s calls %s in map iteration order, and %s writes to state outside the loop; sort the keys first", fd.Name.Name, id.Name, id.Name)
+								}
+							}
+						}
+					}
+				}
+				// Plain function call handing a writer-like argument on.
+				for _, a := range n.Args {
+					if at := info.TypeOf(a); at != nil && writerLike(at) {
+						obj := rootObject(info, a)
+						if declaredOutside(obj) && !derived[obj] {
+							found = true
+							if report {
+								pass.Report(n.Pos(), "%s encodes through %s in map iteration order; sort the keys before encoding", fd.Name.Name, exprText(pass.Fset, a))
+							}
+						}
+					}
+				}
+			case *ast.SendStmt:
+				obj := rootObject(info, n.Chan)
+				if declaredOutside(obj) && !derived[obj] {
+					found = true
+					if report {
+						pass.Report(n.Pos(), "%s sends on %s in map iteration order", fd.Name.Name, exprText(pass.Fset, n.Chan))
+					}
+				}
+			}
+			return true
+		})
+		return found
+	}
+	ordered(rng.Body, true, rng.Pos())
+}
+
+// exprMentions reports whether e references any object in set.
+func exprMentions(info *types.Info, e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

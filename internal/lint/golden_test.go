@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenDeterminism pins the determinism analyzer against positive
+// and negative cases: clock sampling, global math/rand, and map
+// iteration into ordered sinks, with the sorted-keys and per-entry
+// shapes accepted.
+func TestGoldenDeterminism(t *testing.T) {
+	runGolden(t, "determinism", []*Analyzer{Determinism()})
+}
+
+// TestGoldenHotpath pins the //slmob:hotpath allocation rules: make,
+// new, map literals, growth appends, and interface boxing flagged;
+// warm-up guards, cold error branches, self-appends, and the
+// bucket-alias idiom accepted.
+func TestGoldenHotpath(t *testing.T) {
+	runGolden(t, "hotpath", []*Analyzer{Hotpath()})
+}
+
+// TestGoldenAccContract pins the accumulator field contract: fields
+// dropped by Reset, Merge, or the encode/decode pair flagged; union
+// coverage across the pair, transitive helpers, whole-struct zeroing,
+// field-level allows, and scratch types accepted.
+func TestGoldenAccContract(t *testing.T) {
+	runGolden(t, "acc", []*Analyzer{AccContract()})
+}
+
+// TestGoldenRngDiscipline pins the rng ownership rules: by-value
+// copies in every position and shared-capture goroutines flagged;
+// Split handoffs and State capsules accepted.
+func TestGoldenRngDiscipline(t *testing.T) {
+	runGolden(t, "rng", []*Analyzer{RngDiscipline()})
+}
+
+// TestGoldenAllow pins the escape hatch itself: a justified allow
+// suppresses exactly its finding, and unknown-rule, reasonless, and
+// stale allows are findings.
+func TestGoldenAllow(t *testing.T) {
+	runGolden(t, "allow", Analyzers())
+}
+
+func runGolden(t *testing.T, dir string, analyzers []*Analyzer) {
+	t.Helper()
+	problems, err := CheckGolden(filepath.Join("testdata", dir), analyzers)
+	if err != nil {
+		t.Fatalf("golden %s: %v", dir, err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}

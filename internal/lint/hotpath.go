@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath enforces the PR-4 zero-allocation contract structurally.
+// Functions annotated with
+//
+//	//slmob:hotpath
+//
+// in their doc comment run once per snapshot (or per sample) at city
+// scale; the AllocsPerRun pins prove they allocate nothing at steady
+// state, and this analyzer front-runs the pins at compile review time
+// by flagging the constructs that put allocations back:
+//
+//   - make(...) and new(...)
+//   - map composite literals
+//   - growth appends — append whose result lands in a different
+//     variable than its source (buf = append(buf, x) amortises into
+//     pooled capacity and is allowed; y = append(x, ...) copies)
+//   - implicit interface boxing of non-pointer-shaped values (call
+//     arguments, assignments, returns, channel sends)
+//
+// Two branch shapes are exempt because they never run at steady state:
+// warm-up guards (an if whose condition checks cap(), len(), or nil —
+// the grow-on-demand idiom) and cold exits (a branch ending in panic or
+// in a return of a non-nil error).
+func Hotpath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc: "forbid make/new, map literals, growth appends, and interface boxing in //slmob:hotpath " +
+			"functions outside warm-up guards and cold error branches",
+		Run: runHotpath,
+	}
+}
+
+const hotpathDirective = "//slmob:hotpath"
+
+func runHotpath(pass *Pass) error {
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasDirective(fd.Doc, hotpathDirective) {
+					continue
+				}
+				checkHotpathFunc(pass, pkg, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkHotpathFunc(pass *Pass, pkg *Package, fd *ast.FuncDecl) {
+	info := pkg.Info
+
+	// Collect the excluded regions: warm-up guard bodies and cold
+	// branches.
+	type region struct{ lo, hi int }
+	var skip []region
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if mentionsCapLenOrNil(info, ifs.Cond) || terminatesCold(info, fd.Type, ifs.Body) {
+			skip = append(skip, region{int(ifs.Body.Pos()), int(ifs.Body.End())})
+		}
+		return true
+	})
+	excluded := func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, r := range skip {
+			if p >= r.lo && p <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// aliases maps "b" -> "g.buckets[k]" for locals introduced by
+	// b := g.buckets[k], so the amortised append-back idiom
+	// g.buckets[k] = append(b, e) is recognised as self-append.
+	aliases := make(map[string]string)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			aliases[id.Name] = exprText(pass.Fset, assign.Rhs[i])
+		}
+		return true
+	})
+	sameSlice := func(dst, src ast.Expr) bool {
+		d, s := exprText(pass.Fset, dst), exprText(pass.Fset, src)
+		if d == s {
+			return true
+		}
+		if a, ok := aliases[s]; ok && a == d {
+			return true
+		}
+		if a, ok := aliases[d]; ok && a == s {
+			return true
+		}
+		return false
+	}
+
+	report := func(n ast.Node, format string, args ...any) {
+		if !excluded(n) {
+			prefixed := append([]any{fd.Name.Name}, args...)
+			pass.Report(n.Pos(), "hot path %s "+format, prefixed...)
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "make":
+						report(n, "allocates with make; pool the buffer in the workspace and grow under a cap() guard")
+					case "new":
+						report(n, "allocates with new; reuse pooled state")
+					}
+				}
+			}
+			checkCallBoxing(pass, info, fd, n, report)
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(n, "allocates a map literal; preallocate in the constructor and clear() instead")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 || i >= len(n.Lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				if !sameSlice(n.Lhs[i], call.Args[0]) {
+					report(n, "grows %s from %s with append; append back into the same pooled slice",
+						exprText(pass.Fset, n.Lhs[i]), exprText(pass.Fset, call.Args[0]))
+				}
+			}
+			checkAssignBoxing(pass, info, fd, n, report)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, info, fd, n, report)
+		case *ast.SendStmt:
+			checkBoxed(info, n.Chan, n.Value, n, report)
+		}
+		return true
+	})
+}
+
+// boxes reports whether assigning src (a syntactic expression) to a
+// destination of type dst implicitly boxes a heap-allocating value into
+// an interface.
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst.Underlying()) {
+		return false
+	}
+	st := info.TypeOf(src)
+	if st == nil || types.IsInterface(st.Underlying()) {
+		return false
+	}
+	if isNilIdent(info, src) || isPointerShaped(st) {
+		return false
+	}
+	// Untyped constants box, but small-int and zero-size values are
+	// interned by the runtime only sometimes; stay strict and flag them.
+	return true
+}
+
+func reportBox(report func(n ast.Node, format string, args ...any), info *types.Info, n ast.Node, src ast.Expr, dst types.Type) {
+	report(n, "boxes %s into %s, allocating per call; keep hot-path data concrete or pointer-shaped",
+		info.TypeOf(src).String(), dst.String())
+}
+
+func checkCallBoxing(pass *Pass, info *types.Info, fd *ast.FuncDecl, call *ast.CallExpr, report func(n ast.Node, format string, args ...any)) {
+	callee := calleeOf(info, call)
+	var sig *types.Signature
+	if callee != nil {
+		sig, _ = callee.Type().(*types.Signature)
+	} else if t := info.TypeOf(call.Fun); t != nil {
+		sig, _ = t.Underlying().(*types.Signature)
+	}
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info, pt, arg) {
+			reportBox(report, info, call, arg, pt)
+		}
+	}
+}
+
+func checkAssignBoxing(pass *Pass, info *types.Info, fd *ast.FuncDecl, assign *ast.AssignStmt, report func(n ast.Node, format string, args ...any)) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		checkBoxed(info, assign.Lhs[i], rhs, assign, report)
+	}
+}
+
+func checkBoxed(info *types.Info, dst ast.Expr, src ast.Expr, at ast.Node, report func(n ast.Node, format string, args ...any)) {
+	if dt := info.TypeOf(dst); dt != nil && boxes(info, dt, src) {
+		reportBox(report, info, at, src, dt)
+	}
+}
+
+func checkReturnBoxing(pass *Pass, info *types.Info, fd *ast.FuncDecl, ret *ast.ReturnStmt, report func(n ast.Node, format string, args ...any)) {
+	if fd.Type.Results == nil || len(ret.Results) == 0 {
+		return
+	}
+	var resultTypes []types.Type
+	for _, f := range fd.Type.Results.List {
+		t := info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			resultTypes = append(resultTypes, t)
+		}
+	}
+	if len(ret.Results) != len(resultTypes) {
+		return
+	}
+	for i, r := range ret.Results {
+		if boxes(info, resultTypes[i], r) {
+			reportBox(report, info, ret, r, resultTypes[i])
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package lint is slmob's custom static-analysis suite: a small
+// go/analysis-style framework plus four analyzers that mechanically
+// enforce the invariants the runtime gates only catch after the fact —
+// bit-identical live/replay digests, merge-of-windows ≡ whole-trace,
+// reproducible checkpoint bytes, and the zero-allocation hot-path pins.
+//
+// The framework is deliberately stdlib-only (go/ast + go/types + the
+// source importer); the module has no external dependencies and the
+// linter keeps it that way. cmd/slvet is the multichecker driver, and
+// DESIGN.md §7 documents every rule, the runtime gate it front-runs,
+// and the escape-hatch grammar.
+//
+// Suppressions use
+//
+//	//lint:allow <rule> <reason>
+//
+// placed on the flagged line, on the line directly above it, or on a
+// struct-field declaration (exempting that field from the accumulator
+// contract). The reason is mandatory: an allow without one is itself a
+// diagnostic, so every suppression in the tree is explained.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule set. Run inspects the whole loaded module
+// through the Pass and reports findings; the framework applies the
+// allow-comment filter afterwards.
+type Analyzer struct {
+	// Name is the rule key used in //lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description shown by `slvet -help`.
+	Doc string
+	// Run inspects pass.Pkgs and calls pass.Report for each finding.
+	Run func(pass *Pass) error
+}
+
+// Package is one type-checked package of the loaded module.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir string
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the full type-checking results for Files.
+	Info *types.Info
+}
+
+// Pass hands an analyzer the loaded module and a reporting sink.
+type Pass struct {
+	// Fset positions every node of every package.
+	Fset *token.FileSet
+	// Pkgs lists the module's packages in dependency order.
+	Pkgs []*Package
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Report records one finding. The rule is filled from the running
+// analyzer.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Rule:    p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Pos anchors the finding in the file set.
+	Pos token.Pos
+	// Rule is the reporting analyzer's name — the allow key.
+	Rule string
+	// Message describes the finding.
+	Message string
+}
+
+// Position resolves the diagnostic's file position.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// allowKey identifies one source line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+// allowEntry is one parsed //lint:allow comment.
+type allowEntry struct {
+	rule   string
+	reason string
+	pos    token.Pos
+	used   bool
+}
+
+// allowIndex maps flagged lines to their suppressions.
+type allowIndex struct {
+	byLine map[allowKey][]*allowEntry
+	all    []*allowEntry
+}
+
+const allowPrefix = "//lint:allow"
+
+// buildAllowIndex scans every comment of every file for allow
+// directives. A directive covers its own line and, when it is the only
+// thing on its line, the line below — the two idiomatic placements.
+func buildAllowIndex(fset *token.FileSet, pkgs []*Package) *allowIndex {
+	idx := &allowIndex{byLine: make(map[allowKey][]*allowEntry)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+					// Golden files annotate expectations with "// want"
+					// inside the same comment; that is never part of the
+					// justification.
+					if i := strings.Index(rest, "// want"); i >= 0 {
+						rest = rest[:i]
+					}
+					rule, reason, _ := strings.Cut(rest, " ")
+					e := &allowEntry{rule: rule, reason: strings.TrimSpace(reason), pos: c.Pos()}
+					idx.all = append(idx.all, e)
+					p := fset.Position(c.Pos())
+					idx.byLine[allowKey{p.Filename, p.Line}] = append(idx.byLine[allowKey{p.Filename, p.Line}], e)
+					// A comment starting at column 1-ish of its own line
+					// (nothing before it) also covers the next line.
+					if standsAlone(fset, f, c) {
+						idx.byLine[allowKey{p.Filename, p.Line + 1}] = append(idx.byLine[allowKey{p.Filename, p.Line + 1}], e)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// standsAlone reports whether the comment is the first token on its
+// line (a directive line rather than a trailing comment).
+func standsAlone(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	p := fset.Position(c.Pos())
+	// Cheap check: no declaration or statement of the file starts on the
+	// same line before the comment's column. Scanning tokens would be
+	// exact; comparing against the file's line start is enough because
+	// gofmt keeps trailing comments after code on the same line.
+	var onSameLine bool
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || onSameLine {
+			return false
+		}
+		np := fset.Position(n.Pos())
+		if np.Line == p.Line && np.Column < p.Column {
+			onSameLine = true
+			return false
+		}
+		return n.End() >= c.Pos()
+	})
+	return !onSameLine
+}
+
+// suppressed consumes a matching allow for the diagnostic, if any.
+func (idx *allowIndex) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	p := fset.Position(d.Pos)
+	for _, e := range idx.byLine[allowKey{p.Filename, p.Line}] {
+		if e.rule == d.Rule {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over a loaded module and returns the
+// surviving diagnostics, sorted by position: findings minus justified
+// suppressions, plus one diagnostic per malformed or unexplained allow.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkgs: pkgs, analyzer: a}
+		pass.report = func(d Diagnostic) { raw = append(raw, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
+		}
+	}
+
+	idx := buildAllowIndex(fset, pkgs)
+	// An allow is validated against the full suite's rule names, not just
+	// the analyzers selected for this run — running a subset (slvet
+	// -rules) must not misreport allows for unselected rules as unknown.
+	// Staleness, by contrast, is only decidable for rules that ran.
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	selected := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+		selected[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if !idx.suppressed(fset, d) {
+			out = append(out, d)
+		}
+	}
+	// Every allow must name a known rule and carry a reason; an allow
+	// that suppressed nothing is stale and flagged too, so the set of
+	// suppressions in the tree stays exactly the justified, active ones.
+	for _, e := range idx.all {
+		switch {
+		case !known[e.rule]:
+			out = append(out, Diagnostic{Pos: e.pos, Rule: "allow", Message: fmt.Sprintf("unknown rule %q in //lint:allow", e.rule)})
+		case e.reason == "":
+			out = append(out, Diagnostic{Pos: e.pos, Rule: "allow", Message: fmt.Sprintf("//lint:allow %s has no reason; every suppression must be justified", e.rule)})
+		case !e.used && selected[e.rule]:
+			out = append(out, Diagnostic{Pos: e.pos, Rule: "allow", Message: fmt.Sprintf("stale //lint:allow %s suppresses nothing", e.rule)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out, nil
+}
+
+// Analyzers returns the full slvet suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Determinism(),
+		Hotpath(),
+		AccContract(),
+		RngDiscipline(),
+	}
+}

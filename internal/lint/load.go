@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked source module.
+type Module struct {
+	// Fset positions every file of every package.
+	Fset *token.FileSet
+	// Path is the module path from go.mod.
+	Path string
+	// Pkgs lists the packages in dependency (topological) order.
+	Pkgs []*Package
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (a directory containing go.mod), using the standard library's source
+// importer for stdlib dependencies — the module itself has none. It is
+// the loader both cmd/slvet and the analyzer tests run on.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return LoadTree(root, modPath)
+}
+
+// LoadTree is LoadModule with an explicit module path, so analyzer
+// golden tests can load a testdata tree as a synthetic module.
+func LoadTree(root, modPath string) (*Module, error) {
+	fset := token.NewFileSet()
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	type rawPkg struct {
+		path  string
+		dir   string
+		files []*ast.File
+		deps  []string
+	}
+	raw := make(map[string]*rawPkg)
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		names, err := goFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue
+		}
+		p := &rawPkg{path: path, dir: dir}
+		depSet := make(map[string]bool)
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			p.files = append(p.files, f)
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					depSet[ip] = true
+				}
+			}
+		}
+		for d := range depSet {
+			p.deps = append(p.deps, d)
+		}
+		sort.Strings(p.deps)
+		raw[p.path] = p
+	}
+
+	// Topological order over in-module imports.
+	order := make([]string, 0, len(raw))
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		for _, d := range raw[path].deps {
+			if _, ok := raw[d]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no source under %s", path, d, root)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	// Type-check in dependency order. Stdlib imports resolve through the
+	// source importer (cgo off, so net and friends check as pure Go);
+	// in-module imports resolve against the packages already checked.
+	build.Default.CgoEnabled = false
+	mi := &moduleImporter{
+		stdlib: importer.ForCompiler(fset, "source", nil),
+		local:  make(map[string]*types.Package),
+	}
+	mod := &Module{Fset: fset, Path: modPath}
+	for _, path := range order {
+		p := raw[path]
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		cfg := &types.Config{Importer: mi}
+		tpkg, err := cfg.Check(path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		mi.local[path] = tpkg
+		mod.Pkgs = append(mod.Pkgs, &Package{
+			Path:  path,
+			Dir:   p.dir,
+			Files: p.files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return mod, nil
+}
+
+// moduleImporter resolves in-module packages from the already-checked
+// set and everything else from the standard library's source importer.
+type moduleImporter struct {
+	stdlib types.Importer
+	local  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.stdlib.Import(path)
+}
+
+// packageDirs walks root collecting directories that may hold Go
+// packages, skipping testdata trees, hidden directories, and git
+// internals — the same pruning the go tool applies.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// goFiles lists the buildable non-test Go files of dir.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngDiscipline enforces the ownership rules of rng.Source, the
+// deterministic xoshiro256** stream the whole estate draws from.
+//
+// Two mistakes silently destroy reproducibility:
+//
+//   - Copying a Source by value. The copy and the original then emit
+//     the same sequence, so two "independent" consumers draw correlated
+//     values — and a copy advanced in one place leaves the original
+//     behind, shifting every later draw. Streams must be carried as
+//     *Source (or forked explicitly with Split/SplitIndexed).
+//
+//   - Sharing a *Source across goroutines. Uint64 mutates the four-word
+//     state unsynchronised; concurrent draws race, and even "benign"
+//     interleavings make the draw order schedule-dependent. A goroutine
+//     must own its stream: receive it as a go-call argument (ownership
+//     transfer) or fork its own, never capture a shared pointer.
+//
+// State() is the sanctioned by-value form: it returns the raw [4]uint64
+// capsule for checkpoints and cross-server handoffs, and Restore is the
+// only way back in.
+func RngDiscipline() *Analyzer {
+	return &Analyzer{
+		Name: "rng",
+		Doc: "forbid by-value copies of rng.Source and capture of a shared *rng.Source " +
+			"inside go-statement closures",
+		Run: runRngDiscipline,
+	}
+}
+
+func runRngDiscipline(pass *Pass) error {
+	src := findRngSource(pass.Pkgs)
+	if src == nil {
+		return nil
+	}
+
+	isSourceValue := func(t types.Type) bool {
+		n, _ := types.Unalias(t).(*types.Named)
+		return n != nil && n.Obj() == src.Obj()
+	}
+	isSourcePtr := func(t types.Type) bool {
+		p, ok := types.Unalias(t).(*types.Pointer)
+		return ok && isSourceValue(p.Elem())
+	}
+
+	for _, pkg := range pass.Pkgs {
+		info := pkg.Info
+		inRngPkg := pkg.Types == src.Obj().Pkg()
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					// x := *src, x = *src — a dereference copy forks the
+					// stream state. Also v := otherValue where the static
+					// type is a bare Source.
+					for i, rhs := range n.Rhs {
+						if i >= len(n.Lhs) {
+							break
+						}
+						checkSourceCopy(pass, info, n.Lhs[i], rhs, isSourceValue, inRngPkg)
+					}
+				case *ast.ValueSpec:
+					for _, v := range n.Values {
+						checkSourceCopy(pass, info, nil, v, isSourceValue, inRngPkg)
+					}
+				case *ast.FuncDecl:
+					checkSourceParams(pass, info, n.Type, isSourceValue, inRngPkg)
+				case *ast.FuncLit:
+					checkSourceParams(pass, info, n.Type, isSourceValue, inRngPkg)
+				case *ast.StructType:
+					for _, field := range n.Fields.List {
+						if t := info.TypeOf(field.Type); t != nil && isSourceValue(t) && !inRngPkg {
+							pass.Report(field.Pos(), "struct field embeds rng.Source by value; hold *rng.Source "+
+								"(or the State() capsule) so the stream has one owner")
+						}
+					}
+				case *ast.CallExpr:
+					checkSourceArgs(pass, info, n, isSourceValue, inRngPkg)
+				case *ast.GoStmt:
+					checkGoroutineCapture(pass, info, n, isSourcePtr, isSourceValue)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// findRngSource locates the named type Source declared in a package
+// named rng anywhere in the module.
+func findRngSource(pkgs []*Package) *types.Named {
+	for _, pkg := range pkgs {
+		if pkg.Types.Name() != "rng" {
+			continue
+		}
+		if tn, ok := pkg.Types.Scope().Lookup("Source").(*types.TypeName); ok {
+			if n, ok := tn.Type().(*types.Named); ok {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// checkSourceCopy flags an assignment or initialisation whose
+// right-hand side produces a by-value Source from existing state: a
+// pointer dereference or a read of another Source variable. Composite
+// literals and calls are construction, not copying — the rng package
+// itself builds Sources that way.
+func checkSourceCopy(pass *Pass, info *types.Info, dst, src ast.Expr, isSourceValue func(types.Type) bool, inRngPkg bool) {
+	if inRngPkg {
+		return
+	}
+	t := info.TypeOf(src)
+	if t == nil || !isSourceValue(t) {
+		return
+	}
+	switch ast.Unparen(src).(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		return
+	}
+	// A blank assignment discards the value — no usable copy is made.
+	if id, ok := ast.Unparen(dst).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	pass.Report(src.Pos(), "copies rng.Source by value; the copy and the original emit the same stream — "+
+		"pass *rng.Source, or fork with Split/SplitIndexed")
+}
+
+// checkSourceParams flags function parameters and results that take a
+// bare Source — every call site would copy the stream.
+func checkSourceParams(pass *Pass, info *types.Info, ft *ast.FuncType, isSourceValue func(types.Type) bool, inRngPkg bool) {
+	if inRngPkg {
+		return
+	}
+	flag := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if t := info.TypeOf(field.Type); t != nil && isSourceValue(t) {
+				pass.Report(field.Pos(), "%s passes rng.Source by value, copying the stream per call; "+
+					"take *rng.Source instead", what)
+			}
+		}
+	}
+	flag(ft.Params, "parameter")
+	flag(ft.Results, "result")
+}
+
+// checkSourceArgs flags call arguments that pass a Source by value.
+func checkSourceArgs(pass *Pass, info *types.Info, call *ast.CallExpr, isSourceValue func(types.Type) bool, inRngPkg bool) {
+	if inRngPkg {
+		return
+	}
+	for _, arg := range call.Args {
+		t := info.TypeOf(arg)
+		if t == nil || !isSourceValue(t) {
+			continue
+		}
+		switch ast.Unparen(arg).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			continue
+		}
+		pass.Report(arg.Pos(), "passes rng.Source by value into a call; hand over *rng.Source so "+
+			"draws advance the one true stream")
+	}
+}
+
+// checkGoroutineCapture flags go-statement closures that capture a
+// *Source (or a Source variable) declared outside the closure.
+// Ownership transfer — passing the source as an argument of the go
+// call — is the sanctioned handoff and is not flagged.
+func checkGoroutineCapture(pass *Pass, info *types.Info, g *ast.GoStmt, isSourcePtr, isSourceValue func(types.Type) bool) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	// Objects declared inside the literal (params included) are owned by
+	// the goroutine.
+	owned := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				owned[obj] = true
+			}
+		}
+		return true
+	})
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || owned[obj] || seen[obj] {
+			return true
+		}
+		t := obj.Type()
+		if isSourcePtr(t) || isSourceValue(t) {
+			seen[obj] = true
+			pass.Report(id.Pos(), "goroutine captures shared rng stream %s; draws race and the order becomes "+
+				"schedule-dependent — pass it as a go-call argument or fork with SplitIndexed", obj.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleIsClean pins that the full slvet suite runs clean on this
+// repository — the same gate CI enforces with `go run ./cmd/slvet`.
+// Every suppression in the tree is justified (reasonless and stale
+// allows are themselves findings), so a pass here means zero
+// unexplained escapes.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module against the source importer")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := Run(mod.Fset, mod.Pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		p := d.Position(mod.Fset)
+		rel, rerr := filepath.Rel(root, p.Filename)
+		if rerr != nil {
+			rel = p.Filename
+		}
+		t.Errorf("%s:%d: [%s] %s", rel, p.Line, d.Rule, d.Message)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

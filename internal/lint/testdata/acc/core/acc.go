@@ -1,0 +1,108 @@
+// Package core is the golden fixture for the accumulator-contract
+// analyzer: it declares the Accumulator interface the way the real
+// internal/core does, plus implementations that honour and violate the
+// Reset/Merge/encode-decode field contract.
+package core
+
+// Accumulator mirrors the real contract: windowed state that resets on
+// rollover.
+type Accumulator interface{ Reset() }
+
+var (
+	_ Accumulator = (*Good)(nil)
+	_ Accumulator = (*Leaky)(nil)
+	_ Accumulator = (*Scratch)(nil)
+	_ Accumulator = (*Allowed)(nil)
+	_ Accumulator = (*Half)(nil)
+)
+
+// Good handles every field everywhere: directly, transitively, and via
+// the decode half of the pair.
+type Good struct {
+	n     int64
+	total float64
+}
+
+func (g *Good) Reset() {
+	*g = Good{}
+}
+
+func (g *Good) Merge(o *Good) {
+	g.n += o.n
+	g.addTotal(o.total)
+}
+
+func (g *Good) addTotal(v float64) { g.total += v }
+
+func encodeGood(g *Good) []float64 {
+	// n is reconstructed by the decoder — pair coverage is the union.
+	return []float64{g.total}
+}
+
+func decodeGood(vals []float64) *Good {
+	g := &Good{n: int64(len(vals))}
+	for _, v := range vals {
+		g.addTotal(v)
+	}
+	return g
+}
+
+// Leaky forgets its fields in different places.
+type Leaky struct {
+	count int64
+	sum   float64 // want "not handled by Merge" "not handled by the encode/decode pair"
+	peak  float64 // want "not handled by Reset"
+}
+
+func (l *Leaky) Reset() {
+	l.count = 0
+	l.sum = 0
+	// peak survives the window rollover: stale state.
+}
+
+func (l *Leaky) Merge(o *Leaky) {
+	l.count += o.count
+	// sum is dropped on merge.
+	if o.peak > l.peak {
+		l.peak = o.peak
+	}
+}
+
+func encodeLeaky(l *Leaky) []float64 {
+	return []float64{float64(l.count), l.peak}
+}
+
+func decodeLeaky(vals []float64) *Leaky {
+	return &Leaky{count: int64(vals[0]), peak: vals[1]}
+}
+
+// Scratch implements Accumulator but neither merges nor serializes —
+// outside the contract, never flagged.
+type Scratch struct {
+	cells []int
+}
+
+func (s *Scratch) Reset() { s.cells = s.cells[:0] }
+
+// Allowed exempts a derived cache at the field declaration.
+type Allowed struct {
+	n      int64
+	cached float64 //lint:allow acc derived cache rebuilt on demand, never merged or persisted
+}
+
+func (a *Allowed) Reset()           { a.n = 0; a.cached = 0 }
+func (a *Allowed) Merge(o *Allowed) { a.n += o.n }
+
+func encodeAllowed(a *Allowed) []float64 { return []float64{float64(a.n)} }
+func decodeAllowed(vals []float64) *Allowed {
+	return &Allowed{n: int64(vals[0])}
+}
+
+// Half has an encoder but no decoder: checkpoints cannot round-trip.
+type Half struct { // want "has encodeHalf but no matching decoder"
+	n int64
+}
+
+func (h *Half) Reset() { h.n = 0 }
+
+func encodeHalf(h *Half) []int64 { return []int64{h.n} }

@@ -1,0 +1,21 @@
+// Package core exercises the //lint:allow escape hatch: justified
+// suppressions vanish, and malformed or stale ones are findings in
+// their own right.
+package core
+
+import "time"
+
+// checkpointStamp carries a justified suppression — no finding
+// survives, and the allow is consumed so it is not stale.
+func checkpointStamp() int64 {
+	return time.Now().UnixNano() //lint:allow determinism fixture exercising a justified suppression
+}
+
+//lint:allow bogusrule this rule does not exist // want `unknown rule "bogusrule"`
+func unknownRule() {}
+
+//lint:allow determinism // want "has no reason"
+func noReason() {}
+
+//lint:allow hotpath nothing below ever triggers this rule // want "stale .*hotpath suppresses nothing"
+func stale() {}

@@ -1,0 +1,93 @@
+// Package core is a golden fixture: the determinism analyzer covers a
+// package with this name wholesale.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Writer is a stand-in for snap.Writer — an ordered record sink.
+type Writer struct{ buf []byte }
+
+func (w *Writer) F64(v float64) { w.buf = append(w.buf, byte(v)) }
+func (w *Writer) I64(v int64)   { w.buf = append(w.buf, byte(v)) }
+
+func clockSample() int64 {
+	return time.Now().UnixNano() // want "samples the wall clock with time.Now"
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `uses global math/rand\.Float64`
+}
+
+// constructedRand builds a private stream — constructors are fine, the
+// global draw below is not.
+func constructedRand() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+// encodeUnsorted writes map entries straight into the sink: different
+// bytes on every run.
+func encodeUnsorted(w *Writer, counts map[float64]int64) {
+	for v, n := range counts {
+		w.F64(v) // want "writes to w in map iteration order"
+		w.I64(n) // want "writes to w in map iteration order"
+	}
+}
+
+// encodeSorted collects and sorts keys first — the sanctioned shape.
+func encodeSorted(w *Writer, counts map[float64]int64) {
+	keys := make([]float64, 0, len(counts))
+	for v := range counts {
+		keys = append(keys, v)
+	}
+	sort.Float64s(keys)
+	for _, v := range keys {
+		w.F64(v)
+		w.I64(counts[v])
+	}
+}
+
+// collectUnsorted appends in map order with no sort afterwards.
+func collectUnsorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want "appends to out in map iteration order"
+	}
+	return out
+}
+
+// mergeCounts writes through per-key slots — order-insensitive, fine.
+func mergeCounts(dst, src map[float64]int64) {
+	for v, n := range src {
+		dst[v] += n
+	}
+}
+
+// perEntry mutates the value each key maps to — derived target, fine.
+func perEntry(m map[int]*Writer) {
+	for _, w := range m {
+		w.I64(1)
+	}
+}
+
+// viaClosure hides the ordered write behind a local helper.
+func viaClosure(m map[int]int) []string {
+	var diffs []string
+	addf := func(s string) {
+		diffs = append(diffs, s)
+	}
+	for range m {
+		addf("x") // want "calls addf in map iteration order"
+	}
+	return diffs
+}
+
+// sendsOnChannel streams map entries — schedule-visible order.
+func sendsOnChannel(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k // want "sends on ch in map iteration order"
+	}
+}

@@ -1,0 +1,24 @@
+// Package other is outside the deterministic package set: only
+// functions whose names mark them as encode/merge/checkpoint call-graph
+// members are covered.
+package other
+
+import "time"
+
+// encodeRecords is covered by name prefix.
+func encodeRecords(sink []int64, m map[int]int64) []int64 {
+	for _, v := range m {
+		sink = append(sink, v) // want "appends to sink in map iteration order"
+	}
+	_ = time.Now() // want "samples the wall clock"
+	return sink
+}
+
+// helper is uncovered: same constructs, no findings.
+func helper(sink []int64, m map[int]int64) []int64 {
+	for _, v := range m {
+		sink = append(sink, v)
+	}
+	_ = time.Now()
+	return sink
+}

@@ -1,0 +1,80 @@
+// Package hot is the golden fixture for the //slmob:hotpath
+// zero-allocation analyzer.
+package hot
+
+import "fmt"
+
+type workspace struct {
+	buf     []int
+	buckets map[int][]int
+	sink    any
+}
+
+//slmob:hotpath
+func (w *workspace) step(x int) {
+	// Warm-up guard: grows only until capacity sticks. Exempt.
+	if cap(w.buf) < 16 {
+		w.buf = make([]int, 0, 16)
+	}
+	// Self-append amortises into pooled capacity. Allowed.
+	w.buf = append(w.buf, x)
+
+	tmp := append(w.buf, x) // want "grows tmp from w.buf with append"
+	_ = tmp
+
+	q := make([]int, 4) // want "allocates with make"
+	_ = q
+
+	p := new(int) // want "allocates with new"
+	_ = p
+
+	mm := map[int]int{} // want "allocates a map literal"
+	_ = mm
+
+	w.sink = x // want "boxes int into any"
+}
+
+// bucketInsert uses the alias idiom: read the slot into a local, append
+// back into the same slot. Allowed.
+//
+//slmob:hotpath
+func (w *workspace) bucketInsert(k, v int) {
+	if w.buckets == nil {
+		w.buckets = make(map[int][]int)
+	}
+	b := w.buckets[k]
+	w.buckets[k] = append(b, v)
+}
+
+// cold has an error exit; allocations on the branch that leaves the hot
+// path never run at steady state. Exempt.
+//
+//slmob:hotpath
+func (w *workspace) cold(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative sample %d", x)
+	}
+	w.buf = append(w.buf, x)
+	return nil
+}
+
+//slmob:hotpath
+func boxedCall(x int) {
+	fmt.Sprint(x) // want "boxes int into"
+}
+
+//slmob:hotpath
+func boxedReturn(x int) any {
+	return x // want "boxes int into any"
+}
+
+//slmob:hotpath
+func pointerShapedOK(w *workspace) any {
+	// Pointers fit the interface word without allocating.
+	return w
+}
+
+// unannotated is free to allocate.
+func unannotated() []int {
+	return make([]int, 8)
+}

@@ -1,0 +1,49 @@
+// Package use exercises the rng-discipline rules from outside the rng
+// package.
+package use
+
+import "golden/rng"
+
+var stream = rng.New(1)
+
+func derefCopy() {
+	local := *stream // want "copies rng.Source by value"
+	_ = local
+}
+
+func valueParam(src rng.Source) uint64 { // want "parameter passes rng.Source by value"
+	return 0
+}
+
+func valueResult() rng.Source // want "result passes rng.Source by value"
+
+type holder struct {
+	src rng.Source // want "struct field embeds rng.Source by value"
+}
+
+type pointerHolder struct {
+	src *rng.Source // fine: one owner
+}
+
+func passesByValue() {
+	valueParam(*stream) // want "passes rng.Source by value into a call"
+}
+
+func capturesShared(done chan struct{}) {
+	go func() { // the capture is flagged where the stream is used
+		_ = stream.Uint64() // want "goroutine captures shared rng stream"
+		close(done)
+	}()
+}
+
+func ownershipTransfer(done chan struct{}) {
+	go func(r *rng.Source) {
+		_ = r.Uint64()
+		close(done)
+	}(stream.Split())
+}
+
+// capsuleHandoff moves state by value the sanctioned way.
+func capsuleHandoff() [4]uint64 {
+	return stream.State()
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// expectation is one // want "regex" annotation in a golden file.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe matches the quoted patterns of a // want comment. Each golden
+// line carries one or more double-quoted Go strings:
+//
+//	x = append(y, v) // want `grows x`
+//	// want "appends to diffs" "second finding on this line"
+var wantRe = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// CheckGolden runs the given analyzers over the module tree rooted at
+// dir (loaded as a synthetic module named "golden") and compares the
+// diagnostics — after allow-comment filtering, exactly as slvet applies
+// it — against the // want annotations in the sources. It returns one
+// error string per mismatch: a diagnostic no annotation expected, or an
+// annotation nothing matched. The test wrapper turns these into
+// t.Errorf calls.
+func CheckGolden(dir string, analyzers []*Analyzer) ([]string, error) {
+	mod, err := LoadTree(dir, "golden")
+	if err != nil {
+		return nil, err
+	}
+	diags, err := Run(mod.Fset, mod.Pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+
+	expects, err := collectWants(mod)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for _, d := range diags {
+		p := d.Position(mod.Fset)
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != p.Filename || e.line != p.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("%s:%d: unexpected diagnostic [%s] %s", p.Filename, p.Line, d.Rule, d.Message))
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", e.file, e.line, e.pattern))
+		}
+	}
+	return problems, nil
+}
+
+// collectWants parses the // want annotations out of every file of the
+// loaded module.
+func collectWants(mod *Module) ([]*expectation, error) {
+	var out []*expectation
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					p := mod.Fset.Position(c.Pos())
+					for _, q := range wantArgRe.FindAllString(m[1], -1) {
+						var text string
+						if strings.HasPrefix(q, "`") {
+							text = strings.Trim(q, "`")
+						} else {
+							var err error
+							text, err = strconv.Unquote(q)
+							if err != nil {
+								return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", p.Filename, p.Line, q, err)
+							}
+						}
+						re, err := regexp.Compile(text)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: want pattern %q: %w", p.Filename, p.Line, text, err)
+						}
+						out = append(out, &expectation{file: p.Filename, line: p.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcIndex maps function objects to their declarations across the
+// whole module, so analyzers can chase calls transitively.
+type funcIndex struct {
+	decls map[*types.Func]*ast.FuncDecl
+	pkgs  map[*types.Func]*Package
+}
+
+func buildFuncIndex(pkgs []*Package) *funcIndex {
+	idx := &funcIndex{
+		decls: make(map[*types.Func]*ast.FuncDecl),
+		pkgs:  make(map[*types.Func]*Package),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx.decls[obj] = fd
+					idx.pkgs[obj] = pkg
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// calleeOf resolves the static callee of a call expression, nil for
+// builtins, function values, and interface calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// exprText renders an expression as source text — the cheap structural
+// identity used to match append targets and sort arguments.
+func exprText(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// namedOf unwraps pointers and aliases down to a named type, nil when
+// the type has no name.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isPointerShaped reports whether values of t fit in an interface word
+// without heap allocation: pointers, channels, maps, funcs, and unsafe
+// pointers.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// mentionsCapLenOrNil reports whether the expression contains a cap()
+// or len() call or a nil comparison — the shape of a warm-up guard
+// ("grow only when the buffer is too small / not yet built").
+func mentionsCapLenOrNil(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if _, isNil := info.Uses[n].(*types.Nil); isNil {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// terminatesCold reports whether the block ends in a statement that
+// leaves the hot path: a panic, or a return whose final result is a
+// non-nil value in error position. Allocations on such branches (error
+// construction, panic messages) never run at steady state.
+func terminatesCold(info *types.Info, fnType *ast.FuncType, block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if len(last.Results) == 0 {
+			return false
+		}
+		if !lastResultIsError(info, fnType) {
+			return false
+		}
+		return !isNilIdent(info, last.Results[len(last.Results)-1])
+	}
+	return false
+}
+
+// lastResultIsError reports whether the function's final result type is
+// the error interface.
+func lastResultIsError(info *types.Info, fnType *ast.FuncType) bool {
+	if fnType.Results == nil || len(fnType.Results.List) == 0 {
+		return false
+	}
+	fields := fnType.Results.List
+	lastField := fields[len(fields)-1]
+	t := info.TypeOf(lastField.Type)
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// hasDirective reports whether the declaration's doc comment contains
+// the given //-directive (e.g. "//slmob:hotpath").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverNamed returns the named type of a method's receiver, nil for
+// plain functions.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}

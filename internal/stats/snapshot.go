@@ -7,13 +7,17 @@ import (
 )
 
 // Encode appends the accumulator's multiset to a snapshot: the distinct
-// count, then one (value, multiplicity) pair per distinct value. The
-// serializable third of the core.Accumulator contract.
+// count, then one (value, multiplicity) pair per distinct value, in
+// ascending value order so the bytes are reproducible — checkpoints of
+// equal accumulators must be byte-identical, and map iteration order is
+// randomised per run. The serializable third of the core.Accumulator
+// contract.
 func (w *Weighted) Encode(sw *snap.Writer) {
-	sw.Uvarint(uint64(len(w.counts)))
-	for v, c := range w.counts {
+	w.refresh()
+	sw.Uvarint(uint64(len(w.sorted)))
+	for _, v := range w.sorted {
 		sw.F64(v)
-		sw.Uvarint(uint64(c))
+		sw.Uvarint(uint64(w.counts[v]))
 	}
 }
 

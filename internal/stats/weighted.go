@@ -24,9 +24,10 @@ type Weighted struct {
 	n      int64
 
 	// Sorted-view cache, rebuilt lazily: sorted distinct values and the
-	// cumulative multiplicity at or below each.
-	sorted []float64
-	cum    []int64
+	// cumulative multiplicity at or below each. Merge only marks them
+	// dirty; refresh rebuilds them from counts on the next query.
+	sorted []float64 //lint:allow acc derived cache; Merge invalidates via dirty and refresh rebuilds from counts
+	cum    []int64   //lint:allow acc derived cache; Merge invalidates via dirty and refresh rebuilds from counts
 	dirty  bool
 }
 
@@ -47,9 +48,13 @@ func WeightedOf(xs ...float64) *Weighted {
 
 // Add records one observation of v. NaN panics: the same values an
 // Empirical would reject must never enter the accumulator.
+//
+//slmob:hotpath
 func (w *Weighted) Add(v float64) { w.AddN(v, 1) }
 
 // AddN records n observations of v; n <= 0 is a no-op.
+//
+//slmob:hotpath
 func (w *Weighted) AddN(v float64, n int64) {
 	if n <= 0 {
 		return
