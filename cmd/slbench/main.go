@@ -36,6 +36,7 @@ import (
 
 	"slmob/internal/core"
 	"slmob/internal/experiment"
+	"slmob/internal/graph"
 	"slmob/internal/stats"
 	"slmob/internal/world"
 )
@@ -58,6 +59,70 @@ type windowTiming struct {
 	WallMS    float64 `json:"wall_ms"`
 }
 
+// incrementalStats is the JSON view of the analysis core's
+// temporal-coherence engine over a run: what fraction of per-range
+// snapshot graphs were patched from the previous snapshot instead of
+// rebuilt, the per-snapshot diff rates behind that, and the metric-cache
+// hit ratios.
+type incrementalStats struct {
+	// Snapshots counts per-range graph builds (snapshots × ranges).
+	Snapshots int64 `json:"snapshots"`
+	// IncrementalFrac is the fraction of builds served by the delta path.
+	IncrementalFrac float64 `json:"incremental_frac"`
+	// FullRebuilds counts scratch builds (first snapshots, churn
+	// fallbacks).
+	FullRebuilds int64 `json:"full_rebuilds"`
+	// MovedPerSnapshot / ArrivedPerSnapshot / DepartedPerSnapshot are the
+	// mean per-build diff rates over the diffed builds.
+	MovedPerSnapshot    float64 `json:"moved_per_snapshot"`
+	ArrivedPerSnapshot  float64 `json:"arrived_per_snapshot"`
+	DepartedPerSnapshot float64 `json:"departed_per_snapshot"`
+	// EdgesChangedPerSnapshot is the mean number of adjacency patches
+	// (adds + removes) per incremental build.
+	EdgesChangedPerSnapshot float64 `json:"edges_changed_per_snapshot"`
+	// DiamReuseFrac / CCReuseFrac are the metric-cache hit ratios:
+	// diameters answered from the component cache, and per-vertex
+	// clustering coefficients served without recomputation.
+	DiamReuseFrac float64 `json:"diam_reuse_frac"`
+	CCReuseFrac   float64 `json:"cc_reuse_frac"`
+}
+
+// incrementalOf condenses summed workspace counters into the JSON block.
+func incrementalOf(st graph.WorkspaceStats) *incrementalStats {
+	if st.Snapshots == 0 {
+		return nil
+	}
+	out := &incrementalStats{
+		Snapshots:       st.Snapshots,
+		IncrementalFrac: float64(st.Incremental) / float64(st.Snapshots),
+		FullRebuilds:    st.FullRebuilds,
+	}
+	diffed := st.Snapshots // every ApplyPositions call diffs (or is the first build)
+	out.MovedPerSnapshot = float64(st.Moved) / float64(diffed)
+	out.ArrivedPerSnapshot = float64(st.Arrived) / float64(diffed)
+	out.DepartedPerSnapshot = float64(st.Departed) / float64(diffed)
+	if st.Incremental > 0 {
+		out.EdgesChangedPerSnapshot = float64(st.EdgesAdded+st.EdgesRemoved) / float64(st.Incremental)
+	}
+	if n := st.DiamReused + st.DiamComputed; n > 0 {
+		out.DiamReuseFrac = float64(st.DiamReused) / float64(n)
+	}
+	if n := st.CCReused + st.CCComputed; n > 0 {
+		out.CCReuseFrac = float64(st.CCReused) / float64(n)
+	}
+	return out
+}
+
+// churnRun is one churn-sweep preset's measurement: wall time plus the
+// incremental-hit profile under that mobility level. The baseline gate
+// compares wall times, so a fallback-threshold change that regresses the
+// high-churn preset fails CI.
+type churnRun struct {
+	Level       string            `json:"level"`
+	WallMS      int64             `json:"wall_ms"`
+	Incremental *incrementalStats `json:"incremental,omitempty"`
+}
+
 // benchOutput is the JSON artifact schema.
 type benchOutput struct {
 	Seed        uint64 `json:"seed"`
@@ -76,6 +141,13 @@ type benchOutput struct {
 	WindowSec      int64          `json:"window_sec,omitempty"`
 	WindowedWallMS int64          `json:"windowed_wall_ms,omitempty"`
 	Windows        []windowTiming `json:"windows,omitempty"`
+
+	// Incremental reports how the temporal-coherence graph engine served
+	// the main run, summed over all lands and ranges.
+	Incremental *incrementalStats `json:"incremental,omitempty"`
+	// ChurnSweep holds the -churn-sweep measurements (low/medium/high
+	// mobility presets), in preset order.
+	ChurnSweep []churnRun `json:"churn_sweep,omitempty"`
 }
 
 func metricsOf(an *core.Analysis) landMetrics {
@@ -161,7 +233,60 @@ func compareBaseline(fresh benchOutput, path string, tol, wallTol, allocTol floa
 				fresh.WindowedWallMS, wallTol, base.WindowedWallMS)
 		}
 	}
+	// Incremental-engine gate: the fraction of snapshots served
+	// incrementally must not collapse (a silently-broken delta path would
+	// fall back to scratch everywhere and pass every metric check), and
+	// each churn-sweep preset's wall time must stay within the slowdown
+	// tolerance — in particular the high-churn preset, where the fallback
+	// heuristic is what keeps the engine no slower than a scratch build.
+	if base.Incremental != nil && fresh.Incremental != nil &&
+		base.Incremental.IncrementalFrac > 0.1 &&
+		fresh.Incremental.IncrementalFrac < base.Incremental.IncrementalFrac/2 {
+		return fmt.Errorf("incremental fraction %.3f collapsed from baseline %.3f",
+			fresh.Incremental.IncrementalFrac, base.Incremental.IncrementalFrac)
+	}
+	if len(base.ChurnSweep) > 0 && len(fresh.ChurnSweep) > 0 {
+		baseChurn := make(map[string]churnRun, len(base.ChurnSweep))
+		for _, cr := range base.ChurnSweep {
+			baseChurn[cr.Level] = cr
+		}
+		for _, cr := range fresh.ChurnSweep {
+			want, ok := baseChurn[cr.Level]
+			if !ok {
+				continue
+			}
+			if want.WallMS > 0 && float64(cr.WallMS) > wallTol*float64(want.WallMS) {
+				return fmt.Errorf("churn preset %q wall time %d ms exceeds %gx baseline %d ms",
+					cr.Level, cr.WallMS, wallTol, want.WallMS)
+			}
+		}
+	}
 	return nil
+}
+
+// churnSweep measures each mobility preset: simulate+analyse with the
+// incremental engine on, recording wall time and the incremental-hit
+// profile.
+func churnSweep(ctx context.Context, seed uint64, duration int64) ([]churnRun, error) {
+	var out []churnRun
+	for _, level := range world.ChurnLevels {
+		scn, err := world.ChurnScenario(level, seed)
+		if err != nil {
+			return nil, err
+		}
+		scn.Duration = duration
+		start := time.Now()
+		run, err := experiment.RunLand(ctx, scn, core.PaperTau)
+		if err != nil {
+			return nil, fmt.Errorf("churn preset %q: %w", level, err)
+		}
+		out = append(out, churnRun{
+			Level:       level,
+			WallMS:      time.Since(start).Milliseconds(),
+			Incremental: incrementalOf(run.Workspace),
+		})
+	}
+	return out, nil
 }
 
 // windowedPass replays the land's trace through the windowed analyzer
@@ -206,6 +331,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 		window     = flag.Int64("window", 0, "additionally replay the first land through the windowed analyzer with windows of this many seconds, timing each window")
+		churn      = flag.Bool("churn-sweep", false, "additionally run the low/medium/high mobility presets, recording wall time and incremental-hit statistics per preset")
 	)
 	flag.Parse()
 
@@ -292,8 +418,32 @@ func main() {
 		WallMS:            wall.Milliseconds(),
 		AllocsPerSnapshot: allocsPerSnap,
 	}
+	var wsSum graph.WorkspaceStats
 	for _, run := range runs {
 		bo.Lands = append(bo.Lands, metricsOf(run.Analysis))
+		wsSum.Add(run.Workspace)
+	}
+	bo.Incremental = incrementalOf(wsSum)
+	if inc := bo.Incremental; inc != nil {
+		fmt.Printf("slbench: incremental graph builds: %.1f%% of %d (moved %.1f, ±%.1f avatars and %.1f edges per snapshot; diameter reuse %.1f%%, clustering reuse %.1f%%)\n\n",
+			inc.IncrementalFrac*100, inc.Snapshots, inc.MovedPerSnapshot,
+			inc.ArrivedPerSnapshot+inc.DepartedPerSnapshot, inc.EdgesChangedPerSnapshot,
+			inc.DiamReuseFrac*100, inc.CCReuseFrac*100)
+	}
+	if *churn {
+		sweep, err := churnSweep(ctx, *seed, *duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bo.ChurnSweep = sweep
+		for _, cr := range sweep {
+			frac := 0.0
+			if cr.Incremental != nil {
+				frac = cr.Incremental.IncrementalFrac
+			}
+			fmt.Printf("slbench: churn %-6s %6d ms wall, %.1f%% incremental\n", cr.Level, cr.WallMS, frac*100)
+		}
+		fmt.Println()
 	}
 	if *window > 0 {
 		wms, timings, err := windowedPass(runs[0], *window)

@@ -51,6 +51,14 @@ type Config struct {
 	// window, with the invariant that merging every window reproduces the
 	// whole-trace result bit-identically.
 	Window int64
+	// DisableIncremental forces every per-snapshot proximity graph to be
+	// rebuilt from scratch instead of patched from the previous snapshot
+	// (graph.Workspace.ApplyPositions). The two paths are bit-identical by
+	// contract, so this is a debugging/differential-testing switch, not a
+	// correctness knob; it never changes results, only wall time. It is
+	// deliberately not serialised in checkpoints: the restored process
+	// decides its own build strategy.
+	DisableIncremental bool
 }
 
 // withDefaults fills zero fields with the paper's parameters. The trace's

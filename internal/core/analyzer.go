@@ -265,11 +265,20 @@ func (a *Analyzer) Observe(snap trace.Snapshot) error {
 
 // observeRange advances one range's contact state machine and appends its
 // line-of-sight metrics, sharing a single workspace-built proximity graph
-// between both.
+// between both. The workspace persists across snapshots, so by default the
+// graph is patched incrementally from the previous snapshot
+// (temporal-coherence path); each range owns its workspace and sees the
+// same snapshot sequence regardless of the range-fan worker count, so the
+// RangeWorkers invariance is preserved.
 //
 //slmob:hotpath
 func (a *Analyzer) observeRange(rs *rangeState, t int64) {
-	g := rs.ws.FromPositions(a.sc.positions, rs.r)
+	var g *graph.Graph
+	if a.cfg.DisableIncremental {
+		g = rs.ws.FromPositions(a.sc.positions, rs.r)
+	} else {
+		g = rs.ws.ApplyPositions(a.sc.gids, a.sc.positions, rs.r)
+	}
 	rs.ct.observe(a.sc.ids, a.sc.fsT, g, t, t == a.firstT)
 
 	// Line-of-sight metrics; snapshots without users are skipped.
@@ -415,6 +424,19 @@ func (a *Analyzer) buildAnalysis(s *sink, out *Analysis) *Analysis {
 	out.Zones = s.zones
 	out.Trips = buildTripStats(s.closed, out.Trips)
 	return out
+}
+
+// WorkspaceStats sums the incremental-engine counters of every per-range
+// graph workspace — how many snapshots were served incrementally, diff
+// rates, and metric-cache hits. Call it between snapshots or after
+// Finish: while a fanned-out Observe is in flight the workspaces are
+// being written by their worker goroutines.
+func (a *Analyzer) WorkspaceStats() graph.WorkspaceStats {
+	var st graph.WorkspaceStats
+	for _, rs := range a.ranges {
+		st.Add(rs.ws.Stats())
+	}
+	return st
 }
 
 // Finish closes censored contacts and open sessions and returns the

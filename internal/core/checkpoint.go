@@ -225,6 +225,13 @@ func (a *Analyzer) encodeState(w *snap.Writer) {
 	w.Bool(a.cfg.TreatZeroAsSeated)
 	w.Varint(int64(a.cfg.RangeWorkers))
 	w.Varint(a.cfg.Window)
+	// cfg.DisableIncremental is intentionally not serialised: it selects a
+	// build strategy, not analysis state — the two strategies are
+	// bit-identical — and the restored process chooses its own. The graph
+	// workspaces' incremental state is likewise not serialised; a restored
+	// analyzer starts with fresh workspaces, whose first ApplyPositions is
+	// a full rebuild, so kill-and-resume stays digest-identical by
+	// construction.
 	// Stream cursor.
 	w.Bool(a.started)
 	w.Varint(a.firstT)

@@ -145,7 +145,7 @@ func ExtractContacts(tr *trace.Trace, r float64) (*ContactSet, error) {
 	var sc snapScratch
 	for _, snap := range tr.Snapshots {
 		sc.fill(snap, firstSeen, false)
-		g := ws.FromPositions(sc.positions, r)
+		g := ws.ApplyPositions(sc.gids, sc.positions, r)
 		ct.observe(sc.ids, sc.fsT, g, snap.T, snap.T == firstSnapT)
 	}
 	return ct.finish(len(firstSeen)), nil
@@ -160,6 +160,10 @@ type snapScratch struct {
 	ids       []trace.AvatarID
 	positions []geom.Vec
 	fsT       []int64
+	// gids mirrors ids as raw uint64s — the stable identity slice the
+	// incremental graph builder (Workspace.ApplyPositions) diffs across
+	// snapshots.
+	gids []uint64
 }
 
 // fill resets the scratch to the snapshot's live avatars and returns the
@@ -172,6 +176,7 @@ func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]in
 	sc.ids = sc.ids[:0]
 	sc.positions = sc.positions[:0]
 	sc.fsT = sc.fsT[:0]
+	sc.gids = sc.gids[:0]
 	for _, s := range snap.Samples {
 		fs := snap.T
 		if firstSeen != nil {
@@ -188,6 +193,7 @@ func (sc *snapScratch) fill(snap trace.Snapshot, firstSeen map[trace.AvatarID]in
 		sc.ids = append(sc.ids, s.ID)
 		sc.positions = append(sc.positions, s.Pos)
 		sc.fsT = append(sc.fsT, fs)
+		sc.gids = append(sc.gids, uint64(s.ID))
 	}
 	return newSeen
 }

@@ -86,6 +86,11 @@ type EstateAnalyzer struct {
 
 	regions  []RegionMeta
 	regional []*Analyzer
+	// globalWS holds one persistent graph workspace per communication
+	// range for the estate-global contact stages, so the cross-region
+	// proximity graph is patched incrementally across ticks. Each stage
+	// goroutine exclusively owns its range's workspace during Consume.
+	globalWS []*graph.Workspace
 
 	consumed bool
 
@@ -122,6 +127,8 @@ type globalTick struct {
 	ids   []trace.AvatarID
 	pos   []geom.Vec
 	fsT   []int64
+	// gids mirrors ids as raw uint64s for the incremental graph builder.
+	gids []uint64
 }
 
 // NewEstateAnalyzer builds the analyzer for an estate of the given
@@ -168,6 +175,7 @@ func NewEstateAnalyzer(estate string, regions []RegionMeta, tau int64, cfg Confi
 		ct := newContactTracker(tau)
 		ct.bind(newContactSet(r, tau))
 		ea.contacts = append(ea.contacts, ct)
+		ea.globalWS = append(ea.globalWS, graph.NewWorkspace())
 	}
 	if base.Window > 0 {
 		ea.initWindows()
@@ -243,6 +251,7 @@ func (ea *EstateAnalyzer) observeTick(tick trace.EstateTick) (globalTick, error)
 			gt.ids = append(gt.ids, s.ID)
 			gt.pos = append(gt.pos, gpos)
 			gt.fsT = append(gt.fsT, fs)
+			gt.gids = append(gt.gids, uint64(s.ID))
 		}
 	}
 	ea.totalSamples += n
@@ -315,10 +324,12 @@ func (ea *EstateAnalyzer) Consume(ctx context.Context, es trace.EstateSource) (*
 			func(ctx context.Context, j int) (struct{}, error) {
 				if j >= ea.workers {
 					// Global contact-tracker stage for one range, with its
-					// own reusable graph workspace (stages run concurrently,
-					// so workspaces cannot be shared).
+					// own persistent graph workspace (stages run
+					// concurrently, so workspaces cannot be shared; keeping
+					// them on the analyzer lets WorkspaceStats report them
+					// after the run).
 					ri := j - ea.workers
-					ws := graph.NewWorkspace()
+					ws := ea.globalWS[ri]
 					for {
 						select {
 						case gt, ok := <-globalChans[ri]:
@@ -437,7 +448,29 @@ func (ea *EstateAnalyzer) observeGlobalRange(i int, ws *graph.Workspace, gt glob
 			w.rangeIdx[i]++
 		}
 	}
-	ct.observe(gt.ids, gt.fsT, ws.FromPositions(gt.pos, ea.cfg.Ranges[i]), gt.t, gt.first)
+	var g *graph.Graph
+	if ea.cfg.DisableIncremental {
+		g = ws.FromPositions(gt.pos, ea.cfg.Ranges[i])
+	} else {
+		g = ws.ApplyPositions(gt.gids, gt.pos, ea.cfg.Ranges[i])
+	}
+	ct.observe(gt.ids, gt.fsT, g, gt.t, gt.first)
+}
+
+// WorkspaceStats sums the incremental-engine counters across the whole
+// estate: every regional analyzer's per-range workspaces plus the
+// estate-global contact stages' workspaces. Call it after Consume has
+// returned — during the run the workspaces belong to their stage
+// goroutines.
+func (ea *EstateAnalyzer) WorkspaceStats() graph.WorkspaceStats {
+	var st graph.WorkspaceStats
+	for _, a := range ea.regional {
+		st.Add(a.WorkspaceStats())
+	}
+	for _, ws := range ea.globalWS {
+		st.Add(ws.Stats())
+	}
+	return st
 }
 
 // buildGlobalSummary assembles the estate-global summary from the whole

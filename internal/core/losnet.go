@@ -87,7 +87,7 @@ func LoSMetrics(tr *trace.Trace, r float64) (*NetMetrics, error) {
 		if len(sc.positions) == 0 {
 			continue
 		}
-		ws.FromPositions(sc.positions, r)
+		ws.ApplyPositions(sc.gids, sc.positions, r)
 		nm.observe(ws)
 	}
 	return nm, nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"slmob/internal/graph"
 	"slmob/internal/stats"
 	"slmob/internal/trace"
 )
@@ -115,6 +116,12 @@ func errNeedHook() error {
 
 // Window returns the configured window length in seconds.
 func (wa *WindowedAnalyzer) Window() int64 { return wa.window }
+
+// WorkspaceStats reports the underlying analyzer's incremental graph-build
+// counters; see Analyzer.WorkspaceStats for the concurrency caveat.
+func (wa *WindowedAnalyzer) WorkspaceStats() graph.WorkspaceStats {
+	return wa.a.WorkspaceStats()
+}
 
 // maxWindowGap bounds how many empty windows a single snapshot may roll
 // past: a corrupt or hostile timestamp (t jumping by aeons) must be a

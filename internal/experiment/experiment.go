@@ -11,6 +11,7 @@ import (
 
 	"slmob/internal/core"
 	"slmob/internal/fanout"
+	"slmob/internal/graph"
 	"slmob/internal/trace"
 	"slmob/internal/world"
 )
@@ -20,6 +21,10 @@ type LandRun struct {
 	Scenario world.Scenario
 	Trace    *trace.Trace
 	Analysis *core.Analysis
+	// Workspace reports how the analyzer's incremental graph engine
+	// served the run — snapshot diff rates, fallbacks, and metric-cache
+	// hits — the numbers behind slbench's incremental block.
+	Workspace graph.WorkspaceStats
 }
 
 // Lands are the three paper lands in the paper's presentation order.
@@ -66,7 +71,7 @@ func RunLand(ctx context.Context, scn world.Scenario, tau int64) (*LandRun, erro
 	if err != nil {
 		return nil, err
 	}
-	return &LandRun{Scenario: scn, Trace: tr, Analysis: an}, nil
+	return &LandRun{Scenario: scn, Trace: tr, Analysis: an, Workspace: analyzer.WorkspaceStats()}, nil
 }
 
 // RunLands simulates and analyses the three paper lands for the given

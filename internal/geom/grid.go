@@ -6,14 +6,22 @@ package geom
 // insertion and reset are the hot paths: the implementation reuses its
 // bucket slices across Reset calls to stay allocation-free at steady state.
 //
+// Beyond the rebuild-per-snapshot pattern, the grid also supports
+// in-place point maintenance (Remove, Move) for callers that keep one
+// grid alive across snapshots and patch it incrementally — the
+// temporal-coherence path of graph.Workspace.ApplyPositions.
+//
 // The grid is not safe for concurrent use.
 type Grid struct {
 	cell    float64
-	buckets map[cellKey][]gridEntry
+	buckets map[cellKey]gridBucket
 	// occupied lists the cells holding points since the last Reset, so
 	// Reset truncates exactly those buckets instead of sweeping every
 	// bucket the grid has ever materialised — the difference between
 	// O(points) and O(lifetime footprint) per snapshot on a pooled grid.
+	// The listed flag on each bucket keeps the list duplicate-free even
+	// when Remove empties a cell that Insert later refills, so a
+	// never-Reset incremental grid cannot grow occupied without bound.
 	occupied []cellKey
 }
 
@@ -24,13 +32,20 @@ type gridEntry struct {
 	pos Vec
 }
 
+// gridBucket is one cell's point list plus its membership flag for the
+// occupied list.
+type gridBucket struct {
+	listed  bool
+	entries []gridEntry
+}
+
 // NewGrid returns a grid with the given cell edge length in metres.
 // A cell size close to the dominant query radius performs best.
 func NewGrid(cell float64) *Grid {
 	if cell <= 0 {
 		panic("geom: grid cell size must be positive")
 	}
-	return &Grid{cell: cell, buckets: make(map[cellKey][]gridEntry)}
+	return &Grid{cell: cell, buckets: make(map[cellKey]gridBucket)}
 }
 
 // CellSize returns the configured cell edge length.
@@ -41,7 +56,10 @@ func (g *Grid) CellSize() float64 { return g.cell }
 //slmob:hotpath
 func (g *Grid) Reset() {
 	for _, k := range g.occupied {
-		g.buckets[k] = g.buckets[k][:0]
+		b := g.buckets[k]
+		b.entries = b.entries[:0]
+		b.listed = false
+		g.buckets[k] = b
 	}
 	g.occupied = g.occupied[:0]
 }
@@ -52,17 +70,65 @@ func (g *Grid) Reset() {
 func (g *Grid) Insert(id int64, p Vec) {
 	k := g.key(p)
 	b := g.buckets[k]
-	if len(b) == 0 {
+	if !b.listed {
+		b.listed = true
 		g.occupied = append(g.occupied, k)
 	}
-	g.buckets[k] = append(b, gridEntry{id: id, pos: p})
+	b.entries = append(b.entries, gridEntry{id: id, pos: p})
+	g.buckets[k] = b
+}
+
+// Remove deletes the point with the given identifier stored at p (the
+// position it was inserted or last moved to). It reports whether the
+// point was found. The cell stays on the occupied list so a later
+// re-insert does not duplicate it; Reset clears the list as usual.
+//
+//slmob:hotpath
+func (g *Grid) Remove(id int64, p Vec) bool {
+	k := g.key(p)
+	b := g.buckets[k]
+	for i := range b.entries {
+		if b.entries[i].id == id {
+			last := len(b.entries) - 1
+			b.entries[i] = b.entries[last]
+			b.entries = b.entries[:last]
+			g.buckets[k] = b
+			return true
+		}
+	}
+	return false
+}
+
+// Move relocates the point with the given identifier from its stored
+// position to a new one, updating the stored position in place when both
+// fall in the same cell. It reports whether the point was found at from.
+//
+//slmob:hotpath
+func (g *Grid) Move(id int64, from, to Vec) bool {
+	kf := g.key(from)
+	kt := g.key(to)
+	if kf == kt {
+		b := g.buckets[kf]
+		for i := range b.entries {
+			if b.entries[i].id == id {
+				b.entries[i].pos = to
+				return true
+			}
+		}
+		return false
+	}
+	if !g.Remove(id, from) {
+		return false
+	}
+	g.Insert(id, to)
+	return true
 }
 
 // Len returns the number of stored points.
 func (g *Grid) Len() int {
 	n := 0
 	for _, b := range g.buckets {
-		n += len(b)
+		n += len(b.entries)
 	}
 	return n
 }
@@ -83,7 +149,7 @@ func (g *Grid) VisitWithin(p Vec, r float64, fn func(id int64, q Vec) bool) {
 	maxY := int32(floorDiv(p.Y+r, g.cell))
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
-			for _, e := range g.buckets[cellKey{cx, cy}] {
+			for _, e := range g.buckets[cellKey{cx, cy}].entries {
 				dx, dy := e.pos.X-p.X, e.pos.Y-p.Y
 				if dx*dx+dy*dy <= r2 {
 					if !fn(e.id, e.pos) {

@@ -188,3 +188,86 @@ func TestGridZeroAllocSteadyState(t *testing.T) {
 		t.Fatal("VisitWithin visited nothing")
 	}
 }
+
+// TestGridRemoveAndMove exercises the incremental-maintenance API: removal,
+// same-cell moves (position update in place), cross-cell moves, and the
+// not-found cases.
+func TestGridRemoveAndMove(t *testing.T) {
+	g := NewGrid(10)
+	g.Insert(1, V2(5, 5))
+	g.Insert(2, V2(6, 5))
+	g.Insert(3, V2(55, 55))
+
+	if !g.Remove(2, V2(6, 5)) {
+		t.Fatal("Remove failed for a present point")
+	}
+	if g.Remove(2, V2(6, 5)) {
+		t.Fatal("Remove succeeded twice for the same point")
+	}
+	if got := g.Len(); got != 2 {
+		t.Fatalf("Len = %d after removal, want 2", got)
+	}
+
+	// Same-cell move: the query must see the new position.
+	if !g.Move(1, V2(5, 5), V2(8, 8)) {
+		t.Fatal("same-cell Move failed")
+	}
+	if got := g.Within(V2(8, 8), 1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("after same-cell move Within = %v, want [1]", got)
+	}
+
+	// Cross-cell move.
+	if !g.Move(3, V2(55, 55), V2(100, 5)) {
+		t.Fatal("cross-cell Move failed")
+	}
+	if got := g.CountWithin(V2(55, 55), 2); got != 0 {
+		t.Fatalf("stale point still visible at old cell: %d", got)
+	}
+	if got := g.Within(V2(100, 5), 1); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("after cross-cell move Within = %v, want [3]", got)
+	}
+	if g.Move(42, V2(0, 0), V2(1, 1)) {
+		t.Fatal("Move succeeded for an absent point")
+	}
+	if got := g.Len(); got != 2 {
+		t.Fatalf("Len = %d after moves, want 2", got)
+	}
+}
+
+// TestGridMoveChurnZeroAlloc pins the incremental contract: on a grid that
+// is never Reset, an arbitrary interleaving of cross-cell moves, removals,
+// and re-inserts into previously-touched cells allocates nothing and keeps
+// the occupied list duplicate-free, so a later Reset still restores the
+// empty state.
+func TestGridMoveChurnZeroAlloc(t *testing.T) {
+	g := NewGrid(10)
+	a, b := V2(5, 5), V2(25, 25)
+	g.Insert(1, a)
+	// Warm both cells and the occupied list.
+	for i := 0; i < 3; i++ {
+		g.Move(1, a, b)
+		g.Move(1, b, a)
+	}
+	g.Insert(2, b)
+	g.Remove(2, b)
+	avg := testing.AllocsPerRun(200, func() {
+		g.Move(1, a, b)
+		g.Insert(2, a)
+		g.Remove(2, a)
+		g.Move(1, b, a)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state move/remove churn allocates %v per run, want 0", avg)
+	}
+	if got := len(g.occupied); got != 2 {
+		t.Fatalf("occupied list holds %d cells, want 2 (no duplicates)", got)
+	}
+	g.Reset()
+	if got := g.Len(); got != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", got)
+	}
+	g.Insert(9, a)
+	if got := g.Within(a, 1); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("post-Reset state polluted: Within = %v", got)
+	}
+}

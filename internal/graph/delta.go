@@ -1,0 +1,540 @@
+package graph
+
+import (
+	"slmob/internal/geom"
+)
+
+// DefaultChurnThreshold is the moved+arrived+departed fraction of the
+// population above which ApplyPositions abandons the incremental patch
+// and rebuilds from scratch. Measured with slbench -churn-sweep: the
+// incremental path stays profitable well past half the population
+// changing per snapshot (the patch touches only dirty neighbourhoods,
+// while a rebuild re-queries everyone), and above that the two paths
+// cost about the same — so the fallback exists to bound the worst case,
+// not to win the average one.
+const DefaultChurnThreshold = 0.75
+
+// WorkspaceStats counts how the incremental engine served a workspace's
+// build calls — the observability feed behind slbench's incremental-hit
+// report. Counters only ever increase; Add folds another workspace's
+// counters in, so per-range and per-region workspaces aggregate.
+type WorkspaceStats struct {
+	// Snapshots counts ApplyPositions calls.
+	Snapshots int64
+	// Incremental counts snapshots served by the delta path.
+	Incremental int64
+	// FullRebuilds counts snapshots that rebuilt from scratch: the first
+	// snapshot, range changes, churn-fallback triggers, and builds after
+	// a FromPositions invalidated the state.
+	FullRebuilds int64
+	// Moved / Arrived / Departed count per-avatar diff outcomes across
+	// all diffed snapshots (fallback snapshots included — the diff is
+	// what decides the fallback).
+	Moved    int64
+	Arrived  int64
+	Departed int64
+	// EdgesAdded / EdgesRemoved count adjacency patches on the delta
+	// path. Scratch rebuilds are not counted: the rates describe
+	// incremental work.
+	EdgesAdded   int64
+	EdgesRemoved int64
+	// DiamReused / DiamComputed count Diameter calls answered from the
+	// component cache vs recomputed; CCReused / CCComputed count
+	// per-vertex clustering coefficients served from cache vs computed.
+	DiamReused   int64
+	DiamComputed int64
+	CCReused     int64
+	CCComputed   int64
+}
+
+// Add folds another stats block into st.
+func (st *WorkspaceStats) Add(o WorkspaceStats) {
+	st.Snapshots += o.Snapshots
+	st.Incremental += o.Incremental
+	st.FullRebuilds += o.FullRebuilds
+	st.Moved += o.Moved
+	st.Arrived += o.Arrived
+	st.Departed += o.Departed
+	st.EdgesAdded += o.EdgesAdded
+	st.EdgesRemoved += o.EdgesRemoved
+	st.DiamReused += o.DiamReused
+	st.DiamComputed += o.DiamComputed
+	st.CCReused += o.CCReused
+	st.CCComputed += o.CCComputed
+}
+
+// Stats returns a copy of the workspace's incremental-engine counters.
+func (ws *Workspace) Stats() WorkspaceStats { return ws.stats }
+
+// SetChurnThreshold overrides the churn fraction above which
+// ApplyPositions falls back to a full rebuild. Zero restores
+// DefaultChurnThreshold; a negative value forces a rebuild on every call
+// (the parity-test configuration); 1 or more disables the fallback.
+func (ws *Workspace) SetChurnThreshold(t float64) { ws.d.thresh = t }
+
+// deltaState is the temporal-coherence state ApplyPositions keeps between
+// snapshots. Avatars live in stable slots so that identity survives the
+// index reshuffling of arrivals and departures: the grid, the slot-space
+// adjacency, and the per-slot metric caches are keyed by slot, and each
+// call translates the patched slot-space graph into the workspace's
+// index-space CSR arena.
+type deltaState struct {
+	ok     bool    // slot state mirrors the previous snapshot
+	active bool    // the latest build came through ApplyPositions
+	r      float64 // communication range the state is keyed to
+	thresh float64 // churn fallback threshold; 0 selects the default
+	epoch  int64   // ApplyPositions call counter, for generation stamps
+
+	grid *geom.Grid // persistent grid over live slots, patched in place
+
+	idOf  map[uint64]int32 // avatar id -> slot
+	id    []uint64         // slot -> avatar id
+	pos   []geom.Vec       // slot -> last observed position
+	nbr   [][]int32        // slot-space adjacency, unordered
+	seen  []int64          // slot -> epoch last present (departure detection)
+	dirtG []int64          // slot -> epoch last marked dirty
+	free  []int32          // recyclable slots
+	live  []int32          // slots present in the previous snapshot
+
+	slotOf []int32 // current index -> slot
+	idxOf  []int32 // slot -> current index
+
+	// Metric caches, invalidated by edge changes in the slot's
+	// neighbourhood (see touch rules in detachSlot/linkSlots).
+	cc     []float64 // slot -> local clustering coefficient
+	ccOK   []bool
+	diam   []int32 // slot -> diameter of its component when last cached
+	diamOK []bool
+
+	// Per-call scratch.
+	dirty    []int32 // slots whose edges must be recomputed
+	departed []int32
+	arrived  []int32 // current indices of new avatars
+	moved    []int32 // current indices of avatars whose (X, Y) changed
+	ccStamp  []int32 // neighbour-membership stamps for clustering recompute
+}
+
+// ApplyPositions builds the same proximity graph FromPositions builds —
+// identical vertex indexing, identical edge set — by diffing the snapshot
+// against the previous ApplyPositions call and patching only what
+// changed: avatars whose ground-plane position moved, arrivals, and
+// departures. ids[i] is the stable identity of the avatar at ps[i]; ids
+// must be unique within a call. When the churn fraction exceeds the
+// threshold (SetChurnThreshold), or on the first call, a range change, or
+// after a FromPositions call, it falls back to a full rebuild, so the
+// worst case never exceeds a scratch build.
+//
+// Adjacency-list order may differ from FromPositions, but every metric
+// the pipeline derives — degrees, diameter, clustering, contact pairs —
+// depends only on the edge set and is bit-identical between the two
+// builders. The returned graph is invalidated by the next build call.
+//
+//slmob:hotpath
+func (ws *Workspace) ApplyPositions(ids []uint64, ps []geom.Vec, r float64) *Graph {
+	if len(ids) != len(ps) {
+		panic("graph: ApplyPositions ids/positions length mismatch")
+	}
+	ws.stats.Snapshots++
+	d := &ws.d
+	if r <= 0 {
+		// Degenerate range: no edges ever; the scratch builder handles it
+		// (and invalidates the delta state).
+		ws.stats.FullRebuilds++
+		return ws.FromPositions(ps, r)
+	}
+	if !d.ok || d.r != r {
+		return ws.rebuildDelta(ids, ps, r)
+	}
+
+	// Diff the snapshot against the slot state.
+	n := len(ids)
+	d.epoch++
+	d.slotOf = growInt32(d.slotOf, n)
+	d.moved = d.moved[:0]
+	d.arrived = d.arrived[:0]
+	d.departed = d.departed[:0]
+	for i := 0; i < n; i++ {
+		s, ok := d.idOf[ids[i]]
+		if !ok {
+			d.slotOf[i] = -1
+			d.arrived = append(d.arrived, int32(i))
+			continue
+		}
+		d.slotOf[i] = s
+		d.seen[s] = d.epoch
+		d.idxOf[s] = int32(i)
+		if p := ps[i]; p.X != d.pos[s].X || p.Y != d.pos[s].Y {
+			d.moved = append(d.moved, int32(i))
+		}
+	}
+	for _, s := range d.live {
+		if d.seen[s] != d.epoch {
+			d.departed = append(d.departed, s)
+		}
+	}
+	ws.stats.Moved += int64(len(d.moved))
+	ws.stats.Arrived += int64(len(d.arrived))
+	ws.stats.Departed += int64(len(d.departed))
+
+	// Churn heuristic: beyond the threshold a scratch rebuild costs less
+	// than patching nearly everyone's neighbourhood.
+	base := n
+	if p := len(d.live); p > base {
+		base = p
+	}
+	changed := len(d.moved) + len(d.arrived) + len(d.departed)
+	thresh := d.thresh
+	if thresh == 0 {
+		thresh = DefaultChurnThreshold
+	}
+	if thresh < 0 || float64(changed) > thresh*float64(base) {
+		return ws.rebuildDelta(ids, ps, r)
+	}
+	ws.stats.Incremental++
+
+	// Departures: detach, drop from the grid, recycle the slot.
+	for _, s := range d.departed {
+		ws.detachSlot(s)
+		d.grid.Remove(int64(s), d.pos[s])
+		delete(d.idOf, d.id[s])
+		d.free = append(d.free, s)
+	}
+	// Arrivals: allocate a slot, insert into the grid, mark dirty.
+	d.dirty = d.dirty[:0]
+	for _, i := range d.arrived {
+		s := d.allocSlot()
+		d.id[s] = ids[i]
+		d.idOf[ids[i]] = s
+		d.pos[s] = ps[i]
+		d.seen[s] = d.epoch
+		d.slotOf[i] = s
+		d.idxOf[s] = i
+		d.grid.Insert(int64(s), ps[i])
+		d.markDirty(s)
+	}
+	// Moves: relocate in the grid, mark dirty.
+	for _, i := range d.moved {
+		s := d.slotOf[i]
+		d.grid.Move(int64(s), d.pos[s], ps[i])
+		d.pos[s] = ps[i]
+		d.markDirty(s)
+	}
+	d.live = d.live[:0]
+	for i := 0; i < n; i++ {
+		d.live = append(d.live, d.slotOf[i])
+	}
+
+	// Edge patch. First detach every dirty slot (so re-adds cannot
+	// duplicate), then re-derive each dirty slot's neighbourhood from the
+	// patched grid. A dirty-dirty pair is emitted once, from the
+	// lower-numbered slot.
+	for _, s := range d.dirty {
+		ws.detachSlot(s)
+	}
+	for _, s := range d.dirty {
+		ws.relinkSlot(s, r)
+	}
+
+	// Translate the slot-space adjacency into the index-space CSR arena.
+	if cap(ws.adj) < n {
+		ws.adj = make([][]int32, n, n+n/2+8)
+	}
+	ws.adj = ws.adj[:n]
+	ws.off = growInt32(ws.off, n+1)
+	ws.off[0] = 0
+	m2 := int32(0)
+	for i := 0; i < n; i++ {
+		m2 += int32(len(d.nbr[d.slotOf[i]]))
+		ws.off[i+1] = m2
+	}
+	ws.arena = growInt32(ws.arena, int(m2))
+	for i := 0; i < n; i++ {
+		base := int(ws.off[i])
+		for k, o := range d.nbr[d.slotOf[i]] {
+			ws.arena[base+k] = d.idxOf[o]
+		}
+		ws.adj[i] = ws.arena[ws.off[i]:ws.off[i+1]:ws.off[i+1]]
+	}
+	ws.g = Graph{adj: ws.adj, m: int(m2) / 2}
+	d.active = true
+	return &ws.g
+}
+
+// rebuildDelta builds the slot state from scratch with slot == index —
+// the first-call path and the churn fallback. The scratch grid pass is
+// the same two-pass build FromPositions runs; on top of it the slot
+// tables, the persistent grid, and the (invalidated) metric caches are
+// refilled so the next call can patch incrementally.
+//
+//slmob:hotpath
+func (ws *Workspace) rebuildDelta(ids []uint64, ps []geom.Vec, r float64) *Graph {
+	ws.stats.FullRebuilds++
+	d := &ws.d
+	n := len(ids)
+	d.epoch++
+	d.r = r
+	d.ensureSlots(n)
+	if d.idOf == nil {
+		d.idOf = make(map[uint64]int32, n)
+	}
+	clear(d.idOf)
+	// Slots beyond the population are parked on the free list, keeping
+	// their neighbour buffers for later growth; lowest slot on top.
+	d.free = d.free[:0]
+	for s := len(d.id) - 1; s >= n; s-- {
+		d.nbr[s] = d.nbr[s][:0]
+		d.ccOK[s] = false
+		d.diamOK[s] = false
+		d.free = append(d.free, int32(s))
+	}
+	d.live = d.live[:0]
+	d.slotOf = growInt32(d.slotOf, n)
+	if d.grid == nil || d.grid.CellSize() != r {
+		d.grid = geom.NewGrid(r)
+	} else {
+		d.grid.Reset()
+	}
+	for i := 0; i < n; i++ {
+		d.id[i] = ids[i]
+		d.idOf[ids[i]] = int32(i)
+		d.pos[i] = ps[i]
+		d.seen[i] = d.epoch
+		d.idxOf[i] = int32(i)
+		d.ccOK[i] = false
+		d.diamOK[i] = false
+		d.slotOf[i] = int32(i)
+		d.live = append(d.live, int32(i))
+		d.grid.Insert(int64(i), ps[i])
+	}
+
+	// Scratch edge pass into the CSR arena, as FromPositions does.
+	if cap(ws.adj) < n {
+		ws.adj = make([][]int32, n, n+n/2+8)
+	}
+	ws.adj = ws.adj[:n]
+	ws.g = Graph{adj: ws.adj}
+	ws.pairs = ws.pairs[:0]
+	for i := 0; i < n; i++ {
+		d.grid.VisitWithin(ps[i], r, func(oid int64, _ geom.Vec) bool {
+			if j := int32(oid); int(j) > i {
+				ws.pairs = append(ws.pairs, int32(i), j)
+			}
+			return true
+		})
+	}
+	ws.buildCSR(n)
+	// Mirror the adjacency into the mutable slot-space lists.
+	for i := 0; i < n; i++ {
+		lst := d.nbr[i]
+		lst = lst[:0]
+		for _, v := range ws.adj[i] {
+			lst = append(lst, v)
+		}
+		d.nbr[i] = lst
+	}
+	d.ok = true
+	d.active = true
+	return &ws.g
+}
+
+// ensureSlots grows every slot-indexed table to at least n entries,
+// preserving existing slots.
+//
+//slmob:hotpath
+func (d *deltaState) ensureSlots(n int) {
+	for len(d.id) < n {
+		d.id = append(d.id, 0)
+		d.pos = append(d.pos, geom.Vec{})
+		d.nbr = append(d.nbr, nil)
+		d.seen = append(d.seen, 0)
+		d.dirtG = append(d.dirtG, 0)
+		d.idxOf = append(d.idxOf, -1)
+		d.cc = append(d.cc, 0)
+		d.ccOK = append(d.ccOK, false)
+		d.diam = append(d.diam, 0)
+		d.diamOK = append(d.diamOK, false)
+	}
+}
+
+// allocSlot hands out a recycled slot, or a fresh one when the free list
+// is empty. Fresh slots start with cleared caches by construction;
+// recycled slots were cleared when freed.
+//
+//slmob:hotpath
+func (d *deltaState) allocSlot() int32 {
+	if k := len(d.free); k > 0 {
+		s := d.free[k-1]
+		d.free = d.free[:k-1]
+		return s
+	}
+	s := int32(len(d.id))
+	d.ensureSlots(len(d.id) + 1)
+	return s
+}
+
+// markDirty queues a slot for edge recomputation, once per call.
+//
+//slmob:hotpath
+func (d *deltaState) markDirty(s int32) {
+	if d.dirtG[s] != d.epoch {
+		d.dirtG[s] = d.epoch
+		d.dirty = append(d.dirty, s)
+	}
+}
+
+// detachSlot removes every edge incident to s and invalidates the metric
+// caches the removals can affect: s itself and each ex-neighbour. (A
+// vertex whose clustering depends on a removed edge {s, o} is adjacent to
+// s, so the N_old(s) sweep covers all third parties.)
+//
+//slmob:hotpath
+func (ws *Workspace) detachSlot(s int32) {
+	d := &ws.d
+	for _, o := range d.nbr[s] {
+		lst := d.nbr[o]
+		for k := range lst {
+			if lst[k] == s {
+				last := len(lst) - 1
+				lst[k] = lst[last]
+				d.nbr[o] = lst[:last]
+				break
+			}
+		}
+		d.ccOK[o] = false
+		d.diamOK[o] = false
+	}
+	ws.stats.EdgesRemoved += int64(len(d.nbr[s]))
+	d.nbr[s] = d.nbr[s][:0]
+	d.ccOK[s] = false
+	d.diamOK[s] = false
+}
+
+// relinkSlot re-derives s's neighbourhood from the patched grid. Edges to
+// non-dirty slots are added unconditionally (s was detached, so no
+// duplicate can exist); a dirty-dirty pair is added only from its
+// lower-numbered endpoint, since the higher one will see it too.
+//
+//slmob:hotpath
+func (ws *Workspace) relinkSlot(s int32, r float64) {
+	d := &ws.d
+	d.grid.VisitWithin(d.pos[s], r, func(oid int64, _ geom.Vec) bool {
+		o := int32(oid)
+		if o == s || (d.dirtG[o] == d.epoch && o < s) {
+			return true
+		}
+		d.nbr[s] = append(d.nbr[s], o)
+		d.nbr[o] = append(d.nbr[o], s)
+		d.ccOK[s] = false
+		d.ccOK[o] = false
+		d.diamOK[s] = false
+		d.diamOK[o] = false
+		ws.stats.EdgesAdded++
+		return true
+	})
+}
+
+// deltaDiameter answers Diameter for an ApplyPositions-built graph:
+// ws.best already holds the largest component (current indices). When
+// every member's slot carries a valid cached diameter, the component is
+// unchanged since the cache was filled — any structural change clears at
+// least one member's flag — and the cached value is returned. Otherwise
+// the all-pairs BFS runs with distance resets restricted to the
+// component (O(|C|²) instead of O(|C|·n)) and refills the cache.
+//
+//slmob:hotpath
+func (ws *Workspace) deltaDiameter() int {
+	d := &ws.d
+	g := &ws.g
+	cached := true
+	for _, u := range ws.best {
+		if !d.diamOK[d.slotOf[u]] {
+			cached = false
+			break
+		}
+	}
+	if cached {
+		ws.stats.DiamReused++
+		return int(d.diam[d.slotOf[ws.best[0]]])
+	}
+	ws.stats.DiamComputed++
+	diam := int32(0)
+	for _, src := range ws.best {
+		for _, u := range ws.best {
+			ws.dist[u] = -1
+		}
+		ws.dist[src] = 0
+		ws.queue = ws.queue[:0]
+		ws.queue = append(ws.queue, src)
+		for qi := 0; qi < len(ws.queue); qi++ {
+			u := ws.queue[qi]
+			du := ws.dist[u]
+			for _, v := range g.adj[u] {
+				if ws.dist[v] < 0 {
+					ws.dist[v] = du + 1
+					ws.queue = append(ws.queue, v)
+					if du+1 > diam {
+						diam = du + 1
+					}
+				}
+			}
+		}
+	}
+	for _, u := range ws.best {
+		s := d.slotOf[u]
+		d.diam[s] = diam
+		d.diamOK[s] = true
+	}
+	return int(diam)
+}
+
+// deltaMeanClustering answers MeanClustering for an ApplyPositions-built
+// graph, reusing each vertex's cached coefficient unless an edge change
+// touched its two-hop neighbourhood. Invalidated coefficients are
+// recomputed with a neighbour-stamp sweep — O(Σ deg(v) over v ∈ N(u))
+// instead of LocalClustering's pairwise HasEdge scans — which counts
+// exactly the same integer number of links, so the coefficient, the sum
+// order, and the result are all bit-identical to Graph.MeanClustering.
+//
+//slmob:hotpath
+func (ws *Workspace) deltaMeanClustering() float64 {
+	g := &ws.g
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	d := &ws.d
+	d.ccStamp = growInt32(d.ccStamp, n)
+	for i := range d.ccStamp {
+		d.ccStamp[i] = 0
+	}
+	sum := 0.0
+	for u := 0; u < n; u++ {
+		s := d.slotOf[u]
+		if d.ccOK[s] {
+			ws.stats.CCReused++
+		} else {
+			nbrs := g.adj[u]
+			c := 0.0
+			if k := len(nbrs); k >= 2 {
+				st := int32(u) + 1
+				for _, v := range nbrs {
+					d.ccStamp[v] = st
+				}
+				links := 0
+				for _, v := range nbrs {
+					for _, w := range g.adj[v] {
+						if w > v && d.ccStamp[w] == st {
+							links++
+						}
+					}
+				}
+				c = 2 * float64(links) / float64(k*(k-1))
+			}
+			d.cc[s] = c
+			d.ccOK[s] = true
+			ws.stats.CCComputed++
+		}
+		sum += d.cc[s]
+	}
+	return sum / float64(n)
+}

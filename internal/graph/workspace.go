@@ -12,8 +12,16 @@ import (
 // population size. One Workspace serves one goroutine and one
 // communication range at a time; it is not safe for concurrent use.
 //
-// The *Graph returned by FromPositions aliases the workspace's arena and
-// is valid only until the next FromPositions call.
+// Two build modes share the storage. FromPositions rebuilds the graph
+// from scratch every call; ApplyPositions (delta.go) diffs the snapshot
+// against the previous one and patches only what moved, reusing cached
+// per-vertex clustering and per-component diameters for the untouched
+// remainder. Both modes produce graphs with identical edge sets, and
+// every metric computed from them — degrees, diameter, clustering — is
+// bit-identical between the two.
+//
+// The *Graph returned by FromPositions or ApplyPositions aliases the
+// workspace's arena and is valid only until the next build call.
 type Workspace struct {
 	grid     *geom.Grid
 	gridCell float64
@@ -31,19 +39,26 @@ type Workspace struct {
 	seen  []bool
 	comp  []int32 // current component under construction
 	best  []int32 // largest component seen so far
+
+	// Incremental (temporal-coherence) state for ApplyPositions.
+	d     deltaState
+	stats WorkspaceStats
 }
 
 // NewWorkspace returns an empty workspace. Buffers grow on demand and are
 // retained across calls.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// growInt32 returns buf resized to n, reallocating only when capacity is
-// insufficient.
+// growInt32 returns buf resized to n, preserving the live prefix when a
+// reallocation is needed — callers like the delta path's slot tables rely
+// on existing entries surviving population growth.
 //
 //slmob:hotpath
 func growInt32(buf []int32, n int) []int32 {
 	if cap(buf) < n {
-		return make([]int32, n, n+n/2+8)
+		nb := make([]int32, n, n+n/2+8)
+		copy(nb, buf)
+		return nb
 	}
 	return buf[:n]
 }
@@ -54,8 +69,13 @@ func growInt32(buf []int32, n int) []int32 {
 // adjacency lists in identical order — without the per-snapshot
 // allocations. The returned graph is invalidated by the next call.
 //
+// FromPositions discards any incremental state: a subsequent
+// ApplyPositions starts from a full rebuild.
+//
 //slmob:hotpath
 func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
+	ws.d.ok = false
+	ws.d.active = false
 	n := len(ps)
 	if cap(ws.adj) < n {
 		ws.adj = make([][]int32, n, n+n/2+8)
@@ -93,9 +113,16 @@ func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
 			return true
 		})
 	}
+	ws.buildCSR(n)
+	return &ws.g
+}
 
-	// Pass 2: counting sort into the CSR arena. cur doubles as the degree
-	// accumulator before the prefix sum turns it into fill cursors.
+// buildCSR counting-sorts ws.pairs into the CSR arena and points ws.g at
+// the result. cur doubles as the degree accumulator before the prefix sum
+// turns it into fill cursors.
+//
+//slmob:hotpath
+func (ws *Workspace) buildCSR(n int) {
 	ws.off = growInt32(ws.off, n+1)
 	ws.cur = growInt32(ws.cur, n)
 	for i := range ws.cur {
@@ -121,13 +148,13 @@ func (ws *Workspace) FromPositions(ps []geom.Vec, r float64) *Graph {
 		ws.adj[i] = ws.arena[ws.off[i]:ws.off[i+1]:ws.off[i+1]]
 	}
 	ws.g.m = len(ws.pairs) / 2
-	return &ws.g
 }
 
 // Diameter computes the longest shortest path within the largest
 // connected component of the workspace's current graph — the same value
 // Graph.Diameter returns — using the shared BFS buffers instead of
-// per-call allocations.
+// per-call allocations. After an ApplyPositions build it reuses the
+// previous snapshot's result when the largest component is untouched.
 //
 //slmob:hotpath
 func (ws *Workspace) Diameter() int {
@@ -174,6 +201,9 @@ func (ws *Workspace) Diameter() int {
 	if len(ws.best) < 2 {
 		return 0
 	}
+	if ws.d.active {
+		return ws.deltaDiameter()
+	}
 
 	diam := int32(0)
 	for _, src := range ws.best {
@@ -201,11 +231,17 @@ func (ws *Workspace) Diameter() int {
 }
 
 // Graph returns the workspace's current graph — the value the latest
-// FromPositions built. It is invalidated by the next FromPositions call.
+// build call produced. It is invalidated by the next build call.
 func (ws *Workspace) Graph() *Graph { return &ws.g }
 
 // MeanClustering returns the mean Watts–Strogatz clustering coefficient
-// of the workspace's current graph. Graph.MeanClustering is already
-// allocation-free; this is a convenience so callers can stay on the
-// workspace API.
-func (ws *Workspace) MeanClustering() float64 { return ws.g.MeanClustering() }
+// of the workspace's current graph. After an ApplyPositions build,
+// per-vertex coefficients cached from previous snapshots are reused for
+// every vertex whose two-hop neighbourhood is unchanged; the result is
+// bit-identical to Graph.MeanClustering either way.
+func (ws *Workspace) MeanClustering() float64 {
+	if ws.d.active {
+		return ws.deltaMeanClustering()
+	}
+	return ws.g.MeanClustering()
+}

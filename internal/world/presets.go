@@ -319,6 +319,44 @@ func CityEstate(seed uint64) EstateConfig {
 	}
 }
 
+// ChurnLevels are the mobility presets of the slbench churn sweep, in
+// increasing order of per-snapshot change rate.
+var ChurnLevels = []string{"low", "medium", "high"}
+
+// ChurnScenario returns one of the churn-sweep mobility presets — the
+// workloads the incremental graph engine's fallback threshold is measured
+// against, rather than guessed. "low" is Dance Island's nearly-static
+// crowd (a few percent of avatars move per τ=10 s snapshot), "medium" is
+// Apfel Land's exploratory walking, and "high" is an adversarial stress
+// preset: near-continuous movement, heavy wandering, and fast session
+// turnover, so most of the population changes between snapshots and the
+// engine's churn fallback has to keep the worst case at scratch-build
+// cost.
+func ChurnScenario(level string, seed uint64) (Scenario, error) {
+	switch level {
+	case "low":
+		scn := DanceIsland(seed)
+		scn.Land.Name = "Churn Low"
+		return scn, nil
+	case "medium":
+		scn := ApfelLand(seed)
+		scn.Land.Name = "Churn Medium"
+		return scn, nil
+	case "high":
+		scn := IsleOfView(seed)
+		scn.Land.Name = "Churn High"
+		scn.Behavior.MicroMoveProb = 0.35
+		scn.Behavior.MicroMoveStep = 2.5
+		scn.Behavior.PauseMin, scn.Behavior.PauseMax = 5, 120
+		scn.Behavior.ExploreProb = 0.5
+		scn.Behavior.WandererFrac = 0.3
+		scn.Session = SessionModelWithMean(30, 1800, 600)
+		return scn, nil
+	default:
+		return Scenario{}, fmt.Errorf("world: unknown churn level %q (want low, medium, or high)", level)
+	}
+}
+
 // BaselineScenario builds a synthetic-mobility comparison scenario on a
 // generic land, population-matched to Dance Island so contact statistics
 // are directly comparable between the POI-gravity model and the classical
