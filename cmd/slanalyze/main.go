@@ -25,6 +25,15 @@
 // up from the file with -resume and finishes with the same result as an
 // uninterrupted one, skipping the already-analysed prefix of the trace.
 //
+// With -query ADDR the tool becomes a client of a live estate's
+// analytics query endpoint (slserve -query, slmob.WithQueryAddr): it
+// fetches the cumulative analysis — or one sealed window with
+// -query-window — while the measurement still runs, prints the same
+// report, and notes the blob digest an offline replay of the identical
+// trace would reproduce. -query-region selects a region-local view,
+// -query-stats the service counters, and -follow polls until the run
+// seals.
+//
 // Usage:
 //
 //	slanalyze -in dance.sltr -figdir figures/
@@ -32,6 +41,8 @@
 //	slanalyze -in big.sltr -checkpoint big.ckpt   # kill it mid-way...
 //	slanalyze -in big.sltr -resume big.ckpt       # ...and finish the job
 //	slanalyze -workers 4 region0.sltr region1.sltr region2.sltr
+//	slanalyze -query 127.0.0.1:7800               # live cumulative analysis
+//	slanalyze -query 127.0.0.1:7800 -follow 2s    # poll until sealed
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"time"
 
 	"slmob"
 	"slmob/internal/core"
@@ -62,11 +74,23 @@ func main() {
 		ckpt      = flag.String("checkpoint", "", "write a crash-safe checkpoint to this file while analysing")
 		ckptEvery = flag.Int64("checkpoint-every", 3600, "checkpoint interval in simulated seconds")
 		resume    = flag.String("resume", "", "resume the analysis from a checkpoint file written by -checkpoint")
+		query     = flag.String("query", "", "fetch live analytics from a served estate's query endpoint instead of reading a trace")
+		qRegion   = flag.Int("query-region", -1, "-query region index (-1: the estate-global analysis)")
+		qWindow   = flag.Int64("query-window", -1, "-query a sealed window by index instead of the cumulative analysis")
+		qStats    = flag.Bool("query-stats", false, "-query the service counters too")
+		follow    = flag.Duration("follow", 0, "with -query, poll at this interval until the run seals")
 	)
 	flag.Parse()
 	paths := flag.Args()
 	if *in != "" {
 		paths = append([]string{*in}, paths...)
+	}
+	if *query != "" {
+		if len(paths) > 0 {
+			log.Fatal("slanalyze: -query takes no trace files")
+		}
+		queryEndpoint(*query, *qRegion, *qWindow, *qStats, *follow)
+		return
 	}
 	if len(paths) == 0 {
 		flag.Usage()
@@ -298,6 +322,94 @@ func writeWindowJSON(ws *slmob.WindowSeries, path string) error {
 	}
 	fmt.Printf("slanalyze: wrote %d-window series to %s\n", len(records), path)
 	return nil
+}
+
+// queryEndpoint is the -query mode: a client of a live estate's
+// analytics service. It fetches the cumulative (or one sealed window's)
+// analysis, prints the report with its blob digest, and with follow > 0
+// keeps polling until the run seals.
+func queryEndpoint(addr string, region int, window int64, showStats bool, follow time.Duration) {
+	qc, err := slmob.DialQuery(addr)
+	if err != nil {
+		log.Fatalf("slanalyze: %v", err)
+	}
+	defer qc.Close()
+
+	for {
+		if showStats {
+			st, err := qc.Stats()
+			if err != nil {
+				log.Fatalf("slanalyze: stats: %v", err)
+			}
+			fmt.Printf("== service: sim time %d, %d regions, windows [%d, +%d) of %ds, sealed=%v\n",
+				st.SimTime, st.Regions, st.FirstWindow, st.Windows, st.WindowSec, st.Sealed)
+			fmt.Printf("   readers %d, queries %d, dropped %d; workspace snapshots %d (%d incremental, %d rebuilds)\n",
+				st.Readers, st.Queries, st.Dropped, st.WsSnapshots, st.WsIncremental, st.WsRebuilds)
+		}
+		var la *slmob.LiveAnalysis
+		var err error
+		if window >= 0 {
+			la, err = qc.Window(region, window)
+		} else {
+			la, err = qc.Cumulative(region)
+		}
+		if err != nil {
+			log.Fatalf("slanalyze: query: %v", err)
+		}
+		if la.Analysis == nil {
+			fmt.Printf("slanalyze: nothing sealed yet (sim time %d)\n", la.SimTime)
+		} else {
+			printLiveAnalysis(la)
+		}
+		if follow <= 0 || la.Sealed {
+			return
+		}
+		time.Sleep(follow)
+	}
+}
+
+func printLiveAnalysis(la *slmob.LiveAnalysis) {
+	target := "estate-global"
+	if la.Region >= 0 {
+		target = fmt.Sprintf("region %d", la.Region)
+	}
+	scope := "cumulative"
+	if la.Window >= 0 {
+		scope = fmt.Sprintf("window %d", la.Window)
+	}
+	state := "live"
+	if la.Sealed {
+		state = "sealed"
+	}
+	an := la.Analysis
+	fmt.Printf("== %s %s (%s) at sim time %d — %d sealed windows from %d\n",
+		target, scope, state, la.SimTime, la.Windows, la.FirstWindow)
+	fmt.Printf("   digest %s\n", la.Digest)
+	fmt.Printf("   %s\n", an.Summary)
+	for _, r := range []float64{core.BluetoothRange, core.WiFiRange} {
+		cs := an.Contacts[r]
+		if cs == nil {
+			continue
+		}
+		fmt.Printf("-- r = %gm\n", r)
+		fmt.Printf("   contact time:       %s\n", cs.CT.Summary())
+		fmt.Printf("   inter-contact time: %s\n", cs.ICT.Summary())
+		fmt.Printf("   first contact time: %s (never contacted: %d, censored contacts: %d)\n",
+			cs.FT.Summary(), cs.NeverContacted, cs.Censored)
+		if nm := an.Nets[r]; nm != nil {
+			fmt.Printf("   degree: median %.0f, P(deg=0) %.3f\n",
+				nm.Degrees.Median(), nm.DegreeZeroFraction())
+		}
+	}
+	if an.Zones != nil && an.Zones.N() > 0 {
+		fmt.Printf("-- spatial\n")
+		fmt.Printf("   zone occupation (L=20m): %.1f%% cells empty, max %v users/cell\n",
+			100*float64(an.Zones.CountOf(0))/float64(an.Zones.N()), an.Zones.Max())
+	}
+	if an.Trips != nil {
+		fmt.Printf("   travel length:         %s\n", stats.Summarize(an.Trips.TravelLength))
+		fmt.Printf("   effective travel time: %s\n", stats.Summarize(an.Trips.EffectiveTravelTime))
+	}
 }
 
 // analyzeEstate zips the region files into one estate stream and runs

@@ -32,11 +32,14 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
+	"slmob"
 	"slmob/internal/core"
 	"slmob/internal/experiment"
 	"slmob/internal/graph"
+	"slmob/internal/slp"
 	"slmob/internal/stats"
 	"slmob/internal/world"
 )
@@ -148,6 +151,22 @@ type benchOutput struct {
 	// ChurnSweep holds the -churn-sweep measurements (low/medium/high
 	// mobility presets), in preset order.
 	ChurnSweep []churnRun `json:"churn_sweep,omitempty"`
+	// QueryBench measures the live analytics query endpoint: round-trip
+	// latency quantiles against a sealed served estate.
+	QueryBench *queryBench `json:"query_bench,omitempty"`
+}
+
+// queryBench is the -query-bench measurement: a served estate is run to
+// completion and its analytics endpoint hammered with a rotation of
+// cumulative, stats, and window queries.
+type queryBench struct {
+	Queries       int     `json:"queries"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	RepliesPerSec float64 `json:"replies_per_sec"`
+	// BlobBytes is the sealed cumulative analysis' encoded size — the
+	// payload every cumulative query carries.
+	BlobBytes int `json:"blob_bytes"`
 }
 
 func metricsOf(an *core.Analysis) landMetrics {
@@ -233,6 +252,14 @@ func compareBaseline(fresh benchOutput, path string, tol, wallTol, allocTol floa
 				fresh.WindowedWallMS, wallTol, base.WindowedWallMS)
 		}
 	}
+	// Query-endpoint gate: reply latency must not blow past the same
+	// slowdown factor the wall-time gates use (latency is machine-noisy;
+	// the gate catches serialisation-path regressions, not jitter).
+	if base.QueryBench != nil && fresh.QueryBench != nil && base.QueryBench.P99Ms > 0 &&
+		fresh.QueryBench.P99Ms > wallTol*base.QueryBench.P99Ms {
+		return fmt.Errorf("query p99 latency %.2f ms exceeds %gx baseline %.2f ms",
+			fresh.QueryBench.P99Ms, wallTol, base.QueryBench.P99Ms)
+	}
 	// Incremental-engine gate: the fraction of snapshots served
 	// incrementally must not collapse (a silently-broken delta path would
 	// fall back to scratch everywhere and pass every metric check), and
@@ -289,6 +316,63 @@ func churnSweep(ctx context.Context, seed uint64, duration int64) ([]churnRun, e
 	return out, nil
 }
 
+// queryBenchRun serves a short paper estate with the analytics endpoint
+// enabled, runs it to completion at high warp, and measures query
+// round-trips against the sealed service.
+func queryBenchRun(ctx context.Context, seed uint64) (*queryBench, error) {
+	est := slmob.PaperEstate(seed)
+	est.Duration = 1200
+	svc, err := slmob.ServeEstate(ctx, est,
+		slmob.WithWarp(4000), slmob.WithTickEvery(time.Millisecond),
+		slmob.WithWindow(600), slmob.WithQueryAddr("127.0.0.1:0"))
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Stop()
+	select {
+	case <-svc.Done():
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	qc, err := slp.DialQuery(svc.QueryAddr(), 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer qc.Close()
+	res, err := qc.Cumulative(-1)
+	if err != nil {
+		return nil, err
+	}
+	const queries = 600
+	lats := make([]float64, 0, queries)
+	start := time.Now()
+	for n := 0; n < queries; n++ {
+		t0 := time.Now()
+		switch n % 3 {
+		case 0:
+			_, err = qc.Cumulative(-1)
+		case 1:
+			_, err = qc.Stats()
+		case 2:
+			_, err = qc.WindowAt(-1, -1)
+		}
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, float64(time.Since(t0).Microseconds())/1000)
+	}
+	elapsed := time.Since(start).Seconds()
+	sort.Float64s(lats)
+	return &queryBench{
+		Queries:       queries,
+		P50Ms:         lats[len(lats)/2],
+		P99Ms:         lats[len(lats)*99/100],
+		RepliesPerSec: float64(queries) / elapsed,
+		BlobBytes:     len(res.Blob),
+	}, nil
+}
+
 // windowedPass replays the land's trace through the windowed analyzer
 // with a timing hook, charging each window — rollover included — its
 // wall-clock share.
@@ -332,6 +416,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 		window     = flag.Int64("window", 0, "additionally replay the first land through the windowed analyzer with windows of this many seconds, timing each window")
 		churn      = flag.Bool("churn-sweep", false, "additionally run the low/medium/high mobility presets, recording wall time and incremental-hit statistics per preset")
+		queryB     = flag.Bool("query-bench", true, "additionally serve a short paper estate and measure live query-endpoint latency")
 	)
 	flag.Parse()
 
@@ -455,6 +540,15 @@ func main() {
 		bo.Windows = timings
 		fmt.Printf("slbench: windowed replay (%d s windows) took %d ms over %d windows\n\n",
 			*window, wms, len(timings))
+	}
+	if *queryB {
+		qb, err := queryBenchRun(ctx, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bo.QueryBench = qb
+		fmt.Printf("slbench: query endpoint: %d queries, p50 %.2f ms, p99 %.2f ms, %.0f replies/s, %d-byte sealed blob\n\n",
+			qb.Queries, qb.P50Ms, qb.P99Ms, qb.RepliesPerSec, qb.BlobBytes)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(bo, "", "  ")

@@ -1,0 +1,103 @@
+// Command slload is the serving-path load harness: it floods a live
+// estate with thousands of concurrent slp clients — observer monitors
+// subscribed to map pushes, optional in-world avatars, and analytics
+// readers polling the live query endpoint — and reports connection
+// counts, connections-per-core, reply latency quantiles, and server
+// faults as JSON.
+//
+// With no -directory it self-hosts a preset estate with a held clock,
+// connects every client, releases the clock, and sustains the mix for
+// -run-for of wall time (or until the estate's simulated duration
+// elapses). The CI smoke gate runs it against the city preset with
+// -min-conns 1000 and requires zero server faults: under the
+// drop-slow-consumer policy a healthy, draining client must never be
+// disconnected, regardless of how many others are connected.
+//
+// Usage:
+//
+//	slload -estate city -observers 640 -readers 400 -warp 1200 -run-for 20s -min-conns 1000
+//	slload -directory 127.0.0.1:7700 -observers 100 -readers 50
+//
+// Exit status is 1 when the run records any server fault or connects
+// fewer clients than -min-conns.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"slmob/internal/load"
+)
+
+func main() {
+	var (
+		directory = flag.String("directory", "", "attack a running estate via its directory endpoint (empty: self-host)")
+		estate    = flag.String("estate", "paper", "self-hosted estate preset: paper (1x3), mainland (4x4), or city (8x8)")
+		seed      = flag.Uint64("seed", 1, "self-hosted simulation seed")
+		duration  = flag.Int64("duration", 0, "self-hosted estate duration in sim seconds (0: preset default)")
+		warp      = flag.Float64("warp", 600, "self-hosted clock rate")
+		window    = flag.Int64("window", 600, "self-hosted analysis window in sim seconds")
+		observers = flag.Int("observers", 64, "observer sessions subscribed to map pushes")
+		avatars   = flag.Int("avatars", 0, "in-world avatar sessions")
+		readers   = flag.Int("readers", 32, "analytics reader connections polling the query endpoint")
+		tau       = flag.Int64("tau", 0, "observer subscription period in sim seconds (0: the paper's 10s)")
+		password  = flag.String("password", "", "estate login password")
+		runFor    = flag.Duration("run-for", 10*time.Second, "load phase length in wall time")
+		pollEvery = flag.Duration("poll-every", 50*time.Millisecond, "each reader's query period")
+		jsonPath  = flag.String("json", "", "write the report as JSON to this file (default: stdout)")
+		minConns  = flag.Int("min-conns", 0, "fail unless at least this many clients connected")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := load.Run(ctx, load.Config{
+		Directory:   *directory,
+		Preset:      *estate,
+		Seed:        *seed,
+		SimDuration: *duration,
+		Warp:        *warp,
+		Window:      *window,
+		Observers:   *observers,
+		Avatars:     *avatars,
+		Readers:     *readers,
+		Tau:         *tau,
+		Password:    *password,
+		RunFor:      *runFor,
+		PollEvery:   *pollEvery,
+	})
+	if err != nil {
+		log.Fatalf("slload: %v", err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("slload: encode report: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			log.Fatalf("slload: write report: %v", err)
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"slload: %d connected (%d failed), %.0f conns/core, %d pushes, %d replies, reader p99 %.2fms, %d faults\n",
+		rep.Connected, rep.ConnectFailures, rep.ConnsPerCore, rep.Pushes, rep.Replies,
+		rep.LatencyMs.P99, rep.ServerFaults)
+	if rep.ServerFaults > 0 {
+		log.Fatalf("slload: FAIL — %d server faults (errors: %v)", rep.ServerFaults, rep.Errors)
+	}
+	if rep.Connected < *minConns {
+		log.Fatalf("slload: FAIL — %d clients connected, need %d", rep.Connected, *minConns)
+	}
+}

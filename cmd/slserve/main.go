@@ -32,13 +32,15 @@ import (
 
 func main() {
 	var (
-		estate   = flag.String("estate", "paper", "estate preset: paper (1x3) or mainland (4x4)")
+		estate   = flag.String("estate", "paper", "estate preset: paper (1x3), mainland (4x4), or city (8x8)")
 		addr     = flag.String("addr", "127.0.0.1:7700", "directory endpoint listen address")
 		warp     = flag.Float64("warp", 600, "simulated seconds per wall second")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		duration = flag.Int64("duration", 0, "estate duration in sim seconds (0: preset default)")
 		password = flag.String("password", "", "require this password for logins and peer links")
 		hold     = flag.Bool("hold", false, "hold the shared clock at zero until a clock-start arrives")
+		query    = flag.String("query", "", "serve a live analytics query endpoint on this address (empty: disabled)")
+		window   = flag.Int64("window", 3600, "analysis window for the query endpoint, in sim seconds")
 	)
 	flag.Parse()
 
@@ -48,8 +50,10 @@ func main() {
 		cfg = world.PaperEstate(*seed)
 	case "mainland":
 		cfg = world.MainlandEstate(*seed)
+	case "city":
+		cfg = world.CityEstate(*seed)
 	default:
-		log.Fatalf("slserve: unknown estate %q (want paper or mainland)", *estate)
+		log.Fatalf("slserve: unknown estate %q (want paper, mainland, or city)", *estate)
 	}
 	if *duration > 0 {
 		cfg.Duration = *duration
@@ -61,14 +65,22 @@ func main() {
 		Warp:     *warp,
 		Password: *password,
 		Hold:     *hold,
+		Analytics: server.AnalyticsConfig{
+			Addr:   *query,
+			Window: *window,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.CloseAnalytics()
 	fmt.Printf("slserve: hosting estate %q (%dx%d regions) — directory on %s, warp %gx, duration %ds\n",
 		cfg.Name, cfg.Rows, cfg.Cols, srv.DirectoryAddr(), *warp, cfg.EffectiveDuration())
 	for i := 0; i < srv.NumRegions(); i++ {
 		fmt.Printf("slserve:   region %d %q on %s\n", i, cfg.Regions[i].Land.Name, srv.RegionAddr(i))
+	}
+	if qa := srv.QueryAddr(); qa != "" {
+		fmt.Printf("slserve:   analytics query endpoint on %s (window %ds)\n", qa, *window)
 	}
 	if *hold {
 		fmt.Println("slserve: clock held — waiting for a monitor (or clock-start) to release it")

@@ -1,0 +1,100 @@
+// Live-query walkthrough: serve an estate with the analytics query
+// endpoint enabled, poll it WHILE the measurement runs, and verify the
+// final served analysis against an offline replay — digest for digest.
+//
+// The serving side analyses the estate in fixed windows and publishes
+// every sealed window to the query service; readers dial in over TCP
+// and fetch cumulative or per-window analyses as serialised snapshots.
+// The service recomputes the cumulative view as the merge of the sealed
+// windows, so a mid-run reply is always internally consistent — and the
+// deterministic wire encoding means a sha256 of the raw blob doubles as
+// an equality test against the offline pipeline.
+//
+//	go run ./examples/query-live
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"slmob"
+)
+
+func main() {
+	est := slmob.PaperEstate(42)
+	est.Duration = 2 * 3600 // two simulated hours
+
+	// Serve the estate with half-hour analysis windows and a query
+	// endpoint. At warp 2000 the two-hour run takes ~3.6 wall seconds.
+	ctx := context.Background()
+	svc, err := slmob.ServeEstate(ctx, est,
+		slmob.WithWarp(2000), slmob.WithWindow(1800),
+		slmob.WithQueryAddr("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Stop()
+	fmt.Printf("query endpoint on %s\n", svc.QueryAddr())
+
+	// Poll the cumulative estate-global analysis while the estate runs.
+	// A reply with no blob means no window has sealed yet; after that,
+	// each reply is the merge of every window sealed so far.
+	qc, err := slmob.DialQuery(svc.QueryAddr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qc.Close()
+
+	seen := int64(0)
+	for {
+		la, err := qc.Cumulative(-1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if la.Windows > seen && la.Analysis != nil {
+			fmt.Printf("t=%5ds  %d window(s) sealed  %d visitors so far  digest %.12s…\n",
+				la.SimTime, la.Windows, la.Analysis.Summary.Unique, la.Digest)
+			seen = la.Windows
+		}
+		if la.Sealed {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The run has ended: the cumulative reply is the final whole-trace
+	// analysis. Fetch it plus the service counters.
+	final, err := qc.Cumulative(-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := qc.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsealed after %d windows: %s\n", final.Windows, final.Analysis.Summary)
+	fmt.Printf("service answered %d queries for %d readers (%d dropped as slow)\n",
+		stats.Queries, stats.Readers, stats.Dropped)
+
+	// Parity gate: replay the identical estate offline and compare
+	// digests. Deterministic simulation + deterministic encoding means
+	// the served bytes and the replayed bytes must be identical.
+	src, err := slmob.NewEstateSource(est, slmob.PaperTau)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offline, err := slmob.AnalyzeEstateStream(ctx, src, slmob.WithWindow(1800))
+	if err != nil {
+		log.Fatal(err)
+	}
+	offlineDigest, err := slmob.AnalysisDigest(offline.Global)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.Digest != offlineDigest {
+		log.Fatalf("parity FAILED: served %s, offline replay %s", final.Digest, offlineDigest)
+	}
+	fmt.Printf("parity: served digest == offline replay digest (%s)\n", final.Digest)
+}

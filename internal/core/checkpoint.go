@@ -50,6 +50,9 @@ const (
 	// simulation state and the façade's combined run checkpoint.
 	KindWorldSource uint64 = 3
 	KindRun         uint64 = 4
+	// KindAnalysis is a standalone completed Analysis — the live query
+	// service's wire format (EncodeAnalysis / DecodeAnalysis).
+	KindAnalysis uint64 = 5
 )
 
 // checkpointVersion guards the analyzer payload layout (bumped

@@ -1,0 +1,439 @@
+// Package load is the serving-path load harness: it floods a live
+// estate with concurrent slp clients — observer monitors subscribed to
+// map pushes, optional in-world avatars, and analytics readers polling
+// the query endpoint — and reports connection counts, reply latency
+// quantiles, and server faults. The CI smoke gate runs it against the
+// city-scale preset and requires every connection to survive: under the
+// drop-slow-consumer policy a healthy client must never be
+// disconnected, no matter how many of them there are.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slmob"
+	"slmob/internal/slp"
+)
+
+// Config configures one load run.
+type Config struct {
+	// Directory aims the harness at an already-running estate's
+	// directory endpoint. Empty self-hosts a preset estate (held clock,
+	// released once every client is connected).
+	Directory string
+	// Preset names the self-hosted estate: "paper" (1×3), "mainland"
+	// (4×4), or "city" (8×8). Default "paper".
+	Preset string
+	// Seed seeds the self-hosted estate (default 1).
+	Seed uint64
+	// SimDuration overrides the preset's simulated duration (seconds).
+	SimDuration int64
+	// Warp is the self-hosted clock rate (default 600).
+	Warp float64
+	// Window is the self-hosted analysis window (default 600).
+	Window int64
+	// Observers, Avatars, and Readers size the client mix: observer
+	// monitors subscribe to full-resolution map pushes, avatars log in as
+	// in-world clients, readers poll the analytics query endpoint.
+	Observers int
+	Avatars   int
+	Readers   int
+	// Tau is the observers' subscription period in sim seconds (default:
+	// the paper's 10 s).
+	Tau int64
+	// Password is the estate's login password.
+	Password string
+	// RunFor bounds the load phase in wall time (default 10 s); the run
+	// also ends when a self-hosted estate reaches its duration.
+	RunFor time.Duration
+	// PollEvery is each reader's query period (default 50 ms).
+	PollEvery time.Duration
+	// DialTimeout bounds every dial and query exchange (default 10 s).
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Preset == "" {
+		c.Preset = "paper"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Warp <= 0 {
+		c.Warp = 600
+	}
+	if c.Window <= 0 {
+		c.Window = 600
+	}
+	if c.Tau <= 0 {
+		c.Tau = slmob.PaperTau
+	}
+	if c.RunFor <= 0 {
+		c.RunFor = 10 * time.Second
+	}
+	if c.PollEvery <= 0 {
+		c.PollEvery = 50 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Quantiles summarise a latency sample in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// Report is the run's outcome, JSON-ready for the CI gate.
+type Report struct {
+	Estate  string `json:"estate"`
+	Regions int    `json:"regions"`
+
+	Observers int `json:"observers"`
+	Avatars   int `json:"avatars"`
+	Readers   int `json:"readers"`
+
+	// Connected counts clients that completed their handshake;
+	// ConnectFailures those that never got in.
+	Connected       int `json:"connected"`
+	ConnectFailures int `json:"connect_failures"`
+
+	Cores        int     `json:"cores"`
+	ConnsPerCore float64 `json:"conns_per_core"`
+
+	// Pushes counts map pushes received by observers and avatars,
+	// Replies the analytics replies received by readers.
+	Pushes  uint64 `json:"pushes"`
+	Replies uint64 `json:"replies"`
+
+	// LatencyMs summarises reader query round-trips.
+	LatencyMs Quantiles `json:"latency_ms"`
+
+	// ServerFaults counts healthy clients the server failed mid-run —
+	// the number the CI gate requires to be zero. Policy drops of
+	// wedged clients are not faults (and no harness client wedges).
+	ServerFaults int            `json:"server_faults"`
+	Errors       map[string]int `json:"errors,omitempty"`
+
+	// Service-side counters from the analytics endpoint's final stats.
+	ServiceQueries uint64 `json:"service_queries"`
+	ServiceDropped uint64 `json:"service_dropped"`
+	FinalWindows   int64  `json:"final_windows"`
+	FinalSealed    bool   `json:"final_sealed"`
+	// FinalDigest is the cumulative analysis blob digest at run end —
+	// the value the parity gate compares against an offline replay.
+	FinalDigest string `json:"final_digest,omitempty"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+func presetEstate(name string, seed uint64) (slmob.Estate, error) {
+	switch name {
+	case "paper":
+		return slmob.PaperEstate(seed), nil
+	case "mainland":
+		return slmob.MainlandEstate(seed), nil
+	case "city":
+		return slmob.CityEstate(seed), nil
+	default:
+		return slmob.Estate{}, fmt.Errorf("load: unknown estate preset %q (want paper, mainland, or city)", name)
+	}
+}
+
+// Run executes one load run: connect every client, release the clock,
+// sustain the mix for the load phase, and report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	wallStart := time.Now()
+	rep := &Report{
+		Observers: cfg.Observers,
+		Avatars:   cfg.Avatars,
+		Readers:   cfg.Readers,
+		Cores:     runtime.NumCPU(),
+		Errors:    map[string]int{},
+	}
+
+	dirAddr := cfg.Directory
+	var svc *slmob.EstateService
+	if dirAddr == "" {
+		est, err := presetEstate(cfg.Preset, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.SimDuration > 0 {
+			est.Duration = cfg.SimDuration
+		}
+		svc, err = slmob.ServeEstate(ctx, est,
+			slmob.WithWarp(cfg.Warp), slmob.WithTickEvery(time.Millisecond),
+			slmob.WithWindow(cfg.Window), slmob.WithQueryAddr("127.0.0.1:0"),
+			slmob.WithHeldClock(), slmob.WithServePassword(cfg.Password))
+		if err != nil {
+			return nil, err
+		}
+		defer svc.Stop()
+		dirAddr = svc.DirectoryAddr()
+	}
+	dir, err := slp.FetchDirectory(dirAddr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	rep.Estate, rep.Regions = dir.Estate, len(dir.Regions)
+	if cfg.Readers > 0 && dir.QueryAddr == "" {
+		return nil, errors.New("load: readers requested but the estate serves no analytics query endpoint")
+	}
+
+	var (
+		connected atomic.Int64
+		connFail  atomic.Int64
+		pushes    atomic.Uint64
+		replies   atomic.Uint64
+		faults    atomic.Int64
+		stopping  atomic.Bool
+
+		mu       sync.Mutex
+		lats     []float64
+		clients  []*slp.Client
+		loadWg   sync.WaitGroup // every consumer/reader goroutine
+		dialWg   sync.WaitGroup // completes when every client dialled
+		dialGate = make(chan struct{}, 128)
+	)
+	loadCtx, stopLoad := context.WithCancel(ctx)
+	defer stopLoad()
+
+	// done fires when a self-hosted estate finishes its simulated
+	// duration — the server then closes every session, which is a clean
+	// teardown, not a fault.
+	var done <-chan struct{}
+	if svc != nil {
+		done = svc.Done()
+	}
+
+	fault := func(kind string) {
+		if stopping.Load() {
+			return
+		}
+		faults.Add(1)
+		mu.Lock()
+		rep.Errors[kind]++
+		mu.Unlock()
+	}
+	dialFailed := func(kind string) {
+		connFail.Add(1)
+		mu.Lock()
+		rep.Errors[kind]++
+		mu.Unlock()
+	}
+
+	// dropped classifies a session's channels closing: a drop while the
+	// load phase is live is a server fault; one racing the stop signal
+	// or the estate's own clean end (sessions close a beat before Done
+	// fires) is not. The grace window absorbs that teardown race.
+	dropped := func(kind string) {
+		select {
+		case <-loadCtx.Done():
+		case <-done:
+		case <-time.After(2 * time.Second):
+			fault(kind + "-dropped")
+		}
+	}
+
+	// consume drains one session's push channels, counting map pushes,
+	// until the load phase ends. A channel closing early means the
+	// server failed a healthy, promptly-draining client: a fault.
+	consume := func(c *slp.Client, kind string) {
+		defer loadWg.Done()
+		for {
+			select {
+			case <-loadCtx.Done():
+				return
+			case _, ok := <-c.FullMaps():
+				if !ok {
+					dropped(kind)
+					return
+				}
+				pushes.Add(1)
+			case _, ok := <-c.Maps():
+				if !ok {
+					dropped(kind)
+					return
+				}
+				pushes.Add(1)
+			case _, ok := <-c.Chats():
+				if !ok {
+					dropped(kind)
+					return
+				}
+			}
+		}
+	}
+
+	dialSession := func(i int, observer bool) {
+		defer dialWg.Done()
+		dialGate <- struct{}{}
+		addr := dir.Regions[i%len(dir.Regions)].Addr
+		name := fmt.Sprintf("load-%d", i)
+		kind := "avatar"
+		var c *slp.Client
+		var err error
+		if observer {
+			kind = "observer"
+			c, err = slp.DialObserver(addr, name, cfg.Password, cfg.DialTimeout)
+		} else {
+			c, err = slp.Dial(addr, name, cfg.Password, cfg.DialTimeout)
+		}
+		<-dialGate
+		if err != nil {
+			dialFailed(kind + "-dial")
+			return
+		}
+		if err := c.Subscribe(cfg.Tau, true); err != nil {
+			c.Close()
+			dialFailed(kind + "-subscribe")
+			return
+		}
+		connected.Add(1)
+		mu.Lock()
+		clients = append(clients, c)
+		mu.Unlock()
+		loadWg.Add(1)
+		go consume(c, kind)
+	}
+
+	// readerLoop polls the analytics endpoint, rotating query targets
+	// and timing each round-trip.
+	readerLoop := func(r int, ready *sync.WaitGroup) {
+		defer loadWg.Done()
+		qc, err := slp.DialQuery(dir.QueryAddr, cfg.DialTimeout)
+		if err != nil {
+			ready.Done()
+			dialFailed("reader-dial")
+			return
+		}
+		defer qc.Close()
+		connected.Add(1)
+		ready.Done()
+		var local []float64
+		defer func() {
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+		tick := time.NewTicker(cfg.PollEvery)
+		defer tick.Stop()
+		for n := 0; ; n++ {
+			select {
+			case <-loadCtx.Done():
+				return
+			case <-tick.C:
+			}
+			t0 := time.Now()
+			switch n % 3 {
+			case 0:
+				_, err = qc.Cumulative(-1)
+			case 1:
+				_, err = qc.Stats()
+			case 2:
+				_, err = qc.WindowAt(-1, -1)
+			}
+			if err != nil {
+				fault("reader-query")
+				return
+			}
+			local = append(local, float64(time.Since(t0).Microseconds())/1000.0)
+			replies.Add(1)
+		}
+	}
+
+	// Connect phase: every client in, then release the clock.
+	for i := 0; i < cfg.Observers; i++ {
+		dialWg.Add(1)
+		go dialSession(i, true)
+	}
+	for i := 0; i < cfg.Avatars; i++ {
+		dialWg.Add(1)
+		go dialSession(cfg.Observers+i, false)
+	}
+	var readersReady sync.WaitGroup
+	for r := 0; r < cfg.Readers; r++ {
+		readersReady.Add(1)
+		loadWg.Add(1)
+		go readerLoop(r, &readersReady)
+	}
+	dialWg.Wait()
+	readersReady.Wait()
+
+	if dir.Held {
+		if svc != nil {
+			svc.StartClock()
+		} else if _, err := slp.StartEstateClock(dirAddr, cfg.DialTimeout); err != nil {
+			return nil, fmt.Errorf("load: clock start: %w", err)
+		}
+	}
+
+	// Load phase.
+	select {
+	case <-time.After(cfg.RunFor):
+	case <-done:
+	case <-ctx.Done():
+	}
+	stopping.Store(true)
+	stopLoad()
+	mu.Lock()
+	for _, c := range clients {
+		c.Close()
+	}
+	mu.Unlock()
+	loadWg.Wait()
+
+	// Final service state, fetched fresh: counters, seal state, and the
+	// cumulative digest the parity gate compares offline.
+	if dir.QueryAddr != "" {
+		if qc, err := slp.DialQuery(dir.QueryAddr, cfg.DialTimeout); err == nil {
+			if st, err := qc.Stats(); err == nil {
+				rep.ServiceQueries = st.Queries
+				rep.ServiceDropped = st.Dropped
+				rep.FinalWindows = st.Windows
+				rep.FinalSealed = st.Sealed
+			}
+			qc.Close()
+		}
+		if la, err := slmob.QueryLive(dir.QueryAddr); err == nil && la.Analysis != nil {
+			rep.FinalDigest = la.Digest
+		}
+	}
+
+	rep.Connected = int(connected.Load())
+	rep.ConnectFailures = int(connFail.Load())
+	rep.Pushes = pushes.Load()
+	rep.Replies = replies.Load()
+	rep.ServerFaults = int(faults.Load())
+	if rep.Cores > 0 {
+		rep.ConnsPerCore = float64(rep.Connected) / float64(rep.Cores)
+	}
+	rep.LatencyMs = quantiles(lats)
+	rep.WallSeconds = time.Since(wallStart).Seconds()
+	return rep, nil
+}
+
+func quantiles(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	sort.Float64s(xs)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(xs)-1))
+		return xs[i]
+	}
+	return Quantiles{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: xs[len(xs)-1]}
+}

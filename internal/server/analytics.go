@@ -1,0 +1,631 @@
+// The live analytics service: a query endpoint beside the estate (or
+// single-land) listeners that serves per-window and cumulative Analysis
+// results to many concurrent readers while the measurement is still
+// running.
+//
+// Architecture: the sim clock, under its lock, samples resident states
+// into an ordinary trace.EstateTick and hands it — outside the lock — to
+// the analytics engine, a core.EstateAnalyzer consuming a channel-backed
+// trace.EstateSource on its own goroutine. Every time the engine seals a
+// window it publishes an immutable snapshot: the serialised window
+// analyses plus the cumulative merge of every window so far (recomputed
+// with core.MergeAnalyses, so a mid-run cumulative digest is by
+// construction the digest an offline replay of the same windows would
+// produce). Reader connections never touch the engine or the sim: each
+// query is answered from the latest published snapshot through a bounded
+// per-connection reply queue, and a reader that stops draining its
+// socket is dropped — the drop-slow-reader policy — so analytics traffic
+// can never stall the sim clock.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slmob/internal/core"
+	"slmob/internal/geom"
+	"slmob/internal/graph"
+	"slmob/internal/slp"
+	"slmob/internal/trace"
+)
+
+// AnalyticsConfig configures the live analytics service of a Server or
+// EstateServer. The zero value disables it.
+type AnalyticsConfig struct {
+	// Addr is the query endpoint's TCP listen address; empty disables
+	// the service, "127.0.0.1:0" picks a free port.
+	Addr string
+	// Tau is the sampling period in simulated seconds (zero selects the
+	// paper's 10 s). It must divide the analysis window.
+	Tau int64
+	// Window is the analysis window length in simulated seconds (zero
+	// selects 3600); cumulative results advance once per sealed window.
+	Window int64
+	// Analysis configures the analysis pipeline (ranges, zones, session
+	// gap...); zero fields select the paper's parameters.
+	Analysis core.Config
+	// QueueDepth bounds each reader connection's reply queue (zero
+	// selects 8); a reader whose queue fills is dropped.
+	QueueDepth int
+	// Workers bounds the engine's concurrent region analyzers (zero
+	// selects GOMAXPROCS).
+	Workers int
+}
+
+func (c AnalyticsConfig) withDefaults() AnalyticsConfig {
+	if c.Tau <= 0 {
+		c.Tau = core.PaperTau
+	}
+	if c.Window <= 0 {
+		c.Window = 3600
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// enabled reports whether the configuration asks for a query endpoint.
+func (c AnalyticsConfig) enabled() bool { return c.Addr != "" }
+
+// analyticsShot is one immutable published state of the analytics
+// engine. Readers grab the current pointer under a short RLock and then
+// work entirely on the snapshot; the engine publishes a fresh one per
+// sealed window and never mutates an old one.
+type analyticsShot struct {
+	// simTime is the shared clock at publish (the sealed window's end,
+	// or the trace end once sealed).
+	simTime int64
+	// firstK is the first sealed window's index; windows counts sealed
+	// windows. sealed marks the final whole-trace publish.
+	firstK  int64
+	windows int64
+	sealed  bool
+	// cum is the encoded cumulative estate-global Analysis (merge of
+	// every sealed window; the whole-trace result once sealed), and
+	// regionCum its per-region counterparts.
+	cum       []byte
+	regionCum [][]byte
+	// winBlobs[i] holds window firstK+dropped+i: the encoded global
+	// analysis and per-region analyses. Old windows beyond the retention
+	// bound are evicted; dropped counts them.
+	winFirst   int64
+	winGlobals [][]byte
+	winRegions [][][]byte
+	ws         graph.WorkspaceStats
+}
+
+// retainWindows bounds how many sealed windows keep their encoded blobs
+// queryable; the cumulative merge always covers all of them regardless.
+const retainWindows = 96
+
+// regionInfo describes one hosted region to the analytics engine the
+// same way world.EstateSource.Regions does, so anything reading the
+// feed's provenance (sizes, origins) sees the familiar metadata.
+func regionInfo(estate, name string, origin geom.Vec, size float64, tau int64) trace.Info {
+	return trace.Info{
+		Land:   name,
+		Region: name,
+		Origin: origin,
+		Tau:    tau,
+		Meta: map[string]string{
+			"monitor": "live-analytics",
+			"estate":  estate,
+			"region":  name,
+			"origin": strconv.FormatFloat(origin.X, 'g', -1, 64) + "," +
+				strconv.FormatFloat(origin.Y, 'g', -1, 64),
+			"size": strconv.FormatFloat(size, 'g', -1, 64),
+		},
+	}
+}
+
+// analyticsFeed adapts the tick channel to trace.EstateSource for the
+// engine's Consume.
+type analyticsFeed struct {
+	infos []trace.Info
+	ch    chan trace.EstateTick
+}
+
+// Regions implements trace.EstateSource.
+func (f *analyticsFeed) Regions() []trace.Info { return f.infos }
+
+// NextTick implements trace.EstateSource: it blocks until the sim hands
+// over the next sampled tick, and reports a clean EOF when the feed is
+// sealed.
+func (f *analyticsFeed) NextTick(ctx context.Context) (trace.EstateTick, error) {
+	select {
+	case tick, ok := <-f.ch:
+		if !ok {
+			return trace.EstateTick{}, io.EOF
+		}
+		return tick, nil
+	case <-ctx.Done():
+		return trace.EstateTick{}, ctx.Err()
+	}
+}
+
+// analytics is the running service: engine goroutine, accept loop, and
+// per-reader connections.
+type analytics struct {
+	cfg     AnalyticsConfig
+	regions int
+	ln      net.Listener
+	feed    *analyticsFeed
+
+	// engineDone closes when the engine goroutine exits; runErr holds
+	// its failure (visible only after engineDone).
+	engineDone chan struct{}
+	runErr     error
+
+	// shotMu guards shot, the latest published snapshot (nil until the
+	// first window seals).
+	shotMu sync.RWMutex
+	shot   *analyticsShot
+
+	readers atomic.Int32
+	dropped atomic.Uint64
+	queries atomic.Uint64
+
+	// connMu guards conns (open reader connections, closed on shutdown).
+	connMu      sync.Mutex
+	conns       map[net.Conn]struct{}
+	closedConns bool
+
+	sealOnce  sync.Once
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// newAnalytics binds the query listener and starts the engine and accept
+// loop. estate names the analysis; metas/infos describe the regions.
+func newAnalytics(estate string, metas []core.RegionMeta, infos []trace.Info, cfg AnalyticsConfig) (*analytics, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Window%cfg.Tau != 0 {
+		return nil, fmt.Errorf("server: analytics window %d not a multiple of tau %d", cfg.Window, cfg.Tau)
+	}
+	ac := cfg.Analysis
+	ac.Window = cfg.Window
+	engine, err := core.NewEstateAnalyzer(estate, metas, cfg.Tau, ac, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &analytics{
+		cfg:        cfg,
+		regions:    len(metas),
+		ln:         ln,
+		feed:       &analyticsFeed{infos: infos, ch: make(chan trace.EstateTick, 256)},
+		engineDone: make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	// The engine's window hook runs on its Consume goroutine, so the
+	// retained window lists need no lock: only the hook appends, and
+	// readers see them solely through published immutable snapshots.
+	var globals []*core.Analysis
+	perRegion := make([][]*core.Analysis, len(metas))
+	if err := engine.OnWindow(func(k int64, win *core.EstateAnalysis) {
+		globals = append(globals, win.Global)
+		for i, r := range win.Regions {
+			perRegion[i] = append(perRegion[i], r)
+		}
+		a.publishWindow(k, globals, perRegion)
+	}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	a.wg.Add(2)
+	go func() {
+		defer a.wg.Done()
+		defer close(a.engineDone)
+		res, err := engine.Consume(context.Background(), a.feed)
+		if err != nil {
+			a.runErr = err
+			return
+		}
+		a.publishSealed(res, engine.WorkspaceStats())
+	}()
+	go func() {
+		defer a.wg.Done()
+		a.acceptLoop()
+	}()
+	return a, nil
+}
+
+// addr returns the query endpoint's bound address.
+func (a *analytics) addr() string { return a.ln.Addr().String() }
+
+// tau returns the sampling period.
+func (a *analytics) tau() int64 { return a.cfg.Tau }
+
+// offer hands one sampled tick to the engine. It blocks only while the
+// feed buffer is full AND the engine is alive — the engine drains
+// continuously, so in practice the clock never waits here; if the engine
+// died, ticks are discarded so the sim keeps serving.
+func (a *analytics) offer(tick trace.EstateTick) {
+	select {
+	case a.feed.ch <- tick:
+	case <-a.engineDone:
+	}
+}
+
+// seal ends the feed: the engine drains what is queued, finalises the
+// whole-trace analysis, and publishes it as the sealed snapshot. The
+// query endpoint stays up so readers can fetch the final result.
+func (a *analytics) seal() {
+	a.sealOnce.Do(func() { close(a.feed.ch) })
+	<-a.engineDone
+}
+
+// close tears the whole service down: seal the engine, close the
+// listener and every reader connection, and wait all goroutines out.
+func (a *analytics) close() {
+	a.closeOnce.Do(func() {
+		a.seal()
+		a.ln.Close()
+		a.connMu.Lock()
+		a.closedConns = true
+		for conn := range a.conns {
+			conn.Close()
+		}
+		a.connMu.Unlock()
+	})
+	a.wg.Wait()
+}
+
+// publishWindow recomputes the cumulative analyses over every sealed
+// window and publishes a fresh snapshot. Runs on the engine goroutine,
+// once per window rollover — well off the sim clock's path. Workspace
+// statistics are deliberately absent mid-run (region workers still
+// mutate them); the sealed publish carries the final values.
+func (a *analytics) publishWindow(k int64, globals []*core.Analysis, perRegion [][]*core.Analysis) {
+	shot := &analyticsShot{
+		simTime: (k + 1) * a.cfg.Window,
+		firstK:  k - int64(len(globals)) + 1,
+		windows: int64(len(globals)),
+	}
+	var err error
+	if shot.cum, err = encodeMerged(globals); err != nil {
+		a.failPublish(fmt.Errorf("server: analytics cumulative encode: %w", err))
+		return
+	}
+	shot.regionCum = make([][]byte, len(perRegion))
+	for i, series := range perRegion {
+		if shot.regionCum[i], err = encodeMerged(series); err != nil {
+			a.failPublish(fmt.Errorf("server: analytics region %d cumulative encode: %w", i, err))
+			return
+		}
+	}
+	first := 0
+	if len(globals) > retainWindows {
+		first = len(globals) - retainWindows
+	}
+	shot.winFirst = shot.firstK + int64(first)
+	shot.winGlobals = make([][]byte, 0, len(globals)-first)
+	shot.winRegions = make([][][]byte, 0, len(globals)-first)
+	for w := first; w < len(globals); w++ {
+		g, err := core.EncodeAnalysis(globals[w])
+		if err != nil {
+			a.failPublish(fmt.Errorf("server: analytics window encode: %w", err))
+			return
+		}
+		regs := make([][]byte, len(perRegion))
+		for i := range perRegion {
+			if regs[i], err = core.EncodeAnalysis(perRegion[i][w]); err != nil {
+				a.failPublish(fmt.Errorf("server: analytics window region encode: %w", err))
+				return
+			}
+		}
+		shot.winGlobals = append(shot.winGlobals, g)
+		shot.winRegions = append(shot.winRegions, regs)
+	}
+	a.install(shot)
+}
+
+// publishSealed publishes the final whole-trace snapshot after the
+// engine's Consume returned. The cumulative becomes the exact whole-run
+// Global/Regions — which the windowed-merge invariant guarantees equals
+// the merge of the window series.
+func (a *analytics) publishSealed(res *core.EstateAnalysis, ws graph.WorkspaceStats) {
+	prev := a.current()
+	shot := &analyticsShot{sealed: true, ws: ws}
+	if res.Global != nil {
+		shot.simTime = res.Global.End
+	}
+	if prev != nil {
+		// Keep the sealed-window series queryable after the run.
+		shot.firstK = prev.firstK
+		shot.windows = prev.windows
+		shot.winFirst = prev.winFirst
+		shot.winGlobals = prev.winGlobals
+		shot.winRegions = prev.winRegions
+		if shot.simTime < prev.simTime {
+			shot.simTime = prev.simTime
+		}
+	}
+	var err error
+	if res.Global == nil {
+		// An empty run (sealed before any tick): nothing to encode.
+		a.install(shot)
+		return
+	}
+	if shot.cum, err = core.EncodeAnalysis(res.Global); err != nil {
+		a.failPublish(fmt.Errorf("server: analytics sealed encode: %w", err))
+		return
+	}
+	shot.regionCum = make([][]byte, len(res.Regions))
+	for i, r := range res.Regions {
+		if shot.regionCum[i], err = core.EncodeAnalysis(r); err != nil {
+			a.failPublish(fmt.Errorf("server: analytics sealed region encode: %w", err))
+			return
+		}
+	}
+	a.install(shot)
+}
+
+func encodeMerged(series []*core.Analysis) ([]byte, error) {
+	merged, err := core.MergeAnalyses(series)
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeAnalysis(merged)
+}
+
+func (a *analytics) install(shot *analyticsShot) {
+	a.shotMu.Lock()
+	a.shot = shot
+	a.shotMu.Unlock()
+}
+
+func (a *analytics) current() *analyticsShot {
+	a.shotMu.RLock()
+	defer a.shotMu.RUnlock()
+	return a.shot
+}
+
+// failPublish records an engine-side encoding failure. The service keeps
+// answering from the last good snapshot; the error surfaces through Err.
+func (a *analytics) failPublish(err error) {
+	if a.runErr == nil {
+		a.runErr = err
+	}
+}
+
+// Err reports the engine's failure, if any; call after close or seal.
+func (a *analytics) Err() error { return a.runErr }
+
+// acceptLoop admits reader connections until the listener closes.
+func (a *analytics) acceptLoop() {
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return
+		}
+		a.connMu.Lock()
+		if a.closedConns {
+			a.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.connMu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.serveReader(conn)
+		}()
+	}
+}
+
+// readerIdleTimeout drops readers that stop querying; each query renews
+// it.
+const readerIdleTimeout = 60 * time.Second
+
+// serveReader runs one analytics reader connection: a read loop parsing
+// queries and a writer goroutine draining a bounded reply queue. The
+// reply for one query is a batch of frames (a chunked analysis crosses
+// several); batches keep per-query atomicity through the queue.
+func (a *analytics) serveReader(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		a.connMu.Lock()
+		delete(a.conns, conn)
+		a.connMu.Unlock()
+	}()
+	a.readers.Add(1)
+	defer a.readers.Add(-1)
+
+	out := make(chan []slp.Message, a.cfg.QueueDepth)
+	quit := make(chan struct{})
+	defer close(quit)
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		bw := bufio.NewWriter(conn)
+		for {
+			select {
+			case batch := <-out:
+				for _, m := range batch {
+					_ = conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+					if err := slp.WriteMessage(bw, m); err != nil {
+						conn.Close()
+						return
+					}
+				}
+				if err := bw.Flush(); err != nil {
+					conn.Close()
+					return
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+
+	br := bufio.NewReader(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(readerIdleTimeout))
+		msg, err := slp.ReadMessage(br)
+		if err != nil {
+			var de *slp.DecodeError
+			if errors.As(err, &de) {
+				a.enqueue(conn, out, []slp.Message{slp.Error{Code: slp.ErrMalformed, Message: de.Error()}})
+			}
+			return
+		}
+		q, ok := msg.(slp.Query)
+		if !ok {
+			if _, bye := msg.(slp.Logout); bye {
+				return
+			}
+			a.enqueue(conn, out, []slp.Message{slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("unexpected %s at query endpoint", msg.Type())}})
+			continue
+		}
+		a.queries.Add(1)
+		if !a.enqueue(conn, out, a.reply(q)) {
+			return
+		}
+	}
+}
+
+// enqueue hands one reply batch to the connection's writer without
+// blocking. A full queue means the reader stopped draining: it is
+// dropped (the connection closed) so its backlog cannot grow without
+// bound. Reports whether the session is still alive.
+func (a *analytics) enqueue(conn net.Conn, out chan []slp.Message, batch []slp.Message) bool {
+	select {
+	case out <- batch:
+		return true
+	default:
+		a.dropped.Add(1)
+		conn.Close()
+		return false
+	}
+}
+
+// reply builds the frame batch answering one query from the latest
+// snapshot.
+func (a *analytics) reply(q slp.Query) []slp.Message {
+	shot := a.current()
+	switch q.Target {
+	case slp.QueryStats:
+		st := slp.StatsReply{
+			WindowSec: a.cfg.Window,
+			Regions:   uint32(a.regions),
+			Readers:   uint32(a.readers.Load()),
+			Dropped:   a.dropped.Load(),
+			Queries:   a.queries.Load(),
+		}
+		if shot != nil {
+			st.SimTime = shot.simTime
+			st.FirstWindow = shot.firstK
+			st.Windows = shot.windows
+			st.Sealed = shot.sealed
+			st.WsSnapshots = uint64(shot.ws.Snapshots)
+			st.WsIncremental = uint64(shot.ws.Incremental)
+			st.WsRebuilds = uint64(shot.ws.FullRebuilds)
+		}
+		return []slp.Message{st}
+	case slp.QueryCumulative:
+		if shot == nil {
+			// Nothing sealed yet: an empty reply, not an error — readers
+			// polling a freshly started (or held) estate see "no data
+			// yet" and try again.
+			return []slp.Message{slp.AnalysisReply{Target: q.Target, Region: q.Region, Window: -1}}
+		}
+		blob, errMsg := a.cumulativeBlob(shot, q.Region)
+		if errMsg != nil {
+			return []slp.Message{*errMsg}
+		}
+		return chunked(q.Target, q.Region, -1, shot, blob)
+	case slp.QueryWindow:
+		if shot == nil || shot.windows == 0 {
+			return []slp.Message{slp.AnalysisReply{Target: q.Target, Region: q.Region, Window: q.Window}}
+		}
+		w := q.Window
+		if w < 0 {
+			w = shot.firstK + shot.windows - 1
+		}
+		idx := w - shot.winFirst
+		if w < shot.firstK || w >= shot.firstK+shot.windows {
+			return []slp.Message{slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("window %d outside sealed range [%d,%d)", w, shot.firstK, shot.firstK+shot.windows)}}
+		}
+		if idx < 0 {
+			return []slp.Message{slp.Error{Code: slp.ErrBadRequest,
+				Message: fmt.Sprintf("window %d evicted (retained from %d)", w, shot.winFirst)}}
+		}
+		var blob []byte
+		if q.Region < 0 {
+			blob = shot.winGlobals[idx]
+		} else if int(q.Region) < a.regions {
+			blob = shot.winRegions[idx][q.Region]
+		} else {
+			return []slp.Message{badRegion(q.Region, a.regions)}
+		}
+		return chunked(q.Target, q.Region, w, shot, blob)
+	default:
+		return []slp.Message{slp.Error{Code: slp.ErrBadRequest,
+			Message: fmt.Sprintf("unknown query target %d", q.Target)}}
+	}
+}
+
+func (a *analytics) cumulativeBlob(shot *analyticsShot, region int32) ([]byte, *slp.Error) {
+	if region < 0 {
+		return shot.cum, nil
+	}
+	if int(region) >= a.regions {
+		e := badRegion(region, a.regions)
+		return nil, &e
+	}
+	if shot.regionCum == nil {
+		return nil, nil
+	}
+	return shot.regionCum[region], nil
+}
+
+func badRegion(region int32, n int) slp.Error {
+	return slp.Error{Code: slp.ErrBadRequest,
+		Message: fmt.Sprintf("region %d outside estate of %d regions", region, n)}
+}
+
+// chunked splits one encoded analysis into AnalysisReply frames. A nil
+// blob yields a single empty reply (Total 0).
+func chunked(target slp.QueryTarget, region int32, window int64, shot *analyticsShot, blob []byte) []slp.Message {
+	hdr := slp.AnalysisReply{
+		Target:      target,
+		Region:      region,
+		Window:      window,
+		SimTime:     shot.simTime,
+		FirstWindow: shot.firstK,
+		Windows:     shot.windows,
+		Sealed:      shot.sealed,
+		Total:       uint32(len(blob)),
+	}
+	if len(blob) == 0 {
+		return []slp.Message{hdr}
+	}
+	var batch []slp.Message
+	for off := 0; off < len(blob); off += slp.MaxAnalysisChunk {
+		end := off + slp.MaxAnalysisChunk
+		if end > len(blob) {
+			end = len(blob)
+		}
+		m := hdr
+		m.Offset = uint32(off)
+		m.Chunk = blob[off:end]
+		batch = append(batch, m)
+	}
+	return batch
+}

@@ -31,7 +31,9 @@ import (
 	"sync"
 	"time"
 
+	"slmob/internal/core"
 	"slmob/internal/slp"
+	"slmob/internal/trace"
 	"slmob/internal/world"
 )
 
@@ -60,6 +62,14 @@ type EstateConfig struct {
 	// connect and subscribe before the first tick — the estate
 	// measurement then observes the grid from second one.
 	Hold bool
+	// Analytics configures the live analytics query endpoint; the zero
+	// value disables it.
+	Analytics AnalyticsConfig
+	// PeerTimeout bounds each inter-server handshake and transfer-ack
+	// wait; zero selects 5 s. A peer that stops answering within it
+	// fails the estate with a *PeerTimeoutError instead of hanging the
+	// shared clock forever.
+	PeerTimeout time.Duration
 }
 
 // EstateServer is a running estate service: one region server per grid
@@ -77,6 +87,12 @@ type EstateServer struct {
 
 	dirLn net.Listener
 
+	// analytics is the live query service; nil when disabled. It has
+	// its own listener and lifecycle: it survives the estate's clean end
+	// so the sealed whole-trace analysis stays queryable, and is torn
+	// down by CloseAnalytics.
+	analytics *analytics
+
 	held  bool
 	start chan struct{}
 
@@ -90,8 +106,44 @@ var ErrDurationReached = errors.New("server: estate duration reached")
 // peerLink is one outgoing inter-server connection, used only by the
 // tick loop (single writer, strict request/reply).
 type peerLink struct {
-	conn net.Conn
-	bw   *bufio.Writer
+	conn    net.Conn
+	bw      *bufio.Writer
+	timeout time.Duration
+}
+
+// PeerTimeoutError reports an inter-server exchange that timed out: a
+// peer region server stopped answering mid-handoff. Without the
+// deadline, a dead peer between Transfer and TransferAck would hang the
+// shared clock forever; with it, the estate fails loudly instead.
+type PeerTimeoutError struct {
+	// From and To are the handoff's estate region indices.
+	From, To int
+	// Op names the exchange that timed out ("peer handshake" or
+	// "transfer ack").
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *PeerTimeoutError) Error() string {
+	return fmt.Sprintf("region %d -> %d: %s timed out: %v", e.From, e.To, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying network error.
+func (e *PeerTimeoutError) Unwrap() error { return e.Err }
+
+// peerTimeout returns the configured inter-server exchange bound.
+func (s *EstateServer) peerTimeout() time.Duration {
+	if s.cfg.PeerTimeout > 0 {
+		return s.cfg.PeerTimeout
+	}
+	return 5 * time.Second
+}
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // NewEstate validates the estate, builds one region server per cell plus
@@ -121,6 +173,9 @@ func NewEstate(cfg EstateConfig) (*EstateServer, error) {
 	}
 	fail := func(err error) (*EstateServer, error) {
 		s.closeListeners()
+		if s.analytics != nil {
+			s.analytics.close()
+		}
 		return nil, err
 	}
 	for i := 0; i < est.NumRegions(); i++ {
@@ -146,6 +201,22 @@ func NewEstate(cfg EstateConfig) (*EstateServer, error) {
 	if err != nil {
 		return fail(err)
 	}
+	if cfg.Analytics.enabled() {
+		acfg := cfg.Analytics.withDefaults()
+		metas := make([]core.RegionMeta, len(s.hosts))
+		infos := make([]trace.Info, len(s.hosts))
+		for i, h := range s.hosts {
+			scn := h.sim.Scenario()
+			origin := cfg.Estate.RegionOrigin(i)
+			metas[i] = core.RegionMeta{Name: scn.Land.Name, Origin: origin, Size: scn.Land.Size}
+			infos[i] = regionInfo(cfg.Estate.Name, scn.Land.Name, origin, scn.Land.Size, acfg.Tau)
+		}
+		a, err := newAnalytics(cfg.Estate.Name, metas, infos, acfg)
+		if err != nil {
+			return fail(err)
+		}
+		s.analytics = a
+	}
 	// An estate whose directory cannot be framed (too many regions, or
 	// absurd names) is a configuration error: fail here, loudly, instead
 	// of serving a grid nobody can discover.
@@ -170,6 +241,36 @@ func (s *EstateServer) DirectoryAddr() string { return s.dirLn.Addr().String() }
 
 // RegionAddr returns region i's bound listen address.
 func (s *EstateServer) RegionAddr(i int) string { return s.hosts[i].addr() }
+
+// QueryAddr returns the analytics query endpoint's bound address, or ""
+// when analytics is disabled.
+func (s *EstateServer) QueryAddr() string {
+	if s.analytics == nil {
+		return ""
+	}
+	return s.analytics.addr()
+}
+
+// CloseAnalytics tears the analytics service down: the engine is sealed
+// (finalising the whole-trace analysis from whatever was fed), the query
+// listener and every reader connection close, and their goroutines are
+// waited out. Idempotent; a no-op when analytics is disabled. Run leaves
+// the service up on a clean end so the sealed result stays queryable —
+// the owner calls this when done with it.
+func (s *EstateServer) CloseAnalytics() {
+	if s.analytics != nil {
+		s.analytics.close()
+	}
+}
+
+// AnalyticsErr reports the analytics engine's failure, if any; call it
+// after CloseAnalytics (or after Run returned, which seals the engine).
+func (s *EstateServer) AnalyticsErr() error {
+	if s.analytics == nil {
+		return nil
+	}
+	return s.analytics.Err()
+}
 
 // NumRegions returns the number of hosted regions.
 func (s *EstateServer) NumRegions() int { return len(s.hosts) }
@@ -227,6 +328,9 @@ func (s *EstateServer) directoryLocked() slp.Directory {
 		Warp:     s.cfg.Warp,
 		Duration: s.duration,
 		Held:     s.held,
+	}
+	if s.analytics != nil {
+		dir.QueryAddr = s.analytics.addr()
 	}
 	for i, h := range s.hosts {
 		scn := h.sim.Scenario()
@@ -321,7 +425,27 @@ func (s *EstateServer) step() (bool, error) {
 	for _, h := range s.hosts {
 		h.stepLocked(now)
 	}
+	// Sample for analytics under the lock — after handoffs settled, the
+	// same instant an in-process EstateSource would observe — but hand
+	// the tick to the engine outside it, so analysis can never hold the
+	// clock.
+	var tick trace.EstateTick
+	sample := s.analytics != nil && now > 0 && now%s.analytics.tau() == 0
+	if sample {
+		tick = trace.EstateTick{T: now, Regions: make([]trace.Snapshot, len(s.hosts))}
+		for i, h := range s.hosts {
+			states := h.sim.ResidentStates(nil)
+			snap := trace.Snapshot{T: now, Samples: make([]trace.Sample, len(states))}
+			for j, st := range states {
+				snap.Samples[j] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
+			}
+			tick.Regions[i] = snap
+		}
+	}
 	s.mu.Unlock()
+	if sample {
+		s.analytics.offer(tick)
+	}
 	return now >= s.duration, nil
 }
 
@@ -332,18 +456,22 @@ func (s *EstateServer) route(tr world.Transfer) (bool, error) {
 	key := tr.From*len(s.hosts) + tr.To
 	link, ok := s.peers[key]
 	if !ok {
-		conn, err := net.DialTimeout("tcp", s.hosts[tr.To].addr(), 5*time.Second)
+		conn, err := net.DialTimeout("tcp", s.hosts[tr.To].addr(), s.peerTimeout())
 		if err != nil {
 			return false, fmt.Errorf("region %d -> %d: %w", tr.From, tr.To, err)
 		}
-		link = &peerLink{conn: conn, bw: bufio.NewWriter(conn)}
+		link = &peerLink{conn: conn, bw: bufio.NewWriter(conn), timeout: s.peerTimeout()}
 		if err := link.send(slp.PeerHello{Version: slp.Version, Region: uint32(tr.From), Password: s.cfg.Password}); err != nil {
 			conn.Close()
 			return false, fmt.Errorf("region %d -> %d: peer hello: %w", tr.From, tr.To, err)
 		}
+		_ = conn.SetReadDeadline(time.Now().Add(s.peerTimeout()))
 		reply, err := slp.ReadMessage(conn)
 		if err != nil {
 			conn.Close()
+			if isTimeout(err) {
+				return false, &PeerTimeoutError{From: tr.From, To: tr.To, Op: "peer handshake", Err: err}
+			}
 			return false, fmt.Errorf("region %d -> %d: peer handshake: %w", tr.From, tr.To, err)
 		}
 		if e, isErr := reply.(slp.Error); isErr {
@@ -364,8 +492,14 @@ func (s *EstateServer) route(tr world.Transfer) (bool, error) {
 	}); err != nil {
 		return false, fmt.Errorf("region %d -> %d: transfer send: %w", tr.From, tr.To, err)
 	}
+	// The ack read is bounded: a peer that dies between Transfer and
+	// TransferAck must fail the estate, not hang StepPending forever.
+	_ = link.conn.SetReadDeadline(time.Now().Add(s.peerTimeout()))
 	reply, err := slp.ReadMessage(link.conn)
 	if err != nil {
+		if isTimeout(err) {
+			return false, &PeerTimeoutError{From: tr.From, To: tr.To, Op: "transfer ack", Err: err}
+		}
 		return false, fmt.Errorf("region %d -> %d: transfer ack: %w", tr.From, tr.To, err)
 	}
 	switch v := reply.(type) {
@@ -379,7 +513,7 @@ func (s *EstateServer) route(tr world.Transfer) (bool, error) {
 }
 
 func (l *peerLink) send(m slp.Message) error {
-	_ = l.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_ = l.conn.SetWriteDeadline(time.Now().Add(l.timeout))
 	if err := slp.WriteMessage(l.bw, m); err != nil {
 		return err
 	}
@@ -514,8 +648,25 @@ func (s *EstateServer) serveDirectory(conn net.Conn) {
 }
 
 func (s *EstateServer) shutdown() {
+	// Seal the analytics engine first (its feed ends, the whole-trace
+	// analysis finalises and publishes); the query endpoint itself stays
+	// up until CloseAnalytics so the sealed result remains queryable.
+	if s.analytics != nil {
+		s.analytics.seal()
+	}
+	// Flag closed first (no new sessions), then let queued pushes reach
+	// the wire before tearing connections down: the run's final
+	// snapshots are queued asynchronously, and a monitor that misses
+	// them cannot reproduce the measurement.
 	s.mu.Lock()
 	s.closed = true
+	var sessions []*session
+	for _, h := range s.hosts {
+		sessions = append(sessions, h.sessionsLocked()...)
+	}
+	s.mu.Unlock()
+	drainSessions(sessions, 5*time.Second)
+	s.mu.Lock()
 	for _, h := range s.hosts {
 		h.shutdownLocked()
 	}

@@ -35,11 +35,34 @@ type landHost struct {
 	onPeer func(conn net.Conn, hello slp.PeerHello)
 }
 
+// sessionBacklog bounds a session's outbound push backlog. The queue
+// grows on demand, so a healthy monitor that momentarily falls behind a
+// high-warp burst just buffers (a whole measurement run is a few
+// hundred pushes); a client that stopped reading altogether accumulates
+// until this cap and is dropped. The bound is on count, not bytes: each
+// entry is an already-snapshotted push the producer paid for anyway.
+const sessionBacklog = 4096
+
 // session is one connected client.
 type session struct {
 	conn net.Conn
 	bw   *bufio.Writer
 	wmu  sync.Mutex
+	// qmu/qcond guard the outbound push backlog (map pushes, chat
+	// events) drained by the session's writer goroutine, so producers
+	// holding the sim lock never touch the network. quit closes on
+	// teardown; once guards it.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	backlog []slp.Message
+	qclosed bool
+	// inflight counts the batch the writer goroutine is currently
+	// writing; backlog empty + inflight zero means fully drained.
+	inflight int
+	// qmax caps the backlog; sessionBacklog unless a test narrows it.
+	qmax int
+	quit chan struct{}
+	once sync.Once
 	// observer marks a measurement-grade session: no avatar admitted,
 	// full-resolution map replies.
 	observer bool
@@ -47,6 +70,102 @@ type session struct {
 	// subTau, when non-zero, requests a map push every subTau sim seconds.
 	subTau   int64
 	nextPush int64
+}
+
+// newSession wraps an accepted connection.
+func newSession(conn net.Conn) *session {
+	sess := &session{
+		conn: conn,
+		bw:   bufio.NewWriter(conn),
+		qmax: sessionBacklog,
+		quit: make(chan struct{}),
+	}
+	sess.qcond = sync.NewCond(&sess.qmu)
+	return sess
+}
+
+// enqueue hands a push to the session's writer goroutine without ever
+// blocking the caller — producers hold the sim lock. A backlog at the
+// cap means the client stopped draining its socket long ago: the
+// session is closed (the drop-slow-consumer policy) rather than letting
+// one wedged client stall the clock for every region.
+func (sess *session) enqueue(m slp.Message) {
+	sess.qmu.Lock()
+	if sess.qclosed {
+		sess.qmu.Unlock()
+		return
+	}
+	if len(sess.backlog) >= sess.qmax {
+		sess.qmu.Unlock()
+		sess.close()
+		return
+	}
+	sess.backlog = append(sess.backlog, m)
+	sess.qcond.Signal()
+	sess.qmu.Unlock()
+}
+
+// close tears the session down from any goroutine: the writer exits via
+// the closed flag, the reader via the closed connection.
+func (sess *session) close() {
+	sess.once.Do(func() {
+		sess.qmu.Lock()
+		sess.qclosed = true
+		sess.qcond.Broadcast()
+		sess.qmu.Unlock()
+		close(sess.quit)
+	})
+	sess.conn.Close()
+}
+
+// writeLoop drains the push backlog onto the connection in batches.
+// Write failures close the session loudly so the reader goroutine drops
+// it.
+func (sess *session) writeLoop() {
+	for {
+		sess.qmu.Lock()
+		for len(sess.backlog) == 0 && !sess.qclosed {
+			sess.qcond.Wait()
+		}
+		if sess.qclosed {
+			sess.qmu.Unlock()
+			return
+		}
+		batch := sess.backlog
+		sess.backlog = nil
+		sess.inflight = len(batch)
+		sess.qmu.Unlock()
+		for _, m := range batch {
+			if err := sess.write(m); err != nil {
+				sess.close()
+				return
+			}
+		}
+		sess.qmu.Lock()
+		sess.inflight = 0
+		sess.qmu.Unlock()
+	}
+}
+
+// drained reports that every queued push has been written (or the
+// session died trying).
+func (sess *session) drained() bool {
+	sess.qmu.Lock()
+	defer sess.qmu.Unlock()
+	return sess.qclosed || (len(sess.backlog) == 0 && sess.inflight == 0)
+}
+
+// drain waits until the writer goroutine has flushed every queued push,
+// the session closes, or the timeout passes — the graceful half of
+// shutdown. Pushes are queued asynchronously, so when a run ends its
+// final snapshots may still be in flight: healthy monitors must receive
+// them before the connection closes (the old synchronous write path got
+// this for free).
+func (sess *session) drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for !sess.drained() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func newLandHost(mu *sync.Mutex, closed *bool, scn world.Scenario, addr string, warp float64, password string) (*landHost, error) {
@@ -90,9 +209,33 @@ func (h *landHost) acceptLoop(wg *sync.WaitGroup) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			h.serveConn(conn)
+			h.serveConn(conn, wg)
 		}()
 	}
+}
+
+// sessionsLocked snapshots the live sessions; the owner holds the lock.
+func (h *landHost) sessionsLocked() []*session {
+	out := make([]*session, 0, len(h.sessions))
+	for sess := range h.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// drainSessions waits (concurrently, bounded by timeout) for every
+// session's queued pushes to reach the wire — called between the end of
+// the run and the connection teardown, without holding the sim lock.
+func drainSessions(sessions []*session, timeout time.Duration) {
+	var wg sync.WaitGroup
+	for _, sess := range sessions {
+		wg.Add(1)
+		go func(sess *session) {
+			defer wg.Done()
+			sess.drain(timeout)
+		}(sess)
+	}
+	wg.Wait()
 }
 
 // shutdownLocked closes every session; the owner holds the lock.
@@ -103,9 +246,9 @@ func (h *landHost) shutdownLocked() {
 }
 
 // serveConn runs the handshake and then the session loop.
-func (h *landHost) serveConn(conn net.Conn) {
+func (h *landHost) serveConn(conn net.Conn, wg *sync.WaitGroup) {
 	defer conn.Close()
-	sess := &session{conn: conn, bw: bufio.NewWriter(conn)}
+	sess := newSession(conn)
 
 	// Handshake.
 	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -188,6 +331,12 @@ func (h *landHost) serveConn(conn net.Conn) {
 		return
 	}
 	defer h.dropSession(sess)
+	defer sess.close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sess.writeLoop()
+	}()
 
 	for {
 		msg, err := slp.ReadMessage(conn)
@@ -315,13 +464,15 @@ func (h *landHost) stepLocked(now int64) {
 func (h *landHost) pushMapLocked(sess *session) {
 	states := h.sim.States(nil)
 	now := h.sim.Time()
-	var err error
+	// The snapshot is taken under the lock; the network write happens on
+	// the session's writer goroutine. A wedged subscriber therefore costs
+	// the clock nothing: its queue fills and the session is dropped.
 	if sess.observer {
 		reply := slp.MapReplyFull{SimTime: now}
 		for _, st := range states {
 			reply.Entries = append(reply.Entries, slp.FullEntry{ID: st.ID, Pos: st.Pos, Seated: st.Seated})
 		}
-		err = sess.write(reply)
+		sess.enqueue(reply)
 	} else {
 		reply := slp.MapReply{SimTime: now}
 		for _, st := range states {
@@ -331,16 +482,7 @@ func (h *landHost) pushMapLocked(sess *session) {
 			}
 			reply.Entries = append(reply.Entries, slp.MapEntry{ID: st.ID, Pos: pos})
 		}
-		// Write outside the sim lock would be nicer, but map pushes are
-		// small and sessions buffered; keep ordering simple and correct.
-		err = sess.write(reply)
-	}
-	if err != nil {
-		// A session whose pushes cannot be delivered — wedged transport,
-		// or a map that no longer marshals — must not silently starve its
-		// monitor or stall the clock on every tick: close the connection
-		// so the reader goroutine drops the session loudly.
-		sess.conn.Close()
+		sess.enqueue(reply)
 	}
 }
 
@@ -358,7 +500,10 @@ func (h *landHost) relayChat(m world.ChatMessage) {
 			continue
 		}
 		if p.DistXY(m.Pos) <= ChatRange {
-			_ = sess.write(slp.ChatEvent{From: m.From, Pos: m.Pos, Text: m.Text})
+			// enqueue closes the session when its queue is full, so a
+			// wedged client is dropped here instead of lingering silently
+			// until its next map push.
+			sess.enqueue(slp.ChatEvent{From: m.From, Pos: m.Pos, Text: m.Text})
 		}
 	}
 }

@@ -17,7 +17,10 @@ import (
 	"sync"
 	"time"
 
+	"slmob/internal/core"
+	"slmob/internal/geom"
 	"slmob/internal/sensor"
+	"slmob/internal/trace"
 	"slmob/internal/world"
 )
 
@@ -41,6 +44,9 @@ type Config struct {
 	TickEvery time.Duration
 	// Password, when non-empty, is required at login.
 	Password string
+	// Analytics configures the live analytics query endpoint; the zero
+	// value disables it.
+	Analytics AnalyticsConfig
 }
 
 // Server is a running single-land region server.
@@ -50,6 +56,11 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	host   *landHost
+
+	// analytics is the live query service; nil when disabled. A single
+	// land runs as a one-region estate analysis, so its region 0 query
+	// carries the full per-land Analysis (network metrics included).
+	analytics *analytics
 
 	wg sync.WaitGroup
 }
@@ -68,7 +79,46 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.host = host
+	if cfg.Analytics.enabled() {
+		acfg := cfg.Analytics.withDefaults()
+		land := cfg.Scenario.Land
+		metas := []core.RegionMeta{{Name: land.Name, Size: land.Size}}
+		infos := []trace.Info{regionInfo(land.Name, land.Name, geom.Vec{}, land.Size, acfg.Tau)}
+		a, err := newAnalytics(land.Name, metas, infos, acfg)
+		if err != nil {
+			host.ln.Close()
+			return nil, err
+		}
+		s.analytics = a
+	}
 	return s, nil
+}
+
+// QueryAddr returns the analytics query endpoint's bound address, or ""
+// when analytics is disabled.
+func (s *Server) QueryAddr() string {
+	if s.analytics == nil {
+		return ""
+	}
+	return s.analytics.addr()
+}
+
+// CloseAnalytics tears the analytics service down (idempotent; no-op
+// when disabled). Run leaves the service up on a clean end so the sealed
+// whole-trace analysis stays queryable.
+func (s *Server) CloseAnalytics() {
+	if s.analytics != nil {
+		s.analytics.close()
+	}
+}
+
+// AnalyticsErr reports the analytics engine's failure, if any; call it
+// after Run returned (which seals the engine) or after CloseAnalytics.
+func (s *Server) AnalyticsErr() error {
+	if s.analytics == nil {
+		return nil
+	}
+	return s.analytics.Err()
 }
 
 // Addr returns the bound listen address.
@@ -117,23 +167,52 @@ func (s *Server) Run(ctx context.Context) error {
 }
 
 // advance steps the simulation and reports whether the scenario ended.
+// Analytics ticks are sampled under the lock — as residents, at the same
+// τ boundaries an in-process source observes — and handed to the engine
+// outside it.
 func (s *Server) advance(steps int) bool {
+	var ticks []trace.EstateTick
+	end := false
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i := 0; i < steps; i++ {
 		s.host.sim.Step()
 		now := s.host.sim.Time()
 		s.host.stepLocked(now)
+		if s.analytics != nil && now > 0 && now%s.analytics.tau() == 0 {
+			states := s.host.sim.ResidentStates(nil)
+			snap := trace.Snapshot{T: now, Samples: make([]trace.Sample, len(states))}
+			for j, st := range states {
+				snap.Samples[j] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
+			}
+			ticks = append(ticks, trace.EstateTick{T: now, Regions: []trace.Snapshot{snap}})
+		}
 		if now >= s.cfg.Scenario.Duration {
-			return true
+			end = true
+			break
 		}
 	}
-	return false
+	s.mu.Unlock()
+	for _, tick := range ticks {
+		s.analytics.offer(tick)
+	}
+	return end
 }
 
 func (s *Server) shutdown() {
+	// Seal the analytics engine (the whole-trace analysis finalises and
+	// publishes); the query endpoint stays up until CloseAnalytics.
+	if s.analytics != nil {
+		s.analytics.seal()
+	}
+	// Flag closed first (no new sessions), drain queued pushes to the
+	// wire, then tear the connections down — a monitor must not lose the
+	// run's final snapshots to the asynchronous write path.
 	s.mu.Lock()
 	s.closed = true
+	sessions := s.host.sessionsLocked()
+	s.mu.Unlock()
+	drainSessions(sessions, 5*time.Second)
+	s.mu.Lock()
 	s.host.shutdownLocked()
 	s.mu.Unlock()
 	s.wg.Wait()

@@ -310,6 +310,9 @@ func Marshal(m Message) ([]byte, error) {
 		e.f64(v.Warp)
 		e.i64(v.Duration)
 		e.bool(v.Held)
+		if err := e.str(v.QueryAddr); err != nil {
+			return nil, err
+		}
 		if len(v.Regions) > maxDirRegions {
 			return nil, fmt.Errorf("slp: directory too large (%d regions)", len(v.Regions))
 		}
@@ -328,6 +331,39 @@ func Marshal(m Message) ([]byte, error) {
 	case ClockStart:
 	case ClockStarted:
 		e.i64(v.SimTime)
+	case Query:
+		e.u8(byte(v.Target))
+		e.u32(uint32(v.Region))
+		e.i64(v.Window)
+	case AnalysisReply:
+		if len(v.Chunk) > MaxAnalysisChunk {
+			return nil, fmt.Errorf("slp: analysis chunk too large (%d bytes)", len(v.Chunk))
+		}
+		e.u8(byte(v.Target))
+		e.u32(uint32(v.Region))
+		e.i64(v.Window)
+		e.i64(v.SimTime)
+		e.i64(v.FirstWindow)
+		e.i64(v.Windows)
+		e.bool(v.Sealed)
+		e.u32(v.Total)
+		e.u32(v.Offset)
+		if err := e.bytes(v.Chunk); err != nil {
+			return nil, err
+		}
+	case StatsReply:
+		e.i64(v.SimTime)
+		e.i64(v.WindowSec)
+		e.i64(v.FirstWindow)
+		e.i64(v.Windows)
+		e.bool(v.Sealed)
+		e.u32(v.Regions)
+		e.u32(v.Readers)
+		e.u64(v.Dropped)
+		e.u64(v.Queries)
+		e.u64(v.WsSnapshots)
+		e.u64(v.WsIncremental)
+		e.u64(v.WsRebuilds)
 	default:
 		return nil, fmt.Errorf("slp: cannot marshal %T", m)
 	}
@@ -449,6 +485,7 @@ func Unmarshal(payload []byte) (Message, error) {
 		v.Warp = d.f64()
 		v.Duration = d.i64()
 		v.Held = d.bool()
+		v.QueryAddr = d.str()
 		n := int(d.u16())
 		if d.err == nil && n > maxDirRegions {
 			return nil, &DecodeError{fmt.Errorf("slp: directory claims %d regions", n)}
@@ -466,6 +503,40 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = ClockStart{}
 	case TypeClockStarted:
 		m = ClockStarted{SimTime: d.i64()}
+	case TypeQuery:
+		v := Query{Target: QueryTarget(d.u8())}
+		v.Region = int32(d.u32())
+		v.Window = d.i64()
+		m = v
+	case TypeAnalysisReply:
+		v := AnalysisReply{Target: QueryTarget(d.u8())}
+		v.Region = int32(d.u32())
+		v.Window = d.i64()
+		v.SimTime = d.i64()
+		v.FirstWindow = d.i64()
+		v.Windows = d.i64()
+		v.Sealed = d.bool()
+		v.Total = d.u32()
+		v.Offset = d.u32()
+		v.Chunk = d.bytes()
+		if d.err == nil && len(v.Chunk) > MaxAnalysisChunk {
+			return nil, &DecodeError{fmt.Errorf("slp: analysis chunk claims %d bytes", len(v.Chunk))}
+		}
+		m = v
+	case TypeStatsReply:
+		v := StatsReply{SimTime: d.i64()}
+		v.WindowSec = d.i64()
+		v.FirstWindow = d.i64()
+		v.Windows = d.i64()
+		v.Sealed = d.bool()
+		v.Regions = d.u32()
+		v.Readers = d.u32()
+		v.Dropped = d.u64()
+		v.Queries = d.u64()
+		v.WsSnapshots = d.u64()
+		v.WsIncremental = d.u64()
+		v.WsRebuilds = d.u64()
+		m = v
 	default:
 		return nil, &DecodeError{fmt.Errorf("slp: unknown message type %d", payload[0])}
 	}

@@ -21,8 +21,10 @@ import (
 // Version is the protocol version carried in Hello and PeerHello.
 // Version 2 added the estate facility: observer logins, full-resolution
 // map replies, the directory/clock endpoints, and inter-server avatar
-// transfers.
-const Version = 2
+// transfers. Version 3 added the analytics query facility: the
+// Query/AnalysisReply/StatsReply exchange and the directory's
+// query-endpoint address.
+const Version = 3
 
 // MaxPayload bounds a frame's payload size (the length header is 16-bit,
 // so it must stay below 65536).
@@ -57,6 +59,9 @@ const (
 	TypeDirectory
 	TypeClockStart
 	TypeClockStarted
+	TypeQuery
+	TypeAnalysisReply
+	TypeStatsReply
 )
 
 // String returns the message type name.
@@ -65,7 +70,7 @@ func (t MsgType) String() string {
 		"chat-event", "map-request", "map-reply", "subscribe", "object-create",
 		"object-reply", "ping", "pong", "logout", "map-reply-full", "peer-hello",
 		"transfer", "transfer-ack", "directory-request", "directory",
-		"clock-start", "clock-started"}
+		"clock-start", "clock-started", "query", "analysis-reply", "stats-reply"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -362,8 +367,11 @@ type Directory struct {
 	Duration int64
 	// Held reports that the shared clock has not started yet: the estate
 	// waits for a ClockStart, so monitors can connect before tick one.
-	Held    bool
-	Regions []DirRegion
+	Held bool
+	// QueryAddr is the live analytics query endpoint's TCP address;
+	// empty when the estate serves no analytics.
+	QueryAddr string
+	Regions   []DirRegion
 }
 
 // Type implements Message.
@@ -382,3 +390,95 @@ type ClockStarted struct {
 
 // Type implements Message.
 func (ClockStarted) Type() MsgType { return TypeClockStarted }
+
+// QueryTarget selects what a Query asks for.
+type QueryTarget byte
+
+// Query targets.
+const (
+	// QueryCumulative asks for the merge of every sealed window so far —
+	// or, after the run ends, the whole-trace Analysis.
+	QueryCumulative QueryTarget = 1
+	// QueryWindow asks for one sealed window by index.
+	QueryWindow QueryTarget = 2
+	// QueryStats asks for the service's counters (a StatsReply).
+	QueryStats QueryTarget = 3
+)
+
+// Query asks the analytics endpoint for a serialised Analysis or for
+// service counters. One Query yields one StatsReply, one Error, or one
+// or more AnalysisReply chunks carrying a core analysis blob.
+type Query struct {
+	Target QueryTarget
+	// Region selects a region-local analysis; -1 selects the
+	// estate-global one.
+	Region int32
+	// Window is the window index for QueryWindow; -1 selects the most
+	// recently sealed window. Ignored for other targets.
+	Window int64
+}
+
+// Type implements Message.
+func (Query) Type() MsgType { return TypeQuery }
+
+// MaxAnalysisChunk bounds one AnalysisReply's Chunk so the frame stays
+// comfortably under MaxPayload alongside the fixed header fields.
+const MaxAnalysisChunk = 24 * 1024
+
+// AnalysisReply carries one chunk of a serialised Analysis blob
+// (core.EncodeAnalysis format). Blobs larger than MaxAnalysisChunk span
+// several replies; every chunk repeats the header, and the client
+// reassembles until Offset+len(Chunk) == Total. A reply with Total 0
+// means no analysis exists yet for the request (no window sealed).
+type AnalysisReply struct {
+	// Target, Region, and Window echo the query (Window resolved to the
+	// actual index when the query asked for the latest).
+	Target QueryTarget
+	Region int32
+	Window int64
+	// SimTime is the shared clock at snapshot-publish time.
+	SimTime int64
+	// FirstWindow and Windows describe the retained window range:
+	// indices [FirstWindow, FirstWindow+Windows) have been sealed.
+	FirstWindow int64
+	Windows     int64
+	// Sealed reports that the run has ended and the cumulative analysis
+	// is the final whole-trace one.
+	Sealed bool
+	// Total is the full blob length; Offset is this chunk's position.
+	Total  uint32
+	Offset uint32
+	Chunk  []byte
+}
+
+// Type implements Message.
+func (AnalysisReply) Type() MsgType { return TypeAnalysisReply }
+
+// StatsReply answers a QueryStats with the analytics service's counters.
+type StatsReply struct {
+	// SimTime is the shared clock at publish time; WindowSec the
+	// analysis window length.
+	SimTime   int64
+	WindowSec int64
+	// FirstWindow and Windows describe the retained sealed-window range.
+	FirstWindow int64
+	Windows     int64
+	// Sealed reports that the run has ended.
+	Sealed bool
+	// Regions is the estate's region count (1 for a single land).
+	Regions uint32
+	// Readers is the number of currently connected analytics readers.
+	Readers uint32
+	// Dropped counts readers disconnected by the drop-slow-reader
+	// policy; Queries counts queries answered.
+	Dropped uint64
+	Queries uint64
+	// Workspace counters: snapshots processed, incremental applications,
+	// and full rebuilds across the analysis pipeline.
+	WsSnapshots   uint64
+	WsIncremental uint64
+	WsRebuilds    uint64
+}
+
+// Type implements Message.
+func (StatsReply) Type() MsgType { return TypeStatsReply }

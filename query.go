@@ -1,0 +1,135 @@
+package slmob
+
+// The live-query façade: dial a served estate's analytics endpoint and
+// fetch per-window or cumulative Analysis snapshots while (or after) the
+// measurement runs. The wire payload is the deterministic serialisation
+// of core's checkpoint codec, so a sha256 of the raw blob — the Digest
+// fields below — equals the digest an offline replay of the same trace
+// produces: the parity gate between live service and offline pipeline.
+
+import (
+	"fmt"
+	"time"
+
+	"slmob/internal/core"
+	"slmob/internal/slp"
+)
+
+// LiveAnalysis is one analysis fetched from a live query endpoint: the
+// decoded result plus the raw-blob digest and the service metadata that
+// framed it.
+type LiveAnalysis struct {
+	// Analysis is the decoded result; nil when the service had nothing
+	// sealed yet (poll again after a window boundary).
+	Analysis *Analysis
+	// Digest is the hex sha256 of the serialised blob as received.
+	// Deterministic encoding makes it an equality test: two analyses
+	// share a digest iff they are bit-identical.
+	Digest string
+	// Region is the queried region index, -1 for the estate-global view.
+	Region int
+	// Window is the sealed-window index the analysis covers, -1 for a
+	// cumulative result.
+	Window int64
+	// SimTime is the shared estate clock at snapshot-publish time.
+	SimTime int64
+	// FirstWindow and Windows describe the sealed-window range at reply
+	// time.
+	FirstWindow int64
+	Windows     int64
+	// Sealed reports the run has ended: a cumulative result is the final
+	// whole-trace analysis.
+	Sealed bool
+}
+
+// QueryStats are a live analytics service's counters.
+type QueryStats = slp.StatsReply
+
+// AnalyticsClient is a connected live-query client. It is safe for
+// concurrent use; requests serialise on the connection.
+type AnalyticsClient struct {
+	c *slp.QueryClient
+}
+
+// DialQuery connects to a live analytics query endpoint — the address
+// WithQueryAddr bound (EstateService.QueryAddr), also published in the
+// estate directory. Close the client when done.
+func DialQuery(addr string) (*AnalyticsClient, error) {
+	c, err := slp.DialQuery(addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyticsClient{c: c}, nil
+}
+
+// Close closes the connection.
+func (c *AnalyticsClient) Close() error { return c.c.Close() }
+
+// Cumulative fetches the merge of every sealed window so far — the final
+// whole-trace Analysis once the run has ended. region -1 selects the
+// estate-global analysis, 0..R-1 a region-local one (region 0 of a
+// single-land service carries the full per-land analysis, network
+// metrics included).
+func (c *AnalyticsClient) Cumulative(region int) (*LiveAnalysis, error) {
+	res, err := c.c.Cumulative(int32(region))
+	if err != nil {
+		return nil, err
+	}
+	return decodeLive(res)
+}
+
+// Window fetches one sealed window by index; -1 selects the most
+// recently sealed one.
+func (c *AnalyticsClient) Window(region int, window int64) (*LiveAnalysis, error) {
+	res, err := c.c.WindowAt(int32(region), window)
+	if err != nil {
+		return nil, err
+	}
+	return decodeLive(res)
+}
+
+// Stats fetches the service's counters: sealed-window range, connected
+// readers, drop-slow-reader count, and the analysis pipeline's
+// incremental-engine statistics.
+func (c *AnalyticsClient) Stats() (QueryStats, error) { return c.c.Stats() }
+
+func decodeLive(res *slp.AnalysisResult) (*LiveAnalysis, error) {
+	la := &LiveAnalysis{
+		Region:      int(res.Region),
+		Window:      res.Window,
+		SimTime:     res.SimTime,
+		FirstWindow: res.FirstWindow,
+		Windows:     res.Windows,
+		Sealed:      res.Sealed,
+	}
+	if res.Blob == nil {
+		return la, nil
+	}
+	an, err := core.DecodeAnalysis(res.Blob)
+	if err != nil {
+		return nil, fmt.Errorf("slmob: live analysis blob: %w", err)
+	}
+	la.Analysis = an
+	la.Digest = core.BlobDigest(res.Blob)
+	return la, nil
+}
+
+// AnalysisDigest serialises the analysis with the deterministic
+// checkpoint codec and returns the hex sha256 of the bytes. It equals
+// LiveAnalysis.Digest for the same analysis, which makes it the offline
+// side of the live/offline parity gate.
+func AnalysisDigest(an *Analysis) (string, error) {
+	return core.AnalysisDigest(an)
+}
+
+// QueryLive is the one-shot form: dial the endpoint, fetch the
+// cumulative estate-global analysis, and close. Use DialQuery for
+// polling, per-region, or per-window access.
+func QueryLive(addr string) (*LiveAnalysis, error) {
+	c, err := DialQuery(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Cumulative(-1)
+}

@@ -1,0 +1,283 @@
+package slmob
+
+// Live-query tests: the digest parity gate — every cumulative Analysis
+// fetched from a live query endpoint, mid-run or sealed, must be
+// bit-identical (equal sha256 digest) to what an offline windowed replay
+// of the same trace produces — plus the concurrent-reader soak.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"slmob/internal/core"
+	"slmob/internal/trace"
+)
+
+// offlineWindowed replays the estate offline with the given window and
+// returns the whole-trace analysis with its window series.
+func offlineWindowed(t *testing.T, est Estate, window int64) *EstateAnalysis {
+	t.Helper()
+	ctx := context.Background()
+	src, err := NewEstateSource(est, PaperTau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := CollectEstateSource(ctx, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := trace.NewEstateReplay(nil, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, err := AnalyzeEstateStream(ctx, replay, WithWindow(window))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return offline
+}
+
+// digestOf encodes one analysis with the deterministic checkpoint codec
+// and returns its blob digest — the value a live query reply carries.
+func digestOf(t *testing.T, an *core.Analysis) string {
+	t.Helper()
+	blob, err := core.EncodeAnalysis(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.BlobDigest(blob)
+}
+
+// prefixDigest is the expected cumulative digest after the first k
+// windows sealed: the merge of that window prefix, exactly as the live
+// service recomputes it.
+func prefixDigest(t *testing.T, windows []*EstateAnalysis, k int64, region int) string {
+	t.Helper()
+	parts := make([]*core.Analysis, k)
+	for i := range parts {
+		if region < 0 {
+			parts[i] = windows[i].Global
+		} else {
+			parts[i] = windows[i].Regions[region]
+		}
+	}
+	merged, err := core.MergeAnalyses(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digestOf(t, merged)
+}
+
+// TestQueryLiveParityWithOfflineReplay is the analytics acceptance gate:
+// serve an estate with the query endpoint enabled, poll cumulative
+// analyses while the measurement runs, fetch the sealed result at the
+// end — and require every digest, mid-run and final, global and
+// per-region, to equal the digest an offline windowed replay of the
+// identical scenario produces.
+func TestQueryLiveParityWithOfflineReplay(t *testing.T) {
+	est := PaperEstate(23)
+	est.Duration = 1200
+	const window = 600
+
+	offline := offlineWindowed(t, est, window)
+	// Samples run t=10..1200; the final one opens window 2, so three
+	// windows seal in total.
+	if len(offline.Windows) != 3 {
+		t.Fatalf("offline replay sealed %d windows, want 3", len(offline.Windows))
+	}
+
+	svc, err := ServeEstate(context.Background(), est,
+		WithQueryAddr("127.0.0.1:0"), WithWindow(window),
+		WithWarp(2000), WithTickEvery(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	qc, err := DialQuery(svc.QueryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+
+	// Poll the cumulative global analysis while the clock runs,
+	// recording one digest per distinct sealed-window count.
+	type seen struct {
+		digest string
+		sealed bool
+	}
+	observed := map[int64]seen{}
+	for {
+		res, err := qc.Cumulative(-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Analysis != nil {
+			if prev, ok := observed[res.Windows]; ok && prev.digest != res.Digest {
+				t.Fatalf("windows=%d served two digests: %s then %s", res.Windows, prev.digest, res.Digest)
+			}
+			observed[res.Windows] = seen{digest: res.Digest, sealed: res.Sealed}
+		}
+		if res.Sealed {
+			break
+		}
+		select {
+		case <-svc.Done():
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	// Every observed mid-run cumulative must equal the offline merge of
+	// the same window prefix; the sealed one must equal the whole-trace
+	// analysis (which the merge invariant makes the same value).
+	if len(observed) == 0 {
+		t.Fatal("no cumulative analyses observed")
+	}
+	for k, s := range observed {
+		want := prefixDigest(t, offline.Windows, k, -1)
+		if s.digest != want {
+			t.Errorf("cumulative after %d windows: digest %s, want offline %s", k, s.digest, want)
+		}
+	}
+	final, ok := observed[int64(len(offline.Windows))]
+	if !ok || !final.sealed {
+		t.Fatalf("never observed the sealed whole-trace cumulative (observed %v)", observed)
+	}
+	if want := digestOf(t, offline.Global); final.digest != want {
+		t.Errorf("sealed cumulative digest %s, want whole-trace %s", final.digest, want)
+	}
+
+	// Sealed per-region cumulatives against the offline regions.
+	for i := range offline.Regions {
+		res, err := qc.Cumulative(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := digestOf(t, offline.Regions[i]); res.Digest != want {
+			t.Errorf("region %d sealed digest %s, want %s", i, res.Digest, want)
+		}
+		assertAnalysisParity(t, fmt.Sprintf("live region %d", i), res.Analysis, offline.Regions[i])
+	}
+
+	// Individual sealed windows against the offline window series.
+	for k := range offline.Windows {
+		res, err := qc.Window(-1, int64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := digestOf(t, offline.Windows[k].Global); res.Digest != want {
+			t.Errorf("window %d digest %s, want %s", k, res.Digest, want)
+		}
+	}
+
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+// TestQueryConcurrentReaders soaks the endpoint: many readers hammer
+// cumulative, window, and stats queries concurrently while the estate
+// runs. Replies must stay consistent — two replies describing the same
+// sealed-window count carry the same digest — and the run must survive
+// the read load without a server fault (reader drops are policy, not
+// faults).
+func TestQueryConcurrentReaders(t *testing.T) {
+	est := PaperEstate(11)
+	est.Duration = 1200
+	svc, err := ServeEstate(context.Background(), est,
+		WithQueryAddr("127.0.0.1:0"), WithWindow(300),
+		WithWarp(2000), WithTickEvery(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Stop()
+
+	const readers = 12
+	var (
+		mu      sync.Mutex
+		digests = map[int64]string{}
+	)
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			qc, err := DialQuery(svc.QueryAddr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer qc.Close()
+			for {
+				res, err := qc.Cumulative(-1)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: cumulative: %w", r, err)
+					return
+				}
+				if res.Analysis != nil {
+					mu.Lock()
+					if prev, ok := digests[res.Windows]; ok && prev != res.Digest {
+						mu.Unlock()
+						errs <- fmt.Errorf("reader %d: windows=%d digest %s, another reader saw %s",
+							r, res.Windows, res.Digest, prev)
+						return
+					}
+					digests[res.Windows] = res.Digest
+					mu.Unlock()
+					if _, err := qc.Window(-1, -1); err != nil {
+						errs <- fmt.Errorf("reader %d: window: %w", r, err)
+						return
+					}
+				}
+				if _, err := qc.Stats(); err != nil {
+					errs <- fmt.Errorf("reader %d: stats: %w", r, err)
+					return
+				}
+				if res.Sealed {
+					errs <- nil
+					return
+				}
+			}
+		}(r)
+	}
+	select {
+	case <-svc.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("estate did not finish under read load")
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	if len(digests) == 0 {
+		t.Fatal("soak observed no analyses")
+	}
+	st := func() QueryStats {
+		qc, err := DialQuery(svc.QueryAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer qc.Close()
+		st, err := qc.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}()
+	if !st.Sealed {
+		t.Error("service not sealed after the run")
+	}
+	if st.Queries == 0 {
+		t.Error("service counted no queries after the soak")
+	}
+	if err := svc.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

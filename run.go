@@ -72,6 +72,7 @@ type options struct {
 	serveAddr     string
 	servePassword string
 	holdClock     bool
+	queryAddr     string
 }
 
 func buildOptions(opts []Option) options {
@@ -185,6 +186,18 @@ func WithServePassword(password string) Option {
 // measurement can observe the grid from its very first tick.
 func WithHeldClock() Option {
 	return func(o *options) { o.holdClock = true }
+}
+
+// WithQueryAddr enables a served estate's live analytics query endpoint
+// at the given listen address ("127.0.0.1:0" picks a free port; see
+// EstateService.QueryAddr). The service runs the full sharded analysis
+// beside the simulation and serves per-window and cumulative Analysis
+// snapshots to any number of concurrent readers — see QueryLive and
+// DialQuery. WithWindow sets the analysis window (default: hourly);
+// WithTau the sampling period; the other analysis options (ranges,
+// zones, session gap) configure the pipeline as usual.
+func WithQueryAddr(addr string) Option {
+	return func(o *options) { o.queryAddr = addr }
 }
 
 // WithAnalysisConfig replaces the whole analysis configuration at once,

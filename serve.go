@@ -43,14 +43,24 @@ func ServeEstate(ctx context.Context, est Estate, opts ...Option) (*EstateServic
 	if warp <= 0 {
 		warp = DefaultWarp
 	}
-	srv, err := server.NewEstate(server.EstateConfig{
+	cfg := server.EstateConfig{
 		Estate:    est,
 		Addr:      o.serveAddr,
 		Warp:      warp,
 		TickEvery: o.tickEvery,
 		Password:  o.servePassword,
 		Hold:      o.holdClock,
-	})
+	}
+	if o.queryAddr != "" {
+		cfg.Analytics = server.AnalyticsConfig{
+			Addr:     o.queryAddr,
+			Tau:      o.tau,
+			Window:   o.cfg.Window,
+			Analysis: o.cfg,
+			Workers:  o.regionWorkers,
+		}
+	}
+	srv, err := server.NewEstate(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +79,11 @@ func (s *EstateService) DirectoryAddr() string { return s.srv.DirectoryAddr() }
 
 // RegionAddr returns region i's own server address.
 func (s *EstateService) RegionAddr(i int) string { return s.srv.RegionAddr(i) }
+
+// QueryAddr returns the live analytics query endpoint's address, or ""
+// when WithQueryAddr was not given. Dial it with DialQuery (or
+// slanalyze -query).
+func (s *EstateService) QueryAddr() string { return s.srv.QueryAddr() }
 
 // SimTime returns the shared estate clock.
 func (s *EstateService) SimTime() int64 { return s.srv.SimTime() }
@@ -90,14 +105,23 @@ func (s *EstateService) Err() error {
 	}
 }
 
-// Stop shuts the service down and waits for it (idempotent). A clean
-// shutdown — cancellation or the estate duration running out — returns
-// nil; a network failure surfaces as the error that killed the service.
+// Stop shuts the service down and waits for it (idempotent), analytics
+// endpoint included. A clean shutdown — cancellation or the estate
+// duration running out — returns nil; a network failure surfaces as the
+// error that killed the service.
+//
+// The analytics endpoint deliberately outlives the estate's own clean
+// end (duration reached): until Stop, readers can still fetch the sealed
+// whole-trace analysis. Stop is what finally tears it down.
 func (s *EstateService) Stop() error {
 	s.cancel()
 	<-s.done
+	s.srv.CloseAnalytics()
 	if err := s.err; err != nil &&
 		!errors.Is(err, context.Canceled) && !errors.Is(err, server.ErrDurationReached) {
+		return err
+	}
+	if err := s.srv.AnalyticsErr(); err != nil {
 		return err
 	}
 	return nil
