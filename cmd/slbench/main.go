@@ -39,6 +39,7 @@ import (
 	"slmob/internal/core"
 	"slmob/internal/experiment"
 	"slmob/internal/graph"
+	"slmob/internal/load"
 	"slmob/internal/slp"
 	"slmob/internal/stats"
 	"slmob/internal/world"
@@ -154,6 +155,28 @@ type benchOutput struct {
 	// QueryBench measures the live analytics query endpoint: round-trip
 	// latency quantiles against a sealed served estate.
 	QueryBench *queryBench `json:"query_bench,omitempty"`
+	// ServingBench measures the map-serving path: per-kind bytes-per-push
+	// for whole-land versus AOI-delta avatar subscribers on a short
+	// self-hosted estate.
+	ServingBench *servingBench `json:"serving_bench,omitempty"`
+}
+
+// servingBench is the -serving-bench measurement: a held paper estate is
+// loaded with observer, whole-land avatar, and AOI-delta avatar
+// contingents; the block records each kind's bandwidth and the reduction
+// interest management buys.
+type servingBench struct {
+	Observers  int    `json:"observers"`
+	Avatars    int    `json:"avatars"`
+	AOIAvatars int    `json:"aoi_avatars"`
+	Pushes     uint64 `json:"pushes"`
+	// ServerFaults must be zero: every bench client drains promptly.
+	ServerFaults       int     `json:"server_faults"`
+	AvatarBytesPerPush float64 `json:"avatar_bytes_per_push"`
+	AOIBytesPerPush    float64 `json:"aoi_bytes_per_push"`
+	// FullToAOIRatio is avatar over AOI bytes-per-push — the factor the
+	// baseline gate keeps from collapsing.
+	FullToAOIRatio float64 `json:"full_to_aoi_ratio"`
 }
 
 // queryBench is the -query-bench measurement: a served estate is run to
@@ -259,6 +282,27 @@ func compareBaseline(fresh benchOutput, path string, tol, wallTol, allocTol floa
 		fresh.QueryBench.P99Ms > wallTol*base.QueryBench.P99Ms {
 		return fmt.Errorf("query p99 latency %.2f ms exceeds %gx baseline %.2f ms",
 			fresh.QueryBench.P99Ms, wallTol, base.QueryBench.P99Ms)
+	}
+	// Serving-path gate: interest management must keep buying its
+	// bandwidth reduction. An AOI avatar's bytes-per-push may not grow
+	// past 3x the baseline, the full/AOI reduction factor may not collapse
+	// below half the baseline's (a silently-unfiltered push path would
+	// pass every latency check while serving whole-land maps), and no
+	// bench client — all of them prompt drainers — may be dropped.
+	if base.ServingBench != nil && fresh.ServingBench != nil {
+		if fresh.ServingBench.ServerFaults > 0 {
+			return fmt.Errorf("serving bench recorded %d server faults", fresh.ServingBench.ServerFaults)
+		}
+		if base.ServingBench.AOIBytesPerPush > 0 &&
+			fresh.ServingBench.AOIBytesPerPush > 3*base.ServingBench.AOIBytesPerPush {
+			return fmt.Errorf("AOI bytes/push %.0f exceeds 3x baseline %.0f",
+				fresh.ServingBench.AOIBytesPerPush, base.ServingBench.AOIBytesPerPush)
+		}
+		if base.ServingBench.FullToAOIRatio > 1 &&
+			fresh.ServingBench.FullToAOIRatio < base.ServingBench.FullToAOIRatio/2 {
+			return fmt.Errorf("full/AOI bandwidth ratio %.1f collapsed from baseline %.1f",
+				fresh.ServingBench.FullToAOIRatio, base.ServingBench.FullToAOIRatio)
+		}
 	}
 	// Incremental-engine gate: the fraction of snapshots served
 	// incrementally must not collapse (a silently-broken delta path would
@@ -373,6 +417,47 @@ func queryBenchRun(ctx context.Context, seed uint64) (*queryBench, error) {
 	}, nil
 }
 
+// servingBenchRun floods a short held paper estate with a mixed client
+// population — observers on full-resolution pushes, whole-land coarse
+// avatars, and AOI-delta avatars — and distils the load report into the
+// per-kind bandwidth block.
+func servingBenchRun(ctx context.Context, seed uint64) (*servingBench, error) {
+	rep, err := load.Run(ctx, load.Config{
+		Preset:      "paper",
+		Seed:        seed,
+		SimDuration: 1200,
+		Warp:        600,
+		Window:      600,
+		Observers:   6,
+		Avatars:     24,
+		AOIAvatars:  24,
+		AOIRadius:   48,
+		AOIDelta:    true,
+		Tau:         core.PaperTau,
+		RunFor:      20 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sb := &servingBench{
+		Observers:    rep.Observers,
+		Avatars:      rep.Avatars,
+		AOIAvatars:   rep.AOIAvatars,
+		Pushes:       rep.Pushes,
+		ServerFaults: rep.ServerFaults,
+	}
+	if ms := rep.Mix[load.KindAvatar]; ms != nil {
+		sb.AvatarBytesPerPush = ms.BytesPerPush
+	}
+	if ms := rep.Mix[load.KindAOIAvatar]; ms != nil {
+		sb.AOIBytesPerPush = ms.BytesPerPush
+	}
+	if sb.AOIBytesPerPush > 0 {
+		sb.FullToAOIRatio = sb.AvatarBytesPerPush / sb.AOIBytesPerPush
+	}
+	return sb, nil
+}
+
 // windowedPass replays the land's trace through the windowed analyzer
 // with a timing hook, charging each window — rollover included — its
 // wall-clock share.
@@ -417,6 +502,7 @@ func main() {
 		window     = flag.Int64("window", 0, "additionally replay the first land through the windowed analyzer with windows of this many seconds, timing each window")
 		churn      = flag.Bool("churn-sweep", false, "additionally run the low/medium/high mobility presets, recording wall time and incremental-hit statistics per preset")
 		queryB     = flag.Bool("query-bench", true, "additionally serve a short paper estate and measure live query-endpoint latency")
+		servingB   = flag.Bool("serving-bench", true, "additionally load a short paper estate with a mixed client population and measure per-kind push bandwidth")
 	)
 	flag.Parse()
 
@@ -549,6 +635,15 @@ func main() {
 		bo.QueryBench = qb
 		fmt.Printf("slbench: query endpoint: %d queries, p50 %.2f ms, p99 %.2f ms, %.0f replies/s, %d-byte sealed blob\n\n",
 			qb.Queries, qb.P50Ms, qb.P99Ms, qb.RepliesPerSec, qb.BlobBytes)
+	}
+	if *servingB {
+		sb, err := servingBenchRun(ctx, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bo.ServingBench = sb
+		fmt.Printf("slbench: serving path: %d pushes, avatar %.0f B/push, AOI %.0f B/push (%.1fx reduction), %d faults\n\n",
+			sb.Pushes, sb.AvatarBytesPerPush, sb.AOIBytesPerPush, sb.FullToAOIRatio, sb.ServerFaults)
 	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(bo, "", "  ")

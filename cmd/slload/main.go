@@ -16,7 +16,12 @@
 // Usage:
 //
 //	slload -estate city -observers 640 -readers 400 -warp 1200 -run-for 20s -min-conns 1000
+//	slload -estate city -aoi-avatars 800 -aoi-radius 96 -observers 64 -min-conns 800
 //	slload -directory 127.0.0.1:7700 -observers 100 -readers 50
+//
+// The JSON report includes a per-kind mix breakdown (observer, avatar,
+// aoi-avatar) with bytes-per-push, the number the AOI bandwidth gate
+// reads.
 //
 // Exit status is 1 when the run records any server fault or connects
 // fewer clients than -min-conns.
@@ -37,21 +42,24 @@ import (
 
 func main() {
 	var (
-		directory = flag.String("directory", "", "attack a running estate via its directory endpoint (empty: self-host)")
-		estate    = flag.String("estate", "paper", "self-hosted estate preset: paper (1x3), mainland (4x4), or city (8x8)")
-		seed      = flag.Uint64("seed", 1, "self-hosted simulation seed")
-		duration  = flag.Int64("duration", 0, "self-hosted estate duration in sim seconds (0: preset default)")
-		warp      = flag.Float64("warp", 600, "self-hosted clock rate")
-		window    = flag.Int64("window", 600, "self-hosted analysis window in sim seconds")
-		observers = flag.Int("observers", 64, "observer sessions subscribed to map pushes")
-		avatars   = flag.Int("avatars", 0, "in-world avatar sessions")
-		readers   = flag.Int("readers", 32, "analytics reader connections polling the query endpoint")
-		tau       = flag.Int64("tau", 0, "observer subscription period in sim seconds (0: the paper's 10s)")
-		password  = flag.String("password", "", "estate login password")
-		runFor    = flag.Duration("run-for", 10*time.Second, "load phase length in wall time")
-		pollEvery = flag.Duration("poll-every", 50*time.Millisecond, "each reader's query period")
-		jsonPath  = flag.String("json", "", "write the report as JSON to this file (default: stdout)")
-		minConns  = flag.Int("min-conns", 0, "fail unless at least this many clients connected")
+		directory  = flag.String("directory", "", "attack a running estate via its directory endpoint (empty: self-host)")
+		estate     = flag.String("estate", "paper", "self-hosted estate preset: paper (1x3), mainland (4x4), or city (8x8)")
+		seed       = flag.Uint64("seed", 1, "self-hosted simulation seed")
+		duration   = flag.Int64("duration", 0, "self-hosted estate duration in sim seconds (0: preset default)")
+		warp       = flag.Float64("warp", 600, "self-hosted clock rate")
+		window     = flag.Int64("window", 600, "self-hosted analysis window in sim seconds")
+		observers  = flag.Int("observers", 64, "observer sessions subscribed to map pushes")
+		avatars    = flag.Int("avatars", 0, "in-world avatar sessions on whole-land coarse pushes")
+		aoiAvatars = flag.Int("aoi-avatars", 0, "in-world avatar sessions subscribed with an area-of-interest radius")
+		aoiRadius  = flag.Float64("aoi-radius", 96, "AOI avatars' subscription radius in metres")
+		aoiDelta   = flag.Bool("aoi-delta", true, "AOI avatars request delta-encoded pushes")
+		readers    = flag.Int("readers", 32, "analytics reader connections polling the query endpoint")
+		tau        = flag.Int64("tau", 0, "observer subscription period in sim seconds (0: the paper's 10s)")
+		password   = flag.String("password", "", "estate login password")
+		runFor     = flag.Duration("run-for", 10*time.Second, "load phase length in wall time")
+		pollEvery  = flag.Duration("poll-every", 50*time.Millisecond, "each reader's query period")
+		jsonPath   = flag.String("json", "", "write the report as JSON to this file (default: stdout)")
+		minConns   = flag.Int("min-conns", 0, "fail unless at least this many clients connected")
 	)
 	flag.Parse()
 
@@ -67,6 +75,9 @@ func main() {
 		Window:      *window,
 		Observers:   *observers,
 		Avatars:     *avatars,
+		AOIAvatars:  *aoiAvatars,
+		AOIRadius:   *aoiRadius,
+		AOIDelta:    *aoiDelta,
 		Readers:     *readers,
 		Tau:         *tau,
 		Password:    *password,
@@ -91,9 +102,15 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"slload: %d connected (%d failed), %.0f conns/core, %d pushes, %d replies, reader p99 %.2fms, %d faults\n",
-		rep.Connected, rep.ConnectFailures, rep.ConnsPerCore, rep.Pushes, rep.Replies,
-		rep.LatencyMs.P99, rep.ServerFaults)
+		"slload: %d connected (%d failed), %.0f conns/core, %d pushes (%.0f B/push), %d replies, reader p99 %.2fms, %d faults\n",
+		rep.Connected, rep.ConnectFailures, rep.ConnsPerCore, rep.Pushes, rep.BytesPerPush,
+		rep.Replies, rep.LatencyMs.P99, rep.ServerFaults)
+	for _, kind := range []string{load.KindObserver, load.KindAvatar, load.KindAOIAvatar} {
+		if ms := rep.Mix[kind]; ms != nil {
+			fmt.Fprintf(os.Stderr, "slload:   %-10s %4d conns, %7d pushes, %.0f B/push\n",
+				kind, ms.Conns, ms.Pushes, ms.BytesPerPush)
+		}
+	}
 	if rep.ServerFaults > 0 {
 		log.Fatalf("slload: FAIL — %d server faults (errors: %v)", rep.ServerFaults, rep.Errors)
 	}

@@ -41,6 +41,7 @@ func main() {
 		hold     = flag.Bool("hold", false, "hold the shared clock at zero until a clock-start arrives")
 		query    = flag.String("query", "", "serve a live analytics query endpoint on this address (empty: disabled)")
 		window   = flag.Int64("window", 3600, "analysis window for the query endpoint, in sim seconds")
+		aoi      = flag.Float64("aoi", 0, "default area-of-interest radius in metres for avatar subscriptions (0: whole land; observers exempt)")
 	)
 	flag.Parse()
 
@@ -60,11 +61,12 @@ func main() {
 	}
 
 	srv, err := server.NewEstate(server.EstateConfig{
-		Estate:   cfg,
-		Addr:     *addr,
-		Warp:     *warp,
-		Password: *password,
-		Hold:     *hold,
+		Estate:    cfg,
+		Addr:      *addr,
+		Warp:      *warp,
+		Password:  *password,
+		AOIRadius: *aoi,
+		Hold:      *hold,
 		Analytics: server.AnalyticsConfig{
 			Addr:   *query,
 			Window: *window,

@@ -16,7 +16,7 @@ func churnSnapshots(seed uint64, n int) []trace.Snapshot {
 	state := seed*2862933555777941757 + 3037000493
 	next := func() float64 {
 		state = state*6364136223846793005 + 1442695040888963407
-		return float64(state>>40) / float64(1 << 24)
+		return float64(state>>40) / float64(1<<24)
 	}
 	randPos := func() geom.Vec {
 		if next() < 0.5 {

@@ -39,12 +39,20 @@ type Config struct {
 	Warp float64
 	// Window is the self-hosted analysis window (default 600).
 	Window int64
-	// Observers, Avatars, and Readers size the client mix: observer
-	// monitors subscribe to full-resolution map pushes, avatars log in as
-	// in-world clients, readers poll the analytics query endpoint.
-	Observers int
-	Avatars   int
-	Readers   int
+	// Observers, Avatars, AOIAvatars, and Readers size the client mix:
+	// observer monitors subscribe to full-resolution map pushes, avatars
+	// log in as in-world clients on whole-land coarse pushes, AOI avatars
+	// subscribe with an area-of-interest radius (and optionally delta
+	// encoding), readers poll the analytics query endpoint.
+	Observers  int
+	Avatars    int
+	AOIAvatars int
+	Readers    int
+	// AOIRadius is the AOI avatars' subscription radius in metres
+	// (default 96 — the widest sensor/contact range the paper studies).
+	AOIRadius float64
+	// AOIDelta opts the AOI avatars into MapDelta-encoded pushes.
+	AOIDelta bool
 	// Tau is the observers' subscription period in sim seconds (default:
 	// the paper's 10 s).
 	Tau int64
@@ -75,6 +83,9 @@ func (c Config) withDefaults() Config {
 	if c.Tau <= 0 {
 		c.Tau = slmob.PaperTau
 	}
+	if c.AOIRadius <= 0 {
+		c.AOIRadius = 96
+	}
 	if c.RunFor <= 0 {
 		c.RunFor = 10 * time.Second
 	}
@@ -100,9 +111,10 @@ type Report struct {
 	Estate  string `json:"estate"`
 	Regions int    `json:"regions"`
 
-	Observers int `json:"observers"`
-	Avatars   int `json:"avatars"`
-	Readers   int `json:"readers"`
+	Observers  int `json:"observers"`
+	Avatars    int `json:"avatars"`
+	AOIAvatars int `json:"aoi_avatars"`
+	Readers    int `json:"readers"`
 
 	// Connected counts clients that completed their handshake;
 	// ConnectFailures those that never got in.
@@ -116,6 +128,17 @@ type Report struct {
 	// Replies the analytics replies received by readers.
 	Pushes  uint64 `json:"pushes"`
 	Replies uint64 `json:"replies"`
+
+	// PushBytesTotal sums the wire bytes of the map pushes themselves
+	// (framing included; chat and control traffic excluded);
+	// BytesPerPush divides it by Pushes. Mix breaks both down by client
+	// kind — the number the AOI bandwidth gate reads. BytesTotal is all
+	// inbound bytes across every push session, handshake and chat
+	// included, for the whole-connection view.
+	PushBytesTotal uint64               `json:"push_bytes_total"`
+	BytesPerPush   float64              `json:"bytes_per_push"`
+	BytesTotal     uint64               `json:"bytes_total"`
+	Mix            map[string]*MixStats `json:"mix,omitempty"`
 
 	// LatencyMs summarises reader query round-trips.
 	LatencyMs Quantiles `json:"latency_ms"`
@@ -138,6 +161,24 @@ type Report struct {
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
+// MixStats breaks the push-session numbers down by client kind
+// ("observer", "avatar", "aoi-avatar"). Bytes counts map-push wire
+// bytes only (framing included), so BytesPerPush compares the push
+// encodings themselves, undiluted by chat or control traffic.
+type MixStats struct {
+	Conns        int     `json:"conns"`
+	Pushes       uint64  `json:"pushes"`
+	Bytes        uint64  `json:"bytes"`
+	BytesPerPush float64 `json:"bytes_per_push"`
+}
+
+// Client-kind labels used in Report.Mix and error keys.
+const (
+	KindObserver  = "observer"
+	KindAvatar    = "avatar"
+	KindAOIAvatar = "aoi-avatar"
+)
+
 func presetEstate(name string, seed uint64) (slmob.Estate, error) {
 	switch name {
 	case "paper":
@@ -157,11 +198,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	wallStart := time.Now()
 	rep := &Report{
-		Observers: cfg.Observers,
-		Avatars:   cfg.Avatars,
-		Readers:   cfg.Readers,
-		Cores:     runtime.NumCPU(),
-		Errors:    map[string]int{},
+		Observers:  cfg.Observers,
+		Avatars:    cfg.Avatars,
+		AOIAvatars: cfg.AOIAvatars,
+		Readers:    cfg.Readers,
+		Cores:      runtime.NumCPU(),
+		Errors:     map[string]int{},
 	}
 
 	dirAddr := cfg.Directory
@@ -203,11 +245,26 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 		mu       sync.Mutex
 		lats     []float64
-		clients  []*slp.Client
 		loadWg   sync.WaitGroup // every consumer/reader goroutine
 		dialWg   sync.WaitGroup // completes when every client dialled
 		dialGate = make(chan struct{}, 128)
 	)
+	// Per-kind counters; client bandwidth is attributed after the load
+	// phase from each session's PushBytesRead (map pushes) and BytesRead
+	// (whole connection).
+	type kindCounters struct {
+		conns  atomic.Int64
+		pushes atomic.Uint64
+		bytes  atomic.Uint64
+	}
+	kinds := map[string]*kindCounters{
+		KindObserver: {}, KindAvatar: {}, KindAOIAvatar: {},
+	}
+	type loadClient struct {
+		c    *slp.Client
+		kind string
+	}
+	var clients []loadClient
 	loadCtx, stopLoad := context.WithCancel(ctx)
 	defer stopLoad()
 
@@ -253,6 +310,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// server failed a healthy, promptly-draining client: a fault.
 	consume := func(c *slp.Client, kind string) {
 		defer loadWg.Done()
+		kc := kinds[kind]
 		for {
 			select {
 			case <-loadCtx.Done():
@@ -263,12 +321,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					return
 				}
 				pushes.Add(1)
+				kc.pushes.Add(1)
 			case _, ok := <-c.Maps():
 				if !ok {
 					dropped(kind)
 					return
 				}
 				pushes.Add(1)
+				kc.pushes.Add(1)
 			case _, ok := <-c.Chats():
 				if !ok {
 					dropped(kind)
@@ -278,16 +338,14 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
-	dialSession := func(i int, observer bool) {
+	dialSession := func(i int, kind string) {
 		defer dialWg.Done()
 		dialGate <- struct{}{}
 		addr := dir.Regions[i%len(dir.Regions)].Addr
 		name := fmt.Sprintf("load-%d", i)
-		kind := "avatar"
 		var c *slp.Client
 		var err error
-		if observer {
-			kind = "observer"
+		if kind == KindObserver {
 			c, err = slp.DialObserver(addr, name, cfg.Password, cfg.DialTimeout)
 		} else {
 			c, err = slp.Dial(addr, name, cfg.Password, cfg.DialTimeout)
@@ -297,14 +355,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			dialFailed(kind + "-dial")
 			return
 		}
-		if err := c.Subscribe(cfg.Tau, true); err != nil {
+		if kind == KindAOIAvatar {
+			err = c.SubscribeAOI(cfg.Tau, true, cfg.AOIRadius, cfg.AOIDelta)
+		} else {
+			err = c.Subscribe(cfg.Tau, true)
+		}
+		if err != nil {
 			c.Close()
 			dialFailed(kind + "-subscribe")
 			return
 		}
 		connected.Add(1)
+		kinds[kind].conns.Add(1)
 		mu.Lock()
-		clients = append(clients, c)
+		clients = append(clients, loadClient{c: c, kind: kind})
 		mu.Unlock()
 		loadWg.Add(1)
 		go consume(c, kind)
@@ -358,11 +422,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	// Connect phase: every client in, then release the clock.
 	for i := 0; i < cfg.Observers; i++ {
 		dialWg.Add(1)
-		go dialSession(i, true)
+		go dialSession(i, KindObserver)
 	}
 	for i := 0; i < cfg.Avatars; i++ {
 		dialWg.Add(1)
-		go dialSession(cfg.Observers+i, false)
+		go dialSession(cfg.Observers+i, KindAvatar)
+	}
+	for i := 0; i < cfg.AOIAvatars; i++ {
+		dialWg.Add(1)
+		go dialSession(cfg.Observers+cfg.Avatars+i, KindAOIAvatar)
 	}
 	var readersReady sync.WaitGroup
 	for r := 0; r < cfg.Readers; r++ {
@@ -390,11 +458,17 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	stopping.Store(true)
 	stopLoad()
 	mu.Lock()
-	for _, c := range clients {
-		c.Close()
+	for _, lc := range clients {
+		lc.c.Close()
 	}
 	mu.Unlock()
 	loadWg.Wait()
+	mu.Lock()
+	for _, lc := range clients {
+		kinds[lc.kind].bytes.Add(lc.c.PushBytesRead())
+		rep.BytesTotal += lc.c.BytesRead()
+	}
+	mu.Unlock()
 
 	// Final service state, fetched fresh: counters, seal state, and the
 	// cumulative digest the parity gate compares offline.
@@ -417,6 +491,21 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	rep.ConnectFailures = int(connFail.Load())
 	rep.Pushes = pushes.Load()
 	rep.Replies = replies.Load()
+	rep.Mix = map[string]*MixStats{}
+	for kind, kc := range kinds {
+		ms := &MixStats{Conns: int(kc.conns.Load()), Pushes: kc.pushes.Load(), Bytes: kc.bytes.Load()}
+		if ms.Conns == 0 && ms.Pushes == 0 {
+			continue
+		}
+		if ms.Pushes > 0 {
+			ms.BytesPerPush = float64(ms.Bytes) / float64(ms.Pushes)
+		}
+		rep.PushBytesTotal += ms.Bytes
+		rep.Mix[kind] = ms
+	}
+	if rep.Pushes > 0 {
+		rep.BytesPerPush = float64(rep.PushBytesTotal) / float64(rep.Pushes)
+	}
 	rep.ServerFaults = int(faults.Load())
 	if rep.Cores > 0 {
 		rep.ConnsPerCore = float64(rep.Connected) / float64(rep.Cores)

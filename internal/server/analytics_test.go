@@ -91,7 +91,11 @@ func TestRelayChatClosesWedgedSession(t *testing.T) {
 	// Fill the queue to its cap; no writer goroutine drains it, like a
 	// consumer whose writer is stuck on a dead socket.
 	sess.qmax = 1
-	sess.backlog = append(sess.backlog, slp.Pong{})
+	wedge, err := slp.EncodeFrame(slp.Pong{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.backlog = append(sess.backlog, wedge)
 
 	spawn := sim.Scenario().Land.Spawns[0]
 	mu.Lock()
@@ -101,6 +105,7 @@ func TestRelayChatClosesWedgedSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess.avatarID = id
+	sess.pos = spawn
 	h.sessions[sess] = struct{}{}
 	h.relayChat(world.ChatMessage{From: id + 1, Pos: spawn, Text: "hello"})
 	mu.Unlock()

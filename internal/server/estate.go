@@ -57,6 +57,10 @@ type EstateConfig struct {
 	// Password, when non-empty, is required at login and on inter-server
 	// links.
 	Password string
+	// AOIRadius, when positive, imposes an area-of-interest radius (in
+	// metres) on every avatar map subscription that did not request its
+	// own, in every region. Observer sessions are always exempt.
+	AOIRadius float64
 	// Hold keeps the shared clock at zero until a ClockStart arrives at
 	// the directory endpoint (or StartClock is called), so monitors can
 	// connect and subscribe before the first tick — the estate
@@ -187,6 +191,7 @@ func NewEstate(cfg EstateConfig) (*EstateServer, error) {
 		if err != nil {
 			return fail(err)
 		}
+		host.defaultAOI = cfg.AOIRadius
 		region := i
 		host.onPeer = func(conn net.Conn, hello slp.PeerHello) {
 			s.servePeer(region, conn)

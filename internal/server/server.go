@@ -44,6 +44,11 @@ type Config struct {
 	TickEvery time.Duration
 	// Password, when non-empty, is required at login.
 	Password string
+	// AOIRadius, when positive, imposes an area-of-interest radius (in
+	// metres) on every avatar map subscription that did not request its
+	// own: pushed maps carry only entities within the radius of the
+	// session's avatar. Observer sessions are always exempt.
+	AOIRadius float64
 	// Analytics configures the live analytics query endpoint; the zero
 	// value disables it.
 	Analytics AnalyticsConfig
@@ -78,6 +83,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	host.defaultAOI = cfg.AOIRadius
 	s.host = host
 	if cfg.Analytics.enabled() {
 		acfg := cfg.Analytics.withDefaults()

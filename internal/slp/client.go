@@ -3,8 +3,10 @@ package slp
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"slmob/internal/geom"
@@ -22,6 +24,10 @@ type Client struct {
 	bw   *bufio.Writer
 	wmu  sync.Mutex
 
+	// nr wraps the connection so the load harness can attribute inbound
+	// bandwidth (BytesRead) to the session's subscription mix.
+	nr *countingReader
+
 	welcome Welcome
 
 	maps     chan MapReply
@@ -30,9 +36,31 @@ type Client struct {
 	pongs    chan Pong
 	objs     chan ObjectReply
 
+	// tracker materialises MapDelta pushes into full MapReply snapshots
+	// on Maps(); only the read loop touches it. nDeltas counts applied
+	// delta frames, so tests and harnesses can tell a delta subscription
+	// was actually served as deltas. nPushBytes counts the wire bytes
+	// (framing included) of map pushes specifically, so per-push
+	// bandwidth is not diluted by chat and control traffic.
+	tracker    DeltaTracker
+	nDeltas    atomic.Uint64
+	nPushBytes atomic.Uint64
+
 	done    chan struct{}
 	errOnce sync.Once
 	err     error
+}
+
+// countingReader counts bytes as they come off the socket.
+type countingReader struct {
+	r io.Reader
+	n atomic.Uint64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n.Add(uint64(n))
+	return n, err
 }
 
 // Dial connects, logs in as an avatar, and starts the read loop. The
@@ -56,6 +84,7 @@ func dial(addr, name, password string, observer bool, timeout time.Duration) (*C
 	c := &Client{
 		conn:     conn,
 		bw:       bufio.NewWriter(conn),
+		nr:       &countingReader{r: conn},
 		maps:     make(chan MapReply, 64),
 		fullMaps: make(chan MapReplyFull, 64),
 		chats:    make(chan ChatEvent, 64),
@@ -68,7 +97,7 @@ func dial(addr, name, password string, observer bool, timeout time.Duration) (*C
 		return nil, err
 	}
 	_ = conn.SetReadDeadline(time.Now().Add(timeout))
-	msg, err := ReadMessage(conn)
+	msg, err := ReadMessage(c.nr)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("slp: handshake read: %w", err)
@@ -125,16 +154,34 @@ func (c *Client) fail(err error) {
 
 func (c *Client) readLoop() {
 	for {
-		msg, err := ReadMessage(c.conn)
+		// The loop is the reader goroutine, so the before/after byte
+		// counts bracket exactly this message's frame.
+		before := c.nr.n.Load()
+		msg, err := ReadMessage(c.nr)
 		if err != nil {
 			c.fail(err)
 			return
+		}
+		switch msg.(type) {
+		case MapReply, MapDelta, MapReplyFull:
+			c.nPushBytes.Add(c.nr.n.Load() - before)
 		}
 		switch v := msg.(type) {
 		case MapReply:
 			select {
 			case c.maps <- v:
 			default: // drop if the consumer lags; the next push supersedes
+			}
+		case MapDelta:
+			// Deltas are applied here, in arrival order, so the tracker
+			// never misses a frame even when the Maps consumer lags: only
+			// the materialised snapshot is droppable, never the delta.
+			if reply, ok := c.tracker.Apply(v); ok {
+				c.nDeltas.Add(1)
+				select {
+				case c.maps <- reply:
+				default:
+				}
 			}
 		case MapReplyFull:
 			select {
@@ -195,6 +242,29 @@ func (c *Client) RequestMap() error {
 func (c *Client) Subscribe(tau int64, aligned bool) error {
 	return c.send(Subscribe{Tau: tau, Aligned: aligned})
 }
+
+// SubscribeAOI asks for an area-of-interest subscription: pushes carry
+// only entities within radius metres of the avatar. With delta true the
+// pushes arrive as MapDelta frames, which the client materialises back
+// into full MapReply snapshots on Maps() — a consumer cannot tell a
+// delta subscription from a plain one except by its bandwidth.
+func (c *Client) SubscribeAOI(tau int64, aligned bool, radius float64, delta bool) error {
+	return c.send(Subscribe{Tau: tau, Aligned: aligned, Radius: radius, Delta: delta})
+}
+
+// BytesRead returns the total bytes received from the server so far,
+// handshake included.
+func (c *Client) BytesRead() uint64 { return c.nr.n.Load() }
+
+// PushBytesRead returns the wire bytes (length framing included) of the
+// map pushes received so far — MapReply, MapDelta, and MapReplyFull
+// frames only, excluding chat and control traffic. The load harness
+// divides it by the push count to report per-mix push bandwidth.
+func (c *Client) PushBytesRead() uint64 { return c.nPushBytes.Load() }
+
+// DeltasApplied returns how many MapDelta frames the client has
+// materialised into snapshots — zero for a plain subscription.
+func (c *Client) DeltasApplied() uint64 { return c.nDeltas.Load() }
 
 // CreateObject deploys a sensor object and waits for the acknowledgement.
 func (c *Client) CreateObject(req ObjectCreate, timeout time.Duration) (ObjectReply, error) {

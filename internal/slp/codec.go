@@ -26,6 +26,12 @@ func (e *encoder) i64(v int64)   { e.u64(uint64(v)) }
 func (e *encoder) f32(v float64) { e.u32(math.Float32bits(float32(v))) }
 func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
 
+// uvarint packs an unsigned value as LEB128, the one little-endian
+// construct in an otherwise big-endian protocol: MapDelta is the only
+// high-rate per-session message, and its avatar IDs and counts are
+// small, so varints roughly halve the per-entry wire cost.
+func (e *encoder) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
 func (e *encoder) bool(v bool) {
 	if v {
 		e.u8(1)
@@ -117,6 +123,19 @@ func (d *decoder) u64() uint64 {
 	return v
 }
 
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
 func (d *decoder) i64() int64   { return int64(d.u64()) }
 func (d *decoder) f32() float64 { return float64(math.Float32frombits(d.u32())) }
 func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
@@ -162,23 +181,36 @@ func (d *decoder) finish() error {
 	return nil
 }
 
+// clampByte rounds a coordinate to the nearest metre and clamps it into
+// a byte, the CoarseLocationUpdate packing.
+func clampByte(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
 // quantizeEntry packs a map entry at CoarseLocationUpdate resolution:
 // x and y to 1 m in a byte, z to 4 m in a byte.
 func quantizeEntry(e *encoder, id trace.AvatarID, pos geom.Vec, size float64) {
-	clampByte := func(v float64) byte {
-		if v < 0 {
-			return 0
-		}
-		if v > 255 {
-			return 255
-		}
-		return byte(v + 0.5)
-	}
 	_ = size
 	e.u64(uint64(id))
 	e.u8(clampByte(pos.X))
 	e.u8(clampByte(pos.Y))
 	e.u8(clampByte(pos.Z / 4))
+}
+
+// QuantizePos rounds a position to the values a decoded coarse map entry
+// would carry: x and y to 1 m, z to 4 m, each clamped into [0, 255] (z
+// into [0, 1020]). The server's delta encoder diffs quantised positions
+// with it, so a sub-resolution move emits no delta entry and a client's
+// materialised view is byte-identical to a decoded full MapReply;
+// re-encoding a quantised position is the identity.
+func QuantizePos(p geom.Vec) geom.Vec {
+	return geom.V(float64(clampByte(p.X)), float64(clampByte(p.Y)), float64(clampByte(p.Z/4))*4)
 }
 
 // maxDirRegions bounds a directory frame's region count. The hard limit
@@ -256,6 +288,8 @@ func Marshal(m Message) ([]byte, error) {
 	case Subscribe:
 		e.i64(v.Tau)
 		e.bool(v.Aligned)
+		e.f32(v.Radius)
+		e.bool(v.Delta)
 	case ObjectCreate:
 		e.u8(byte(v.Kind))
 		e.vec(v.Pos)
@@ -283,6 +317,27 @@ func Marshal(m Message) ([]byte, error) {
 			e.u64(uint64(ent.ID))
 			e.vec64(ent.Pos)
 			e.bool(ent.Seated)
+		}
+	case MapDelta:
+		e.uvarint(uint64(v.SimTime))
+		e.uvarint(uint64(v.Seq))
+		e.bool(v.Keyframe)
+		if len(v.Updated) > MaxDeltaEntries {
+			return nil, fmt.Errorf("slp: map delta too large (%d updated)", len(v.Updated))
+		}
+		e.uvarint(uint64(len(v.Updated)))
+		for _, ent := range v.Updated {
+			e.uvarint(uint64(ent.ID))
+			e.u8(clampByte(ent.Pos.X))
+			e.u8(clampByte(ent.Pos.Y))
+			e.u8(clampByte(ent.Pos.Z / 4))
+		}
+		if len(v.Removed) > MaxDeltaEntries {
+			return nil, fmt.Errorf("slp: map delta too large (%d removed)", len(v.Removed))
+		}
+		e.uvarint(uint64(len(v.Removed)))
+		for _, id := range v.Removed {
+			e.uvarint(uint64(id))
 		}
 	case PeerHello:
 		e.u8(v.Version)
@@ -435,6 +490,8 @@ func Unmarshal(payload []byte) (Message, error) {
 	case TypeSubscribe:
 		v := Subscribe{Tau: d.i64()}
 		v.Aligned = d.bool()
+		v.Radius = d.f32()
+		v.Delta = d.bool()
 		m = v
 	case TypeObjectCreate:
 		v := ObjectCreate{Kind: ObjectKind(d.u8())}
@@ -462,6 +519,33 @@ func Unmarshal(payload []byte) (Message, error) {
 			ent.Pos = d.vec64()
 			ent.Seated = d.bool()
 			v.Entries = append(v.Entries, ent)
+		}
+		m = v
+	case TypeMapDelta:
+		v := MapDelta{SimTime: int64(d.uvarint())}
+		v.Seq = uint32(d.uvarint())
+		v.Keyframe = d.bool()
+		// Both counts are claim-checked before any allocation (and before
+		// the int conversion, so a 64-bit claim cannot wrap): a hostile
+		// frame cannot make the decoder reserve more entries than the
+		// encoder could ever have produced.
+		un := d.uvarint()
+		if d.err == nil && un > MaxDeltaEntries {
+			return nil, &DecodeError{fmt.Errorf("slp: map delta claims %d updated entries", un)}
+		}
+		for i := 0; i < int(un) && d.err == nil; i++ {
+			id := trace.AvatarID(d.uvarint())
+			x := float64(d.u8())
+			y := float64(d.u8())
+			z := float64(d.u8()) * 4
+			v.Updated = append(v.Updated, MapEntry{ID: id, Pos: geom.V(x, y, z)})
+		}
+		un = d.uvarint()
+		if d.err == nil && un > MaxDeltaEntries {
+			return nil, &DecodeError{fmt.Errorf("slp: map delta claims %d removed entries", un)}
+		}
+		for i := 0; i < int(un) && d.err == nil; i++ {
+			v.Removed = append(v.Removed, trace.AvatarID(d.uvarint()))
 		}
 		m = v
 	case TypePeerHello:
@@ -559,6 +643,21 @@ func WriteMessage(w io.Writer, m Message) error {
 	}
 	_, err = w.Write(payload)
 	return err
+}
+
+// EncodeFrame marshals a message with its 2-byte length header already
+// prepended — the exact bytes WriteMessage would put on the wire. The
+// serving path encodes each per-tick push once with it and enqueues the
+// same frame to every subscriber, instead of re-marshalling per session.
+func EncodeFrame(m Message) ([]byte, error) {
+	payload, err := Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 2+len(payload))
+	binary.BigEndian.PutUint16(frame, uint16(len(payload)))
+	copy(frame[2:], payload)
+	return frame, nil
 }
 
 // ReadMessage reads and decodes one framed message.

@@ -1,0 +1,67 @@
+package slp
+
+import (
+	"sort"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+// DeltaTracker materialises a delta-encoded map subscription back into
+// full coarse snapshots. Feed it every MapDelta the session receives in
+// arrival order; each successfully applied delta yields the complete
+// current view as a MapReply, byte-equivalent to what a plain (non-delta)
+// subscription would have delivered for the same instant.
+//
+// The tracker is loss-aware: deltas carry a per-session sequence number,
+// and a gap (a frame the consumer dropped or never received) desyncs the
+// tracker — Apply then discards frames, returning ok=false, until the
+// next keyframe re-anchors the view. Keyframes carry the full current
+// view, so a desynced client converges after at most one keyframe
+// interval. The tracker is not safe for concurrent use.
+type DeltaTracker struct {
+	synced  bool
+	lastSeq uint32
+	entries map[trace.AvatarID]geom.Vec
+}
+
+// Apply folds one delta frame into the tracked view. When the frame
+// extends the view coherently (a keyframe, or the exact next sequence
+// number while in sync), it returns the materialised full snapshot and
+// ok=true; otherwise the tracker marks itself desynced and returns
+// ok=false until a keyframe arrives.
+func (t *DeltaTracker) Apply(d MapDelta) (MapReply, bool) {
+	if t.entries == nil {
+		t.entries = make(map[trace.AvatarID]geom.Vec)
+	}
+	if d.Keyframe {
+		clear(t.entries)
+		for _, ent := range d.Updated {
+			t.entries[ent.ID] = ent.Pos
+		}
+		t.lastSeq = d.Seq
+		t.synced = true
+	} else {
+		if !t.synced || d.Seq != t.lastSeq+1 {
+			t.synced = false
+			return MapReply{}, false
+		}
+		for _, ent := range d.Updated {
+			t.entries[ent.ID] = ent.Pos
+		}
+		for _, id := range d.Removed {
+			delete(t.entries, id)
+		}
+		t.lastSeq = d.Seq
+	}
+	reply := MapReply{SimTime: d.SimTime, Entries: make([]MapEntry, 0, len(t.entries))}
+	for id, pos := range t.entries {
+		reply.Entries = append(reply.Entries, MapEntry{ID: id, Pos: pos})
+	}
+	sort.Slice(reply.Entries, func(i, j int) bool { return reply.Entries[i].ID < reply.Entries[j].ID })
+	return reply, true
+}
+
+// Synced reports whether the tracker holds a coherent view (a keyframe
+// has arrived and no frame has been lost since).
+func (t *DeltaTracker) Synced() bool { return t.synced }

@@ -1,0 +1,162 @@
+package slp
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"slmob/internal/geom"
+	"slmob/internal/trace"
+)
+
+func entries(pairs ...MapEntry) []MapEntry { return pairs }
+
+// TestDeltaTrackerAppliesStream: a keyframe followed by coherent deltas
+// materialises the same snapshots an unfiltered subscription would have
+// delivered, sorted by avatar ID.
+func TestDeltaTrackerAppliesStream(t *testing.T) {
+	var tr DeltaTracker
+	key := MapDelta{SimTime: 10, Seq: 1, Keyframe: true,
+		Updated: entries(MapEntry{ID: 2, Pos: geom.V(5, 5, 0)}, MapEntry{ID: 1, Pos: geom.V(1, 1, 0)})}
+	got, ok := tr.Apply(key)
+	if !ok || !tr.Synced() {
+		t.Fatal("keyframe did not sync the tracker")
+	}
+	want := MapReply{SimTime: 10, Entries: entries(
+		MapEntry{ID: 1, Pos: geom.V(1, 1, 0)}, MapEntry{ID: 2, Pos: geom.V(5, 5, 0)})}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("keyframe view = %+v, want %+v", got, want)
+	}
+
+	// One avatar moves, one departs, one arrives.
+	got, ok = tr.Apply(MapDelta{SimTime: 20, Seq: 2,
+		Updated: entries(MapEntry{ID: 1, Pos: geom.V(2, 2, 0)}, MapEntry{ID: 3, Pos: geom.V(9, 9, 4)}),
+		Removed: []trace.AvatarID{2}})
+	if !ok {
+		t.Fatal("coherent delta rejected")
+	}
+	want = MapReply{SimTime: 20, Entries: entries(
+		MapEntry{ID: 1, Pos: geom.V(2, 2, 0)}, MapEntry{ID: 3, Pos: geom.V(9, 9, 4)})}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("delta view = %+v, want %+v", got, want)
+	}
+}
+
+// TestDeltaTrackerResyncsAfterDroppedFrame: losing a delta desyncs the
+// tracker, every following delta is discarded, and the next keyframe
+// restores the exact current view — the dropped-frame client converges.
+func TestDeltaTrackerResyncsAfterDroppedFrame(t *testing.T) {
+	var tr DeltaTracker
+	if _, ok := tr.Apply(MapDelta{SimTime: 10, Seq: 1, Keyframe: true,
+		Updated: entries(MapEntry{ID: 1, Pos: geom.V(1, 1, 0)})}); !ok {
+		t.Fatal("keyframe rejected")
+	}
+	// Seq 2 is lost in transit; seq 3 arrives next.
+	if _, ok := tr.Apply(MapDelta{SimTime: 30, Seq: 3,
+		Updated: entries(MapEntry{ID: 1, Pos: geom.V(3, 3, 0)})}); ok {
+		t.Fatal("tracker applied a delta across a sequence gap")
+	}
+	if tr.Synced() {
+		t.Fatal("tracker still reports synced after a gap")
+	}
+	// Later coherent-looking deltas must stay rejected until a keyframe.
+	if _, ok := tr.Apply(MapDelta{SimTime: 40, Seq: 4,
+		Updated: entries(MapEntry{ID: 1, Pos: geom.V(4, 4, 0)})}); ok {
+		t.Fatal("tracker resynced without a keyframe")
+	}
+	got, ok := tr.Apply(MapDelta{SimTime: 50, Seq: 5, Keyframe: true,
+		Updated: entries(MapEntry{ID: 7, Pos: geom.V(7, 7, 0)})})
+	if !ok || !tr.Synced() {
+		t.Fatal("keyframe did not resync the tracker")
+	}
+	want := MapReply{SimTime: 50, Entries: entries(MapEntry{ID: 7, Pos: geom.V(7, 7, 0)})}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resynced view = %+v, want %+v", got, want)
+	}
+	// And the stream continues coherently from the keyframe's sequence.
+	if _, ok := tr.Apply(MapDelta{SimTime: 60, Seq: 6, Removed: []trace.AvatarID{7}}); !ok {
+		t.Fatal("delta after resync rejected")
+	}
+}
+
+// TestDeltaTrackerNeedsKeyframeFirst: deltas arriving before any
+// keyframe (a subscriber joining mid-stream) are discarded.
+func TestDeltaTrackerNeedsKeyframeFirst(t *testing.T) {
+	var tr DeltaTracker
+	if _, ok := tr.Apply(MapDelta{SimTime: 10, Seq: 4,
+		Updated: entries(MapEntry{ID: 1, Pos: geom.V(1, 1, 0)})}); ok {
+		t.Fatal("tracker accepted a delta before any keyframe")
+	}
+}
+
+// TestMapDeltaRoundTrip: the wire codec quantises updated entries at
+// CoarseLocationUpdate resolution and preserves every field.
+func TestMapDeltaRoundTrip(t *testing.T) {
+	in := MapDelta{SimTime: 99, Seq: 7, Keyframe: true,
+		Updated: entries(MapEntry{ID: 3, Pos: geom.V(10, 20, 8)}, MapEntry{ID: 9, Pos: geom.V(200, 100, 0)}),
+		Removed: []trace.AvatarID{4, 5}}
+	payload, err := Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Unmarshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+// TestMapDeltaDecodeBounds: claimed entry counts beyond MaxDeltaEntries
+// are rejected as DecodeErrors before any allocation. The frames are
+// hand-built in the varint wire layout: type, SimTime, Seq, keyframe
+// byte, then the updated count (and, for the second case, an empty
+// updated list followed by the removed count).
+func TestMapDeltaDecodeBounds(t *testing.T) {
+	header := []byte{byte(TypeMapDelta)}
+	header = binary.AppendUvarint(header, 1) // SimTime
+	header = binary.AppendUvarint(header, 1) // Seq
+	header = append(header, 0)               // Keyframe
+
+	overUpdated := binary.AppendUvarint(append([]byte(nil), header...), MaxDeltaEntries+1)
+	overRemoved := binary.AppendUvarint(append([]byte(nil), header...), 0)
+	overRemoved = binary.AppendUvarint(overRemoved, uint64(1)<<40)
+
+	for _, tc := range []struct {
+		name string
+		bad  []byte
+	}{{"updated", overUpdated}, {"removed", overRemoved}} {
+		_, err := Unmarshal(tc.bad)
+		var de *DecodeError
+		if err == nil || !errors.As(err, &de) {
+			t.Fatalf("overclaimed %s count not rejected as DecodeError: %v", tc.name, err)
+		}
+	}
+}
+
+// TestQuantizePosMatchesWire: QuantizePos must predict exactly what a
+// decoded coarse entry carries, so the server's delta diffing (which
+// compares quantised positions) never emits an entry the wire would
+// render identically.
+func TestQuantizePosMatchesWire(t *testing.T) {
+	positions := []geom.Vec{
+		geom.V(0, 0, 0), geom.V(10.4, 10.6, 3), geom.V(255.9, -3, 1021),
+		geom.V(128.5, 127.49, 2.1),
+	}
+	for _, p := range positions {
+		payload, err := Marshal(MapReply{SimTime: 1, Entries: entries(MapEntry{ID: 1, Pos: p})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Unmarshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.(MapReply).Entries[0].Pos
+		if want := QuantizePos(p); got != want {
+			t.Errorf("QuantizePos(%v) = %v, wire carries %v", p, want, got)
+		}
+	}
+}

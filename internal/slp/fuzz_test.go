@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"slmob/internal/geom"
+	"slmob/internal/trace"
 )
 
 // fuzzSeedMessages is one instance of every message type, so the fuzzer
@@ -21,7 +22,7 @@ func fuzzSeedMessages() []Message {
 		ChatEvent{From: 7, Pos: geom.V2(10, 10), Text: "hi"},
 		MapRequest{},
 		MapReply{SimTime: 50, Entries: []MapEntry{{ID: 1, Pos: geom.V(10, 20, 4)}, {ID: 2, Pos: geom.V(200, 100, 0)}}},
-		Subscribe{Tau: 10, Aligned: true},
+		Subscribe{Tau: 10, Aligned: true, Radius: 48, Delta: true},
 		ObjectCreate{Kind: ObjectSensor, Pos: geom.V2(128, 128), Range: 96, Period: 10, Collector: "http://x/flush"},
 		ObjectReply{ObjectID: 3, ExpiresAt: 7200},
 		Ping{Seq: 1},
@@ -36,6 +37,11 @@ func fuzzSeedMessages() []Message {
 			Regions: []DirRegion{{Name: "Apfel Land", Addr: "127.0.0.1:7600", Origin: geom.V2(0, 0), Size: 256}}},
 		ClockStart{},
 		ClockStarted{SimTime: 10},
+		MapDelta{SimTime: 70, Seq: 1, Keyframe: true,
+			Updated: []MapEntry{{ID: 1, Pos: geom.V(10, 20, 4)}, {ID: 2, Pos: geom.V(30, 40, 0)}}},
+		MapDelta{SimTime: 80, Seq: 2,
+			Updated: []MapEntry{{ID: 2, Pos: geom.V(31, 41, 0)}},
+			Removed: []trace.AvatarID{1}},
 	}
 }
 
@@ -55,6 +61,11 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add([]byte{byte(TypeMapReply), 0, 0, 0, 0, 0, 0, 0, 1, 0xFF, 0xFF})
 	f.Add([]byte{byte(TypeHello), 2, 0xFF, 0xFF, 'x'})
 	f.Add([]byte{0xEE, 0xDE, 0xAD})
+	// A map delta whose varint updated count claims 65535 entries, and
+	// one whose removed count overstates the remaining payload
+	// (layout: type, SimTime varint, Seq varint, keyframe byte, counts).
+	f.Add([]byte{byte(TypeMapDelta), 1, 2, 1, 0xFF, 0xFF, 0x03})
+	f.Add([]byte{byte(TypeMapDelta), 1, 2, 0, 0, 0xFF, 0xFF, 0x03})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		m, err := Unmarshal(payload)
 		if err != nil {

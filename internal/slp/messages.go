@@ -23,8 +23,10 @@ import (
 // map replies, the directory/clock endpoints, and inter-server avatar
 // transfers. Version 3 added the analytics query facility: the
 // Query/AnalysisReply/StatsReply exchange and the directory's
-// query-endpoint address.
-const Version = 3
+// query-endpoint address. Version 4 added interest management:
+// Subscribe grew a radius and a delta-encoding opt-in, and MapDelta
+// carries moved/arrived/departed entries between keyframes.
+const Version = 4
 
 // MaxPayload bounds a frame's payload size (the length header is 16-bit,
 // so it must stay below 65536).
@@ -62,6 +64,7 @@ const (
 	TypeQuery
 	TypeAnalysisReply
 	TypeStatsReply
+	TypeMapDelta
 )
 
 // String returns the message type name.
@@ -70,7 +73,8 @@ func (t MsgType) String() string {
 		"chat-event", "map-request", "map-reply", "subscribe", "object-create",
 		"object-reply", "ping", "pong", "logout", "map-reply-full", "peer-hello",
 		"transfer", "transfer-ack", "directory-request", "directory",
-		"clock-start", "clock-started", "query", "analysis-reply", "stats-reply"}
+		"clock-start", "clock-started", "query", "analysis-reply", "stats-reply",
+		"map-delta"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -207,6 +211,16 @@ type Subscribe struct {
 	// monitors subscribe aligned so every region's snapshots share one
 	// timeline.
 	Aligned bool
+	// Radius, when positive, requests an area-of-interest subscription:
+	// pushes carry only entities within Radius metres (ground plane) of
+	// the session's avatar instead of the whole land. Observer sessions
+	// ignore it — the measurement path stays full-resolution, full-land.
+	Radius float64
+	// Delta opts into delta encoding: pushes arrive as MapDelta frames
+	// carrying only the entries that moved, appeared, or departed since
+	// the previous push, with a periodic full keyframe for resync.
+	// Requires a client that understands MapDelta (see DeltaTracker).
+	Delta bool
 }
 
 // Type implements Message.
@@ -293,6 +307,36 @@ type MapReplyFull struct {
 
 // Type implements Message.
 func (MapReplyFull) Type() MsgType { return TypeMapReplyFull }
+
+// MaxDeltaEntries bounds each of a MapDelta's lists, mirroring the
+// coarse MapReply's entry cap: a delta never describes more avatars than
+// a full snapshot could carry.
+const MaxDeltaEntries = 1000
+
+// MapDelta is a delta-encoded map push for subscribers that opted in
+// with Subscribe.Delta: Updated carries the coarse-quantised entries
+// that moved (at CoarseLocationUpdate resolution) or newly appeared
+// since the subscriber's previous push, Removed the avatars that left
+// the subscriber's view. Seq increments by one per push on the session;
+// a client that observes a gap lost a frame and must discard its state
+// until the next keyframe. Keyframe frames carry the complete current
+// view in Updated (Removed empty) and re-anchor Seq, so a desynced
+// client converges after at most one keyframe interval.
+//
+// On the wire, SimTime, Seq, both counts, and every avatar ID are
+// LEB128 varints (positions stay the 3-byte coarse quantisation): this
+// is the protocol's highest-rate per-session message and its values are
+// small, so varints roughly halve the steady-state entry cost.
+type MapDelta struct {
+	SimTime  int64
+	Seq      uint32
+	Keyframe bool
+	Updated  []MapEntry
+	Removed  []trace.AvatarID
+}
+
+// Type implements Message.
+func (MapDelta) Type() MsgType { return TypeMapDelta }
 
 // PeerHello opens an inter-server link: region servers of one estate
 // authenticate to each other with it before exchanging avatar transfers.

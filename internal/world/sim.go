@@ -502,6 +502,17 @@ func (s *Sim) MoveExternal(id trace.AvatarID, pos geom.Vec) error {
 	return nil
 }
 
+// ExternalPos returns an external avatar's current (clamped) position.
+// The serving layer caches it per session so chat relay and
+// area-of-interest queries never rescan the full avatar set.
+func (s *Sim) ExternalPos(id trace.AvatarID) (geom.Vec, bool) {
+	e := s.external(id)
+	if e == nil {
+		return geom.Vec{}, false
+	}
+	return e.pos, true
+}
+
 // ExternalChat records a chat utterance by an external avatar and relays
 // it through the chat hook.
 func (s *Sim) ExternalChat(id trace.AvatarID, text string) error {

@@ -6,10 +6,14 @@ package slmob
 
 import (
 	"context"
+	"fmt"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
+	"slmob/internal/core"
+	"slmob/internal/slp"
 	"slmob/internal/trace"
 )
 
@@ -117,6 +121,97 @@ func TestAnalyzeEstateLiveMatchesOfflineReplay(t *testing.T) {
 	}
 	for i := range offline.Regions {
 		assertAnalysisParity(t, "region "+offline.Regions[i].Land, live.Regions[i], offline.Regions[i])
+	}
+}
+
+// TestEstateCrawlParityWithAOIAvatars is the interest-management parity
+// gate: a crawled estate measurement must be bit-identical whether the
+// in-world avatar clients ride plain whole-land subscriptions or
+// AOI-filtered delta subscriptions (under a server-imposed default
+// radius, as slserve -aoi sets). Interest management changes what avatar
+// sessions receive, never what the estate simulates or what the
+// observer measurement path sees.
+func TestEstateCrawlParityWithAOIAvatars(t *testing.T) {
+	est := PaperEstate(31)
+	est.Duration = 600
+
+	// run serves the estate with a held clock, logs two avatar clients
+	// into every region strictly sequentially — both runs then admit
+	// identical external avatar IDs at sim time zero, so the simulations
+	// evolve identically — crawls it, and digests the analysis.
+	run := func(aoi bool) (digest string, deltas uint64) {
+		ctx := context.Background()
+		svc, err := ServeEstate(ctx, est, WithWarp(4000), WithTickEvery(time.Millisecond),
+			WithHeldClock(), WithAOIRadius(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer svc.Stop()
+
+		dir, err := slp.FetchDirectory(svc.DirectoryAddr(), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var clients []*slp.Client
+		defer func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}()
+		for _, rg := range dir.Regions {
+			for k := 0; k < 2; k++ {
+				c, err := slp.Dial(rg.Addr, fmt.Sprintf("walker-%s-%d", rg.Name, k), "", 10*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients = append(clients, c)
+				if aoi {
+					err = c.SubscribeAOI(PaperTau, true, 48, true)
+				} else {
+					err = c.Subscribe(PaperTau, true)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		ec, err := CrawlEstate(svc.DirectoryAddr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ec.Close()
+		an, err := AnalyzeEstateStream(ctx, ec.Source())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var parts []string
+		d, err := core.AnalysisDigest(an.Global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, "global:"+d)
+		for _, rg := range an.Regions {
+			d, err := core.AnalysisDigest(rg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, rg.Land+":"+d)
+		}
+		for _, c := range clients {
+			deltas += c.DeltasApplied()
+		}
+		return strings.Join(parts, "\n"), deltas
+	}
+
+	aoiDigest, deltas := run(true)
+	if deltas == 0 {
+		t.Fatal("AOI run applied no MapDelta frames; the delta path went unexercised")
+	}
+	plainDigest, _ := run(false)
+	if aoiDigest != plainDigest {
+		t.Errorf("estate digests diverge between AOI and plain avatar clients:\nAOI:\n%s\nplain:\n%s",
+			aoiDigest, plainDigest)
 	}
 }
 

@@ -73,6 +73,7 @@ type options struct {
 	servePassword string
 	holdClock     bool
 	queryAddr     string
+	aoiRadius     float64
 }
 
 func buildOptions(opts []Option) options {
@@ -186,6 +187,15 @@ func WithServePassword(password string) Option {
 // measurement can observe the grid from its very first tick.
 func WithHeldClock() Option {
 	return func(o *options) { o.holdClock = true }
+}
+
+// WithAOIRadius imposes a default area-of-interest radius (in metres) on
+// every avatar map subscription of a served estate that did not request
+// its own: pushed maps carry only entities within the radius of the
+// session's avatar. Observer sessions — the measurement path — are
+// always exempt and keep receiving the whole land at full resolution.
+func WithAOIRadius(metres float64) Option {
+	return func(o *options) { o.aoiRadius = metres }
 }
 
 // WithQueryAddr enables a served estate's live analytics query endpoint

@@ -49,6 +49,7 @@ func ServeEstate(ctx context.Context, est Estate, opts ...Option) (*EstateServic
 		Warp:      warp,
 		TickEvery: o.tickEvery,
 		Password:  o.servePassword,
+		AOIRadius: o.aoiRadius,
 		Hold:      o.holdClock,
 	}
 	if o.queryAddr != "" {
