@@ -139,14 +139,54 @@ func (g *Grid) Len() int {
 //
 //slmob:hotpath
 func (g *Grid) VisitWithin(p Vec, r float64, fn func(id int64, q Vec) bool) {
-	if r < 0 {
+	if !(r >= 0) || len(g.occupied) == 0 { // rejects negative and NaN radii
 		return
 	}
 	r2 := r * r
-	minX := int32(floorDiv(p.X-r, g.cell))
-	maxX := int32(floorDiv(p.X+r, g.cell))
-	minY := int32(floorDiv(p.Y-r, g.cell))
-	maxY := int32(floorDiv(p.Y+r, g.cell))
+	fMinX := floorDiv(p.X-r, g.cell)
+	fMaxX := floorDiv(p.X+r, g.cell)
+	fMinY := floorDiv(p.Y-r, g.cell)
+	fMaxY := floorDiv(p.Y+r, g.cell)
+	// A huge (or infinite) radius makes this bounding box astronomically
+	// larger than the occupied cell set — and past ~2^31 cells the int32
+	// conversion below overflows. Points only exist in occupied cells,
+	// so when a box axis exceeds the occupied count, clamp the box to
+	// the occupied extent: identical results, cost bounded by the land.
+	if !(fMaxX-fMinX < float64(len(g.occupied))) || !(fMaxY-fMinY < float64(len(g.occupied))) {
+		lo, hi := g.occupied[0], g.occupied[0]
+		for _, k := range g.occupied[1:] {
+			if k.cx < lo.cx {
+				lo.cx = k.cx
+			}
+			if k.cx > hi.cx {
+				hi.cx = k.cx
+			}
+			if k.cy < lo.cy {
+				lo.cy = k.cy
+			}
+			if k.cy > hi.cy {
+				hi.cy = k.cy
+			}
+		}
+		// Negated comparisons so a non-finite bound falls to the extent.
+		if !(fMinX >= float64(lo.cx)) {
+			fMinX = float64(lo.cx)
+		}
+		if !(fMaxX <= float64(hi.cx)) {
+			fMaxX = float64(hi.cx)
+		}
+		if !(fMinY >= float64(lo.cy)) {
+			fMinY = float64(lo.cy)
+		}
+		if !(fMaxY <= float64(hi.cy)) {
+			fMaxY = float64(hi.cy)
+		}
+		if fMinX > fMaxX || fMinY > fMaxY {
+			return
+		}
+	}
+	minX, maxX := int32(fMinX), int32(fMaxX)
+	minY, maxY := int32(fMinY), int32(fMaxY)
 	for cx := minX; cx <= maxX; cx++ {
 		for cy := minY; cy <= maxY; cy++ {
 			for _, e := range g.buckets[cellKey{cx, cy}].entries {
@@ -187,6 +227,14 @@ func (g *Grid) key(p Vec) cellKey {
 // correct for negative coordinates as well.
 func floorDiv(x, cell float64) float64 {
 	q := x / cell
+	if !(q >= -(1<<62) && q <= 1<<62) {
+		// NaN, ±Inf, or beyond int64's exact range: the float→int64
+		// conversion below would be implementation-defined, and any
+		// float64 of this magnitude is already an integer, so q is its
+		// own floor. VisitWithin clamps such values against the occupied
+		// extent before any int conversion.
+		return q
+	}
 	f := float64(int64(q))
 	if q < 0 && q != f {
 		f--

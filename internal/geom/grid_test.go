@@ -271,3 +271,38 @@ func TestGridMoveChurnZeroAlloc(t *testing.T) {
 		t.Fatalf("post-Reset state polluted: Within = %v", got)
 	}
 }
+
+// TestVisitWithinHugeRadius: a hostile or degenerate radius must never
+// turn the cell walk into an unbounded loop — the bounding box is
+// clamped to the occupied cell extent, which yields identical results
+// (no point lives outside it) at cost bounded by the land.
+func TestVisitWithinHugeRadius(t *testing.T) {
+	g := NewGrid(32)
+	pts := []Vec{V2(0, 0), V2(100, 200), V2(255, 255), V2(-50, 12)}
+	for i, p := range pts {
+		g.Insert(int64(i), p)
+	}
+	// 1e9 walks ~4e15 cells unclamped; 7e10+ overflows the int32 cell
+	// conversion; Inf never terminates. All must return every point.
+	for _, r := range []float64{1e9, 7e10, 1e18, math.Inf(1)} {
+		if got := len(g.Within(V2(128, 128), r)); got != len(pts) {
+			t.Errorf("r=%v: %d points, want %d", r, got, len(pts))
+		}
+	}
+	// A huge box disjoint from the occupied extent finds nothing (and
+	// must not fabricate an intersection out of the clamp).
+	if got := g.Within(V2(1e8, 1e8), 1e6); len(got) != 0 {
+		t.Errorf("disjoint huge query returned %v", got)
+	}
+	// Degenerate radii stay rejected.
+	for _, r := range []float64{math.NaN(), -1, math.Inf(-1)} {
+		if got := g.Within(V2(128, 128), r); len(got) != 0 {
+			t.Errorf("r=%v returned %v, want nothing", r, got)
+		}
+	}
+	// An empty grid ignores every radius.
+	g.Reset()
+	if got := g.Within(V2(0, 0), math.Inf(1)); len(got) != 0 {
+		t.Errorf("empty grid returned %v", got)
+	}
+}

@@ -124,8 +124,11 @@ type Report struct {
 	Cores        int     `json:"cores"`
 	ConnsPerCore float64 `json:"conns_per_core"`
 
-	// Pushes counts map pushes received by observers and avatars,
-	// Replies the analytics replies received by readers.
+	// Pushes counts map-push frames received by observer and avatar
+	// sessions, measured at the client wire layer — the same layer as
+	// PushBytesTotal, so BytesPerPush stays consistent even when a
+	// lagging consumer drops materialised snapshots. Replies counts the
+	// analytics replies received by readers.
 	Pushes  uint64 `json:"pushes"`
 	Replies uint64 `json:"replies"`
 
@@ -162,9 +165,10 @@ type Report struct {
 }
 
 // MixStats breaks the push-session numbers down by client kind
-// ("observer", "avatar", "aoi-avatar"). Bytes counts map-push wire
-// bytes only (framing included), so BytesPerPush compares the push
-// encodings themselves, undiluted by chat or control traffic.
+// ("observer", "avatar", "aoi-avatar"). Pushes and Bytes are both
+// counted at the client wire layer — push frames only, framing
+// included — so BytesPerPush compares the push encodings themselves,
+// undiluted by chat or control traffic and unskewed by consumer lag.
 type MixStats struct {
 	Conns        int     `json:"conns"`
 	Pushes       uint64  `json:"pushes"`
@@ -238,7 +242,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	var (
 		connected atomic.Int64
 		connFail  atomic.Int64
-		pushes    atomic.Uint64
 		replies   atomic.Uint64
 		faults    atomic.Int64
 		stopping  atomic.Bool
@@ -249,9 +252,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		dialWg   sync.WaitGroup // completes when every client dialled
 		dialGate = make(chan struct{}, 128)
 	)
-	// Per-kind counters; client bandwidth is attributed after the load
-	// phase from each session's PushBytesRead (map pushes) and BytesRead
-	// (whole connection).
+	// Per-kind counters; push counts and bandwidth are attributed after
+	// the load phase from each session's wire-layer PushesRead /
+	// PushBytesRead (map pushes) and BytesRead (whole connection), so
+	// numerator and denominator of bytes-per-push agree.
 	type kindCounters struct {
 		conns  atomic.Int64
 		pushes atomic.Uint64
@@ -305,12 +309,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
-	// consume drains one session's push channels, counting map pushes,
-	// until the load phase ends. A channel closing early means the
-	// server failed a healthy, promptly-draining client: a fault.
+	// consume drains one session's push channels until the load phase
+	// ends; pushes are counted in the client's read loop, not here, so
+	// a consumer that momentarily lags never skews the push stats. A
+	// channel closing early means the server failed a healthy,
+	// promptly-draining client: a fault.
 	consume := func(c *slp.Client, kind string) {
 		defer loadWg.Done()
-		kc := kinds[kind]
 		for {
 			select {
 			case <-loadCtx.Done():
@@ -320,15 +325,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 					dropped(kind)
 					return
 				}
-				pushes.Add(1)
-				kc.pushes.Add(1)
 			case _, ok := <-c.Maps():
 				if !ok {
 					dropped(kind)
 					return
 				}
-				pushes.Add(1)
-				kc.pushes.Add(1)
 			case _, ok := <-c.Chats():
 				if !ok {
 					dropped(kind)
@@ -465,7 +466,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	loadWg.Wait()
 	mu.Lock()
 	for _, lc := range clients {
-		kinds[lc.kind].bytes.Add(lc.c.PushBytesRead())
+		kc := kinds[lc.kind]
+		kc.pushes.Add(lc.c.PushesRead())
+		kc.bytes.Add(lc.c.PushBytesRead())
 		rep.BytesTotal += lc.c.BytesRead()
 	}
 	mu.Unlock()
@@ -489,7 +492,6 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	rep.Connected = int(connected.Load())
 	rep.ConnectFailures = int(connFail.Load())
-	rep.Pushes = pushes.Load()
 	rep.Replies = replies.Load()
 	rep.Mix = map[string]*MixStats{}
 	for kind, kc := range kinds {
@@ -500,6 +502,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		if ms.Pushes > 0 {
 			ms.BytesPerPush = float64(ms.Bytes) / float64(ms.Pushes)
 		}
+		rep.Pushes += ms.Pushes
 		rep.PushBytesTotal += ms.Bytes
 		rep.Mix[kind] = ms
 	}

@@ -505,8 +505,8 @@ func (h *landHost) handle(sess *session, msg slp.Message) bool {
 			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "tau must be positive"})
 			return false
 		}
-		if v.Radius < 0 || math.IsNaN(v.Radius) {
-			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "radius must be non-negative"})
+		if v.Radius < 0 || math.IsNaN(v.Radius) || math.IsInf(v.Radius, 0) {
+			_ = sess.write(slp.Error{Code: slp.ErrBadRequest, Message: "radius must be finite and non-negative"})
 			return false
 		}
 		h.mu.Lock()
@@ -528,6 +528,13 @@ func (h *landHost) handle(sess *session, msg slp.Message) bool {
 			radius := v.Radius
 			if radius <= 0 {
 				radius = h.defaultAOI
+			}
+			// Clamp to the land diagonal: the grid never holds a point
+			// farther away, so a larger radius buys nothing but
+			// VisitWithin cost — and an unclamped huge one (1e9 m) would
+			// stall the region's tick loop for every session.
+			if m := h.maxAOIRadius(); radius > m {
+				radius = m
 			}
 			sess.aoi = radius
 			sess.delta = v.Delta
@@ -564,6 +571,18 @@ func (h *landHost) handle(sess *session, msg slp.Message) bool {
 			Message: fmt.Sprintf("unexpected %s", msg.Type())})
 	}
 	return false
+}
+
+// maxAOIRadius is the largest useful area-of-interest radius for the
+// hosted land: its diagonal. Every stored point is within the land, so
+// any radius beyond the diagonal returns the same entities at strictly
+// higher grid-visit cost; Subscribe clamps against it.
+func (h *landHost) maxAOIRadius() float64 {
+	size := h.sim.Scenario().Land.Size
+	if size <= 0 {
+		size = 256 // Second Life's default region edge
+	}
+	return size * math.Sqrt2
 }
 
 // stepLocked advances the host's per-second duties after a simulation
@@ -822,6 +841,11 @@ func (h *landHost) relayChat(m world.ChatMessage) {
 			if frame == nil {
 				f, err := slp.EncodeFrame(slp.ChatEvent{From: m.From, Pos: m.Pos, Text: m.Text})
 				if err != nil {
+					// Unreachable for admitted chat: the codec bounds
+					// inbound Chat text at MaxChatText on decode, so the
+					// re-framed event (text plus ~29 bytes of From/Pos)
+					// always fits MaxPayload. Kept as a guard for future
+					// message growth.
 					return
 				}
 				frame = f

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -266,5 +267,53 @@ func TestLandFullRejectsLogin(t *testing.T) {
 	defer c1.Close()
 	if _, err := slp.Dial(srv.Addr(), "two", "", 5*time.Second); err == nil {
 		t.Error("second login accepted on a full land")
+	}
+}
+
+// TestChatRelayAtMaxLength: the longest admissible chat text relays
+// intact. MaxChatText is enforced by the codec on decode, so the
+// ChatEvent re-encode in relayChat (text plus From/Pos framing) can
+// never exceed MaxPayload and silently drop the event — this pins the
+// boundary case.
+func TestChatRelayAtMaxLength(t *testing.T) {
+	srv, _ := startServer(t, testScenario(23, 86400), 500)
+	hearer, err := slp.Dial(srv.Addr(), "hearer", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hearer.Close()
+	if err := hearer.Move(geom.V2(128, 128)); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip a ping so the move is applied before the chat fires.
+	if _, err := hearer.Ping(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	speaker, err := slp.Dial(srv.Addr(), "speaker", "", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+	if err := speaker.Move(geom.V2(129, 128)); err != nil {
+		t.Fatal(err)
+	}
+	text := strings.Repeat("a", slp.MaxChatText)
+	if err := speaker.Chat(text); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-hearer.Chats():
+			if !ok {
+				t.Fatalf("hearer dropped: %v", hearer.Err())
+			}
+			if ev.Text == text {
+				return // relayed intact
+			}
+			// Simulated avatars chat too (empty text); keep listening.
+		case <-deadline:
+			t.Fatal("max-length chat never relayed")
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"net"
 	"reflect"
 	"sort"
@@ -236,4 +237,60 @@ func benchmarkPush(b *testing.B, setup func(*session)) {
 			h.pushMapLocked(sess)
 		}
 	}
+}
+
+// TestSubscribeRadiusBounds: hostile AOI radii cannot stall the push
+// path — non-finite radii are rejected outright, huge finite ones are
+// clamped to the land diagonal before they ever reach the grid query,
+// and ordinary radii are stored untouched.
+func TestSubscribeRadiusBounds(t *testing.T) {
+	h, mu := newBenchHost(t, 15)
+
+	t.Run("infinite radius rejected", func(t *testing.T) {
+		c1, c2 := net.Pipe()
+		t.Cleanup(func() { c1.Close(); c2.Close() })
+		sess := newSession(c1)
+		t.Cleanup(sess.close)
+		done := make(chan bool, 1)
+		go func() { done <- h.handle(sess, slp.Subscribe{Tau: 5, Radius: math.Inf(1)}) }()
+		msg, err := slp.ReadMessage(c2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, ok := msg.(slp.Error)
+		if !ok || e.Code != slp.ErrBadRequest {
+			t.Fatalf("reply = %#v, want bad-request error", msg)
+		}
+		if closed := <-done; closed {
+			t.Error("rejected subscribe ended the session")
+		}
+		if sess.aoi != 0 {
+			t.Errorf("aoi = %v after rejected subscribe, want 0", sess.aoi)
+		}
+	})
+
+	t.Run("huge radius clamped", func(t *testing.T) {
+		sess := sinkSession(t)
+		if h.handle(sess, slp.Subscribe{Tau: 5, Radius: 1e9}) {
+			t.Fatal("subscribe closed the session")
+		}
+		if want := h.maxAOIRadius(); sess.aoi != want {
+			t.Errorf("aoi = %v, want clamped %v", sess.aoi, want)
+		}
+		// The clamped push must answer from the grid immediately;
+		// unclamped, a 1e9 m radius walked ~4e15 cells under the lock.
+		mu.Lock()
+		h.pushMapLocked(sess)
+		mu.Unlock()
+	})
+
+	t.Run("ordinary radius kept", func(t *testing.T) {
+		sess := sinkSession(t)
+		if h.handle(sess, slp.Subscribe{Tau: 5, Radius: 96}) {
+			t.Fatal("subscribe closed the session")
+		}
+		if sess.aoi != 96 {
+			t.Errorf("aoi = %v, want 96", sess.aoi)
+		}
+	})
 }

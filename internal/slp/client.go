@@ -39,11 +39,13 @@ type Client struct {
 	// tracker materialises MapDelta pushes into full MapReply snapshots
 	// on Maps(); only the read loop touches it. nDeltas counts applied
 	// delta frames, so tests and harnesses can tell a delta subscription
-	// was actually served as deltas. nPushBytes counts the wire bytes
-	// (framing included) of map pushes specifically, so per-push
-	// bandwidth is not diluted by chat and control traffic.
+	// was actually served as deltas. nPushes and nPushBytes count map
+	// push frames and their wire bytes (framing included) at the read
+	// loop, before any consumer-lag drops, so per-push bandwidth is
+	// consistent and not diluted by chat and control traffic.
 	tracker    DeltaTracker
 	nDeltas    atomic.Uint64
+	nPushes    atomic.Uint64
 	nPushBytes atomic.Uint64
 
 	done    chan struct{}
@@ -164,6 +166,7 @@ func (c *Client) readLoop() {
 		}
 		switch msg.(type) {
 		case MapReply, MapDelta, MapReplyFull:
+			c.nPushes.Add(1)
 			c.nPushBytes.Add(c.nr.n.Load() - before)
 		}
 		switch v := msg.(type) {
@@ -259,8 +262,13 @@ func (c *Client) BytesRead() uint64 { return c.nr.n.Load() }
 // PushBytesRead returns the wire bytes (length framing included) of the
 // map pushes received so far — MapReply, MapDelta, and MapReplyFull
 // frames only, excluding chat and control traffic. The load harness
-// divides it by the push count to report per-mix push bandwidth.
+// divides it by PushesRead to report per-mix push bandwidth.
 func (c *Client) PushBytesRead() uint64 { return c.nPushBytes.Load() }
+
+// PushesRead returns the number of map-push frames received so far,
+// counted at the same wire layer as PushBytesRead — a lagging consumer
+// that drops materialised snapshots does not skew bytes-per-push.
+func (c *Client) PushesRead() uint64 { return c.nPushes.Load() }
 
 // DeltasApplied returns how many MapDelta frames the client has
 // materialised into snapshots — zero for a plain subscription.

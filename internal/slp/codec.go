@@ -263,7 +263,7 @@ func Marshal(m Message) ([]byte, error) {
 	case Move:
 		e.vec(v.Pos)
 	case Chat:
-		if len(v.Text) > 255 {
+		if len(v.Text) > MaxChatText {
 			return nil, fmt.Errorf("slp: chat text too long (%d bytes)", len(v.Text))
 		}
 		if err := e.str(v.Text); err != nil {
@@ -462,7 +462,7 @@ func Unmarshal(payload []byte) (Message, error) {
 		m = Move{Pos: d.vec()}
 	case TypeChat:
 		v := Chat{Text: d.str()}
-		if d.err == nil && len(v.Text) > 255 {
+		if d.err == nil && len(v.Text) > MaxChatText {
 			return nil, &DecodeError{fmt.Errorf("slp: chat text too long (%d bytes)", len(v.Text))}
 		}
 		m = v

@@ -126,8 +126,24 @@ func TestMapReplyQuantization(t *testing.T) {
 }
 
 func TestChatTooLongRejected(t *testing.T) {
-	if _, err := Marshal(Chat{Text: strings.Repeat("x", 300)}); err == nil {
-		t.Error("overlong chat accepted")
+	if _, err := Marshal(Chat{Text: strings.Repeat("x", MaxChatText+1)}); err == nil {
+		t.Error("overlong chat accepted by Marshal")
+	}
+	// The decoder enforces the same bound on crafted wire payloads — the
+	// invariant that keeps relayChat's ChatEvent re-encode loss-free.
+	over := MaxChatText + 1
+	payload := []byte{byte(TypeChat), byte(over >> 8), byte(over)}
+	payload = append(payload, strings.Repeat("x", over)...)
+	if _, err := Unmarshal(payload); err == nil {
+		t.Error("overlong chat accepted by Unmarshal")
+	}
+	// The bound itself is admissible end to end.
+	max, err := Marshal(Chat{Text: strings.Repeat("x", MaxChatText)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(max); err != nil {
+		t.Fatal(err)
 	}
 }
 

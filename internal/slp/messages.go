@@ -161,6 +161,13 @@ type Move struct {
 // Type implements Message.
 func (Move) Type() MsgType { return TypeMove }
 
+// MaxChatText bounds a Chat utterance's text in bytes, enforced at both
+// encode and decode. Beyond matching Second Life's short chat lines, the
+// bound is what makes the server's relay loss-free by construction: a
+// relayed ChatEvent is the admitted text plus ~29 bytes of From/Pos
+// framing, so it always re-encodes under MaxPayload.
+const MaxChatText = 255
+
 // Chat broadcasts a local chat message (server-enforced ~20 m audibility).
 type Chat struct {
 	Text string
