@@ -47,6 +47,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "self-hosted simulation seed")
 		duration   = flag.Int64("duration", 0, "self-hosted estate duration in sim seconds (0: preset default)")
 		warp       = flag.Float64("warp", 600, "self-hosted clock rate")
+		simWorkers = flag.Int("sim-workers", 0, "self-hosted parallel region stepping: goroutines per tick (0 or 1: serial)")
 		window     = flag.Int64("window", 600, "self-hosted analysis window in sim seconds")
 		observers  = flag.Int("observers", 64, "observer sessions subscribed to map pushes")
 		avatars    = flag.Int("avatars", 0, "in-world avatar sessions on whole-land coarse pushes")
@@ -58,8 +59,11 @@ func main() {
 		password   = flag.String("password", "", "estate login password")
 		runFor     = flag.Duration("run-for", 10*time.Second, "load phase length in wall time")
 		pollEvery  = flag.Duration("poll-every", 50*time.Millisecond, "each reader's query period")
+		tickEvery  = flag.Duration("tick-every", time.Millisecond, "self-hosted tick interval; also the per-interval wall budget that -max-tick-overruns counts against")
 		jsonPath   = flag.String("json", "", "write the report as JSON to this file (default: stdout)")
 		minConns   = flag.Int("min-conns", 0, "fail unless at least this many clients connected")
+		maxOverrun = flag.Int64("max-tick-overruns", -1, "fail when more than this many tick intervals overran the budget (-1: no assertion)")
+		tickPace   = flag.Bool("require-tick-pace", false, "fail when mean stepping time per interval exceeds the tick budget (the clock cannot keep up)")
 	)
 	flag.Parse()
 
@@ -72,6 +76,7 @@ func main() {
 		Seed:        *seed,
 		SimDuration: *duration,
 		Warp:        *warp,
+		SimWorkers:  *simWorkers,
 		Window:      *window,
 		Observers:   *observers,
 		Avatars:     *avatars,
@@ -83,6 +88,7 @@ func main() {
 		Password:    *password,
 		RunFor:      *runFor,
 		PollEvery:   *pollEvery,
+		TickEvery:   *tickEvery,
 	})
 	if err != nil {
 		log.Fatalf("slload: %v", err)
@@ -111,10 +117,29 @@ func main() {
 				kind, ms.Conns, ms.Pushes, ms.BytesPerPush)
 		}
 	}
+	if rep.TickIntervals > 0 {
+		fmt.Fprintf(os.Stderr,
+			"slload:   ticks: %d workers, %d intervals / %d steps, mean %.3fms max %.3fms (budget %.3fms), %d over budget\n",
+			rep.SimWorkers, rep.TickIntervals, rep.TickSteps,
+			rep.TickMeanMs, rep.TickMaxMs, rep.TickBudgetMs, rep.TickOverBudget)
+	}
 	if rep.ServerFaults > 0 {
 		log.Fatalf("slload: FAIL — %d server faults (errors: %v)", rep.ServerFaults, rep.Errors)
 	}
 	if rep.Connected < *minConns {
 		log.Fatalf("slload: FAIL — %d clients connected, need %d", rep.Connected, *minConns)
+	}
+	if *maxOverrun >= 0 && rep.TickOverBudget > *maxOverrun {
+		log.Fatalf("slload: FAIL — %d tick intervals over the %.3fms budget, allow %d (clock fell behind)",
+			rep.TickOverBudget, rep.TickBudgetMs, *maxOverrun)
+	}
+	// Mean-over-budget means the carry loop accumulates sim time faster
+	// than stepping retires it: the warped clock has permanently fallen
+	// behind. Isolated spikes (GC, scheduler) are caught up by the next
+	// interval's step batch and are policed separately by
+	// -max-tick-overruns.
+	if *tickPace && rep.TickIntervals > 0 && rep.TickMeanMs > rep.TickBudgetMs {
+		log.Fatalf("slload: FAIL — mean tick interval %.3fms exceeds the %.3fms budget (clock cannot sustain warp)",
+			rep.TickMeanMs, rep.TickBudgetMs)
 	}
 }

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
 
+	"slmob/internal/fanout"
 	"slmob/internal/geom"
 	"slmob/internal/graph"
 	"slmob/internal/stats"
@@ -71,8 +71,12 @@ type Analyzer struct {
 	sc  snapScratch
 	dup map[trace.AvatarID]struct{}
 
-	// Range fanout, started lazily on the first parallel Observe.
-	fan *rangeFan
+	// Range fanout, started lazily on the first parallel Observe: a
+	// persistent fanout.Pool plus the hoisted dispatch closure and its
+	// snapshot-time argument, so steady-state dispatch allocates nothing.
+	fan    *fanout.Pool
+	fanJob func(i int)
+	fanT   int64
 }
 
 // sink is one window's worth of metric events: the mergeable,
@@ -318,55 +322,29 @@ func (a *Analyzer) observeZones() {
 	zones.AddN(0, zeros)
 }
 
-// rangeFan runs one persistent worker goroutine per configured range
-// worker; worker w owns ranges w, w+workers, w+2·workers, ... so every
-// range's state machine stays single-goroutine. Observe signals a
-// snapshot and waits for all workers — a per-snapshot barrier that keeps
-// the analyzer's synchronous, order-dependent contract while spending
-// multiple cores per snapshot. Signalling allocates nothing, and the
-// barrier also means sinks can be swapped safely between snapshots: no
-// worker is mid-range outside fanObserve.
-type rangeFan struct {
-	start  []chan int64
-	snapWG sync.WaitGroup
-	wg     sync.WaitGroup
-}
-
-// fanObserve dispatches the current snapshot to the range workers and
-// blocks until every range has absorbed it.
+// fanObserve dispatches the current snapshot's ranges across the
+// persistent fanout pool and blocks until every range has absorbed it.
+// Pool.Run is a per-snapshot barrier, which keeps the analyzer's
+// synchronous, order-dependent contract while spending multiple cores
+// per snapshot: no worker is mid-range outside fanObserve, so sinks can
+// be swapped safely between snapshots. Each index is claimed by exactly
+// one worker per Run, so every range's state machine stays effectively
+// single-goroutine; dynamic index claiming also load-balances the
+// ranges, whose graph costs differ widely (r=80 vs r=10). Dispatch
+// reuses the hoisted a.fanJob closure, so it allocates nothing.
 func (a *Analyzer) fanObserve(t int64) {
 	if a.fan == nil {
-		a.startFan()
+		workers := a.cfg.RangeWorkers
+		if workers > len(a.ranges) {
+			workers = len(a.ranges)
+		}
+		a.fan = fanout.NewPool(workers)
+		a.fanJob = func(i int) {
+			a.observeRange(a.ranges[i], a.fanT)
+		}
 	}
-	f := a.fan
-	f.snapWG.Add(len(f.start))
-	for _, ch := range f.start {
-		ch <- t
-	}
-	f.snapWG.Wait()
-}
-
-func (a *Analyzer) startFan() {
-	workers := a.cfg.RangeWorkers
-	if workers > len(a.ranges) {
-		workers = len(a.ranges)
-	}
-	f := &rangeFan{start: make([]chan int64, workers)}
-	a.fan = f
-	for w := range f.start {
-		ch := make(chan int64)
-		f.start[w] = ch
-		f.wg.Add(1)
-		go func(w int) {
-			defer f.wg.Done()
-			for t := range ch {
-				for i := w; i < len(a.ranges); i += workers {
-					a.observeRange(a.ranges[i], t)
-				}
-				f.snapWG.Done()
-			}
-		}(w)
-	}
+	a.fanT = t
+	a.fan.Run(len(a.ranges), a.fanJob)
 }
 
 // stopFan winds down the range workers; safe to call when none run.
@@ -374,10 +352,7 @@ func (a *Analyzer) stopFan() {
 	if a.fan == nil {
 		return
 	}
-	for _, ch := range a.fan.start {
-		close(ch)
-	}
-	a.fan.wg.Wait()
+	a.fan.Close()
 	a.fan = nil
 }
 

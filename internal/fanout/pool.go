@@ -1,0 +1,120 @@
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for per-tick hot paths. Run spawns
+// nothing: the workers are parked goroutines reused across calls, woken
+// by a buffered channel send, and indices are claimed with an atomic
+// counter, so a steady-state Run with a hoisted closure performs zero
+// allocations (pinned by TestPoolAllocsPerRun). This is the tool for
+// code that fans out every tick — Run (goroutine per job) is for
+// one-shot fanouts where spawn cost is noise.
+//
+// The calling goroutine participates as one of the workers, so a pool
+// of one never leaves the caller and NewPool(1) starts no goroutines
+// at all — the serial escape hatch is the zero case, not a branch the
+// caller writes.
+//
+// A Pool is not safe for concurrent Run calls; it is built for a
+// single dispatching goroutine (a tick loop). Indices are claimed
+// dynamically, so callers must not depend on which worker runs which
+// index — only that each index runs exactly once and that Run returns
+// after all of them have.
+type Pool struct {
+	workers int
+	wake    chan struct{}
+	closed  bool
+	busy    sync.WaitGroup
+
+	// Dispatch state for the current Run, published to the workers by
+	// the wake sends (channel happens-before) and quiesced by busy.Wait
+	// before the next Run may overwrite it.
+	fn   func(i int)
+	n    int64
+	next atomic.Int64
+}
+
+// NewPool starts workers-1 parked goroutines (the caller is the last
+// worker). workers < 1 is clamped to 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.wake = make(chan struct{}, workers-1)
+		for i := 1; i < workers; i++ {
+			go p.worker(p.wake)
+		}
+	}
+	return p
+}
+
+// Workers reports the pool's concurrency, including the caller.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(0..n-1), each index exactly once, across the pool's
+// workers and returns when all calls have completed. A nil pool, a
+// single-worker pool, or n < 2 runs fn inline in index order. fn must
+// not call Run on the same pool.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if p == nil || p.workers < 2 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.fn = fn
+	p.n = int64(n)
+	p.next.Store(0)
+	k := p.workers
+	if k > n {
+		k = n
+	}
+	p.busy.Add(k - 1)
+	for i := 1; i < k; i++ {
+		p.wake <- struct{}{}
+	}
+	p.drain()
+	p.busy.Wait()
+	p.fn = nil
+}
+
+// Close winds down the parked workers. The pool must be idle; Run must
+// not be called afterwards. Safe on a nil or single-worker pool, and
+// idempotent.
+func (p *Pool) Close() {
+	if p == nil || p.wake == nil || p.closed {
+		return
+	}
+	p.closed = true
+	close(p.wake)
+}
+
+func (p *Pool) worker(wake <-chan struct{}) {
+	for range wake {
+		p.drain()
+		p.busy.Done()
+	}
+}
+
+// drain claims and runs indices until the current batch is exhausted.
+func (p *Pool) drain() {
+	n := p.n
+	fn := p.fn
+	for {
+		i := p.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		fn(int(i))
+	}
+}

@@ -1,0 +1,106 @@
+package fanout
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			counts := make([]atomic.Int32, n)
+			p.Run(n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Errorf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolNilAndSerialRunInline(t *testing.T) {
+	var p *Pool
+	order := []int{}
+	p.Run(3, func(i int) { order = append(order, i) })
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("nil pool order = %v, want serial 0,1,2", order)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d", p.Workers())
+	}
+	one := NewPool(1)
+	defer one.Close()
+	order = order[:0]
+	one.Run(3, func(i int) { order = append(order, i) })
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("one-worker order = %v, want serial 0,1,2", order)
+	}
+}
+
+func TestPoolReusesGoroutines(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var touch atomic.Int64
+	warm := func(i int) { touch.Add(int64(i)) }
+	p.Run(16, warm)
+	before := runtime.NumGoroutine()
+	for r := 0; r < 50; r++ {
+		p.Run(16, warm)
+	}
+	after := runtime.NumGoroutine()
+	if after > before+1 {
+		t.Fatalf("goroutines grew from %d to %d across 50 runs", before, after)
+	}
+}
+
+// TestPoolAllocsPerRun pins the steady-state dispatch cost at zero
+// allocations: a tick loop with a hoisted closure must be able to fan
+// out every tick without touching the heap.
+func TestPoolAllocsPerRun(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	job := func(i int) { sink.Add(int64(i)) }
+	p.Run(64, job) // warm up the parked workers
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Run(64, job)
+	})
+	if allocs != 0 {
+		t.Fatalf("Pool.Run allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestPoolSequentialBatchesSeeFreshState(t *testing.T) {
+	// Each Run is a barrier: writes from batch k must be visible to
+	// batch k+1 regardless of which worker claims which index.
+	p := NewPool(3)
+	defer p.Close()
+	buf := make([]int, 32)
+	for round := 1; round <= 8; round++ {
+		r := round
+		p.Run(len(buf), func(i int) { buf[i] += r })
+	}
+	want := 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8
+	for i, v := range buf {
+		if v != want {
+			t.Fatalf("buf[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func BenchmarkPoolRun(b *testing.B) {
+	p := NewPool(runtime.GOMAXPROCS(0))
+	defer b.StopTimer()
+	defer p.Close()
+	var sink atomic.Int64
+	job := func(i int) { sink.Add(1) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(64, job)
+	}
+}

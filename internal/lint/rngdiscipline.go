@@ -22,6 +22,14 @@ import (
 //     must own its stream: receive it as a go-call argument (ownership
 //     transfer) or fork its own, never capture a shared pointer.
 //
+// A fanout pool's Run is the same hazard in worker-pool clothing: the
+// function literal handed to it executes on several workers at once, so
+// the capture rules of go statements apply to it too. The sanctioned
+// worker-pool handoff is per-index ownership — streams held in a slice
+// indexed by the closure's own index parameter, so each of Run's n
+// indices draws from exactly one stream and the barrier hands them all
+// back to the caller.
+//
 // State() is the sanctioned by-value form: it returns the raw [4]uint64
 // capsule for checkpoints and cross-server handoffs, and Restore is the
 // only way back in.
@@ -29,7 +37,7 @@ func RngDiscipline() *Analyzer {
 	return &Analyzer{
 		Name: "rng",
 		Doc: "forbid by-value copies of rng.Source and capture of a shared *rng.Source " +
-			"inside go-statement closures",
+			"inside go-statement closures and fanout pool workers",
 		Run: runRngDiscipline,
 	}
 }
@@ -82,6 +90,7 @@ func runRngDiscipline(pass *Pass) error {
 					}
 				case *ast.CallExpr:
 					checkSourceArgs(pass, info, n, isSourceValue, inRngPkg)
+					checkPoolRunCapture(pass, info, n, isSourcePtr, isSourceValue)
 				case *ast.GoStmt:
 					checkGoroutineCapture(pass, info, n, isSourcePtr, isSourceValue)
 				}
@@ -182,17 +191,7 @@ func checkGoroutineCapture(pass *Pass, info *types.Info, g *ast.GoStmt, isSource
 	if !ok {
 		return
 	}
-	// Objects declared inside the literal (params included) are owned by
-	// the goroutine.
-	owned := make(map[types.Object]bool)
-	ast.Inspect(lit, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if obj := info.Defs[id]; obj != nil {
-				owned[obj] = true
-			}
-		}
-		return true
-	})
+	owned := closureOwned(info, lit)
 	seen := make(map[types.Object]bool)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
@@ -208,6 +207,101 @@ func checkGoroutineCapture(pass *Pass, info *types.Info, g *ast.GoStmt, isSource
 			seen[obj] = true
 			pass.Report(id.Pos(), "goroutine captures shared rng stream %s; draws race and the order becomes "+
 				"schedule-dependent — pass it as a go-call argument or fork with SplitIndexed", obj.Name())
+		}
+		return true
+	})
+}
+
+// closureOwned collects the objects a function literal declares itself
+// (parameters included) — streams the closure owns outright.
+func closureOwned(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				owned[obj] = true
+			}
+		}
+		return true
+	})
+	return owned
+}
+
+// isFanoutType reports whether t is (a pointer to) a named type
+// declared in a package named fanout — matched by package name, like
+// findRngSource, so the golden fixtures can supply a stand-in.
+func isFanoutType(t types.Type) bool {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "fanout"
+}
+
+// checkPoolRunCapture treats the function literal handed to a fanout
+// pool's Run like a go-statement body: the pool executes it on several
+// workers at once, so drawing from a stream declared outside the
+// closure races exactly as a goroutine capture does. Per-index
+// ownership is the sanctioned worker-pool handoff: a stream slice
+// indexed by the closure's own index parameter gives each of Run's n
+// indices exactly one stream, and Run's barrier hands them all back —
+// so srcs[i] passes, while a captured shared stream or a fixed-index
+// pick (srcs[0], shared by every worker) is flagged.
+func checkPoolRunCapture(pass *Pass, info *types.Info, call *ast.CallExpr, isSourcePtr, isSourceValue func(types.Type) bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" {
+		return
+	}
+	if t := info.TypeOf(sel.X); t == nil || !isFanoutType(t) {
+		return
+	}
+	var lit *ast.FuncLit
+	for _, arg := range call.Args {
+		if l, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+			lit = l
+			break
+		}
+	}
+	if lit == nil {
+		return
+	}
+	// The closure's own parameters: Run feeds each index to exactly one
+	// worker, so indexing by a parameter selects an owned stream.
+	params := make(map[types.Object]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	owned := closureOwned(info, lit)
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			t := info.TypeOf(n)
+			if t == nil || !(isSourcePtr(t) || isSourceValue(t)) {
+				return true
+			}
+			if id, ok := ast.Unparen(n.Index).(*ast.Ident); ok && params[info.Uses[id]] {
+				return false // srcs[i]: this worker's own stream
+			}
+			pass.Report(n.Pos(), "fanout worker selects a stream not indexed by the closure's own index "+
+				"parameter; every worker shares it — hold one stream per index and select with the parameter")
+			return false
+		case *ast.Ident:
+			obj, ok := info.Uses[n].(*types.Var)
+			if !ok || owned[obj] || seen[obj] {
+				return true
+			}
+			if t := obj.Type(); isSourcePtr(t) || isSourceValue(t) {
+				seen[obj] = true
+				pass.Report(n.Pos(), "fanout worker closure captures shared rng stream %s; pool workers race on it — "+
+					"index a per-worker stream slice with the closure's index parameter or fork with SplitIndexed", obj.Name())
+			}
 		}
 		return true
 	})

@@ -1,0 +1,17 @@
+// Package fanout is a golden stand-in for internal/fanout: the rng
+// discipline analyzer keys on the Run method of any type declared in a
+// package with this name.
+package fanout
+
+// Pool runs fn(0..n-1) across its workers; Run is a barrier.
+type Pool struct{ workers int }
+
+// NewPool builds a pool.
+func NewPool(workers int) *Pool { return &Pool{workers: workers} }
+
+// Run invokes fn once per index and returns when all have completed.
+func (p *Pool) Run(n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

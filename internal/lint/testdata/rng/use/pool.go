@@ -1,0 +1,39 @@
+// Worker-pool ownership: a fanout pool's Run executes its closure on
+// several workers at once, so the go-statement capture rules apply —
+// with per-index stream slices as the sanctioned handoff.
+package use
+
+import (
+	"golden/fanout"
+	"golden/rng"
+)
+
+func poolSharedCapture(p *fanout.Pool) {
+	p.Run(4, func(i int) {
+		_ = stream.Uint64() // want "fanout worker closure captures shared rng stream"
+	})
+}
+
+// poolPerIndexOwnership is the sanctioned pattern: Run hands each index
+// to exactly one worker, so srcs[i] has one owner per invocation and
+// the barrier returns the whole slice to the caller.
+func poolPerIndexOwnership(p *fanout.Pool, srcs []*rng.Source) {
+	p.Run(len(srcs), func(i int) {
+		_ = srcs[i].Uint64()
+	})
+}
+
+func poolFixedIndex(p *fanout.Pool, srcs []*rng.Source) {
+	p.Run(len(srcs), func(i int) {
+		_ = srcs[0].Uint64() // want "not indexed by the closure's own index"
+	})
+}
+
+// poolLocalStream forks inside the closure from a per-index seed — the
+// closure owns what it declares.
+func poolLocalStream(p *fanout.Pool) {
+	p.Run(2, func(i int) {
+		local := rng.New(uint64(i))
+		_ = local.Uint64()
+	})
+}

@@ -37,6 +37,10 @@ type Config struct {
 	SimDuration int64
 	// Warp is the self-hosted clock rate (default 600).
 	Warp float64
+	// SimWorkers steps the self-hosted estate's regions concurrently on
+	// that many goroutines per tick (0 or 1: serial). Worker count never
+	// changes simulation results, only tick wall time.
+	SimWorkers int
 	// Window is the self-hosted analysis window (default 600).
 	Window int64
 	// Observers, Avatars, AOIAvatars, and Readers size the client mix:
@@ -63,6 +67,10 @@ type Config struct {
 	RunFor time.Duration
 	// PollEvery is each reader's query period (default 50 ms).
 	PollEvery time.Duration
+	// TickEvery is the self-hosted estate's wall-clock tick interval —
+	// and therefore the per-interval budget that TickOverBudget counts
+	// against (default 1 ms, the harness's low-latency pacing).
+	TickEvery time.Duration
 	// DialTimeout bounds every dial and query exchange (default 10 s).
 	DialTimeout time.Duration
 }
@@ -94,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 10 * time.Second
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = time.Millisecond
 	}
 	return c
 }
@@ -161,6 +172,20 @@ type Report struct {
 	// the value the parity gate compares against an offline replay.
 	FinalDigest string `json:"final_digest,omitempty"`
 
+	// Tick-loop timing from a self-hosted estate's serving loop:
+	// resolved worker count, ticker intervals fired, simulation steps
+	// run, mean and worst-case wall time per interval, the per-interval
+	// budget, and how many intervals overran it — TickOverBudget is the
+	// number the parallel-tick smoke gate requires to stay zero (the
+	// warped clock never falling behind real time).
+	SimWorkers     int     `json:"sim_workers,omitempty"`
+	TickIntervals  int64   `json:"tick_intervals,omitempty"`
+	TickSteps      int64   `json:"tick_steps,omitempty"`
+	TickMeanMs     float64 `json:"tick_mean_ms,omitempty"`
+	TickMaxMs      float64 `json:"tick_max_ms,omitempty"`
+	TickBudgetMs   float64 `json:"tick_budget_ms,omitempty"`
+	TickOverBudget int64   `json:"tick_over_budget"`
+
 	WallSeconds float64 `json:"wall_seconds"`
 }
 
@@ -221,9 +246,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			est.Duration = cfg.SimDuration
 		}
 		svc, err = slmob.ServeEstate(ctx, est,
-			slmob.WithWarp(cfg.Warp), slmob.WithTickEvery(time.Millisecond),
+			slmob.WithWarp(cfg.Warp), slmob.WithTickEvery(cfg.TickEvery),
 			slmob.WithWindow(cfg.Window), slmob.WithQueryAddr("127.0.0.1:0"),
-			slmob.WithHeldClock(), slmob.WithServePassword(cfg.Password))
+			slmob.WithHeldClock(), slmob.WithServePassword(cfg.Password),
+			slmob.WithSimWorkers(cfg.SimWorkers))
 		if err != nil {
 			return nil, err
 		}
@@ -487,6 +513,22 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		if la, err := slmob.QueryLive(dir.QueryAddr); err == nil && la.Analysis != nil {
 			rep.FinalDigest = la.Digest
+		}
+	}
+
+	// Tick-loop timing, self-hosted estates only: the sustained cost of
+	// advancing the whole grid each interval, and whether the warped
+	// clock ever fell behind its budget.
+	if svc != nil {
+		ts := svc.TickStats()
+		rep.SimWorkers = svc.StepWorkers()
+		rep.TickIntervals = ts.Intervals
+		rep.TickSteps = ts.Steps
+		rep.TickMaxMs = float64(ts.Max.Microseconds()) / 1000.0
+		rep.TickBudgetMs = float64(ts.Budget.Microseconds()) / 1000.0
+		rep.TickOverBudget = ts.OverBudget
+		if ts.Intervals > 0 {
+			rep.TickMeanMs = float64(ts.Total.Microseconds()) / 1000.0 / float64(ts.Intervals)
 		}
 	}
 

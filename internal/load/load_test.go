@@ -16,6 +16,7 @@ func TestLoadSmoke(t *testing.T) {
 		Seed:        3,
 		SimDuration: 1800,
 		Warp:        2000,
+		SimWorkers:  2,
 		Window:      600,
 		Observers:   30,
 		Readers:     20,
@@ -51,5 +52,15 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if rep.Regions != 3 || rep.Estate == "" {
 		t.Errorf("estate = %q with %d regions, want the 1x3 paper estate", rep.Estate, rep.Regions)
+	}
+	// Self-hosted runs report the tick engine's sustained timing.
+	if rep.SimWorkers != 2 {
+		t.Errorf("sim workers = %d, want the configured 2", rep.SimWorkers)
+	}
+	if rep.TickIntervals == 0 || rep.TickSteps == 0 {
+		t.Errorf("tick timing not reported: %d intervals / %d steps", rep.TickIntervals, rep.TickSteps)
+	}
+	if rep.TickMaxMs <= 0 || rep.TickBudgetMs <= 0 {
+		t.Errorf("tick durations not reported: max %.3fms budget %.3fms", rep.TickMaxMs, rep.TickBudgetMs)
 	}
 }

@@ -158,11 +158,11 @@ func TestPeerTransferAckTimeout(t *testing.T) {
 	srv.peers[0*len(srv.hosts)+1] = &peerLink{conn: conn, bw: bufio.NewWriter(conn), timeout: srv.peerTimeout()}
 
 	start := time.Now()
-	_, err = srv.route(world.Transfer{From: 0, To: 1, Avatar: []byte("capsule")})
+	err = srv.routeTick([]world.Transfer{{From: 0, To: 1, Avatar: []byte("capsule")}})
 	elapsed := time.Since(start)
 	var pte *PeerTimeoutError
 	if !errors.As(err, &pte) {
-		t.Fatalf("route error = %v, want *PeerTimeoutError", err)
+		t.Fatalf("routeTick error = %v, want *PeerTimeoutError", err)
 	}
 	if pte.Op != "transfer ack" {
 		t.Errorf("timeout op = %q, want %q", pte.Op, "transfer ack")

@@ -82,14 +82,29 @@ type EstateServer struct {
 	cfg      EstateConfig
 	duration int64
 
-	mu      sync.Mutex
-	closed  bool
-	est     *world.EstateSim
-	hosts   []*landHost
-	peers   map[int]*peerLink     // outgoing transfer links, keyed from*regions+to
-	inPeers map[net.Conn]struct{} // incoming transfer links, closed on shutdown
+	mu       sync.Mutex
+	closed   bool
+	est      *world.EstateSim
+	hosts    []*landHost
+	peers    map[int]*peerLink     // outgoing transfer links, keyed from*regions+to
+	inPeers  map[net.Conn]struct{} // incoming transfer links, closed on shutdown
+	dirConns map[net.Conn]struct{} // directory connections, closed on shutdown
+
+	// routing sequences each tick's concurrent transfer fanout (guarded
+	// by mu; the cond shares it).
+	routing tickRouting
+
+	// Hoisted per-host fanout closures for the post-step serving phase,
+	// plus their arguments; only the tick goroutine touches them.
+	hostJob    func(i int)
+	sampleJob  func(i int)
+	hostNow    int64
+	sampleTick *trace.EstateTick
 
 	dirLn net.Listener
+
+	tickMu sync.Mutex
+	ticks  TickStats
 
 	// analytics is the live query service; nil when disabled. It has
 	// its own listener and lifecycle: it survives the estate's clean end
@@ -107,12 +122,77 @@ type EstateServer struct {
 // measurement ran its full scheduled duration on the shared clock.
 var ErrDurationReached = errors.New("server: estate duration reached")
 
-// peerLink is one outgoing inter-server connection, used only by the
-// tick loop (single writer, strict request/reply).
+// peerLink is one outgoing inter-server connection. Within a tick at
+// most one sender goroutine owns each link, so frames and acks stay
+// strictly ordered per link even when many links fan out concurrently.
 type peerLink struct {
 	conn    net.Conn
 	bw      *bufio.Writer
 	timeout time.Duration
+}
+
+// tickRouting sequences one tick's transfer handoffs: frames are sent
+// concurrently per link, but the destination-side injects and the
+// source-side resolves must interleave in the migration sweep's slice
+// order — admissions consume the shared estate rng and race region
+// capacity, so inject g may not run until resolves 0..g-1 completed
+// (a resolve at region A frees the slot a later inject into A needs).
+// queues maps each link to its pending global indices so servePeer can
+// learn a transfer's slot without a wire-format change; next is the
+// resolved-prefix length the injectors gate on.
+type tickRouting struct {
+	cond    *sync.Cond
+	next    int
+	aborted bool
+	queues  map[int][]int
+}
+
+// TickStats summarises the tick loop's wall-clock behaviour: how often
+// the shared clock advanced, how much wall time stepping consumed, and
+// whether any ticker interval overran its budget — the signal that the
+// simulated clock fell behind real time at the configured warp.
+type TickStats struct {
+	// Intervals counts ticker fires that stepped the clock; Steps is
+	// the total simulated seconds they advanced.
+	Intervals int64
+	Steps     int64
+	// Total and Max are the wall time spent stepping, summed and for
+	// the slowest single interval.
+	Total time.Duration
+	Max   time.Duration
+	// Budget is the per-interval wall budget (TickEvery); OverBudget
+	// counts intervals whose stepping exceeded it. A sustained run with
+	// OverBudget == 0 never fell behind its warped clock.
+	Budget     time.Duration
+	OverBudget int64
+}
+
+// TickStats returns a snapshot of the tick loop's timing counters.
+func (s *EstateServer) TickStats() TickStats {
+	s.tickMu.Lock()
+	defer s.tickMu.Unlock()
+	st := s.ticks
+	st.Budget = s.cfg.TickEvery
+	return st
+}
+
+// StepWorkers reports how many goroutines step regions concurrently
+// each tick (1 when the estate runs its serial loop).
+func (s *EstateServer) StepWorkers() int { return s.est.StepWorkers() }
+
+// recordTick folds one ticker interval's stepping cost into the stats.
+func (s *EstateServer) recordTick(steps int, elapsed time.Duration) {
+	s.tickMu.Lock()
+	s.ticks.Intervals++
+	s.ticks.Steps += int64(steps)
+	s.ticks.Total += elapsed
+	if elapsed > s.ticks.Max {
+		s.ticks.Max = elapsed
+	}
+	if elapsed > s.cfg.TickEvery {
+		s.ticks.OverBudget++
+	}
+	s.tickMu.Unlock()
 }
 
 // PeerTimeoutError reports an inter-server exchange that timed out: a
@@ -169,8 +249,21 @@ func NewEstate(cfg EstateConfig) (*EstateServer, error) {
 		est:      est,
 		peers:    make(map[int]*peerLink),
 		inPeers:  make(map[net.Conn]struct{}),
+		dirConns: make(map[net.Conn]struct{}),
 		held:     cfg.Hold,
 		start:    make(chan struct{}),
+	}
+	s.routing.cond = sync.NewCond(&s.mu)
+	s.routing.queues = make(map[int][]int)
+	s.hostJob = func(i int) { s.hosts[i].stepLocked(s.hostNow) }
+	s.sampleJob = func(i int) {
+		h := s.hosts[i]
+		states := h.sim.ResidentStates(nil)
+		snap := trace.Snapshot{T: s.sampleTick.T, Samples: make([]trace.Sample, len(states))}
+		for j, st := range states {
+			snap.Samples[j] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
+		}
+		s.sampleTick.Regions[i] = snap
 	}
 	if !cfg.Hold {
 		close(s.start)
@@ -389,6 +482,10 @@ func (s *EstateServer) Run(ctx context.Context) error {
 			carry += s.cfg.Warp * s.cfg.TickEvery.Seconds()
 			steps := int(carry)
 			carry -= float64(steps)
+			if steps == 0 {
+				continue
+			}
+			began := time.Now()
 			for i := 0; i < steps; i++ {
 				end, err := s.step()
 				if err != nil {
@@ -396,56 +493,60 @@ func (s *EstateServer) Run(ctx context.Context) error {
 					return fmt.Errorf("server: estate handoff failed: %w", err)
 				}
 				if end {
+					s.recordTick(i+1, time.Since(began))
 					s.shutdown()
 					return ErrDurationReached
 				}
 			}
+			s.recordTick(steps, time.Since(began))
 		}
 	}
 }
 
 // step advances the shared clock by one second: every region simulation
-// ticks under the lock, then the tick's cross-region handoffs are routed
-// over the inter-server links — sequentially, in the deterministic order
-// of the migration sweep, with the lock released so each destination's
-// peer handler can admit the avatar — and finally sensors scan and due
-// subscription pushes go out, after all handoffs settled.
+// ticks under the lock (fanned across the estate's step pool when one
+// is configured), then the tick's cross-region handoffs are routed over
+// the inter-server links — frames issued concurrently per link, acks
+// resolved in the migration sweep's slice order — and finally the
+// post-step serving phase runs: sensors scan, each host materialises
+// its map snapshot, and due subscription pushes go out, after all
+// handoffs settled.
+//
+// The serving phase fans out per host on the same pool. Each host's
+// snapshot, sensors, and sessions are its own; enqueueRaw is the only
+// sink and never blocks (drop-slow-consumer), so push enqueueing is
+// naturally sharded by region — one slow region's frame encoding no
+// longer serialises the other 63. The estate lock is held by this
+// goroutine for the whole fanout and Pool.Run is a barrier, so every
+// other accessor of host state still sees the lock-ordered world.
 func (s *EstateServer) step() (bool, error) {
 	s.mu.Lock()
 	transfers := s.est.StepPending()
 	s.mu.Unlock()
 
-	for i, tr := range transfers {
-		accepted, err := s.route(tr)
-		if err != nil {
+	if len(transfers) > 0 {
+		if err := s.routeTick(transfers); err != nil {
 			return false, err
 		}
-		s.mu.Lock()
-		s.est.ResolveTransfer(i, accepted)
-		s.mu.Unlock()
 	}
 
 	s.mu.Lock()
 	now := s.est.Time()
-	for _, h := range s.hosts {
-		h.stepLocked(now)
-	}
+	pool := s.est.StepPool()
+	s.hostNow = now
+	pool.Run(len(s.hosts), s.hostJob)
 	// Sample for analytics under the lock — after handoffs settled, the
 	// same instant an in-process EstateSource would observe — but hand
 	// the tick to the engine outside it, so analysis can never hold the
-	// clock.
+	// clock. Each region samples into its own tick slot, so this fans
+	// out too.
 	var tick trace.EstateTick
 	sample := s.analytics != nil && now > 0 && now%s.analytics.tau() == 0
 	if sample {
 		tick = trace.EstateTick{T: now, Regions: make([]trace.Snapshot, len(s.hosts))}
-		for i, h := range s.hosts {
-			states := h.sim.ResidentStates(nil)
-			snap := trace.Snapshot{T: now, Samples: make([]trace.Sample, len(states))}
-			for j, st := range states {
-				snap.Samples[j] = trace.Sample{ID: st.ID, Pos: st.Pos, Seated: st.Seated}
-			}
-			tick.Regions[i] = snap
-		}
+		s.sampleTick = &tick
+		pool.Run(len(s.hosts), s.sampleJob)
+		s.sampleTick = nil
 	}
 	s.mu.Unlock()
 	if sample {
@@ -454,53 +555,154 @@ func (s *EstateServer) step() (bool, error) {
 	return now >= s.duration, nil
 }
 
-// route carries one handoff to its destination region server over TCP
-// and returns the destination's verdict. Links are dialled lazily and
-// cached per (source, destination) pair.
-func (s *EstateServer) route(tr world.Transfer) (bool, error) {
-	key := tr.From*len(s.hosts) + tr.To
-	link, ok := s.peers[key]
-	if !ok {
-		conn, err := net.DialTimeout("tcp", s.hosts[tr.To].addr(), s.peerTimeout())
-		if err != nil {
-			return false, fmt.Errorf("region %d -> %d: %w", tr.From, tr.To, err)
-		}
-		link = &peerLink{conn: conn, bw: bufio.NewWriter(conn), timeout: s.peerTimeout()}
-		if err := link.send(slp.PeerHello{Version: slp.Version, Region: uint32(tr.From), Password: s.cfg.Password}); err != nil {
-			conn.Close()
-			return false, fmt.Errorf("region %d -> %d: peer hello: %w", tr.From, tr.To, err)
-		}
-		_ = conn.SetReadDeadline(time.Now().Add(s.peerTimeout()))
-		reply, err := slp.ReadMessage(conn)
-		if err != nil {
-			conn.Close()
-			if isTimeout(err) {
-				return false, &PeerTimeoutError{From: tr.From, To: tr.To, Op: "peer handshake", Err: err}
+// transferAck is one routed handoff's outcome, delivered by the link's
+// sender goroutine to the resolver.
+type transferAck struct {
+	accepted bool
+	err      error
+}
+
+// routeTick carries one tick's handoffs to their destination region
+// servers. The wire work is concurrent — each link's sender goroutine
+// pipelines its Transfer frames up-front and then reads that link's
+// acks in order — while the semantic order is preserved exactly: the
+// destination-side injects are gated on tickRouting so they happen in
+// slice order, interleaved with this goroutine resolving ack i before
+// inject i+1 may run, which is ResolveTransfer's contract and the
+// serial loop's rng/capacity behaviour bit for bit.
+func (s *EstateServer) routeTick(transfers []world.Transfer) error {
+	n := len(s.hosts)
+	// Group by link in slice order; dial any missing links first, from
+	// this goroutine, so s.peers sees no concurrent writes.
+	linkOrder := make([]int, 0, 4)
+	byLink := make(map[int][]int)
+	for g, tr := range transfers {
+		key := tr.From*n + tr.To
+		if _, seen := byLink[key]; !seen {
+			linkOrder = append(linkOrder, key)
+			if _, dialed := s.peers[key]; !dialed {
+				link, err := s.dialPeer(tr.From, tr.To)
+				if err != nil {
+					return err
+				}
+				s.peers[key] = link
 			}
-			return false, fmt.Errorf("region %d -> %d: peer handshake: %w", tr.From, tr.To, err)
 		}
-		if e, isErr := reply.(slp.Error); isErr {
-			conn.Close()
-			return false, fmt.Errorf("region %d -> %d: peer refused (%d): %s", tr.From, tr.To, e.Code, e.Message)
-		}
-		if _, isWelcome := reply.(slp.Welcome); !isWelcome {
-			conn.Close()
-			return false, fmt.Errorf("region %d -> %d: unexpected peer handshake reply %s", tr.From, tr.To, reply.Type())
-		}
-		s.peers[key] = link
+		byLink[key] = append(byLink[key], g)
 	}
-	if err := link.send(slp.Transfer{
-		From:     uint32(tr.From),
-		To:       uint32(tr.To),
-		Teleport: tr.Teleport,
-		Avatar:   tr.Avatar,
-	}); err != nil {
-		return false, fmt.Errorf("region %d -> %d: transfer send: %w", tr.From, tr.To, err)
+
+	// Publish the routing plan so each destination's peer handler can
+	// recover its transfers' global slots from link arrival order.
+	s.mu.Lock()
+	s.routing.next = 0
+	s.routing.aborted = false
+	for key, list := range byLink {
+		s.routing.queues[key] = list
 	}
-	// The ack read is bounded: a peer that dies between Transfer and
-	// TransferAck must fail the estate, not hang StepPending forever.
-	_ = link.conn.SetReadDeadline(time.Now().Add(s.peerTimeout()))
-	reply, err := slp.ReadMessage(link.conn)
+	s.mu.Unlock()
+
+	acks := make([]chan transferAck, len(transfers))
+	for g := range acks {
+		acks[g] = make(chan transferAck, 1)
+	}
+	for _, key := range linkOrder {
+		link, list := s.peers[key], byLink[key]
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for _, g := range list {
+				tr := transfers[g]
+				if err := link.send(slp.Transfer{
+					From:     uint32(tr.From),
+					To:       uint32(tr.To),
+					Teleport: tr.Teleport,
+					Avatar:   tr.Avatar,
+				}); err != nil {
+					err = fmt.Errorf("region %d -> %d: transfer send: %w", tr.From, tr.To, err)
+					for _, rest := range list {
+						acks[rest] <- transferAck{err: err}
+					}
+					return
+				}
+			}
+			for k, g := range list {
+				accepted, err := link.readAck(transfers[g])
+				if err != nil {
+					for _, rest := range list[k:] {
+						acks[rest] <- transferAck{err: err}
+					}
+					return
+				}
+				acks[g] <- transferAck{accepted: accepted}
+			}
+		}()
+	}
+
+	var firstErr error
+	for g := range transfers {
+		a := <-acks[g]
+		if a.err != nil {
+			firstErr = a.err
+			break
+		}
+		s.mu.Lock()
+		s.est.ResolveTransfer(g, a.accepted)
+		s.routing.next++
+		s.routing.cond.Broadcast()
+		s.mu.Unlock()
+	}
+	// On failure, release any injector still waiting for its turn; the
+	// sender goroutines self-terminate on their write/read deadlines and
+	// are joined by shutdown via s.wg. Leftover queue entries (consumed
+	// only up to the failure) are dropped with the estate.
+	s.mu.Lock()
+	if firstErr != nil {
+		s.routing.aborted = true
+		s.routing.cond.Broadcast()
+	}
+	clear(s.routing.queues)
+	s.mu.Unlock()
+	return firstErr
+}
+
+// dialPeer opens and authenticates an outgoing link to region `to` on
+// behalf of region `from`; the caller owns (and caches) the link.
+func (s *EstateServer) dialPeer(from, to int) (*peerLink, error) {
+	conn, err := net.DialTimeout("tcp", s.hosts[to].addr(), s.peerTimeout())
+	if err != nil {
+		return nil, fmt.Errorf("region %d -> %d: %w", from, to, err)
+	}
+	link := &peerLink{conn: conn, bw: bufio.NewWriter(conn), timeout: s.peerTimeout()}
+	if err := link.send(slp.PeerHello{Version: slp.Version, Region: uint32(from), Password: s.cfg.Password}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("region %d -> %d: peer hello: %w", from, to, err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(s.peerTimeout()))
+	reply, err := slp.ReadMessage(conn)
+	if err != nil {
+		conn.Close()
+		if isTimeout(err) {
+			return nil, &PeerTimeoutError{From: from, To: to, Op: "peer handshake", Err: err}
+		}
+		return nil, fmt.Errorf("region %d -> %d: peer handshake: %w", from, to, err)
+	}
+	if e, isErr := reply.(slp.Error); isErr {
+		conn.Close()
+		return nil, fmt.Errorf("region %d -> %d: peer refused (%d): %s", from, to, e.Code, e.Message)
+	}
+	if _, isWelcome := reply.(slp.Welcome); !isWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("region %d -> %d: unexpected peer handshake reply %s", from, to, reply.Type())
+	}
+	return link, nil
+}
+
+// readAck reads one TransferAck off the link. The read is bounded: a
+// peer that dies between Transfer and TransferAck must fail the estate,
+// not hang the shared clock forever.
+func (l *peerLink) readAck(tr world.Transfer) (bool, error) {
+	_ = l.conn.SetReadDeadline(time.Now().Add(l.timeout))
+	reply, err := slp.ReadMessage(l.conn)
 	if err != nil {
 		if isTimeout(err) {
 			return false, &PeerTimeoutError{From: tr.From, To: tr.To, Op: "transfer ack", Err: err}
@@ -577,6 +779,24 @@ func (s *EstateServer) servePeer(region int, conn net.Conn) {
 			return
 		}
 		s.mu.Lock()
+		// A transfer on a link the tick planned carries a global slot:
+		// frames arrive in link order, so popping the link's queue
+		// recovers it, and the inject then waits its turn behind the
+		// resolves of every earlier slot (see tickRouting). A transfer
+		// with no plan entry — an external peer injecting out-of-band —
+		// keeps the legacy immediate-inject path.
+		key := int(tr.From)*len(s.hosts) + int(tr.To)
+		if q := s.routing.queues[key]; len(q) > 0 {
+			g := q[0]
+			s.routing.queues[key] = q[1:]
+			for s.routing.next != g && !s.routing.aborted && !s.closed {
+				s.routing.cond.Wait()
+			}
+			if s.routing.aborted || s.closed {
+				s.mu.Unlock()
+				return
+			}
+		}
 		accepted, err := s.est.Inject(world.Transfer{
 			From:     int(tr.From),
 			To:       int(tr.To),
@@ -594,16 +814,34 @@ func (s *EstateServer) servePeer(region int, conn net.Conn) {
 	}
 }
 
-// directoryLoop serves grid discovery and clock control.
+// directoryLoop serves grid discovery and clock control. Connections
+// are registered (under the lock, refused after shutdown began) so
+// shutdown can close them: serveDirectory's read deadline is 30 s, and
+// an open-but-idle monitor connection must not hold s.wg.Wait — and
+// with it Run's return — for that long. The registered-before-Add
+// ordering also keeps wg.Add from racing wg.Wait after close.
 func (s *EstateServer) directoryLoop() error {
 	for {
 		conn, err := s.dirLn.Accept()
 		if err != nil {
 			return fmt.Errorf("server: directory accept: %w", err)
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.dirConns[conn] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.dirConns, conn)
+				s.mu.Unlock()
+			}()
 			s.serveDirectory(conn)
 		}()
 	}
@@ -681,7 +919,17 @@ func (s *EstateServer) shutdown() {
 	for conn := range s.inPeers {
 		conn.Close()
 	}
+	for conn := range s.dirConns {
+		conn.Close()
+	}
+	// Wake any injector still gated on its routing turn; with closed
+	// set it gives up instead of waiting on a tick that will never
+	// resolve.
+	s.routing.cond.Broadcast()
 	s.mu.Unlock()
 	s.closeListeners()
 	s.wg.Wait()
+	// All tick work has quiesced; the estate's step workers can park
+	// permanently.
+	s.est.Close()
 }

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"slmob/internal/slp"
+	"slmob/internal/world"
+)
+
+// servedFingerprint folds a finished estate's migration counters and
+// every region's resident states into a comparable string.
+func servedFingerprint(srv *EstateServer) string {
+	s := fmt.Sprintf("t=%d cross=%d tele=%d blocked=%d",
+		srv.est.Time(), srv.est.Crossings(), srv.est.Teleports(), srv.est.BlockedHandoffs())
+	var buf []world.AvatarState
+	for i := 0; i < srv.est.NumRegions(); i++ {
+		buf = srv.est.Region(i).ResidentStates(buf[:0])
+		s += fmt.Sprintf("|r%d:%d[", i, len(buf))
+		for _, st := range buf {
+			s += fmt.Sprintf("%d@%x,%x;%v ", st.ID, st.Pos.X, st.Pos.Y, st.Seated)
+		}
+		s += "]"
+	}
+	return s
+}
+
+// TestEstateServedParallelDifferential runs the full networked estate —
+// TCP transfer links, gated concurrent routing, parallel post-step
+// serving — to completion at several worker counts and requires the
+// final world state to be bit-identical to the serial service: the
+// parallel tick engine must not perturb the hosted measurement.
+func TestEstateServedParallelDifferential(t *testing.T) {
+	run := func(workers int) string {
+		est := testEstate(3, 1200)
+		est.CrossProb = 0.01
+		est.TeleportProb = 0.004
+		est.SimWorkers = workers
+		srv, err := NewEstate(EstateConfig{
+			Estate:    est,
+			Warp:      4000,
+			TickEvery: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Run(context.Background()); !errors.Is(err, ErrDurationReached) {
+			t.Fatalf("workers=%d run = %v, want duration reached", workers, err)
+		}
+		if srv.Crossings() == 0 || srv.Teleports() == 0 {
+			t.Fatalf("workers=%d: crossings=%d teleports=%d — differential is vacuous",
+				workers, srv.Crossings(), srv.Teleports())
+		}
+		return servedFingerprint(srv)
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d served estate diverged from serial:\n got %.200s\nwant %.200s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestEstateTickStats: a finished run reports its tick-loop timing.
+func TestEstateTickStats(t *testing.T) {
+	est := testEstate(7, 600)
+	est.SimWorkers = 2
+	srv, err := NewEstate(EstateConfig{
+		Estate:    est,
+		Warp:      4000,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(context.Background()); !errors.Is(err, ErrDurationReached) {
+		t.Fatalf("run = %v", err)
+	}
+	st := srv.TickStats()
+	if st.Intervals == 0 || st.Steps == 0 {
+		t.Fatalf("tick stats empty: %+v", st)
+	}
+	if st.Steps < st.Intervals {
+		t.Errorf("steps %d < intervals %d at warp 4000", st.Steps, st.Intervals)
+	}
+	if st.Max == 0 || st.Total < st.Max {
+		t.Errorf("tick durations inconsistent: total %v max %v", st.Total, st.Max)
+	}
+	if st.Budget != time.Millisecond {
+		t.Errorf("budget = %v, want the configured TickEvery", st.Budget)
+	}
+}
+
+// TestDirectoryConnHeldOpenDoesNotStallShutdown is the regression gate
+// for directory-connection tracking: an idle monitor connection sits in
+// a 30 s read deadline, and Run used to be unable to return until it
+// expired because the serving goroutine was joined on s.wg with nothing
+// closing the socket. Shutdown must close tracked directory
+// connections and return promptly.
+func TestDirectoryConnHeldOpenDoesNotStallShutdown(t *testing.T) {
+	srv, err := NewEstate(EstateConfig{
+		Estate:    testEstate(11, 86400),
+		Warp:      100,
+		TickEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	// A directory client that asks once and then holds the connection
+	// open, idle, like a monitor between polls.
+	conn, err := net.Dial("tcp", srv.DirectoryAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := slp.WriteMessage(conn, slp.DirectoryRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := slp.ReadMessage(conn); err != nil {
+		t.Fatalf("directory reply: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("run = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return with a directory connection held open")
+	}
+}

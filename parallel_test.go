@@ -1,0 +1,59 @@
+package slmob
+
+// Façade-level parallel-vs-serial differential: the public WithSimWorkers
+// knob must never change what RunEstate measures. The world- and
+// server-level differentials pin raw avatar state; this one pins the
+// paper's published metrics end to end through the analysis pipeline.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"slmob/internal/core"
+)
+
+// estateAnalysisDigest folds an estate analysis into per-region and
+// global content digests — any divergence in any metric shows up here.
+func estateAnalysisDigest(t *testing.T, an *EstateAnalysis) string {
+	t.Helper()
+	var parts []string
+	d, err := core.AnalysisDigest(an.Global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts = append(parts, "global:"+d)
+	for _, rg := range an.Regions {
+		d, err := core.AnalysisDigest(rg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, rg.Land+":"+d)
+	}
+	return strings.Join(parts, "\n")
+}
+
+// TestRunEstateParallelDifferential: RunEstate with any WithSimWorkers
+// count produces an analysis bit-identical to the serial run.
+func TestRunEstateParallelDifferential(t *testing.T) {
+	run := func(workers int) string {
+		est := PaperEstate(41)
+		est.Duration = 1800
+		an, err := RunEstate(context.Background(), est, WithSimWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if an.Global.Summary.Snapshots == 0 || an.Global.Summary.Unique == 0 {
+			t.Fatalf("workers=%d produced an empty analysis: %+v", workers, an.Global.Summary)
+		}
+		return estateAnalysisDigest(t, an)
+	}
+
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		if got := run(workers); got != want {
+			t.Errorf("WithSimWorkers(%d) analysis diverged from serial:\n got %.120s\nwant %.120s",
+				workers, got, want)
+		}
+	}
+}

@@ -43,6 +43,9 @@ func ServeEstate(ctx context.Context, est Estate, opts ...Option) (*EstateServic
 	if warp <= 0 {
 		warp = DefaultWarp
 	}
+	if o.simWorkers > 0 {
+		est.SimWorkers = o.simWorkers
+	}
 	cfg := server.EstateConfig{
 		Estate:    est,
 		Addr:      o.serveAddr,
@@ -88,6 +91,17 @@ func (s *EstateService) QueryAddr() string { return s.srv.QueryAddr() }
 
 // SimTime returns the shared estate clock.
 func (s *EstateService) SimTime() int64 { return s.srv.SimTime() }
+
+// TickStats reports the service's tick-loop timing so far: how many
+// ticker intervals fired, how many simulation steps they ran, total and
+// worst-case wall time per interval, and how many intervals overran the
+// tick budget (the warped clock falling behind real time). Safe to call
+// while the service runs.
+func (s *EstateService) TickStats() server.TickStats { return s.srv.TickStats() }
+
+// StepWorkers reports how many goroutines the service steps regions
+// with each tick — the resolved WithSimWorkers value, 1 when serial.
+func (s *EstateService) StepWorkers() int { return s.srv.StepWorkers() }
 
 // StartClock releases a clock held by WithHeldClock (idempotent).
 func (s *EstateService) StartClock() int64 { return s.srv.StartClock() }
